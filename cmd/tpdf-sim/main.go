@@ -1,0 +1,157 @@
+// Command tpdf-sim executes a TPDF graph in the token-accurate virtual-time
+// simulator and reports firings, completion time and per-channel buffer
+// high-water marks. Built-in graphs come with their paper mode decisions
+// (OFDM branch selection, edge-detection deadline).
+//
+// Usage:
+//
+//	tpdf-sim [-builtin ofdm] [-param beta=10] [-iterations 2] [-pes 0]
+//	         [-trace] [file.tpdf]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/graphio"
+	"repro/internal/sim"
+	"repro/internal/symb"
+	"repro/internal/trace"
+)
+
+type paramFlags map[string]int64
+
+func (p paramFlags) String() string { return fmt.Sprint(map[string]int64(p)) }
+func (p paramFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("expected name=value, got %q", s)
+	}
+	v, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return err
+	}
+	p[name] = v
+	return nil
+}
+
+func run() error {
+	params := paramFlags{}
+	builtin := flag.String("builtin", "", "simulate a built-in graph (fig2, ofdm, ofdm-csdf, edge, fmradio)")
+	iters := flag.Int64("iterations", 1, "iterations to run")
+	pes := flag.Int("pes", 0, "processing element limit (0 = unlimited)")
+	doTrace := flag.Bool("trace", false, "print the firing trace")
+	flag.Var(params, "param", "parameter assignment name=value (repeatable)")
+	flag.Parse()
+
+	var g *core.Graph
+	var decide map[string]sim.DecideFunc
+	switch {
+	case *builtin != "":
+		switch *builtin {
+		case "fig2":
+			g = apps.Fig2()
+		case "ofdm":
+			p := apps.DefaultOFDM()
+			if v, ok := params["beta"]; ok {
+				p.Beta = v
+			}
+			if v, ok := params["M"]; ok {
+				p.M = v
+			}
+			if v, ok := params["N"]; ok {
+				p.N = v
+			}
+			if v, ok := params["L"]; ok {
+				p.L = v
+			}
+			g = apps.OFDMTPDF(p)
+			var err error
+			decide, err = apps.OFDMDecide(g, p.M)
+			if err != nil {
+				return err
+			}
+		case "ofdm-csdf":
+			g = apps.OFDMCSDF(apps.DefaultOFDM())
+		case "edge":
+			app := apps.EdgeDetection(500, nil)
+			g = app.Graph
+			decide = app.DeadlineDecide()
+		case "fmradio":
+			g = apps.FMRadioTPDF()
+			var err error
+			decide, err = apps.FMRadioSelectBand(g, 1)
+			if err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown builtin %q", *builtin)
+		}
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		g, err = graphio.Parse(string(src))
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("usage: tpdf-sim [flags] (-builtin name | file.tpdf)")
+	}
+
+	res, err := sim.Run(sim.Config{
+		Graph:      g,
+		Env:        symb.Env(params),
+		Iterations: *iters,
+		Processors: *pes,
+		Decide:     decide,
+		Record:     *doTrace,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("graph %s: completed at t=%d, quiescent=%v\n", g.Name, res.Time, res.Quiescent)
+	var rows [][]string
+	for i, n := range g.Nodes {
+		rows = append(rows, []string{n.Name, fmt.Sprint(res.Firings[i])})
+	}
+	fmt.Print(trace.Table([]string{"node", "firings"}, rows))
+
+	rows = rows[:0]
+	for ei, e := range g.Edges {
+		src, dst := g.Nodes[e.Src], g.Nodes[e.Dst]
+		rows = append(rows, []string{
+			e.Name,
+			src.Name + "->" + dst.Name,
+			fmt.Sprint(res.HighWater[ei]),
+			fmt.Sprint(res.Final[ei]),
+		})
+	}
+	fmt.Print(trace.Table([]string{"edge", "route", "max tokens", "final"}, rows))
+	fmt.Printf("total buffer: %d tokens\n", res.TotalBuffer())
+
+	if *doTrace {
+		for _, ev := range res.Events {
+			sel := ""
+			if len(ev.Selected) > 0 {
+				sel = " selected " + strings.Join(ev.Selected, ",")
+			}
+			fmt.Printf("  [%6d..%6d] %s#%d (%s)%s\n", ev.Start, ev.End, ev.Node, ev.Firing+1, ev.Mode, sel)
+		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tpdf-sim:", err)
+		os.Exit(1)
+	}
+}

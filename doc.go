@@ -1,0 +1,26 @@
+// Package repro reproduces "Transaction Parameterized Dataflow: A Model for
+// Context-Dependent Streaming Applications" (Do, Louise, Cohen — DATE 2016)
+// as a Go library.
+//
+// The implementation lives under internal/:
+//
+//   - core: the TPDF model of computation (kernels, control actors, modes,
+//     parametric rates, Select-duplicate/Transaction/Clock actors);
+//   - csdf: the Cyclo-Static Dataflow base model and its classical analyses;
+//   - analysis: the paper's static analyses — symbolic rate consistency,
+//     control areas, local solutions, rate safety, boundedness, liveness;
+//   - sched + platform: canonical-period list scheduling on MPPA-like
+//     many-core abstractions with the control-priority rule;
+//   - sim: token-accurate discrete-event execution of TPDF semantics;
+//   - runner: payload-level execution for real data;
+//   - dsp + imaging: the OFDM and edge-detection substrates of the two case
+//     studies; apps wires them into the paper's graphs;
+//   - buffer, experiments, trace, graphio: buffer sizing, the experiment
+//     harness regenerating every table and figure, reporting, and a textual
+//     graph format with DOT export.
+//
+// The benchmarks in bench_test.go regenerate each paper artifact; the
+// tpdf-analyze, tpdf-sched, tpdf-sim and tpdf-bench commands expose the
+// same functionality on the command line. See DESIGN.md for the experiment
+// index and EXPERIMENTS.md for recorded paper-versus-measured outcomes.
+package repro

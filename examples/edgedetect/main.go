@@ -1,0 +1,94 @@
+// Edge detection under a deadline (paper §IV-A, Fig. 6): the four real
+// detectors run on a synthetic 1024×1024 image to measure this host's
+// execution times, then the TPDF graph — Transaction plus 500 ms Clock —
+// selects the best result available at the deadline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/imaging"
+	"repro/internal/sim"
+)
+
+// writePGMFile saves an image under the given path, creating directories.
+func writePGMFile(path string, im *imaging.Image) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return imaging.WritePGM(f, im)
+}
+
+func main() {
+	size := flag.Int("size", 1024, "image side length")
+	deadline := flag.Int64("deadline", 500, "clock deadline in ms")
+	outDir := flag.String("out", "", "write input and per-detector PGM images to this directory")
+	flag.Parse()
+
+	im := imaging.Synthetic(*size, *size, 1)
+	fmt.Printf("synthetic scene %dx%d, mean intensity %.1f\n", *size, *size, im.Mean())
+	if *outDir != "" {
+		if err := writePGMFile(filepath.Join(*outDir, "input.pgm"), im); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Measure the real detectors (the Fig. 6 table on this host).
+	measured := map[string]int64{}
+	fmt.Println("method   paper-ms  this-host-ms  edge-density")
+	for _, d := range imaging.Detectors() {
+		start := time.Now()
+		out := d.Run(im)
+		ms := time.Since(start).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		measured[d.Name] = ms
+		fmt.Printf("%-8s %8d  %12d  %.4f\n",
+			d.Name, apps.PaperDetectorTimes[d.Name], ms, imaging.EdgeDensity(out, 60))
+		if *outDir != "" {
+			name := filepath.Join(*outDir, strings.ToLower(d.Name)+".pgm")
+			if err := writePGMFile(name, out); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if *outDir != "" {
+		fmt.Printf("wrote PGM images to %s\n", *outDir)
+	}
+
+	// Run the deadline selection twice: once with the paper's published
+	// times, once with this host's measurements.
+	for _, cfg := range []struct {
+		label string
+		times map[string]int64
+	}{
+		{"paper times (i3 @ 2.53GHz)", nil},
+		{"measured times (this host)", measured},
+	} {
+		app := apps.EdgeDetection(*deadline, cfg.times)
+		res, err := sim.Run(sim.Config{Graph: app.Graph, Decide: app.DeadlineDecide(), Record: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		chosen := "(none finished)"
+		for _, ev := range res.Events {
+			if ev.Node == "Trans" && len(ev.Selected) == 1 {
+				chosen = app.DetectorFor(ev.Selected[0])
+			}
+		}
+		fmt.Printf("deadline %d ms with %s: selected %s\n", *deadline, cfg.label, chosen)
+	}
+}

@@ -1,0 +1,92 @@
+package repro
+
+// End-to-end runs of the example programs (compiled and executed via the
+// toolchain). These are the repository's acceptance tests: each example
+// must run to completion and print its headline result.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runExample(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "./examples/" + name}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("example %s failed: %v\n%s", name, err, out)
+	}
+	return string(out)
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example runs skipped in -short")
+	}
+	out := runExample(t, "quickstart")
+	for _, frag := range []string{"bounded", "simulation", "fired"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("quickstart output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestExampleOFDM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example runs skipped in -short")
+	}
+	out := runExample(t, "ofdm")
+	for _, frag := range []string{"saving 29.4%", "0 bit errors", "QPSK=0 QAM=1"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("ofdm output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestExampleVC1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example runs skipped in -short")
+	}
+	out := runExample(t, "vc1")
+	for _, frag := range []string{"decoded 8 frames", "INTRA fired 2", "MC fired 6"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("vc1 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestExampleSpeculation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example runs skipped in -short")
+	}
+	out := runExample(t, "speculation")
+	for _, frag := range []string{"masked: true", "committed QMask"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("speculation output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestExampleFMRadio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example runs skipped in -short")
+	}
+	out := runExample(t, "fmradio")
+	for _, frag := range []string{"tone recovered: true", "TPDF radio"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("fmradio output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestExampleEdgeDetectSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example runs skipped in -short")
+	}
+	out := runExample(t, "edgedetect", "-size", "128")
+	if !strings.Contains(out, "selected Sobel") {
+		t.Errorf("edgedetect output missing paper-times selection:\n%s", out)
+	}
+}

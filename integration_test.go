@@ -1,0 +1,222 @@
+package repro
+
+// End-to-end integration tests: every shipped .tpdf graph file parses,
+// validates, analyzes, schedules and simulates through the full pipeline,
+// and the paper's headline numbers hold at integration level.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/graphio"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/symb"
+)
+
+func loadGraph(t *testing.T, name string) *core.Graph {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("graphs", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graphio.Parse(string(src))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return g
+}
+
+func TestShippedGraphsFullPipeline(t *testing.T) {
+	files, err := filepath.Glob("graphs/*.tpdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 8 {
+		t.Fatalf("expected >= 8 shipped graphs, found %d", len(files))
+	}
+	for _, f := range files {
+		name := filepath.Base(f)
+		t.Run(name, func(t *testing.T) {
+			g := loadGraph(t, name)
+			if err := g.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			rep := analysis.Analyze(g)
+			if rep.Err != nil {
+				t.Fatalf("analyze: %v", rep.Err)
+			}
+			if !rep.Bounded {
+				t.Fatalf("shipped graph must be bounded:\n%s", rep)
+			}
+
+			// Schedule the canonical period on a small machine.
+			cg, low, err := g.Instantiate(nil)
+			if err != nil {
+				t.Fatalf("instantiate: %v", err)
+			}
+			sol, err := cg.RepetitionVector()
+			if err != nil {
+				t.Fatal(err)
+			}
+			prec, err := cg.BuildPrecedence(sol, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			isCtl := make([]bool, len(cg.Actors))
+			for id, n := range g.Nodes {
+				if n.Kind == core.KindControl {
+					isCtl[low.ActorOf[id]] = true
+				}
+			}
+			opts := sched.Options{Platform: platform.Simple(4), ControlPriority: true, IsControl: isCtl}
+			res, err := sched.ListSchedule(cg, prec, opts)
+			if err != nil {
+				t.Fatalf("schedule: %v", err)
+			}
+			if err := sched.Verify(cg, prec, opts, res); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+
+			// Simulate one iteration (wait-all defaults).
+			simRes, err := sim.Run(sim.Config{Graph: g})
+			if err != nil {
+				t.Fatalf("simulate: %v", err)
+			}
+			if !simRes.Quiescent {
+				t.Error("simulation did not quiesce")
+			}
+		})
+	}
+}
+
+func TestHeadlineBufferResult(t *testing.T) {
+	// The paper's headline: 29% buffer improvement on the OFDM demodulator.
+	g := loadGraph(t, "ofdm.tpdf")
+	params := apps.DefaultOFDM()
+	decide, err := apps.OFDMDecide(g, params.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpdfRes, err := sim.Run(sim.Config{Graph: g, Env: symb.Env(params.Env()), Decide: decide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := loadGraph(t, "ofdm-csdf.tpdf")
+	csdfRes, err := sim.Run(sim.Config{Graph: cg, Env: symb.Env(params.Env())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpdfRes.TotalBuffer() != apps.PaperTPDFBuffer(params) {
+		t.Errorf("TPDF buffer %d != paper %d", tpdfRes.TotalBuffer(), apps.PaperTPDFBuffer(params))
+	}
+	if csdfRes.TotalBuffer() != apps.PaperCSDFBuffer(params) {
+		t.Errorf("CSDF buffer %d != paper %d", csdfRes.TotalBuffer(), apps.PaperCSDFBuffer(params))
+	}
+	imp := 1 - float64(tpdfRes.TotalBuffer())/float64(csdfRes.TotalBuffer())
+	if imp < 0.28 || imp > 0.31 {
+		t.Errorf("improvement %.3f, want ≈ 0.294", imp)
+	}
+}
+
+func TestShippedFig2MatchesFixture(t *testing.T) {
+	g := loadGraph(t, "fig2.tpdf")
+	shipped := analysis.Analyze(g)
+	fixture := analysis.Analyze(apps.Fig2())
+	if shipped.Solution.QString() != fixture.Solution.QString() {
+		t.Errorf("shipped q %s != fixture q %s",
+			shipped.Solution.QString(), fixture.Solution.QString())
+	}
+}
+
+func TestThroughputScalesWithProcessors(t *testing.T) {
+	// Steady-state iteration period of a three-stage pipeline: with one PE
+	// everything serializes (period = total work); with enough PEs the
+	// bottleneck stage sets the period.
+	g := core.NewGraph("tp")
+	a := g.AddKernel("a", 2)
+	b := g.AddKernel("b", 5)
+	c := g.AddKernel("c", 3)
+	if _, err := g.Connect(a, "[1]", b, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect(b, "[1]", c, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	serial, err := sim.IterationPeriod(sim.Config{Graph: g, Processors: 1}, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := sim.IterationPeriod(sim.Config{Graph: g}, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != 10 {
+		t.Errorf("1-PE period = %g, want 10 (2+5+3)", serial)
+	}
+	if parallel != 5 {
+		t.Errorf("unbounded period = %g, want 5 (the bottleneck stage)", parallel)
+	}
+}
+
+func TestEndToEndDeadlineStory(t *testing.T) {
+	// The complete §IV-A narrative at integration level: textual graph ->
+	// analysis -> simulation with clock decisions -> selection.
+	g := loadGraph(t, "edge.tpdf")
+	rep := analysis.Analyze(g)
+	if !rep.Bounded {
+		t.Fatalf("edge graph not bounded:\n%s", rep)
+	}
+	// Rebuild decisions against the parsed graph (port names survive the
+	// round trip).
+	clk, ok := g.NodeByName("Clock")
+	if !ok {
+		t.Fatal("Clock missing from shipped graph")
+	}
+	var clockPort string
+	for _, e := range g.Edges {
+		if e.Src == clk {
+			clockPort = g.Nodes[clk].Ports[e.SrcPort].Name
+		}
+	}
+	decide := map[string]sim.DecideFunc{
+		"Clock": func(int64) map[string]sim.ControlToken {
+			return map[string]sim.ControlToken{
+				clockPort: {Mode: core.ModeHighestPriority},
+			}
+		},
+	}
+	res, err := sim.Run(sim.Config{Graph: g, Decide: decide, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var selectedPort string
+	for _, ev := range res.Events {
+		if ev.Node == "Trans" && len(ev.Selected) == 1 {
+			selectedPort = ev.Selected[0]
+		}
+	}
+	if selectedPort == "" {
+		t.Fatal("transaction never selected a result")
+	}
+	// Decode which detector won: must be Sobel at the 500ms deadline.
+	tran, _ := g.NodeByName("Trans")
+	var winner string
+	for _, e := range g.Edges {
+		if e.Dst == tran && g.Nodes[tran].Ports[e.DstPort].Name == selectedPort {
+			winner = g.Nodes[e.Src].Name
+		}
+	}
+	if winner != "Sobel" {
+		t.Errorf("winner = %q, want Sobel", winner)
+	}
+	if !strings.Contains(graphio.DOT(g), "doublecircle") {
+		t.Error("DOT export lost the clock")
+	}
+}

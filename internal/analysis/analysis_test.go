@@ -1,0 +1,344 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/symb"
+)
+
+func exprEq(t *testing.T, got symb.Expr, want string, label string) {
+	t.Helper()
+	w := symb.MustParseExpr(want)
+	if !got.Equal(w) {
+		t.Errorf("%s = %s, want %s", label, got, want)
+	}
+}
+
+func TestFig2Consistency(t *testing.T) {
+	g := apps.Fig2()
+	sol, err := Consistency(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Example 2: r = [2, 2p, p, p, 2p, p] and q = [2, 2p, p, p, 2p, 2p]
+	// (plus the added sink with q = 2p).
+	names := []string{"A", "B", "C", "D", "E", "F", "SNK"}
+	wantQ := []string{"2", "2p", "p", "p", "2p", "2p", "2p"}
+	wantR := []string{"2", "2p", "p", "p", "2p", "p", "2p"}
+	for j, n := range names {
+		id, ok := g.NodeByName(n)
+		if !ok {
+			t.Fatalf("node %s missing", n)
+		}
+		exprEq(t, sol.Q[id], wantQ[j], "q["+n+"]")
+		exprEq(t, sol.R[id], wantR[j], "r["+n+"]")
+	}
+	// F has two phases (control [1,1] and data [0,2]/[1,1] sequences).
+	fID, _ := g.NodeByName("F")
+	if sol.Tau[fID] != 2 {
+		t.Errorf("tau[F] = %d, want 2", sol.Tau[fID])
+	}
+}
+
+func TestFig2ScheduleString(t *testing.T) {
+	g := apps.Fig2()
+	sol, err := Consistency(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sol.ScheduleString()
+	for _, frag := range []string{"A^2", "B^2p", "C^p", "D^p", "E^2p", "F^2p"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("schedule %q missing %q", s, frag)
+		}
+	}
+	// Producers precede consumers: A before B, B before F.
+	if strings.Index(s, "A^2") > strings.Index(s, "B^2p") {
+		t.Errorf("schedule %q: A must precede B", s)
+	}
+	if strings.Index(s, "B^2p") > strings.Index(s, "F^2p") {
+		t.Errorf("schedule %q: B must precede F", s)
+	}
+}
+
+func TestFig2ControlArea(t *testing.T) {
+	g := apps.Fig2()
+	c, _ := g.NodeByName("C")
+	area := ControlArea(g, c)
+	// Example 3: Area(C) = {B, D, E, F}.
+	got := Names(g, area.Members)
+	want := []string{"B", "D", "E", "F"}
+	if len(got) != len(want) {
+		t.Fatalf("Area(C) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Area(C) = %v, want %v", got, want)
+		}
+	}
+	if len(area.Prec) != 1 || g.Nodes[area.Prec[0]].Name != "B" {
+		t.Errorf("prec(C) = %v, want [B]", Names(g, area.Prec))
+	}
+	if len(area.Succ) != 1 || g.Nodes[area.Succ[0]].Name != "F" {
+		t.Errorf("succ(C) = %v, want [F]", Names(g, area.Succ))
+	}
+	inflNames := Names(g, area.Infl)
+	if len(inflNames) != 2 || inflNames[0] != "D" || inflNames[1] != "E" {
+		t.Errorf("infl(C) = %v, want [D E]", inflNames)
+	}
+}
+
+func TestFig2LocalSolution(t *testing.T) {
+	g := apps.Fig2()
+	sol, err := Consistency(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := g.NodeByName("C")
+	area := ControlArea(g, c)
+	local, err := LocalSolution(sol, area.Members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// qG({B,D,E,F}) = gcd(2p, p, 2p, p) = p; local solution B^2 D E^2 F^2
+	// (C fires once per local iteration — that is rate safety).
+	exprEq(t, local.QG, "p", "qG")
+	wants := map[string]string{"B": "2", "D": "1", "E": "2", "F": "2"}
+	for name, w := range wants {
+		id, _ := g.NodeByName(name)
+		exprEq(t, local.QL[id], w, "qL["+name+"]")
+	}
+	ls := local.LocalString(g)
+	for _, frag := range []string{"B^2", "D", "E^2", "F^2"} {
+		if !strings.Contains(ls, frag) {
+			t.Errorf("local solution %q missing %q", ls, frag)
+		}
+	}
+}
+
+func TestFig2RateSafe(t *testing.T) {
+	g := apps.Fig2()
+	sol, err := Consistency(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := RateSafety(g, sol)
+	if len(results) != 1 {
+		t.Fatalf("expected 1 control actor, got %d", len(results))
+	}
+	if results[0].Err != nil {
+		t.Errorf("Fig. 2 must be rate safe: %v", results[0].Err)
+	}
+}
+
+func TestRateUnsafeDetected(t *testing.T) {
+	// Consistent but rate-unsafe: the control actor C fires twice per local
+	// iteration of its area (it consumes [0,1] from S and emits one control
+	// token per firing), so X_C(1) = 1 != Y_K(qL_K) = 2 — C does not fire
+	// exactly once per local iteration as Definition 5 requires.
+	g := core.NewGraph("unsafe")
+	s := g.AddKernel("S")
+	k := g.AddTransaction("K")
+	c := g.AddControlActor("C")
+	z := g.AddKernel("Z")
+	if _, err := g.Connect(s, "[2]", k, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect(s, "[1]", c, "[0,1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.ConnectControl(c, "[1]", k, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect(k, "[1]", z, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Consistency(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := RateSafety(g, sol)
+	if len(results) != 1 || results[0].Err == nil {
+		t.Fatalf("rate-unsafe control must be detected: %+v", results)
+	}
+	if !strings.Contains(results[0].Err.Error(), "rate-unsafe") {
+		t.Errorf("unexpected error: %v", results[0].Err)
+	}
+}
+
+func TestInconsistentDetected(t *testing.T) {
+	g := core.NewGraph("inconsistent")
+	g.AddParam("p", 2, 1, 10)
+	a := g.AddKernel("A")
+	b := g.AddKernel("B")
+	if _, err := g.Connect(a, "[p]", b, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect(a, "[1]", b, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	// First edge forces r_B = p·r_A, second forces r_B = r_A: inconsistent
+	// as rational functions (would only balance at p=1).
+	if _, err := Consistency(g); err == nil {
+		t.Fatal("parametric inconsistency must be detected")
+	}
+}
+
+func TestFig4aLiveness(t *testing.T) {
+	g := apps.Fig4a()
+	sol, err := Consistency(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q = [2, 2p, 2p].
+	for j, w := range []string{"2", "2p", "2p"} {
+		exprEq(t, sol.Q[j], w, "q")
+	}
+	rep, err := Liveness(g, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Live || len(rep.Cycles) != 1 {
+		t.Fatalf("Fig. 4a must be live with one cycle: %+v", rep)
+	}
+	cyc := &rep.Cycles[0]
+	exprEq(t, cyc.QG, "p", "qG(B,C)")
+	// Local schedule (B B C C): B's two firings consume the two initial
+	// tokens, then C restores them.
+	if got := cyc.LocalString(g); got != "(B B C C)" {
+		t.Errorf("local schedule = %q, want (B B C C)", got)
+	}
+	cs := ClusteredScheduleString(g, sol, rep)
+	if !strings.HasPrefix(cs, "A^2 ") || !strings.Contains(cs, "(B B C C)^p") {
+		t.Errorf("clustered schedule = %q, want A^2 (B B C C)^p", cs)
+	}
+}
+
+func TestFig4bLateSchedule(t *testing.T) {
+	g := apps.Fig4b()
+	sol, err := Consistency(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Liveness(g, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Live || len(rep.Cycles) != 1 {
+		t.Fatalf("Fig. 4b must be live: %+v", rep)
+	}
+	// The late schedule of [8]: (B C C B). A naive B^2 C^2 order deadlocks
+	// with a single initial token.
+	if got := rep.Cycles[0].LocalString(g); got != "(B C C B)" {
+		t.Errorf("local schedule = %q, want (B C C B)", got)
+	}
+}
+
+func TestFig4DeadlockDetected(t *testing.T) {
+	g := apps.Fig4Deadlocked()
+	sol, err := Consistency(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Liveness(g, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Live {
+		t.Fatal("tokenless cycle must deadlock")
+	}
+	if len(rep.Cycles) != 1 || rep.Cycles[0].Err == nil {
+		t.Fatalf("cycle error missing: %+v", rep.Cycles)
+	}
+}
+
+func TestAnalyzeFig2EndToEnd(t *testing.T) {
+	rep := Analyze(apps.Fig2())
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	if !rep.Consistent || !rep.RateSafe || !rep.Live || !rep.Bounded {
+		t.Fatalf("Fig. 2 must be consistent, safe, live, bounded: %+v", rep)
+	}
+	s := rep.String()
+	for _, frag := range []string{"consistency: OK", "rate safe", "bounded"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("report missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestAnalyzeOFDM(t *testing.T) {
+	g := apps.OFDMTPDF(apps.DefaultOFDM())
+	rep := Analyze(g)
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	if !rep.Bounded {
+		t.Fatalf("OFDM TPDF graph must be bounded:\n%s", rep)
+	}
+	// Every actor fires once per iteration: rates match exactly along the
+	// pipeline for all parameter values.
+	for j, q := range rep.Solution.Q {
+		if !q.IsOne() {
+			t.Errorf("q[%s] = %s, want 1", g.Nodes[j].Name, q)
+		}
+	}
+}
+
+func TestAnalyzeOFDMCSDFBaseline(t *testing.T) {
+	rep := Analyze(apps.OFDMCSDF(apps.DefaultOFDM()))
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	if !rep.Bounded {
+		t.Fatalf("OFDM CSDF baseline must be bounded:\n%s", rep)
+	}
+}
+
+func TestEvalQ(t *testing.T) {
+	g := apps.Fig2()
+	sol, err := Consistency(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sol.EvalQ(symb.Env{"p": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{2, 6, 3, 3, 6, 6, 6}
+	for j, w := range want {
+		if q[j] != w {
+			t.Errorf("q[%d] = %d, want %d", j, q[j], w)
+		}
+	}
+}
+
+func TestLivenessDetectsParamDependence(t *testing.T) {
+	// Cycle whose initial tokens suffice only for p=1: the probe at the
+	// upper bound must catch the deadlock at larger p.
+	g := core.NewGraph("param-cycle")
+	g.AddParam("p", 1, 1, 4)
+	a := g.AddKernel("A")
+	b := g.AddKernel("B")
+	if _, err := g.Connect(a, "[p]", b, "[p]", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect(b, "[p]", a, "[p]", 1); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Consistency(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Liveness(g, sol, symb.Env{"p": 1}, symb.Env{"p": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Live {
+		t.Fatal("cycle with p-dependent token demand must be caught at p=4")
+	}
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/symb"
+)
+
+// Area is the control area of a control actor (Definition 3):
+// Area(g) = prec(g) ∪ succ(g) ∪ infl(g), where infl(g) is the set of actors
+// between prec(g) and succ(g) influenced by g.
+type Area struct {
+	Ctrl core.NodeID
+	Prec []core.NodeID
+	Succ []core.NodeID
+	Infl []core.NodeID
+	// Members is the union, sorted, without the control actor itself.
+	Members []core.NodeID
+}
+
+// ControlArea computes the area of the given control actor.
+func ControlArea(g *core.Graph, ctrl core.NodeID) *Area {
+	prec := map[core.NodeID]bool{}
+	succ := map[core.NodeID]bool{}
+	for _, e := range g.Edges {
+		if e.Dst == ctrl && e.Src != ctrl {
+			prec[e.Src] = true
+		}
+		if e.Src == ctrl && e.Dst != ctrl {
+			succ[e.Dst] = true
+		}
+	}
+	// succ(prec(g)) and prec(succ(g)).
+	succOfPrec := map[core.NodeID]bool{}
+	precOfSucc := map[core.NodeID]bool{}
+	for _, e := range g.Edges {
+		if prec[e.Src] {
+			succOfPrec[e.Dst] = true
+		}
+		if succ[e.Dst] {
+			precOfSucc[e.Src] = true
+		}
+	}
+	infl := map[core.NodeID]bool{}
+	for v := range succOfPrec {
+		if precOfSucc[v] && v != ctrl {
+			infl[v] = true
+		}
+	}
+	a := &Area{Ctrl: ctrl, Prec: keys(prec), Succ: keys(succ), Infl: keys(infl)}
+	all := map[core.NodeID]bool{}
+	for _, s := range [][]core.NodeID{a.Prec, a.Succ, a.Infl} {
+		for _, v := range s {
+			if v != ctrl {
+				all[v] = true
+			}
+		}
+	}
+	a.Members = keys(all)
+	return a
+}
+
+func keys(m map[core.NodeID]bool) []core.NodeID {
+	out := make([]core.NodeID, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Names renders a node-id list as names.
+func Names(g *core.Graph, ids []core.NodeID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = g.Nodes[id].Name
+	}
+	return out
+}
+
+// Local is a local solution (Definition 4) for a subset Z of the actors:
+// QG = gcd(q_ai / τ_i) over Z and QL[ai] = q_ai / QG. Local solutions act as
+// a repetition vector for the subset.
+type Local struct {
+	QG symb.Expr
+	QL map[core.NodeID]symb.Expr
+}
+
+// LocalSolution computes the local solution of the subset zs.
+func LocalSolution(sol *Solution, zs []core.NodeID) (*Local, error) {
+	if len(zs) == 0 {
+		return nil, fmt.Errorf("analysis: empty subset for local solution")
+	}
+	rs := make([]symb.Expr, len(zs))
+	for i, z := range zs {
+		rs[i] = sol.R[z] // q_z / τ_z by construction
+	}
+	qg := symb.GCDExprs(rs)
+	if qg.IsZero() {
+		return nil, fmt.Errorf("analysis: zero gcd in local solution")
+	}
+	l := &Local{QG: qg, QL: map[core.NodeID]symb.Expr{}}
+	for _, z := range zs {
+		l.QL[z] = sol.Q[z].Div(qg)
+	}
+	return l, nil
+}
+
+// LocalString renders the local solution in the paper's compact form,
+// e.g. "B^2 C D E^2 F^2".
+func (l *Local) LocalString(g *core.Graph) string {
+	ids := make([]core.NodeID, 0, len(l.QL))
+	for id := range l.QL {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var parts []string
+	for _, id := range ids {
+		q := l.QL[id]
+		if q.IsOne() {
+			parts = append(parts, g.Nodes[id].Name)
+		} else {
+			parts = append(parts, fmt.Sprintf("%s^%s", g.Nodes[id].Name, compact(q)))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// dataDigraph builds the node-level digraph over every edge (data and
+// control: both impose dependences).
+func dataDigraph(g *core.Graph) *graph.Digraph {
+	d := graph.New(len(g.Nodes))
+	for _, e := range g.Edges {
+		d.AddEdge(int(e.Src), int(e.Dst))
+	}
+	return d
+}

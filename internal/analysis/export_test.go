@@ -1,0 +1,8 @@
+package analysis
+
+import "repro/internal/symb"
+
+// CumSymbolic exposes the cumulative-rate helper for white-box tests.
+func CumSymbolic(seq []symb.Expr, n symb.Expr) (symb.Expr, error) {
+	return cumSymbolic(seq, n)
+}

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/symb"
+)
+
+// randomTPDF generates a structurally valid, rate-consistent TPDF graph: a
+// layered DAG of kernels where each node is first assigned a firing ratio
+// r (an integer, optionally scaled by the parameter p), and every edge
+// (u -> v) then carries production rate r_v and consumption rate r_u — the
+// balance equation r_u·r_v = r_v·r_u holds identically, so the graph is
+// consistent by construction for any wiring, including diamonds. This
+// exercises the symbolic solver on shapes far from the hand-built fixtures.
+func randomTPDF(rng *rand.Rand, layers, width int, parametric bool) *core.Graph {
+	g := core.NewGraph(fmt.Sprintf("rand-%d-%d", layers, width))
+	if parametric {
+		g.AddParam("p", int64(rng.Intn(3)+1), 1, 8)
+	}
+	ratio := func() string {
+		c := rng.Intn(3) + 1
+		if parametric && rng.Intn(3) == 0 {
+			if c == 1 {
+				return "p"
+			}
+			return fmt.Sprintf("%d*p", c)
+		}
+		return fmt.Sprint(c)
+	}
+	ratios := map[core.NodeID]string{}
+	connect := func(u, v core.NodeID) {
+		if _, err := g.Connect(u, "["+ratios[v]+"]", v, "["+ratios[u]+"]", 0); err != nil {
+			panic(err)
+		}
+	}
+	var prev []core.NodeID
+	for l := 0; l < layers; l++ {
+		w := rng.Intn(width) + 1
+		var cur []core.NodeID
+		for i := 0; i < w; i++ {
+			k := g.AddKernel(fmt.Sprintf("n%d_%d", l, i), int64(rng.Intn(5)))
+			ratios[k] = ratio()
+			cur = append(cur, k)
+			if l > 0 {
+				connect(prev[rng.Intn(len(prev))], k)
+			}
+		}
+		// Every node in the previous layer must have at least one consumer
+		// so no port dangles; occasionally add extra diamond edges.
+		if l > 0 {
+			for _, src := range prev {
+				used := false
+				for _, e := range g.Edges {
+					if e.Src == src {
+						used = true
+						break
+					}
+				}
+				if !used || rng.Intn(3) == 0 {
+					connect(src, cur[rng.Intn(len(cur))])
+				}
+			}
+		}
+		prev = cur
+	}
+	// Terminal sink merging the last layer.
+	snk := g.AddKernel("snk", 0)
+	ratios[snk] = ratio()
+	for _, src := range prev {
+		connect(src, snk)
+	}
+	return g
+}
+
+func TestRandomDAGsAnalyzeCleanly(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		g := randomTPDF(rng, rng.Intn(4)+2, 3, trial%2 == 0)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid graph: %v\n%s", trial, err, g)
+		}
+		rep := Analyze(g)
+		if rep.Err != nil {
+			t.Fatalf("trial %d: analysis error: %v\n%s", trial, rep.Err, g)
+		}
+		// Acyclic graphs without control actors are always live and
+		// bounded once consistent.
+		if !rep.Consistent || !rep.Live || !rep.Bounded {
+			t.Fatalf("trial %d: DAG should be bounded: %+v\n%s", trial, rep, g)
+		}
+	}
+}
+
+func TestRandomDAGsSimulationMatchesRepetition(t *testing.T) {
+	// The simulator must fire each actor exactly q times and restore every
+	// channel to its initial state — Theorem 2 at machine level.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		g := randomTPDF(rng, rng.Intn(3)+2, 3, trial%3 == 0)
+		sol, err := Consistency(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := symb.Env{"p": int64(rng.Intn(4) + 1)}
+		qSym, err := sol.EvalQ(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cg, _, err := g.Instantiate(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		csol, err := cg.RepetitionVector()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{Graph: g, Env: env})
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, g)
+		}
+		if !res.Quiescent {
+			t.Fatalf("trial %d: did not quiesce", trial)
+		}
+		for j := range res.Firings {
+			if res.Firings[j] != csol.Q[j] {
+				t.Fatalf("trial %d: node %s fired %d, q=%d\n%s",
+					trial, g.Nodes[j].Name, res.Firings[j], csol.Q[j], g)
+			}
+			// Symbolic q is an integer multiple of the concrete minimal q.
+			if qSym[j]%csol.Q[j] != 0 {
+				t.Fatalf("trial %d: symbolic q %d not a multiple of concrete %d",
+					trial, qSym[j], csol.Q[j])
+			}
+		}
+		for ei, fin := range res.Final {
+			if fin != g.Edges[ei].Initial {
+				t.Fatalf("trial %d: edge %s final %d != initial %d",
+					trial, g.Edges[ei].Name, fin, g.Edges[ei].Initial)
+			}
+		}
+	}
+}
+
+func TestRandomGraphsScheduleStringTopological(t *testing.T) {
+	// The symbolic schedule string must order producers before consumers.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		g := randomTPDF(rng, rng.Intn(4)+2, 3, false)
+		sol, err := Consistency(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sol.ScheduleString()
+		pos := map[string]int{}
+		for i, n := range g.Nodes {
+			_ = i
+			pos[n.Name] = indexOfToken(s, n.Name)
+			if pos[n.Name] < 0 {
+				t.Fatalf("trial %d: %s missing from schedule %q", trial, n.Name, s)
+			}
+		}
+		for _, e := range g.Edges {
+			src := g.Nodes[e.Src].Name
+			dst := g.Nodes[e.Dst].Name
+			if pos[src] > pos[dst] {
+				t.Fatalf("trial %d: %s scheduled after consumer %s in %q", trial, src, dst, s)
+			}
+		}
+	}
+}
+
+// indexOfToken finds name as a whole schedule token (names here never
+// prefix one another except via the ^ exponent marker).
+func indexOfToken(s, name string) int {
+	for i := 0; i+len(name) <= len(s); i++ {
+		if s[i:i+len(name)] != name {
+			continue
+		}
+		beforeOK := i == 0 || s[i-1] == ' '
+		j := i + len(name)
+		afterOK := j == len(s) || s[j] == ' ' || s[j] == '^'
+		if beforeOK && afterOK {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,120 @@
+// Package apps builds the TPDF application graphs used throughout the
+// paper: the running example of Fig. 2, the liveness examples of Fig. 4,
+// the edge-detection application of Fig. 6, the OFDM demodulator of Fig. 7
+// (with its CSDF baseline for the Fig. 8 comparison), and an FM-radio
+// pipeline in the style of the StreamIt benchmarks cited in §IV-B.
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/csdf"
+)
+
+// mustEdge panics on builder errors: the graphs here are static fixtures
+// whose construction cannot fail once written correctly, and a panic during
+// init of a fixture is a programming error, not a runtime condition.
+func mustEdge(id core.EdgeID, err error) core.EdgeID {
+	if err != nil {
+		panic(fmt.Sprintf("apps: building fixture: %v", err))
+	}
+	return id
+}
+
+// Fig1CSDF builds the paper's Fig. 1 CSDF example: three actors in a cycle
+// with cyclo-static rates giving q = [3, 2, 2], two initial tokens on e2,
+// and the unique admissible start (a3)^2 (a1)^3 (a2)^2.
+func Fig1CSDF() *csdf.Graph {
+	g := csdf.NewGraph()
+	a1 := g.AddActor("a1", 1)
+	a2 := g.AddActor("a2", 1)
+	a3 := g.AddActor("a3", 1)
+	g.ConnectNamed("e1", a1, []int64{1, 0, 1}, a2, []int64{1, 1}, 0)
+	g.ConnectNamed("e2", a2, []int64{0, 2}, a3, []int64{1}, 2)
+	g.ConnectNamed("e3", a3, []int64{2}, a1, []int64{1, 1, 2}, 0)
+	return g
+}
+
+// Fig2 builds the paper's Fig. 2 running example: kernels A, B, D, E and a
+// Transaction kernel F with parametric rate p, control actor C driving F's
+// control port, plus a sink consuming F's output so every port is connected.
+//
+//	e1: A [p]  -> [1]   B
+//	e2: B [1]  -> [2]   D
+//	e3: B [1]  -> [2]   C
+//	e4: B [1]  -> [1]   E
+//	e5: C [2]  -> [1,1] F   (control channel)
+//	e6: D [2]  -> [0,2] F
+//	e7: E [1]  -> [1,1] F
+//	e8: F [1]  -> [1]   SNK
+//
+// The symbolic repetition vector is q = [2, 2p, p, p, 2p, 2p] as derived in
+// Example 2, with q_SNK = 2p for the added sink.
+func Fig2() *core.Graph {
+	g := core.NewGraph("fig2")
+	g.AddParam("p", 2, 1, 100)
+	a := g.AddKernel("A", 1)
+	b := g.AddKernel("B", 1)
+	c := g.AddControlActor("C", 1)
+	d := g.AddKernel("D", 1)
+	e := g.AddKernel("E", 1)
+	f := g.AddTransaction("F", 1)
+	snk := g.AddKernel("SNK", 0)
+	mustEdge(g.Connect(a, "[p]", b, "[1]", 0))
+	mustEdge(g.Connect(b, "[1]", d, "[2]", 0))
+	mustEdge(g.Connect(b, "[1]", c, "[2]", 0))
+	mustEdge(g.Connect(b, "[1]", e, "[1]", 0))
+	mustEdge(g.ConnectControl(c, "[2]", f, 0))
+	mustEdge(g.ConnectPriority(d, "[2]", f, "[0,2]", 0, 1))
+	mustEdge(g.ConnectPriority(e, "[1]", f, "[1,1]", 0, 2))
+	mustEdge(g.Connect(f, "[1]", snk, "[1]", 0))
+	return g
+}
+
+// Fig4a builds the live cyclic TPDF graph of Fig. 4(a):
+//
+//	A [p,p] -> [1,1] B;  B [0,2] -> [1] C;  C [1] -> [1,1] B (2 initial)
+//
+// The cycle (B, C) clusters into Ω with local solution B^2 C^2 and the
+// global schedule A^2 Ω^p = A^2 (B^2 C^2)^p.
+func Fig4a() *core.Graph {
+	g := core.NewGraph("fig4a")
+	g.AddParam("p", 2, 1, 100)
+	a := g.AddKernel("A", 1)
+	b := g.AddKernel("B", 1)
+	c := g.AddKernel("C", 1)
+	mustEdge(g.Connect(a, "[p,p]", b, "[1,1]", 0))
+	mustEdge(g.Connect(b, "[0,2]", c, "[1]", 0))
+	mustEdge(g.Connect(c, "[1]", b, "[1,1]", 2))
+	return g
+}
+
+// Fig4b builds the Fig. 4(b) variant: production [2,0] and a single initial
+// token on the back edge. It is live only through the late schedule
+// (B C C B) — the naive B^2 C^2 local order deadlocks.
+func Fig4b() *core.Graph {
+	g := core.NewGraph("fig4b")
+	g.AddParam("p", 2, 1, 100)
+	a := g.AddKernel("A", 1)
+	b := g.AddKernel("B", 1)
+	c := g.AddKernel("C", 1)
+	mustEdge(g.Connect(a, "[p,p]", b, "[1,1]", 0))
+	mustEdge(g.Connect(b, "[2,0]", c, "[1]", 0))
+	mustEdge(g.Connect(c, "[1]", b, "[1,1]", 1))
+	return g
+}
+
+// Fig4Deadlocked is Fig4b with the initial token removed: the cycle can
+// never start, so liveness analysis must reject it.
+func Fig4Deadlocked() *core.Graph {
+	g := core.NewGraph("fig4-deadlock")
+	g.AddParam("p", 2, 1, 100)
+	a := g.AddKernel("A", 1)
+	b := g.AddKernel("B", 1)
+	c := g.AddKernel("C", 1)
+	mustEdge(g.Connect(a, "[p,p]", b, "[1,1]", 0))
+	mustEdge(g.Connect(b, "[2,0]", c, "[1]", 0))
+	mustEdge(g.Connect(c, "[1]", b, "[1,1]", 0))
+	return g
+}

@@ -1,0 +1,186 @@
+package apps_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/apps"
+	"repro/internal/sim"
+	"repro/internal/symb"
+)
+
+func TestAllFixturesValidate(t *testing.T) {
+	for _, g := range []interface {
+		Validate() error
+	}{
+		apps.Fig2(), apps.Fig4a(), apps.Fig4b(), apps.Fig4Deadlocked(),
+		apps.OFDMTPDF(apps.DefaultOFDM()), apps.OFDMCSDF(apps.DefaultOFDM()),
+		apps.FMRadioCSDF(), apps.FMRadioTPDF(),
+		apps.EdgeDetection(500, nil).Graph,
+	} {
+		if err := g.Validate(); err != nil {
+			t.Errorf("fixture invalid: %v", err)
+		}
+	}
+}
+
+func TestAllFixturesBoundedExceptDeadlock(t *testing.T) {
+	bounded := []func() string{
+		func() string { r := analysis.Analyze(apps.Fig2()); return verdict("fig2", r.Bounded, r.Err) },
+		func() string { r := analysis.Analyze(apps.Fig4a()); return verdict("fig4a", r.Bounded, r.Err) },
+		func() string { r := analysis.Analyze(apps.Fig4b()); return verdict("fig4b", r.Bounded, r.Err) },
+		func() string {
+			r := analysis.Analyze(apps.OFDMTPDF(apps.DefaultOFDM()))
+			return verdict("ofdm-tpdf", r.Bounded, r.Err)
+		},
+		func() string {
+			r := analysis.Analyze(apps.FMRadioTPDF())
+			return verdict("fmradio-tpdf", r.Bounded, r.Err)
+		},
+		func() string {
+			r := analysis.Analyze(apps.EdgeDetection(500, nil).Graph)
+			return verdict("edge-detection", r.Bounded, r.Err)
+		},
+	}
+	for _, f := range bounded {
+		if msg := f(); msg != "" {
+			t.Error(msg)
+		}
+	}
+	if r := analysis.Analyze(apps.Fig4Deadlocked()); r.Bounded {
+		t.Error("deadlocked fixture must not be bounded")
+	}
+}
+
+func verdict(name string, bounded bool, err error) string {
+	if err != nil {
+		return name + ": " + err.Error()
+	}
+	if !bounded {
+		return name + ": expected bounded"
+	}
+	return ""
+}
+
+func TestPaperBufferFormulas(t *testing.T) {
+	p := apps.OFDMParams{Beta: 10, M: 4, N: 512, L: 1}
+	if got := apps.PaperTPDFBuffer(p); got != 3+10*(12*512+1) {
+		t.Errorf("TPDF formula = %d", got)
+	}
+	if got := apps.PaperCSDFBuffer(p); got != 10*(17*512+1) {
+		t.Errorf("CSDF formula = %d", got)
+	}
+	// The paper's 29% claim: 5N/(17N+L) ≈ 29.4% for large N.
+	imp := 1 - float64(apps.PaperTPDFBuffer(p))/float64(apps.PaperCSDFBuffer(p))
+	if imp < 0.28 || imp > 0.31 {
+		t.Errorf("formula improvement = %.3f, want ≈ 0.294", imp)
+	}
+}
+
+func TestOFDMDecideRejectsBadM(t *testing.T) {
+	g := apps.OFDMTPDF(apps.DefaultOFDM())
+	if _, err := apps.OFDMDecide(g, 3); err == nil {
+		t.Error("M=3 must be rejected")
+	}
+}
+
+func TestFMRadioBandSelection(t *testing.T) {
+	g := apps.FMRadioTPDF()
+	decide, err := apps.FMRadioSelectBand(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{Graph: g, Decide: decide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for band := 1; band <= 3; band++ {
+		id, _ := g.NodeByName(bandName(band))
+		want := int64(0)
+		if band == 2 {
+			want = 1 // the LPF decimates 8 -> 1, so each band fires once
+		}
+		if res.Firings[id] != want {
+			t.Errorf("band %d fired %d, want %d", band, res.Firings[id], want)
+		}
+	}
+	if _, err := apps.FMRadioSelectBand(g, 9); err == nil {
+		t.Error("band 9 must be rejected")
+	}
+}
+
+func bandName(i int) string { return map[int]string{1: "BAND1", 2: "BAND2", 3: "BAND3"}[i] }
+
+func TestFMRadioTPDFSavesBuffer(t *testing.T) {
+	tg := apps.FMRadioTPDF()
+	decide, err := apps.FMRadioSelectBand(tg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tres, err := sim.Run(sim.Config{Graph: tg, Decide: decide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := apps.FMRadioCSDF()
+	cres, err := sim.Run(sim.Config{Graph: cg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tres.TotalBuffer() >= cres.TotalBuffer() {
+		t.Errorf("TPDF radio buffer %d should beat CSDF %d",
+			tres.TotalBuffer(), cres.TotalBuffer())
+	}
+}
+
+func TestEdgeDetectionCustomTimes(t *testing.T) {
+	times := map[string]int64{"QMask": 10, "Sobel": 20, "Prewitt": 30, "Canny": 40}
+	app := apps.EdgeDetection(25, times)
+	res, err := sim.Run(sim.Config{Graph: app.Graph, Decide: app.DeadlineDecide(), Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chosen string
+	for _, ev := range res.Events {
+		if ev.Node == "Trans" && len(ev.Selected) == 1 {
+			chosen = app.DetectorFor(ev.Selected[0])
+		}
+	}
+	// IRead(10) + IDup(1) + Sobel(20) = 31 > 25; QMask done at 21 < 25.
+	if chosen != "QMask" {
+		t.Errorf("chosen = %q, want QMask", chosen)
+	}
+}
+
+func TestFig2SymbolicAgainstInstances(t *testing.T) {
+	// The symbolic repetition vector evaluated at p must match the concrete
+	// vector of the instantiated graph up to the global scale factor.
+	g := apps.Fig2()
+	sol, err := analysis.Consistency(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int64{1, 2, 3, 7, 10} {
+		qSym, err := sol.EvalQ(symb.Env{"p": p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cg, _, err := g.Instantiate(symb.Env{"p": p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		csol, err := cg.RepetitionVector()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// qSym = k * csol.Q for a positive integer k.
+		k := qSym[0] / csol.Q[0]
+		if k <= 0 || qSym[0] != k*csol.Q[0] {
+			t.Fatalf("p=%d: scale mismatch %v vs %v", p, qSym, csol.Q)
+		}
+		for j := range qSym {
+			if qSym[j] != k*csol.Q[j] {
+				t.Errorf("p=%d: q[%d] symbolic %d != %d×%d", p, j, qSym[j], k, csol.Q[j])
+			}
+		}
+	}
+}

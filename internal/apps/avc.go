@@ -1,0 +1,60 @@
+package apps
+
+import "repro/internal/core"
+
+// MotionEstimationApp is the §V AVC-encoder scenario: two motion-vector
+// searches of different quality and cost race under a deadline, and a
+// Transaction kernel with a quality threshold commits the best result
+// available in time ("to choose dynamically the highest quality video
+// available within real-time constraints").
+type MotionEstimationApp struct {
+	Graph *core.Graph
+	Clock core.NodeID
+	Tran  core.NodeID
+	// TranPortOf maps search kernel name ("ME_FULL", "ME_TSS") to its
+	// Transaction input port.
+	TranPortOf map[string]string
+	// ClockPort is the clock's control-output port.
+	ClockPort string
+}
+
+// MotionEstimation builds the graph. fullMS and tssMS are the worst-case
+// execution times of the exhaustive and three-step searches; deadlineMS the
+// encoder's frame budget. Priorities encode quality: full search outranks
+// the heuristic.
+func MotionEstimation(deadlineMS, fullMS, tssMS int64) *MotionEstimationApp {
+	g := core.NewGraph("avc-me")
+	frame := g.AddKernel("FRAME", 1)
+	dup := g.AddSelectDuplicate("DUP", 0)
+	full := g.AddKernel("ME_FULL", fullMS)
+	tss := g.AddKernel("ME_TSS", tssMS)
+	tran := g.AddTransaction("TRAN", 0)
+	clk := g.AddClock("CLK", deadlineMS)
+	enc := g.AddKernel("ENC", 2)
+
+	app := &MotionEstimationApp{Graph: g, Clock: clk, Tran: tran, TranPortOf: map[string]string{}}
+	mustEdge(g.Connect(frame, "[1]", dup, "[1]", 0))
+	for _, k := range []struct {
+		id   core.NodeID
+		name string
+		prio int
+	}{{full, "ME_FULL", 2}, {tss, "ME_TSS", 1}} {
+		mustEdge(g.Connect(dup, "[1]", k.id, "[1]", 0))
+		eid := mustEdge(g.ConnectPriority(k.id, "[1]", tran, "[1]", 0, k.prio))
+		app.TranPortOf[k.name] = g.Nodes[tran].Ports[g.Edges[eid].DstPort].Name
+	}
+	mustEdge(g.Connect(tran, "[1]", enc, "[1]", 0))
+	cid := mustEdge(g.ConnectControl(clk, "[1]", tran, 0))
+	app.ClockPort = g.Nodes[clk].Ports[g.Edges[cid].SrcPort].Name
+	return app
+}
+
+// SearchFor resolves a Transaction input port back to the search kernel.
+func (a *MotionEstimationApp) SearchFor(port string) string {
+	for name, p := range a.TranPortOf {
+		if p == port {
+			return name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,98 @@
+package apps
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// PaperDetectorTimes are the execution times (ms) the paper measured for a
+// 1024×1024 image on an Intel Core i3 @ 2.53 GHz (Fig. 6 table).
+var PaperDetectorTimes = map[string]int64{
+	"QMask":   200,
+	"Sobel":   473,
+	"Prewitt": 522,
+	"Canny":   1040,
+}
+
+// DetectorPriorities orders the methods by result quality, the paper's
+// "Canny > Prewitt > Sobel > Quick Mask".
+var DetectorPriorities = map[string]int{
+	"QMask":   1,
+	"Sobel":   2,
+	"Prewitt": 3,
+	"Canny":   4,
+}
+
+// DetectorNames lists the methods in Fig. 6's table order.
+var DetectorNames = []string{"QMask", "Sobel", "Prewitt", "Canny"}
+
+// EdgeDetectionApp wraps the Fig. 6 TPDF graph with the handles needed to
+// drive and observe it.
+type EdgeDetectionApp struct {
+	Graph *core.Graph
+	Clock core.NodeID
+	Tran  core.NodeID
+	// TranPortOf maps detector name to the Transaction input port fed by it,
+	// so simulation traces can be decoded.
+	TranPortOf map[string]string
+	// ClockPort is the clock's control-output port name.
+	ClockPort string
+}
+
+// EdgeDetection builds the Fig. 6 application: IRead duplicates the input
+// image to four edge detectors running in parallel; a Transaction kernel
+// selects, at the deadline signalled by a Clock control actor, the best
+// result available (highest-priority mode with Canny > Prewitt > Sobel >
+// Quick Mask); IWrite consumes the chosen result.
+//
+// deadlineMS is the clock period (the paper uses 500 ms); execMS gives the
+// per-detector execution times (PaperDetectorTimes when nil).
+func EdgeDetection(deadlineMS int64, execMS map[string]int64) *EdgeDetectionApp {
+	if execMS == nil {
+		execMS = PaperDetectorTimes
+	}
+	g := core.NewGraph("edge-detection")
+	iread := g.AddKernel("IRead", 10)
+	idup := g.AddSelectDuplicate("IDuplicate", 1)
+	tran := g.AddTransaction("Trans", 0)
+	clk := g.AddClock("Clock", deadlineMS)
+	iwrite := g.AddKernel("IWrite", 5)
+
+	mustEdge(g.Connect(iread, "[1]", idup, "[1]", 0))
+	app := &EdgeDetectionApp{Graph: g, Clock: clk, Tran: tran, TranPortOf: map[string]string{}}
+	for _, name := range DetectorNames {
+		det := g.AddKernel(name, execMS[name])
+		mustEdge(g.Connect(idup, "[1]", det, "[1]", 0))
+		eid := mustEdge(g.ConnectPriority(det, "[1]", tran, "[1]", 0, DetectorPriorities[name]))
+		e := g.Edges[eid]
+		app.TranPortOf[name] = g.Nodes[tran].Ports[e.DstPort].Name
+	}
+	mustEdge(g.Connect(tran, "[1]", iwrite, "[1]", 0))
+	cid := mustEdge(g.ConnectControl(clk, "[1]", tran, 0))
+	app.ClockPort = g.Nodes[clk].Ports[g.Edges[cid].SrcPort].Name
+	return app
+}
+
+// DeadlineDecide returns the control decision driving the Transaction in
+// highest-priority mode: at each clock tick, pick the best finished result.
+func (a *EdgeDetectionApp) DeadlineDecide() map[string]sim.DecideFunc {
+	port := a.ClockPort
+	return map[string]sim.DecideFunc{
+		a.Graph.Nodes[a.Clock].Name: func(firing int64) map[string]sim.ControlToken {
+			return map[string]sim.ControlToken{
+				port: {Mode: core.ModeHighestPriority},
+			}
+		},
+	}
+}
+
+// DetectorFor resolves a Transaction input port name back to the detector
+// feeding it.
+func (a *EdgeDetectionApp) DetectorFor(port string) string {
+	for det, p := range a.TranPortOf {
+		if p == port {
+			return det
+		}
+	}
+	return ""
+}

@@ -1,0 +1,149 @@
+package apps_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestFig1CSDFFixture(t *testing.T) {
+	g := apps.Fig1CSDF()
+	sol, err := g.RepetitionVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{3, 2, 2}
+	for j, w := range want {
+		if sol.Q[j] != w {
+			t.Errorf("q[%d] = %d, want %d", j, sol.Q[j], w)
+		}
+	}
+}
+
+func TestOFDMPayloadGraphShape(t *testing.T) {
+	g := apps.OFDMPayloadGraph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 5 || len(g.Edges) != 4 {
+		t.Errorf("payload graph has %d nodes %d edges", len(g.Nodes), len(g.Edges))
+	}
+	res, err := sim.Run(sim.Config{Graph: g, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range res.Firings {
+		if f != 3 {
+			t.Errorf("node %d fired %d, want 3", i, f)
+		}
+	}
+}
+
+func TestOFDMParamsEnv(t *testing.T) {
+	env := apps.OFDMParams{Beta: 7, M: 2, N: 128, L: 4}.Env()
+	if env["beta"] != 7 || env["M"] != 2 || env["N"] != 128 || env["L"] != 4 {
+		t.Errorf("Env = %v", env)
+	}
+}
+
+func TestMotionEstimationApp(t *testing.T) {
+	app := apps.MotionEstimation(100, 200, 40)
+	if err := app.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Port lookup round-trips.
+	for _, name := range []string{"ME_FULL", "ME_TSS"} {
+		port := app.TranPortOf[name]
+		if port == "" {
+			t.Fatalf("no port for %s", name)
+		}
+		if got := app.SearchFor(port); got != name {
+			t.Errorf("SearchFor(%q) = %q, want %q", port, got, name)
+		}
+	}
+	if app.SearchFor("nonexistent") != "" {
+		t.Error("unknown port must resolve to empty")
+	}
+	// Tight budget commits the fast search.
+	res, err := sim.Run(sim.Config{
+		Graph: app.Graph,
+		Decide: map[string]sim.DecideFunc{
+			"CLK": func(int64) map[string]sim.ControlToken {
+				return map[string]sim.ControlToken{
+					app.ClockPort: {Mode: core.ModeHighestPriority},
+				}
+			},
+		},
+		Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chosen string
+	for _, ev := range res.Events {
+		if ev.Node == "TRAN" && len(ev.Selected) == 1 {
+			chosen = app.SearchFor(ev.Selected[0])
+		}
+	}
+	if chosen != "ME_TSS" {
+		t.Errorf("100ms budget chose %q, want ME_TSS (full takes 200)", chosen)
+	}
+}
+
+func TestEdgeDetectionPortMaps(t *testing.T) {
+	app := apps.EdgeDetection(500, nil)
+	for _, det := range apps.DetectorNames {
+		port := app.TranPortOf[det]
+		if port == "" {
+			t.Fatalf("no transaction port recorded for %s", det)
+		}
+		if app.DetectorFor(port) != det {
+			t.Errorf("DetectorFor(%q) != %s", port, det)
+		}
+	}
+	if app.DetectorFor("bogus") != "" {
+		t.Error("unknown port should map to empty detector")
+	}
+	if app.ClockPort == "" {
+		t.Error("clock port not recorded")
+	}
+}
+
+func TestGraphStringsMentionStructure(t *testing.T) {
+	s := apps.OFDMTPDF(apps.DefaultOFDM()).String()
+	for _, frag := range []string{"ofdm-tpdf", "params", "beta", "(control)"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestParamAccessors(t *testing.T) {
+	g := apps.OFDMTPDF(apps.DefaultOFDM())
+	names := g.ParamNames()
+	if len(names) != 4 || names[0] != "beta" {
+		t.Errorf("ParamNames = %v", names)
+	}
+	clkApp := apps.EdgeDetection(500, nil)
+	clk := clkApp.Clock
+	node := clkApp.Graph.Nodes[clk]
+	if node.ClockPeriod != 500 || node.Kind != core.KindControl {
+		t.Errorf("clock node wrong: %+v", node)
+	}
+	// Port rate access.
+	tran := clkApp.Graph.Nodes[clkApp.Tran]
+	ctl, ok := tran.ControlPort()
+	if !ok {
+		t.Fatal("transaction must have a control port")
+	}
+	r := tran.Ports[ctl].RateAt(5)
+	if v, _ := r.Int(); v != 1 {
+		t.Errorf("control rate = %s, want 1", r)
+	}
+	if len(tran.DataIns()) != 4 || len(tran.DataOuts()) != 1 {
+		t.Errorf("transaction shape: %d in, %d out", len(tran.DataIns()), len(tran.DataOuts()))
+	}
+}

@@ -1,0 +1,104 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// FMRadioCSDF builds the StreamIt-style FM radio pipeline as plain CSDF:
+// a decimating low-pass front end, FM demodulation, and a three-band
+// equalizer whose bands all execute every iteration (§IV-B notes such
+// StreamIt benchmarks "must perform redundant calculations that are not
+// needed with models allowing dynamic topology changes").
+//
+//	ANT -[8]-> LPF -[1]-> DEMOD -> {BAND1, BAND2, BAND3} -> SUM -> SPK
+func FMRadioCSDF() *core.Graph {
+	g := core.NewGraph("fmradio-csdf")
+	ant := g.AddKernel("ANT", 1)
+	lpf := g.AddKernel("LPF", 8)
+	dem := g.AddKernel("DEMOD", 4)
+	dup := g.AddKernel("DUP", 1)
+	sum := g.AddKernel("SUM", 2)
+	spk := g.AddKernel("SPK", 1)
+	mustEdge(g.Connect(ant, "[8]", lpf, "[8]", 0))
+	mustEdge(g.Connect(lpf, "[1]", dem, "[1]", 0))
+	mustEdge(g.Connect(dem, "[1]", dup, "[1]", 0))
+	for _, name := range []string{"BAND1", "BAND2", "BAND3"} {
+		b := g.AddKernel(name, 6)
+		mustEdge(g.Connect(dup, "[1]", b, "[1]", 0))
+		mustEdge(g.Connect(b, "[1]", sum, "[1]", 0))
+	}
+	mustEdge(g.Connect(sum, "[1]", spk, "[1]", 0))
+	return g
+}
+
+// FMRadioTPDF is the TPDF variant: a Select-duplicate distributes the
+// demodulated stream and a control actor enables only the equalizer bands
+// the current listening mode needs, the dynamic-topology optimization TPDF
+// enables over the CSDF version.
+func FMRadioTPDF() *core.Graph {
+	g := core.NewGraph("fmradio-tpdf")
+	ant := g.AddKernel("ANT", 1)
+	lpf := g.AddKernel("LPF", 8)
+	dem := g.AddKernel("DEMOD", 4)
+	dup := g.AddSelectDuplicate("DUP", 1)
+	con := g.AddControlActor("CON", 1)
+	tran := g.AddTransaction("TRAN", 1)
+	spk := g.AddKernel("SPK", 1)
+	mustEdge(g.Connect(ant, "[8]", lpf, "[8]", 0))
+	mustEdge(g.Connect(lpf, "[1]", dem, "[1]", 0))
+	mustEdge(g.Connect(dem, "[1]", dup, "[1]", 0))
+	mustEdge(g.Connect(dem, "[1]", con, "[1]", 0))
+	for i, name := range []string{"BAND1", "BAND2", "BAND3"} {
+		b := g.AddKernel(name, 6)
+		mustEdge(g.Connect(dup, "[1]", b, "[1]", 0))
+		mustEdge(g.ConnectPriority(b, "[1]", tran, "[1]", 0, i+1))
+	}
+	mustEdge(g.Connect(tran, "[1]", spk, "[1]", 0))
+	mustEdge(g.ConnectControl(con, "[1]", dup, 0))
+	mustEdge(g.ConnectControl(con, "[1]", tran, 0))
+	return g
+}
+
+// FMRadioSelectBand builds the control decision enabling exactly one
+// equalizer band (1-based index) on the TPDF radio: DUP produces only to
+// that band and TRAN takes only its output.
+func FMRadioSelectBand(g *core.Graph, band int) (map[string]sim.DecideFunc, error) {
+	if band < 1 || band > 3 {
+		return nil, fmt.Errorf("apps: band %d out of 1..3", band)
+	}
+	name := fmt.Sprintf("BAND%d", band)
+	bid, ok := g.NodeByName(name)
+	if !ok {
+		return nil, fmt.Errorf("apps: graph has no %s", name)
+	}
+	dup, _ := g.NodeByName("DUP")
+	tran, _ := g.NodeByName("TRAN")
+	con, _ := g.NodeByName("CON")
+	var dupOut, tranIn, dupPort, tranPort string
+	for _, e := range g.Edges {
+		switch {
+		case e.Src == dup && e.Dst == bid:
+			dupOut = g.Nodes[dup].Ports[e.SrcPort].Name
+		case e.Src == bid && e.Dst == tran:
+			tranIn = g.Nodes[tran].Ports[e.DstPort].Name
+		case e.Src == con && e.Dst == dup:
+			dupPort = g.Nodes[con].Ports[e.SrcPort].Name
+		case e.Src == con && e.Dst == tran:
+			tranPort = g.Nodes[con].Ports[e.SrcPort].Name
+		}
+	}
+	if dupOut == "" || tranIn == "" || dupPort == "" || tranPort == "" {
+		return nil, fmt.Errorf("apps: FM radio wiring incomplete")
+	}
+	return map[string]sim.DecideFunc{
+		"CON": func(firing int64) map[string]sim.ControlToken {
+			return map[string]sim.ControlToken{
+				dupPort:  {Mode: core.ModeSelectOne, Selected: []string{dupOut}},
+				tranPort: {Mode: core.ModeSelectOne, Selected: []string{tranIn}},
+			}
+		},
+	}, nil
+}

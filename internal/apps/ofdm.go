@@ -1,0 +1,194 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// OFDMParams configures the Fig. 7 cognitive-radio OFDM demodulator.
+// The four principal parameters of §IV-B:
+//
+//	Beta — vectorization degree: OFDM symbols per activation (1..100)
+//	M    — demapping scheme: 2 = QPSK, 4 = 16-QAM
+//	N    — OFDM symbol length (512 or 1024)
+//	L    — cyclic prefix length
+type OFDMParams struct {
+	Beta int64
+	M    int64
+	N    int64
+	L    int64
+}
+
+// DefaultOFDM returns the configuration used for the paper's buffer plots.
+func DefaultOFDM() OFDMParams {
+	return OFDMParams{Beta: 10, M: 4, N: 512, L: 1}
+}
+
+// OFDMTPDF builds the runtime-reconfigurable OFDM demodulator of Fig. 7 as
+// a TPDF graph:
+//
+//	SRC -[β(N+L)]-> RCP -[βN]-> FFT -[βN]-> DUP ={QPSK|QAM}=> TRAN -[βMN]-> SNK
+//
+// SRC also sends one token per firing to the control actor CON, which
+// selects QPSK (M=2) or QAM (M=4) by sending control tokens to the
+// Select-duplicate DUP and the Transaction TRAN (the square-bracket region
+// of the schedule "SRC [CON RCP FFT DUP QPSK QAM] TRAN SNK").
+func OFDMTPDF(p OFDMParams) *core.Graph {
+	g := core.NewGraph("ofdm-tpdf")
+	g.AddParam("beta", p.Beta, 1, 100)
+	g.AddParam("M", p.M, 2, 4)
+	g.AddParam("N", p.N, 1, 4096)
+	g.AddParam("L", p.L, 1, 64)
+
+	src := g.AddKernel("SRC", 10)
+	con := g.AddControlActor("CON", 1)
+	rcp := g.AddKernel("RCP", 20)
+	fft := g.AddKernel("FFT", 200)
+	dup := g.AddSelectDuplicate("DUP", 5)
+	qpsk := g.AddKernel("QPSK", 60)
+	qam := g.AddKernel("QAM", 90)
+	tran := g.AddTransaction("TRAN", 5)
+	snk := g.AddKernel("SNK", 1)
+
+	mustEdge(g.Connect(src, "beta*(N+L)", rcp, "beta*(N+L)", 0))
+	mustEdge(g.Connect(rcp, "beta*N", fft, "beta*N", 0))
+	mustEdge(g.Connect(fft, "beta*N", dup, "beta*N", 0))
+	mustEdge(g.Connect(dup, "beta*N", qpsk, "beta*N", 0))
+	mustEdge(g.Connect(dup, "beta*N", qam, "beta*N", 0))
+	mustEdge(g.ConnectPriority(qpsk, "2*beta*N", tran, "2*beta*N", 0, 1))
+	mustEdge(g.ConnectPriority(qam, "4*beta*N", tran, "4*beta*N", 0, 2))
+	mustEdge(g.Connect(tran, "beta*M*N", snk, "beta*M*N", 0))
+	mustEdge(g.Connect(src, "[1]", con, "[1]", 0))
+	mustEdge(g.ConnectControl(con, "[1]", dup, 0))
+	mustEdge(g.ConnectControl(con, "[1]", tran, 0))
+	return g
+}
+
+// OFDMCSDF builds the static CSDF baseline used for the Fig. 8 comparison:
+// the same pipeline without control actors, where both demapping branches
+// are always active (redundant computation) and the merge stage must
+// consume both results, exactly the topology a CSDF implementation is
+// forced into when the mode cannot be expressed.
+func OFDMCSDF(p OFDMParams) *core.Graph {
+	g := core.NewGraph("ofdm-csdf")
+	g.AddParam("beta", p.Beta, 1, 100)
+	g.AddParam("M", p.M, 2, 4)
+	g.AddParam("N", p.N, 1, 4096)
+	g.AddParam("L", p.L, 1, 64)
+
+	src := g.AddKernel("SRC", 10)
+	rcp := g.AddKernel("RCP", 20)
+	fft := g.AddKernel("FFT", 200)
+	dup := g.AddKernel("DUP", 5)
+	qpsk := g.AddKernel("QPSK", 60)
+	qam := g.AddKernel("QAM", 90)
+	mrg := g.AddKernel("MRG", 5)
+	snk := g.AddKernel("SNK", 1)
+
+	mustEdge(g.Connect(src, "beta*(N+L)", rcp, "beta*(N+L)", 0))
+	mustEdge(g.Connect(rcp, "beta*N", fft, "beta*N", 0))
+	mustEdge(g.Connect(fft, "beta*N", dup, "beta*N", 0))
+	mustEdge(g.Connect(dup, "beta*N", qpsk, "beta*N", 0))
+	mustEdge(g.Connect(dup, "beta*N", qam, "beta*N", 0))
+	mustEdge(g.Connect(qpsk, "2*beta*N", mrg, "2*beta*N", 0))
+	mustEdge(g.Connect(qam, "4*beta*N", mrg, "4*beta*N", 0))
+	mustEdge(g.Connect(mrg, "6*beta*N", snk, "6*beta*N", 0))
+	return g
+}
+
+// OFDMEnv converts the parameter struct into an evaluation environment.
+func (p OFDMParams) Env() map[string]int64 {
+	return map[string]int64{"beta": p.Beta, "M": p.M, "N": p.N, "L": p.L}
+}
+
+// OFDMDecide returns the CON control decision selecting the demapping
+// branch: QPSK for M=2, QAM for M=4. DUP is told which output to produce on
+// and TRAN which input to take, implementing the dynamic topology change of
+// §IV-B ("the dynamic topology ... allows removing unused edges").
+func OFDMDecide(g *core.Graph, m int64) (map[string]sim.DecideFunc, error) {
+	branch := "QPSK"
+	if m == 4 {
+		branch = "QAM"
+	} else if m != 2 {
+		return nil, fmt.Errorf("apps: M must be 2 or 4, got %d", m)
+	}
+	con, ok := g.NodeByName("CON")
+	if !ok {
+		return nil, fmt.Errorf("apps: graph has no CON control actor")
+	}
+	dup, _ := g.NodeByName("DUP")
+	tran, _ := g.NodeByName("TRAN")
+	branchID, ok := g.NodeByName(branch)
+	if !ok {
+		return nil, fmt.Errorf("apps: graph has no %s kernel", branch)
+	}
+
+	// Resolve port names: DUP's output feeding the branch, TRAN's input fed
+	// by the branch, and CON's two control-output ports.
+	var dupOut, tranIn string
+	var conPorts []string
+	for _, e := range g.Edges {
+		if e.Src == dup && e.Dst == branchID {
+			dupOut = g.Nodes[dup].Ports[e.SrcPort].Name
+		}
+		if e.Src == branchID && e.Dst == tran {
+			tranIn = g.Nodes[tran].Ports[e.DstPort].Name
+		}
+	}
+	dupPort, tranPort := "", ""
+	for _, e := range g.Edges {
+		if e.Src != con {
+			continue
+		}
+		p := g.Nodes[con].Ports[e.SrcPort].Name
+		conPorts = append(conPorts, p)
+		switch e.Dst {
+		case dup:
+			dupPort = p
+		case tran:
+			tranPort = p
+		}
+	}
+	if dupOut == "" || tranIn == "" || dupPort == "" || tranPort == "" {
+		return nil, fmt.Errorf("apps: OFDM graph wiring incomplete (ports %v)", conPorts)
+	}
+	return map[string]sim.DecideFunc{
+		"CON": func(firing int64) map[string]sim.ControlToken {
+			return map[string]sim.ControlToken{
+				dupPort:  {Mode: core.ModeSelectOne, Selected: []string{dupOut}},
+				tranPort: {Mode: core.ModeSelectOne, Selected: []string{tranIn}},
+			}
+		},
+	}, nil
+}
+
+// OFDMPayloadGraph is the single-rate payload view of the Fig. 7 pipeline
+// used by the payload runner: one token carries one OFDM symbol's batch of
+// samples/bits, so every stage fires once per symbol.
+func OFDMPayloadGraph() *core.Graph {
+	g := core.NewGraph("ofdm-payload")
+	src := g.AddKernel("SRC")
+	rcp := g.AddKernel("RCP")
+	fft := g.AddKernel("FFT")
+	qam := g.AddKernel("QAM")
+	snk := g.AddKernel("SNK")
+	mustEdge(g.Connect(src, "[1]", rcp, "[1]", 0))
+	mustEdge(g.Connect(rcp, "[1]", fft, "[1]", 0))
+	mustEdge(g.Connect(fft, "[1]", qam, "[1]", 0))
+	mustEdge(g.Connect(qam, "[1]", snk, "[1]", 0))
+	return g
+}
+
+// PaperTPDFBuffer is the paper's analytic minimum buffer size for the TPDF
+// implementation (Fig. 8): Buff = 3 + β(12N + L).
+func PaperTPDFBuffer(p OFDMParams) int64 {
+	return 3 + p.Beta*(12*p.N+p.L)
+}
+
+// PaperCSDFBuffer is the paper's analytic minimum buffer size for the CSDF
+// implementation (Fig. 8): Buff = β(17N + L).
+func PaperCSDFBuffer(p OFDMParams) int64 {
+	return p.Beta * (17*p.N + p.L)
+}

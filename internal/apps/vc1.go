@@ -1,0 +1,93 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// VC1Decoder builds a VC-1-style video decoder as a TPDF graph — the case
+// study the paper's §V says SPDF and BPDF evaluate, replicated here
+// "without introducing parameter communication and synchronization between
+// firings of modifiers and users". The parameter mb is the number of
+// macroblocks per frame; the control actor selects the prediction path per
+// frame type:
+//
+//	PARSE -[mb]-> ED -> DUP ={ INTRA | MC }=> TRAN -> IDCT -> DEBLK -> OUT
+//
+// I-frames use intra prediction only; P-frames use motion compensation.
+func VC1Decoder() *core.Graph {
+	g := core.NewGraph("vc1")
+	g.AddParam("mb", 396, 1, 8160) // 396 = CIF, 8160 = 1080p macroblocks
+
+	parse := g.AddKernel("PARSE", 5)
+	ed := g.AddKernel("ED", 20)
+	dup := g.AddSelectDuplicate("DUP", 1)
+	con := g.AddControlActor("CON", 1)
+	intra := g.AddKernel("INTRA", 30)
+	mc := g.AddKernel("MC", 45)
+	tran := g.AddTransaction("TRAN", 1)
+	idct := g.AddKernel("IDCT", 25)
+	deblk := g.AddKernel("DEBLK", 15)
+	out := g.AddKernel("OUT", 2)
+
+	mustEdge(g.Connect(parse, "mb", ed, "mb", 0))
+	mustEdge(g.Connect(parse, "[1]", con, "[1]", 0))
+	mustEdge(g.Connect(ed, "mb", dup, "mb", 0))
+	mustEdge(g.Connect(dup, "mb", intra, "mb", 0))
+	mustEdge(g.Connect(dup, "mb", mc, "mb", 0))
+	mustEdge(g.ConnectPriority(intra, "mb", tran, "mb", 0, 1))
+	mustEdge(g.ConnectPriority(mc, "mb", tran, "mb", 0, 2))
+	mustEdge(g.Connect(tran, "mb", idct, "mb", 0))
+	mustEdge(g.Connect(idct, "mb", deblk, "mb", 0))
+	mustEdge(g.Connect(deblk, "mb", out, "mb", 0))
+	mustEdge(g.ConnectControl(con, "[1]", dup, 0))
+	mustEdge(g.ConnectControl(con, "[1]", tran, 0))
+	return g
+}
+
+// VC1FrameDecide returns the control decision for a frame type: "I" routes
+// macroblocks through intra prediction, "P" through motion compensation.
+func VC1FrameDecide(g *core.Graph, frameType string) (map[string]sim.DecideFunc, error) {
+	var branch string
+	switch frameType {
+	case "I":
+		branch = "INTRA"
+	case "P":
+		branch = "MC"
+	default:
+		return nil, fmt.Errorf("apps: frame type %q not I or P", frameType)
+	}
+	bid, ok := g.NodeByName(branch)
+	if !ok {
+		return nil, fmt.Errorf("apps: graph has no %s kernel", branch)
+	}
+	dup, _ := g.NodeByName("DUP")
+	tran, _ := g.NodeByName("TRAN")
+	con, _ := g.NodeByName("CON")
+	var dupOut, tranIn, dupPort, tranPort string
+	for _, e := range g.Edges {
+		switch {
+		case e.Src == dup && e.Dst == bid:
+			dupOut = g.Nodes[dup].Ports[e.SrcPort].Name
+		case e.Src == bid && e.Dst == tran:
+			tranIn = g.Nodes[tran].Ports[e.DstPort].Name
+		case e.Src == con && e.Dst == dup:
+			dupPort = g.Nodes[con].Ports[e.SrcPort].Name
+		case e.Src == con && e.Dst == tran:
+			tranPort = g.Nodes[con].Ports[e.SrcPort].Name
+		}
+	}
+	if dupOut == "" || tranIn == "" || dupPort == "" || tranPort == "" {
+		return nil, fmt.Errorf("apps: VC-1 wiring incomplete")
+	}
+	return map[string]sim.DecideFunc{
+		"CON": func(firing int64) map[string]sim.ControlToken {
+			return map[string]sim.ControlToken{
+				dupPort:  {Mode: core.ModeSelectOne, Selected: []string{dupOut}},
+				tranPort: {Mode: core.ModeSelectOne, Selected: []string{tranIn}},
+			}
+		},
+	}, nil
+}

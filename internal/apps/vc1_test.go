@@ -1,0 +1,131 @@
+package apps_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/apps"
+	"repro/internal/sim"
+	"repro/internal/symb"
+)
+
+func TestVC1DecoderBounded(t *testing.T) {
+	g := apps.VC1Decoder()
+	rep := analysis.Analyze(g)
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	if !rep.Bounded {
+		t.Fatalf("VC-1 decoder must be bounded:\n%s", rep)
+	}
+	// All actors fire once per frame regardless of mb.
+	for j, q := range rep.Solution.Q {
+		if !q.IsOne() {
+			t.Errorf("q[%s] = %s, want 1", g.Nodes[j].Name, q)
+		}
+	}
+}
+
+func TestVC1FrameModes(t *testing.T) {
+	for _, c := range []struct {
+		frame  string
+		active string
+		idle   string
+	}{
+		{"I", "INTRA", "MC"},
+		{"P", "MC", "INTRA"},
+	} {
+		g := apps.VC1Decoder()
+		decide, err := apps.VC1FrameDecide(g, c.frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{Graph: g, Env: symb.Env{"mb": 99}, Decide: decide})
+		if err != nil {
+			t.Fatal(err)
+		}
+		activeID, _ := g.NodeByName(c.active)
+		idleID, _ := g.NodeByName(c.idle)
+		outID, _ := g.NodeByName("OUT")
+		if res.Firings[activeID] != 1 || res.Firings[idleID] != 0 {
+			t.Errorf("%s-frame: %s fired %d, %s fired %d; want 1/0",
+				c.frame, c.active, res.Firings[activeID], c.idle, res.Firings[idleID])
+		}
+		if res.Firings[outID] != 1 {
+			t.Errorf("%s-frame: OUT fired %d, want 1", c.frame, res.Firings[outID])
+		}
+		// Busy accounting: the idle branch contributes zero.
+		if res.Busy[idleID] != 0 {
+			t.Errorf("%s-frame: idle branch busy %d, want 0", c.frame, res.Busy[idleID])
+		}
+		if res.Busy[activeID] <= 0 {
+			t.Errorf("%s-frame: active branch busy %d, want > 0", c.frame, res.Busy[activeID])
+		}
+	}
+	if _, err := apps.VC1FrameDecide(apps.VC1Decoder(), "B"); err == nil {
+		t.Error("B frames are not modelled; must be rejected")
+	}
+}
+
+func TestVC1AlternatingFramesAcrossIterations(t *testing.T) {
+	// Regression: per-firing mode decisions must re-enable a previously
+	// deselected branch without the earlier rejection stealing its tokens
+	// (select modes treat unchosen edges as absent, not as drained).
+	g := apps.VC1Decoder()
+	iDecide, err := apps.VC1FrameDecide(g, "I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pDecide, err := apps.VC1FrameDecide(g, "P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decide := map[string]sim.DecideFunc{
+		"CON": func(firing int64) map[string]sim.ControlToken {
+			if firing%2 == 0 {
+				return iDecide["CON"](firing)
+			}
+			return pDecide["CON"](firing)
+		},
+	}
+	res, err := sim.Run(sim.Config{Graph: g, Env: symb.Env{"mb": 5}, Iterations: 6, Decide: decide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra, _ := g.NodeByName("INTRA")
+	mc, _ := g.NodeByName("MC")
+	out, _ := g.NodeByName("OUT")
+	if res.Firings[out] != 6 {
+		t.Fatalf("decoded %d frames, want 6 (alternation must not starve TRAN)", res.Firings[out])
+	}
+	if res.Firings[intra] != 3 || res.Firings[mc] != 3 {
+		t.Errorf("INTRA %d / MC %d, want 3/3", res.Firings[intra], res.Firings[mc])
+	}
+	for ei, fin := range res.Final {
+		if fin != g.Edges[ei].Initial {
+			t.Errorf("edge %s final %d != initial %d", g.Edges[ei].Name, fin, g.Edges[ei].Initial)
+		}
+	}
+}
+
+func TestVC1BufferSavings(t *testing.T) {
+	// Dynamic path selection must beat running both prediction paths.
+	g := apps.VC1Decoder()
+	decide, err := apps.VC1FrameDecide(g, "P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := symb.Env{"mb": 396}
+	selected, err := sim.Run(sim.Config{Graph: g, Env: env, Decide: decide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := sim.Run(sim.Config{Graph: g, Env: env}) // wait-all default
+	if err != nil {
+		t.Fatal(err)
+	}
+	if selected.TotalBuffer() >= both.TotalBuffer() {
+		t.Errorf("selected-path buffer %d should beat both-paths %d",
+			selected.TotalBuffer(), both.TotalBuffer())
+	}
+}

@@ -1,0 +1,135 @@
+// Package buffer computes the minimum channel-buffer requirements that the
+// paper's Fig. 8 compares: per-edge high-water marks of TPDF executions
+// (with the control actor removing the unused branch) against the CSDF
+// baseline where every edge stays active. It also provides the ablation in
+// which the TPDF graph is forced to keep both branches live, isolating the
+// contribution of dynamic topology changes.
+package buffer
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/csdf"
+	"repro/internal/sim"
+	"repro/internal/symb"
+)
+
+// Point is one Fig. 8 data point.
+type Point struct {
+	Beta int64
+	N    int64
+	// TPDF and CSDF are the measured total buffer sizes (token counts) from
+	// token-accurate simulation.
+	TPDF int64
+	CSDF int64
+	// PaperTPDF and PaperCSDF are the paper's analytic values
+	// 3+β(12N+L) and β(17N+L).
+	PaperTPDF int64
+	PaperCSDF int64
+	// Forced is the ablation: the TPDF graph executed with both branches
+	// active (wait-all transaction), measuring what dynamic topology saves.
+	Forced int64
+}
+
+// Improvement returns the relative buffer saving (CSDF-TPDF)/CSDF.
+func (p Point) Improvement() float64 {
+	if p.CSDF == 0 {
+		return 0
+	}
+	return float64(p.CSDF-p.TPDF) / float64(p.CSDF)
+}
+
+// OFDMPoint measures one parameter combination.
+func OFDMPoint(params apps.OFDMParams) (Point, error) {
+	pt := Point{
+		Beta:      params.Beta,
+		N:         params.N,
+		PaperTPDF: apps.PaperTPDFBuffer(params),
+		PaperCSDF: apps.PaperCSDFBuffer(params),
+	}
+
+	tg := apps.OFDMTPDF(params)
+	decide, err := apps.OFDMDecide(tg, params.M)
+	if err != nil {
+		return pt, err
+	}
+	tres, err := sim.Run(sim.Config{Graph: tg, Env: symb.Env(params.Env()), Decide: decide})
+	if err != nil {
+		return pt, fmt.Errorf("buffer: TPDF run: %v", err)
+	}
+	pt.TPDF = tres.TotalBuffer()
+
+	cg := apps.OFDMCSDF(params)
+	cres, err := sim.Run(sim.Config{Graph: cg, Env: symb.Env(params.Env())})
+	if err != nil {
+		return pt, fmt.Errorf("buffer: CSDF run: %v", err)
+	}
+	pt.CSDF = cres.TotalBuffer()
+
+	// Ablation: same TPDF graph, no selection — every mode defaults to
+	// wait-all, so both demapping branches execute and the transaction
+	// needs both inputs buffered.
+	fres, err := sim.Run(sim.Config{Graph: tg, Env: symb.Env(params.Env())})
+	if err != nil {
+		return pt, fmt.Errorf("buffer: forced run: %v", err)
+	}
+	pt.Forced = fres.TotalBuffer()
+	return pt, nil
+}
+
+// OFDMSweep reproduces the Fig. 8 series: buffer size as a function of the
+// vectorization degree β for each symbol length N.
+func OFDMSweep(betas []int64, ns []int64, m, l int64) ([]Point, error) {
+	var out []Point
+	for _, n := range ns {
+		for _, beta := range betas {
+			pt, err := OFDMPoint(apps.OFDMParams{Beta: beta, M: m, N: n, L: l})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// MeanImprovement averages the relative saving across points.
+func MeanImprovement(points []Point) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	var s float64
+	for _, p := range points {
+		s += p.Improvement()
+	}
+	return s / float64(len(points))
+}
+
+// ScheduleBounds compares per-edge buffer bounds for a concrete CSDF graph
+// under the eager and demand-driven sequential schedules; the smaller of
+// the two is a valid single-core buffer budget for the graph.
+func ScheduleBounds(g *csdf.Graph) (eager, demand []int64, err error) {
+	sol, err := g.RepetitionVector()
+	if err != nil {
+		return nil, nil, err
+	}
+	se, err := g.BuildSchedule(sol, csdf.Eager)
+	if err != nil {
+		return nil, nil, err
+	}
+	sd, err := g.BuildSchedule(sol, csdf.Demand)
+	if err != nil {
+		return nil, nil, err
+	}
+	return se.MaxTokens, sd.MaxTokens, nil
+}
+
+// Total sums a per-edge bound vector.
+func Total(bounds []int64) int64 {
+	var t int64
+	for _, b := range bounds {
+		t += b
+	}
+	return t
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPortDirString(t *testing.T) {
+	wants := map[PortDir]string{In: "in", Out: "out", CtlIn: "ctl-in", CtlOut: "ctl-out"}
+	for d, w := range wants {
+		if d.String() != w {
+			t.Errorf("PortDir(%d) = %q, want %q", int(d), d.String(), w)
+		}
+	}
+	if !strings.Contains(PortDir(99).String(), "99") {
+		t.Error("unknown direction should include the value")
+	}
+	if !strings.Contains(Mode(99).String(), "99") {
+		t.Error("unknown mode should include the value")
+	}
+}
+
+func TestNodeByNameAndParamNames(t *testing.T) {
+	g := NewGraph("acc")
+	g.AddParam("x", 1, 1, 4)
+	g.AddParam("y", 2, 1, 4)
+	a := g.AddKernel("alpha")
+	if id, ok := g.NodeByName("alpha"); !ok || id != a {
+		t.Error("NodeByName lookup failed")
+	}
+	if _, ok := g.NodeByName("nope"); ok {
+		t.Error("missing node must not resolve")
+	}
+	names := g.ParamNames()
+	if len(names) != 2 || names[0] != "x" || names[1] != "y" {
+		t.Errorf("ParamNames = %v", names)
+	}
+}
+
+func TestAddClockAndValidate(t *testing.T) {
+	g := NewGraph("clk")
+	clk := g.AddClock("tick", 250)
+	tr := g.AddTransaction("tr")
+	src := g.AddKernel("src")
+	snk := g.AddKernel("snk")
+	if _, err := g.Connect(src, "[1]", tr, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect(tr, "[1]", snk, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.ConnectControl(clk, "[1]", tr, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Nodes[clk].ClockPeriod != 250 || g.Nodes[clk].Kind != KindControl {
+		t.Error("clock attributes wrong")
+	}
+}
+
+func TestRateAtCycles(t *testing.T) {
+	g := NewGraph("rates")
+	a := g.AddKernel("a")
+	b := g.AddKernel("b")
+	if _, err := g.Connect(a, "[1,0,2]", b, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	p := &g.Nodes[a].Ports[0]
+	wants := []int64{1, 0, 2, 1, 0}
+	for n, w := range wants {
+		v, _ := p.RateAt(int64(n)).Int()
+		if v != w {
+			t.Errorf("RateAt(%d) = %d, want %d", n, v, w)
+		}
+	}
+}
+
+func TestConnectPortsBounds(t *testing.T) {
+	g := NewGraph("cp")
+	a := g.AddKernel("a")
+	b := g.AddKernel("b")
+	sp, _ := g.AddPort(a, "o", Out, "[1]", 0)
+	dp, _ := g.AddPort(b, "i", In, "[1]", 0)
+	if _, err := g.ConnectPorts(a, sp, b, dp, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.ConnectPorts(a, 99, b, dp, 0); err == nil {
+		t.Error("out-of-range port must fail")
+	}
+	if _, err := g.ConnectPorts(NodeID(99), 0, b, dp, 0); err == nil {
+		t.Error("out-of-range node must fail")
+	}
+}
+
+func TestConnectBadRates(t *testing.T) {
+	g := NewGraph("bad")
+	a := g.AddKernel("a")
+	b := g.AddKernel("b")
+	if _, err := g.Connect(a, "[", b, "[1]", 0); err == nil {
+		t.Error("bad production rates must fail")
+	}
+	if _, err := g.Connect(a, "[1]", b, "", 0); err == nil {
+		t.Error("bad consumption rates must fail")
+	}
+}
+
+func TestControlRateZeroOneSequencesAccepted(t *testing.T) {
+	// [0,1] and [1,0] control sequences are legal (rate in {0,1}).
+	g := NewGraph("zeroone")
+	c := g.AddControlActor("c")
+	k := g.AddTransaction("k")
+	src := g.AddKernel("src")
+	snk := g.AddKernel("snk")
+	sp, _ := g.AddPort(c, "c0", CtlOut, "[1]", 0)
+	dp, _ := g.AddPort(k, "ctl", CtlIn, "[1,0]", 0)
+	if _, err := g.ConnectPorts(c, sp, k, dp, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect(src, "[2]", k, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect(k, "[1]", snk, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("[1,0] control sequence rejected: %v", err)
+	}
+	// A parametric control rate bounded to {0,1} by its range is accepted.
+	g2 := NewGraph("param01")
+	g2.AddParam("m", 1, 1, 1)
+	c2 := g2.AddControlActor("c")
+	k2 := g2.AddTransaction("k")
+	src2 := g2.AddKernel("src")
+	snk2 := g2.AddKernel("snk")
+	sp2, _ := g2.AddPort(c2, "c0", CtlOut, "[1]", 0)
+	dp2, _ := g2.AddPort(k2, "ctl", CtlIn, "[m]", 0)
+	if _, err := g2.ConnectPorts(c2, sp2, k2, dp2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g2.Connect(src2, "[1]", k2, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g2.Connect(k2, "[1]", snk2, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatalf("parametric {0,1} control rate rejected: %v", err)
+	}
+}
+
+func TestGraphStringNoParams(t *testing.T) {
+	g := NewGraph("plain")
+	a := g.AddKernel("a")
+	b := g.AddKernel("b")
+	if _, err := g.Connect(a, "[1]", b, "[1]", 2); err != nil {
+		t.Fatal(err)
+	}
+	s := g.String()
+	if strings.Contains(s, "params") {
+		t.Error("parameterless graph should not list params")
+	}
+	if !strings.Contains(s, "init=2") {
+		t.Errorf("initial tokens missing from String:\n%s", s)
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/symb"
+)
+
+// Merge imports every parameter, node and edge of other into g, prefixing
+// node names with prefix (and parameter names only on collision with a
+// different range). It returns the mapping from other's node ids to g's.
+//
+// Merge is the mechanism behind the paper's composability claim (§V: TPDF
+// "provides a unified view of manycore systems, which is entirely
+// composable" in contrast to SADF's scenario coupling): independently
+// analyzed subsystems combine into one graph, and cross-subsystem channels
+// are then added with the usual Connect calls.
+func (g *Graph) Merge(other *Graph, prefix string) (map[NodeID]NodeID, error) {
+	if g == other {
+		return nil, fmt.Errorf("core: cannot merge a graph into itself")
+	}
+	// Parameters: identical declarations are shared; conflicting ones are
+	// rejected so rate expressions never silently change meaning.
+	existing := map[string]Param{}
+	for _, p := range g.Params {
+		existing[p.Name] = p
+	}
+	for _, p := range other.Params {
+		if have, ok := existing[p.Name]; ok {
+			if have != p {
+				return nil, fmt.Errorf("core: parameter %q declared differently in both graphs", p.Name)
+			}
+			continue
+		}
+		g.AddParam(p.Name, p.Default, p.Min, p.Max)
+		existing[p.Name] = p
+	}
+
+	idOf := make(map[NodeID]NodeID, len(other.Nodes))
+	for i, n := range other.Nodes {
+		name := prefix + n.Name
+		if _, dup := g.NodeByName(name); dup {
+			return nil, fmt.Errorf("core: merged node name %q collides", name)
+		}
+		clone := &Node{
+			Name:        name,
+			Kind:        n.Kind,
+			Modes:       append([]Mode(nil), n.Modes...),
+			Exec:        append([]int64(nil), n.Exec...),
+			ClockPeriod: n.ClockPeriod,
+			Special:     n.Special,
+		}
+		for _, p := range n.Ports {
+			clone.Ports = append(clone.Ports, Port{
+				Name:     p.Name,
+				Dir:      p.Dir,
+				Rates:    append([]symb.Expr(nil), p.Rates...),
+				Priority: p.Priority,
+			})
+		}
+		idOf[NodeID(i)] = g.addNode(clone)
+	}
+	for _, e := range other.Edges {
+		g.connectPorts(idOf[e.Src], e.SrcPort, idOf[e.Dst], e.DstPort, e.Initial)
+	}
+	return idOf, nil
+}

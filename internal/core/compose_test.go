@@ -1,0 +1,107 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestMergeTwoPipelines(t *testing.T) {
+	// Compose two independently bounded OFDM demodulators into one system:
+	// the merged graph remains consistent, safe, live and bounded — the §V
+	// composability claim.
+	sys := apps.OFDMTPDF(apps.DefaultOFDM())
+	second := apps.OFDMTPDF(apps.DefaultOFDM())
+	idOf, err := sys.Merge(second, "rx2_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Nodes) != 18 {
+		t.Fatalf("merged system has %d nodes, want 18", len(sys.Nodes))
+	}
+	if _, ok := sys.NodeByName("rx2_SRC"); !ok {
+		t.Fatal("prefixed node missing")
+	}
+	// Shared parameters merged, not duplicated.
+	if len(sys.Params) != 4 {
+		t.Fatalf("params = %d, want 4 (shared)", len(sys.Params))
+	}
+	rep := analysis.Analyze(sys)
+	if rep.Err != nil || !rep.Bounded {
+		t.Fatalf("merged system must stay bounded: %v", rep.Err)
+	}
+	// The id map points at the clones.
+	src2, _ := second.NodeByName("SRC")
+	if sys.Nodes[idOf[src2]].Name != "rx2_SRC" {
+		t.Error("id mapping wrong")
+	}
+	// Both receivers run side by side.
+	res, err := sim.Run(sim.Config{Graph: sys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := sys.NodeByName("SNK")
+	b, _ := sys.NodeByName("rx2_SNK")
+	if res.Firings[a] != 1 || res.Firings[b] != 1 {
+		t.Errorf("both sinks must fire: %d / %d", res.Firings[a], res.Firings[b])
+	}
+}
+
+func TestMergeThenConnect(t *testing.T) {
+	// Merge a producer graph into a consumer graph and wire them together.
+	front := core.NewGraph("front")
+	fSrc := front.AddKernel("gen", 1)
+	fOut := front.AddKernel("stage", 1)
+	if _, err := front.Connect(fSrc, "[4]", fOut, "[4]", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	sys := core.NewGraph("sys")
+	proc := sys.AddKernel("proc", 2)
+	snk := sys.AddKernel("snk", 0)
+	if _, err := sys.Connect(proc, "[1]", snk, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	idOf, err := sys.Merge(front, "in_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage := idOf[fOut]
+	if _, err := sys.Connect(stage, "[2]", proc, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	rep := analysis.Analyze(sys)
+	if rep.Err != nil || !rep.Bounded {
+		t.Fatalf("connected composition must be bounded: %v", rep.Err)
+	}
+	res, err := sim.Run(sim.Config{Graph: sys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Firings[proc] != 2 {
+		t.Errorf("proc fired %d, want 2 (stage emits 2 per firing)", res.Firings[proc])
+	}
+}
+
+func TestMergeRejectsConflicts(t *testing.T) {
+	a := apps.Fig2()
+	b := apps.Fig2()
+	// Same prefix twice collides.
+	if _, err := a.Merge(b, ""); err == nil || !strings.Contains(err.Error(), "collides") {
+		t.Errorf("name collision not caught: %v", err)
+	}
+	// Conflicting parameter declaration.
+	c := core.NewGraph("c")
+	c.AddParam("p", 9, 1, 9)
+	if _, err := c.Merge(apps.Fig2(), "x_"); err == nil || !strings.Contains(err.Error(), "parameter") {
+		t.Errorf("parameter conflict not caught: %v", err)
+	}
+	// Self-merge.
+	if _, err := a.Merge(a, "y_"); err == nil {
+		t.Error("self-merge must fail")
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/csdf"
+	"repro/internal/symb"
+)
+
+// Lowering records the correspondence between a TPDF graph and the concrete
+// CSDF graph produced by Instantiate.
+type Lowering struct {
+	Env symb.Env
+	// ActorOf maps NodeID to the csdf actor index (identity here, kept
+	// explicit so callers never assume it).
+	ActorOf []int
+	// EdgeOf maps EdgeID to the csdf edge index.
+	EdgeOf []int
+	// ControlEdges flags, per csdf edge index, whether it lowers a control
+	// channel.
+	ControlEdges []bool
+}
+
+// Instantiate evaluates every rate of g under env (parameters missing from
+// env use their declared defaults) and returns the fully-connected concrete
+// CSDF graph, exactly as used by the §III-A consistency analysis and by the
+// canonical-period scheduler. Modes are not applied: every edge is present.
+func (g *Graph) Instantiate(env symb.Env) (*csdf.Graph, *Lowering, error) {
+	if err := g.Validate(); err != nil {
+		return nil, nil, err
+	}
+	full := g.DefaultEnv()
+	for k, v := range env {
+		full[k] = v
+	}
+	for _, p := range g.Params {
+		v := full[p.Name]
+		if v < 1 {
+			return nil, nil, fmt.Errorf("core: parameter %s = %d; parameters must be >= 1", p.Name, v)
+		}
+		if p.Min > 0 && v < p.Min {
+			return nil, nil, fmt.Errorf("core: parameter %s = %d below declared minimum %d", p.Name, v, p.Min)
+		}
+		if p.Max > 0 && v > p.Max {
+			return nil, nil, fmt.Errorf("core: parameter %s = %d above declared maximum %d", p.Name, v, p.Max)
+		}
+	}
+
+	cg := csdf.NewGraph()
+	low := &Lowering{Env: full}
+	for _, n := range g.Nodes {
+		low.ActorOf = append(low.ActorOf, cg.AddActor(n.Name, n.Exec...))
+	}
+	for _, e := range g.Edges {
+		src, dst := g.Nodes[e.Src], g.Nodes[e.Dst]
+		prod, err := evalSeq(src.Ports[e.SrcPort].Rates, full)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: edge %q production: %v", e.Name, err)
+		}
+		cons, err := evalSeq(dst.Ports[e.DstPort].Rates, full)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: edge %q consumption: %v", e.Name, err)
+		}
+		ei := cg.ConnectNamed(e.Name, low.ActorOf[e.Src], prod, low.ActorOf[e.Dst], cons, e.Initial)
+		low.EdgeOf = append(low.EdgeOf, ei)
+		low.ControlEdges = append(low.ControlEdges, g.IsControlEdge(e))
+	}
+	if err := cg.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("core: instantiated graph invalid: %v", err)
+	}
+	return cg, low, nil
+}
+
+func evalSeq(rates []symb.Expr, env symb.Env) ([]int64, error) {
+	out := make([]int64, len(rates))
+	for i, r := range rates {
+		v, err := r.EvalInt(env, 1)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("rate %s evaluates to negative %d", r, v)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

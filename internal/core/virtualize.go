@@ -1,0 +1,71 @@
+package core
+
+import "fmt"
+
+// VirtualizeSelectDuplicate applies the Fig. 3 construction used in the
+// boundedness proof (Theorem 2): a kernel that chooses between its data
+// *outputs* is rewritten so the choice happens between data *inputs* of a
+// virtual Transaction kernel, leaving every producer-consumer dependence
+// intact.
+//
+// Concretely, for a Select-duplicate kernel sel whose branches end at the
+// nodes branchEnds (D and E in the figure):
+//
+//   - sel keeps producing on every branch (its choice becomes a signal);
+//   - a virtual control actor <sel>_vc is added, receiving one signal token
+//     per sel firing and emitting control tokens;
+//   - a virtual Transaction kernel <sel>_vt is added, consuming one token
+//     from each branch end and controlled by <sel>_vc, forwarding only the
+//     data paths chosen by sel to a new sink <sel>_vsink.
+//
+// The transformation mutates g. It returns the ids of the added virtual
+// control actor and transaction kernel.
+func (g *Graph) VirtualizeSelectDuplicate(sel NodeID, branchEnds []NodeID) (NodeID, NodeID, error) {
+	n := g.Nodes[sel]
+	if n.Special != SpecialSelectDup {
+		return 0, 0, fmt.Errorf("core: %q is not a select-duplicate kernel", n.Name)
+	}
+	if len(branchEnds) < 2 {
+		return 0, 0, fmt.Errorf("core: virtualization needs at least two branch ends")
+	}
+	// The select-duplicate now always produces on all outputs.
+	g.SetModes(sel, ModeWaitAll)
+
+	vc := g.AddControlActor(n.Name + "_vc")
+	vt := g.AddTransaction(n.Name + "_vt")
+	vsink := g.AddKernel(n.Name + "_vsink")
+
+	// Signal channel sel -> vc: one token per sel firing.
+	sp, err := g.AddPort(sel, "sig", Out, "[1]", 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	ip, err := g.AddPort(vc, "sig_in", In, "[1]", 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	g.connectPorts(sel, sp, vc, ip, 0)
+
+	// Control channel vc -> vt.
+	if _, err := g.ConnectControl(vc, "[1]", vt, 0); err != nil {
+		return 0, 0, err
+	}
+
+	// Each branch end feeds the virtual transaction with one token per
+	// firing; vt forwards one token per firing to the virtual sink.
+	for i, be := range branchEnds {
+		op, err := g.AddPort(be, fmt.Sprintf("vt_o%d", i), Out, "[1]", 0)
+		if err != nil {
+			return 0, 0, err
+		}
+		tp, err := g.AddPort(vt, fmt.Sprintf("b%d", i), In, "[1]", i)
+		if err != nil {
+			return 0, 0, err
+		}
+		g.connectPorts(be, op, vt, tp, 0)
+	}
+	if _, err := g.Connect(vt, "[1]", vsink, "[1]", 0); err != nil {
+		return 0, 0, err
+	}
+	return vc, vt, nil
+}

@@ -1,0 +1,150 @@
+package csdf
+
+import (
+	"fmt"
+
+	"repro/internal/rat"
+)
+
+// Solution holds the consistency analysis result of a CSDF graph.
+type Solution struct {
+	// R is the minimal positive integer solution of the balance equations
+	// Γ·r = 0 (one entry per actor): the number of full cycles per
+	// iteration.
+	R []int64
+	// Q is the repetition vector q = P·r (Theorem 1): firings per iteration.
+	Q []int64
+}
+
+// RepetitionVector solves the balance equations and returns the minimal
+// solution. It returns an error if the graph is rate-inconsistent or has an
+// actor not involved in any edge with a positive rate (unconstrained).
+//
+// Disconnected graphs are handled per weakly-connected component; each
+// component is normalized independently, matching the standard treatment.
+func (g *Graph) RepetitionVector() (*Solution, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(g.Actors)
+	if n == 0 {
+		return &Solution{}, nil
+	}
+	ratios := make([]rat.Rat, n) // r_j as rationals; zero = unassigned
+	assigned := make([]bool, n)
+
+	// Undirected adjacency over edges for spanning-tree propagation.
+	adj := make([][]int, n) // actor -> edge indices
+	for ei := range g.Edges {
+		e := &g.Edges[ei]
+		adj[e.Src] = append(adj[e.Src], ei)
+		if e.Dst != e.Src {
+			adj[e.Dst] = append(adj[e.Dst], ei)
+		}
+	}
+
+	for root := 0; root < n; root++ {
+		if assigned[root] {
+			continue
+		}
+		ratios[root] = rat.One
+		assigned[root] = true
+		stack := []int{root}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, ei := range adj[u] {
+				e := &g.Edges[ei]
+				prod := g.CycleProd(e)
+				cons := g.CycleCons(e)
+				if prod == 0 || cons == 0 {
+					return nil, fmt.Errorf("csdf: edge %q has zero cycle rate", e.Name)
+				}
+				// r_src * prod == r_dst * cons
+				var other int
+				var val rat.Rat
+				var err error
+				switch u {
+				case e.Src:
+					other = e.Dst
+					val, err = ratios[u].Mul(rat.New(prod, cons))
+				default: // u == e.Dst
+					other = e.Src
+					val, err = ratios[u].Mul(rat.New(cons, prod))
+				}
+				if err != nil {
+					return nil, fmt.Errorf("csdf: balance propagation overflow on edge %q: %v", e.Name, err)
+				}
+				if !assigned[other] {
+					ratios[other] = val
+					assigned[other] = true
+					stack = append(stack, other)
+				}
+			}
+		}
+	}
+
+	// Verify every edge (covers non-tree edges and self-loops).
+	for ei := range g.Edges {
+		e := &g.Edges[ei]
+		lhs, err := ratios[e.Src].Mul(rat.FromInt(g.CycleProd(e)))
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := ratios[e.Dst].Mul(rat.FromInt(g.CycleCons(e)))
+		if err != nil {
+			return nil, err
+		}
+		if !lhs.Equal(rhs) {
+			return nil, fmt.Errorf("csdf: rate-inconsistent at edge %q: %s·%d ≠ %s·%d",
+				e.Name, ratios[e.Src], g.CycleProd(e), ratios[e.Dst], g.CycleCons(e))
+		}
+	}
+
+	// Normalize r to minimal integers (per component jointly is fine: the
+	// global lcm/gcd scaling preserves each component's internal ratios and
+	// matches the unique-iteration-vector convention used by the paper).
+	l := int64(1)
+	for _, r := range ratios {
+		var ok bool
+		l, ok = rat.LCM64(l, r.Den())
+		if !ok {
+			return nil, fmt.Errorf("csdf: repetition vector overflow (lcm of denominators)")
+		}
+	}
+	rInts := make([]int64, n)
+	var gAll int64
+	for j, r := range ratios {
+		v, err := r.Mul(rat.FromInt(l))
+		if err != nil {
+			return nil, err
+		}
+		iv, _ := v.Int()
+		rInts[j] = iv
+		gAll = rat.GCD64(gAll, iv)
+	}
+	if gAll > 1 {
+		for j := range rInts {
+			rInts[j] /= gAll
+		}
+	}
+	q := make([]int64, n)
+	for j := range rInts {
+		q[j] = rInts[j] * g.Phases(j)
+	}
+	return &Solution{R: rInts, Q: q}, nil
+}
+
+// IsConsistent reports whether the balance equations have a non-trivial
+// solution.
+func (g *Graph) IsConsistent() bool {
+	_, err := g.RepetitionVector()
+	return err == nil
+}
+
+// IterationTokens returns the number of tokens transferred over edge ei
+// during one complete iteration (q_src firings of the producer).
+func (g *Graph) IterationTokens(sol *Solution, ei int) int64 {
+	e := &g.Edges[ei]
+	return e.CumProd(sol.Q[e.Src])
+}

@@ -1,0 +1,462 @@
+package csdf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// fig1Graph reconstructs the paper's Fig. 1 CSDF example: three actors in a
+// cycle a1 -> a2 -> a3 -> a1 with rate sequences chosen to give the stated
+// repetition vector q = [3, 2, 2], two initial tokens on e2, and the unique
+// valid start (a3)^2 (a1)^3 (a2)^2.
+func fig1Graph() *Graph {
+	g := NewGraph()
+	a1 := g.AddActor("a1", 1)
+	a2 := g.AddActor("a2", 1)
+	a3 := g.AddActor("a3", 1)
+	g.ConnectNamed("e1", a1, []int64{1, 0, 1}, a2, []int64{1, 1}, 0)
+	g.ConnectNamed("e2", a2, []int64{0, 2}, a3, []int64{1}, 2)
+	g.ConnectNamed("e3", a3, []int64{2}, a1, []int64{1, 1, 2}, 0)
+	return g
+}
+
+func TestFig1RepetitionVector(t *testing.T) {
+	g := fig1Graph()
+	sol, err := g.RepetitionVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantQ := []int64{3, 2, 2}
+	wantR := []int64{1, 1, 2}
+	for j := range wantQ {
+		if sol.Q[j] != wantQ[j] {
+			t.Errorf("q[%d] = %d, want %d", j, sol.Q[j], wantQ[j])
+		}
+		if sol.R[j] != wantR[j] {
+			t.Errorf("r[%d] = %d, want %d", j, sol.R[j], wantR[j])
+		}
+	}
+}
+
+func TestFig1Schedule(t *testing.T) {
+	g := fig1Graph()
+	sol, err := g.RepetitionVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := g.BuildSchedule(sol, RunLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only admissible start is a3 twice, then a1 three times, then a2
+	// twice — the paper's (a3)^2 (a1)^3 (a2)^2.
+	if got := s.Format(g); got != "(a3)^2 (a1)^3 (a2)^2" {
+		t.Errorf("schedule = %q, want (a3)^2 (a1)^3 (a2)^2", got)
+	}
+	// The fine-grained eager policy interleaves but must stay admissible.
+	eager, err := g.BuildSchedule(sol, Eager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.ReplaySchedule(eager.Order); err != nil {
+		t.Errorf("eager schedule not admissible: %v", err)
+	}
+	// The iteration must restore the initial state.
+	ok, err := g.ReturnsToInitial(sol, Eager)
+	if err != nil || !ok {
+		t.Errorf("ReturnsToInitial = %v, %v", ok, err)
+	}
+}
+
+func TestPhases(t *testing.T) {
+	g := fig1Graph()
+	wants := []int64{3, 2, 1}
+	for j, w := range wants {
+		if got := g.Phases(j); got != w {
+			t.Errorf("Phases(%s) = %d, want %d", g.Actors[j].Name, got, w)
+		}
+	}
+}
+
+func TestCumulativeRates(t *testing.T) {
+	e := Edge{Prod: []int64{1, 0, 1}, Cons: []int64{2}}
+	// X over [1,0,1]: 1,1,2 then repeats +2
+	wants := []int64{0, 1, 1, 2, 3, 3, 4}
+	for n, w := range wants {
+		if got := e.CumProd(int64(n)); got != w {
+			t.Errorf("CumProd(%d) = %d, want %d", n, got, w)
+		}
+	}
+	if e.CumCons(5) != 10 {
+		t.Errorf("CumCons(5) = %d, want 10", e.CumCons(5))
+	}
+	if e.ProdAt(4) != 0 { // index 4 mod 3 = 1 -> 0
+		t.Errorf("ProdAt(4) = %d, want 0", e.ProdAt(4))
+	}
+}
+
+func TestInconsistentGraphRejected(t *testing.T) {
+	g := NewGraph()
+	a := g.AddActor("a")
+	b := g.AddActor("b")
+	g.Connect(a, []int64{2}, b, []int64{1}, 0)
+	g.Connect(a, []int64{1}, b, []int64{1}, 0) // conflicting ratio
+	if _, err := g.RepetitionVector(); err == nil {
+		t.Fatal("inconsistent graph must be rejected")
+	}
+}
+
+func TestSDFSpecialCase(t *testing.T) {
+	// Plain SDF a -2-> b -3-> c with single-phase rates.
+	g := NewGraph()
+	a := g.AddActor("a")
+	b := g.AddActor("b")
+	c := g.AddActor("c")
+	g.Connect(a, []int64{2}, b, []int64{3}, 0)
+	g.Connect(b, []int64{1}, c, []int64{2}, 0)
+	sol, err := g.RepetitionVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{3, 2, 1}
+	for j := range want {
+		if sol.Q[j] != want[j] {
+			t.Errorf("q = %v, want %v", sol.Q, want)
+		}
+	}
+}
+
+func TestDisconnectedComponents(t *testing.T) {
+	g := NewGraph()
+	a := g.AddActor("a")
+	b := g.AddActor("b")
+	c := g.AddActor("c")
+	d := g.AddActor("d")
+	g.Connect(a, []int64{1}, b, []int64{2}, 0)
+	g.Connect(c, []int64{3}, d, []int64{1}, 0)
+	sol, err := g.RepetitionVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a:b must be 2:1 and c:d must be 1:3 within components.
+	if sol.Q[0] != 2*sol.Q[1]/1 && sol.Q[0]*2 != sol.Q[1] {
+		t.Errorf("q = %v", sol.Q)
+	}
+	if 3*sol.Q[2] != sol.Q[3] {
+		t.Errorf("q = %v: want q[d] = 3*q[c]", sol.Q)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	// Two-actor cycle with no initial tokens deadlocks.
+	g := NewGraph()
+	a := g.AddActor("a")
+	b := g.AddActor("b")
+	g.Connect(a, []int64{1}, b, []int64{1}, 0)
+	g.Connect(b, []int64{1}, a, []int64{1}, 0)
+	sol, err := g.RepetitionVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.BuildSchedule(sol, Eager); err == nil {
+		t.Fatal("deadlocked graph must fail scheduling")
+	}
+}
+
+func TestCycleWithInitialTokensLive(t *testing.T) {
+	g := NewGraph()
+	a := g.AddActor("a")
+	b := g.AddActor("b")
+	g.Connect(a, []int64{1}, b, []int64{1}, 0)
+	g.Connect(b, []int64{1}, a, []int64{1}, 1)
+	sol, err := g.RepetitionVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := g.BuildSchedule(sol, Eager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Order) != 2 {
+		t.Errorf("schedule length = %d, want 2", len(s.Order))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := NewGraph()
+	a := g.AddActor("a")
+	b := g.AddActor("b")
+	g.Connect(a, []int64{1}, b, []int64{1}, 0)
+	if err := g.Validate(); err != nil {
+		t.Errorf("valid graph rejected: %v", err)
+	}
+
+	bad := NewGraph()
+	x := bad.AddActor("x")
+	y := bad.AddActor("y")
+	bad.Connect(x, []int64{0, 0}, y, []int64{1}, 0)
+	if err := bad.Validate(); err == nil {
+		t.Error("all-zero production sequence must be rejected")
+	}
+
+	dup := NewGraph()
+	dup.AddActor("x")
+	dup.AddActor("x")
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate names must be rejected")
+	}
+
+	neg := NewGraph()
+	u := neg.AddActor("u")
+	v := neg.AddActor("v")
+	neg.Connect(u, []int64{1}, v, []int64{1}, -1)
+	if err := neg.Validate(); err == nil {
+		t.Error("negative initial tokens must be rejected")
+	}
+}
+
+func TestDemandPolicyReducesPipelineBuffer(t *testing.T) {
+	// Pipeline a -10-> b -1/1-> c: demand-driven scheduling drains b's
+	// output as soon as possible; both must be admissible.
+	g := NewGraph()
+	a := g.AddActor("a")
+	b := g.AddActor("b")
+	c := g.AddActor("c")
+	g.Connect(a, []int64{10}, b, []int64{1}, 0)
+	g.Connect(b, []int64{1}, c, []int64{1}, 0)
+	sol, err := g.RepetitionVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := g.BuildSchedule(sol, Eager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand, err := g.BuildSchedule(sol, Demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if demand.TotalBuffer() > eager.TotalBuffer() {
+		t.Errorf("demand buffer %d > eager buffer %d", demand.TotalBuffer(), eager.TotalBuffer())
+	}
+	if demand.MaxTokens[1] != 1 {
+		t.Errorf("demand policy should keep edge b->c at 1 token, got %d", demand.MaxTokens[1])
+	}
+}
+
+func TestReplayScheduleDetectsUnderflow(t *testing.T) {
+	g := fig1Graph()
+	// Firing a1 first underflows e3.
+	if _, err := g.ReplaySchedule([]int{0}); err == nil {
+		t.Fatal("expected underflow error")
+	}
+	// The valid order replays cleanly.
+	sol, _ := g.RepetitionVector()
+	s, _ := g.BuildSchedule(sol, Eager)
+	if _, err := g.ReplaySchedule(s.Order); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestBuildPrecedenceChain(t *testing.T) {
+	// a -[2]-> b -[1]/[2]-> c with q = [1, 2, 1].
+	g := NewGraph()
+	a := g.AddActor("a", 5)
+	b := g.AddActor("b", 3)
+	c := g.AddActor("c", 2)
+	g.Connect(a, []int64{2}, b, []int64{1}, 0)
+	g.Connect(b, []int64{1}, c, []int64{2}, 0)
+	sol, err := g.RepetitionVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := g.BuildPrecedence(sol, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 4 {
+		t.Fatalf("N = %d, want 4", p.N())
+	}
+	// b's two firings both depend on a's single firing.
+	b0 := p.NodeID(b, 0)
+	b1 := p.NodeID(b, 1)
+	a0 := p.NodeID(a, 0)
+	c0 := p.NodeID(c, 0)
+	if len(p.Deps[b0]) != 1 || p.Deps[b0][0] != a0 {
+		t.Errorf("deps(b0) = %v, want [a0]", p.Deps[b0])
+	}
+	if len(p.Deps[b1]) != 1 || p.Deps[b1][0] != a0 {
+		t.Errorf("deps(b1) = %v, want [a0]", p.Deps[b1])
+	}
+	// c needs 2 tokens -> depends on b's second firing.
+	if len(p.Deps[c0]) != 1 || p.Deps[c0][0] != b1 {
+		t.Errorf("deps(c0) = %v, want [b1]", p.Deps[c0])
+	}
+	// Critical path: a(5) -> b(3) -> c(2) = 10.
+	cp, path, err := p.CriticalPath(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 10 {
+		t.Errorf("critical path = %d, want 10", cp)
+	}
+	if len(path) != 3 {
+		t.Errorf("critical path nodes = %v", path)
+	}
+}
+
+func TestBuildPrecedenceInitialTokensCut(t *testing.T) {
+	// b's first firing is satisfied by initial tokens, so it has no deps.
+	g := NewGraph()
+	a := g.AddActor("a")
+	b := g.AddActor("b")
+	g.Connect(a, []int64{1}, b, []int64{1}, 1)
+	sol, _ := g.RepetitionVector()
+	p, err := g.BuildPrecedence(sol, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Deps[p.NodeID(b, 0)]) != 0 {
+		t.Errorf("b0 should have no deps, got %v", p.Deps[p.NodeID(b, 0)])
+	}
+}
+
+func TestBuildPrecedenceSerialize(t *testing.T) {
+	g := NewGraph()
+	a := g.AddActor("a")
+	b := g.AddActor("b")
+	g.Connect(a, []int64{2}, b, []int64{1}, 0)
+	sol, _ := g.RepetitionVector()
+	p, err := g.BuildPrecedence(sol, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b1 depends on b0 (chain) and on a0 (data).
+	deps := p.Deps[p.NodeID(b, 1)]
+	if len(deps) != 2 {
+		t.Errorf("deps(b1) = %v, want chain+data", deps)
+	}
+}
+
+func TestPrecedenceIsDAG(t *testing.T) {
+	g := fig1Graph()
+	sol, _ := g.RepetitionVector()
+	p, err := g.BuildPrecedence(sol, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Digraph().IsDAG() {
+		t.Fatal("canonical period must be acyclic")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := fig1Graph()
+	c := g.Clone()
+	c.Edges[0].Prod[0] = 99
+	c.Actors[0].Exec[0] = 99
+	if g.Edges[0].Prod[0] == 99 || g.Actors[0].Exec[0] == 99 {
+		t.Error("Clone must deep-copy slices")
+	}
+}
+
+// randomChain builds a random consistent chain graph for property tests.
+func randomChain(rates []uint8) *Graph {
+	g := NewGraph()
+	prev := g.AddActor("n0")
+	for i, r := range rates {
+		cur := g.AddActor(nameFor(i + 1))
+		p := int64(r%5) + 1
+		c := int64(r%3) + 1
+		g.Connect(prev, []int64{p}, cur, []int64{c}, 0)
+		prev = cur
+	}
+	return g
+}
+
+func nameFor(i int) string { return "n" + string(rune('0'+i%10)) + string(rune('a'+i/10)) }
+
+func TestQuickChainConsistencyAndLiveness(t *testing.T) {
+	f := func(rates []uint8) bool {
+		if len(rates) == 0 || len(rates) > 8 {
+			return true
+		}
+		g := randomChain(rates)
+		sol, err := g.RepetitionVector()
+		if err != nil {
+			return false // chains are always consistent
+		}
+		// Balance must hold on every edge.
+		for ei := range g.Edges {
+			e := &g.Edges[ei]
+			if e.CumProd(sol.Q[e.Src]) != e.CumCons(sol.Q[e.Dst]) {
+				return false
+			}
+		}
+		// Acyclic graphs are always live; iteration restores initial state.
+		ok, err := g.ReturnsToInitial(sol, Eager)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRepetitionVectorMinimal(t *testing.T) {
+	// gcd of r entries is 1 (minimality of the normalized solution).
+	f := func(rates []uint8) bool {
+		if len(rates) == 0 || len(rates) > 8 {
+			return true
+		}
+		g := randomChain(rates)
+		sol, err := g.RepetitionVector()
+		if err != nil {
+			return false
+		}
+		var gcd int64
+		for _, r := range sol.R {
+			gcd = gcd64(gcd, r)
+		}
+		return gcd == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func TestQuickScheduleLengthMatchesQ(t *testing.T) {
+	f := func(rates []uint8) bool {
+		if len(rates) == 0 || len(rates) > 6 {
+			return true
+		}
+		g := randomChain(rates)
+		sol, err := g.RepetitionVector()
+		if err != nil {
+			return false
+		}
+		s, err := g.BuildSchedule(sol, Eager)
+		if err != nil {
+			return false
+		}
+		counts := make([]int64, len(g.Actors))
+		for _, a := range s.Order {
+			counts[a]++
+		}
+		for j := range counts {
+			if counts[j] != sol.Q[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,178 @@
+package csdf
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Firing identifies the k-th firing (0-based) of an actor within one
+// iteration of the graph.
+type Firing struct {
+	Actor int
+	K     int64
+}
+
+// String renders the firing with a 1-based ordinal, matching the paper's
+// notation (A1, A2, ...).
+func (f Firing) Format(g *Graph) string {
+	return fmt.Sprintf("%s%d", g.Actors[f.Actor].Name, f.K+1)
+}
+
+// Precedence is the canonical-period dependence graph (§III-D): one node per
+// actor firing in a single iteration, one edge per data dependency between
+// those firings. Dependencies satisfied by initial tokens from the previous
+// period are omitted.
+type Precedence struct {
+	Firings []Firing
+	// Deps lists, per firing node index, the node indices it depends on.
+	Deps [][]int
+	// base holds prefix offsets per actor for dense construction; sparse
+	// precedences (after mode pruning) use the index map instead.
+	base  []int64
+	index map[Firing]int
+}
+
+// NewPrecedence builds a precedence relation from explicit firings and
+// dependency lists, e.g. after mode-based pruning. NodeID lookups fall back
+// to a map index.
+func NewPrecedence(firings []Firing, deps [][]int) *Precedence {
+	p := &Precedence{Firings: firings, Deps: deps, index: make(map[Firing]int, len(firings))}
+	for i, f := range firings {
+		p.index[f] = i
+	}
+	return p
+}
+
+// NodeID returns the node index of firing (actor, k), or -1 if the firing
+// was pruned away.
+func (p *Precedence) NodeID(actor int, k int64) int {
+	if p.index != nil {
+		if id, ok := p.index[Firing{Actor: actor, K: k}]; ok {
+			return id
+		}
+		return -1
+	}
+	return int(p.base[actor] + k)
+}
+
+// N returns the number of firing nodes.
+func (p *Precedence) N() int { return len(p.Firings) }
+
+// BuildPrecedence constructs the canonical-period precedence graph for one
+// iteration with repetition vector sol.Q.
+//
+// For a channel e = (i -> j), the n-th firing of j needs Y(n+1) cumulative
+// tokens; with φ0 initial tokens it therefore depends on the m-th firing of
+// i for the smallest m with φ0 + X(m+1) >= Y(n+1) (no dependency if the
+// initial tokens alone suffice; the dependency is dropped if it falls
+// outside this iteration, because the previous period provides it).
+//
+// When serialize is true, consecutive firings of the same actor are chained,
+// modelling a sequential task as deployed by the ΣC runtime.
+func (g *Graph) BuildPrecedence(sol *Solution, serialize bool) (*Precedence, error) {
+	n := len(g.Actors)
+	p := &Precedence{base: make([]int64, n)}
+	var total int64
+	for j := 0; j < n; j++ {
+		p.base[j] = total
+		total += sol.Q[j]
+	}
+	if total > 1<<22 {
+		return nil, fmt.Errorf("csdf: precedence graph too large (%d firings)", total)
+	}
+	p.Firings = make([]Firing, total)
+	p.Deps = make([][]int, total)
+	for j := 0; j < n; j++ {
+		for k := int64(0); k < sol.Q[j]; k++ {
+			p.Firings[p.NodeID(j, k)] = Firing{Actor: j, K: k}
+		}
+	}
+
+	addDep := func(to, from int) {
+		p.Deps[to] = append(p.Deps[to], from)
+	}
+
+	if serialize {
+		for j := 0; j < n; j++ {
+			for k := int64(1); k < sol.Q[j]; k++ {
+				addDep(p.NodeID(j, k), p.NodeID(j, k-1))
+			}
+		}
+	}
+
+	for ei := range g.Edges {
+		e := &g.Edges[ei]
+		if e.Src == e.Dst {
+			continue // self-loop ordering is the serialization chain
+		}
+		var m int64 // candidate producer firing, monotone in n
+		for nCons := int64(0); nCons < sol.Q[e.Dst]; nCons++ {
+			need := e.CumCons(nCons + 1)
+			if need <= e.Initial {
+				continue
+			}
+			for m < sol.Q[e.Src] && e.Initial+e.CumProd(m+1) < need {
+				m++
+			}
+			if m >= sol.Q[e.Src] {
+				break // provided by the previous period
+			}
+			addDep(p.NodeID(e.Dst, nCons), p.NodeID(e.Src, m))
+		}
+	}
+	return p, nil
+}
+
+// Digraph converts the precedence relation into a graph.Digraph with edges
+// pointing from a dependency to its dependent (dataflow direction).
+func (p *Precedence) Digraph() *graph.Digraph {
+	d := graph.New(p.N())
+	for to, deps := range p.Deps {
+		for _, from := range deps {
+			d.AddEdge(from, to)
+		}
+	}
+	return d
+}
+
+// CriticalPath returns the longest path length through the precedence DAG
+// where each node costs the actor's per-firing execution time, plus the
+// node order realizing it. Used for makespan lower bounds.
+func (p *Precedence) CriticalPath(g *Graph) (int64, []int, error) {
+	d := p.Digraph()
+	order, err := d.TopoSort()
+	if err != nil {
+		return 0, nil, fmt.Errorf("csdf: precedence graph is cyclic: %v", err)
+	}
+	dist := make([]int64, p.N())
+	pred := make([]int, p.N())
+	for i := range pred {
+		pred[i] = -1
+	}
+	var best int64
+	bestNode := 0
+	for _, u := range order {
+		f := p.Firings[u]
+		cost := g.Actors[f.Actor].ExecAt(f.K)
+		du := dist[u] + cost
+		if du > best {
+			best, bestNode = du, u
+		}
+		for _, v := range d.Succ(u) {
+			if du > dist[v] {
+				dist[v] = du
+				pred[v] = u
+			}
+		}
+	}
+	var path []int
+	for v := bestNode; v != -1; v = pred[v] {
+		path = append(path, v)
+	}
+	// Reverse in place.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return best, path, nil
+}

@@ -1,0 +1,258 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b complex128) bool {
+	return cmplx.Abs(a-b) < 1e-9
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	rng := NewPRNG(1)
+	for _, n := range []int{1, 2, 4, 8, 16, 64} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.Normal(), rng.Normal())
+		}
+		want := DFT(x)
+		got := append([]complex128(nil), x...)
+		if err := FFT(got); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range want {
+			if !approxEq(got[i], want[i]) {
+				t.Fatalf("n=%d: FFT[%d] = %v, DFT = %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 3, 6, 100} {
+		if err := FFT(make([]complex128, n)); err == nil {
+			t.Errorf("FFT must reject length %d", n)
+		}
+	}
+}
+
+func TestFFTIFFTRoundTrip(t *testing.T) {
+	rng := NewPRNG(7)
+	x := make([]complex128, 128)
+	for i := range x {
+		x[i] = complex(rng.Normal(), rng.Normal())
+	}
+	y := append([]complex128(nil), x...)
+	if err := FFT(y); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFT(y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if !approxEq(x[i], y[i]) {
+			t.Fatalf("roundtrip[%d] = %v, want %v", i, y[i], x[i])
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	// sum |x|^2 == (1/N) sum |X|^2.
+	rng := NewPRNG(3)
+	x := make([]complex128, 64)
+	var tp float64
+	for i := range x {
+		x[i] = complex(rng.Normal(), rng.Normal())
+		tp += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	}
+	y := append([]complex128(nil), x...)
+	if err := FFT(y); err != nil {
+		t.Fatal(err)
+	}
+	var fp float64
+	for _, v := range y {
+		fp += real(v)*real(v) + imag(v)*imag(v)
+	}
+	fp /= float64(len(x))
+	if math.Abs(tp-fp) > 1e-6*math.Max(1, tp) {
+		t.Errorf("Parseval violated: time %g vs freq %g", tp, fp)
+	}
+}
+
+func TestCyclicPrefix(t *testing.T) {
+	sym := []complex128{1, 2, 3, 4}
+	framed, err := AddCyclicPrefix(sym, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []complex128{3, 4, 1, 2, 3, 4}
+	for i := range want {
+		if framed[i] != want[i] {
+			t.Fatalf("framed = %v, want %v", framed, want)
+		}
+	}
+	back, err := RemoveCyclicPrefix(framed, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sym {
+		if back[i] != sym[i] {
+			t.Fatalf("stripped = %v, want %v", back, sym)
+		}
+	}
+	if _, err := AddCyclicPrefix(sym, 5); err == nil {
+		t.Error("prefix longer than symbol must fail")
+	}
+	if _, err := RemoveCyclicPrefix(sym, 4); err == nil {
+		t.Error("removing the whole frame must fail")
+	}
+}
+
+func TestQPSKRoundTrip(t *testing.T) {
+	bits := []byte{0, 0, 0, 1, 1, 0, 1, 1}
+	syms, err := QPSKMap(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(syms) != 4 {
+		t.Fatalf("QPSK produced %d symbols, want 4", len(syms))
+	}
+	for _, s := range syms {
+		if math.Abs(cmplx.Abs(s)-1) > 1e-12 {
+			t.Errorf("QPSK symbol %v not unit energy", s)
+		}
+	}
+	got := QPSKDemap(syms)
+	if BitErrors(bits, got) != 0 {
+		t.Errorf("QPSK roundtrip: %v -> %v", bits, got)
+	}
+	if _, err := QPSKMap([]byte{1}); err == nil {
+		t.Error("odd bit count must fail")
+	}
+}
+
+func TestQAM16RoundTrip(t *testing.T) {
+	rng := NewPRNG(11)
+	bits := rng.Bits(64)
+	syms, err := QAM16Map(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(syms) != 16 {
+		t.Fatalf("QAM16 produced %d symbols, want 16", len(syms))
+	}
+	got := QAM16Demap(syms)
+	if BitErrors(bits, got) != 0 {
+		t.Errorf("QAM16 roundtrip failed: %d errors", BitErrors(bits, got))
+	}
+	// Average energy ~1.
+	var e float64
+	for _, s := range syms {
+		e += real(s)*real(s) + imag(s)*imag(s)
+	}
+	e /= float64(len(syms))
+	if e < 0.3 || e > 1.8 {
+		t.Errorf("QAM16 average energy %g implausible", e)
+	}
+	if _, err := QAM16Map(rng.Bits(5)); err == nil {
+		t.Error("non-multiple-of-4 bit count must fail")
+	}
+}
+
+func TestQuickQPSKRoundTrip(t *testing.T) {
+	f := func(seed uint64, n8 uint8) bool {
+		n := (int(n8%32) + 1) * 2
+		bits := NewPRNG(seed).Bits(n)
+		syms, err := QPSKMap(bits)
+		if err != nil {
+			return false
+		}
+		return BitErrors(bits, QPSKDemap(syms)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickQAM16RoundTrip(t *testing.T) {
+	f := func(seed uint64, n8 uint8) bool {
+		n := (int(n8%16) + 1) * 4
+		bits := NewPRNG(seed).Bits(n)
+		syms, err := QAM16Map(bits)
+		if err != nil {
+			return false
+		}
+		return BitErrors(bits, QAM16Demap(syms)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOFDMRoundtripClean(t *testing.T) {
+	for _, s := range []Scheme{QPSK, QAM16} {
+		for _, n := range []int{64, 256, 512} {
+			errs, err := Roundtrip(n, 16, 3, s, 42)
+			if err != nil {
+				t.Fatalf("scheme %d n %d: %v", s, n, err)
+			}
+			if errs != 0 {
+				t.Errorf("scheme %d n %d: %d bit errors on a clean channel", s, n, errs)
+			}
+		}
+	}
+}
+
+func TestModulatorValidation(t *testing.T) {
+	m := Modulator{N: 64, L: 8, S: QPSK}
+	if _, err := m.Modulate(make([]byte, 10)); err == nil {
+		t.Error("wrong bit count must fail")
+	}
+	d := Demodulator{N: 64, L: 8, S: QPSK}
+	if _, err := d.Demodulate(make([]complex128, 10)); err == nil {
+		t.Error("wrong frame length must fail")
+	}
+}
+
+func TestBitErrors(t *testing.T) {
+	if BitErrors([]byte{1, 0, 1}, []byte{1, 1, 1}) != 1 {
+		t.Error("BitErrors count wrong")
+	}
+	if BitErrors([]byte{1, 0}, []byte{1, 0, 1}) != 1 {
+		t.Error("length mismatch must count as errors")
+	}
+}
+
+func TestPRNGDeterministic(t *testing.T) {
+	a, b := NewPRNG(5), NewPRNG(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("PRNG must be deterministic per seed")
+		}
+	}
+	if NewPRNG(0).Uint64() == 0 {
+		t.Error("zero seed must be remapped")
+	}
+}
+
+func TestPRNGNormalMoments(t *testing.T) {
+	rng := NewPRNG(9)
+	const n = 20000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := rng.Normal()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("mean = %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Errorf("variance = %g, want ~1", variance)
+	}
+}

@@ -1,0 +1,102 @@
+// Package dsp provides the signal-processing substrate behind the
+// cognitive-radio case study (§IV-B): an iterative radix-2 FFT, QPSK and
+// 16-QAM mapping/demapping, cyclic-prefix handling and an end-to-end OFDM
+// symbol pipeline, plus a deterministic PRNG source standing in for the
+// paper's sampler ("actor SRC represents a data source that generates
+// random values to simulate a sampler").
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. len(x) must be a power of two.
+func FFT(x []complex128) error {
+	return transform(x, false)
+}
+
+// IFFT computes the inverse FFT (normalized by 1/N).
+func IFFT(x []complex128) error {
+	if err := transform(x, true); err != nil {
+		return err
+	}
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+	return nil
+}
+
+func transform(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	return nil
+}
+
+// DFT computes the naive O(N²) discrete Fourier transform; used as the
+// reference implementation in tests.
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Rect(1, angle)
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// AddCyclicPrefix prepends the last l samples of the symbol, the ISI guard
+// of §IV-B. It returns a new slice of length len(sym)+l.
+func AddCyclicPrefix(sym []complex128, l int) ([]complex128, error) {
+	if l < 0 || l > len(sym) {
+		return nil, fmt.Errorf("dsp: cyclic prefix %d out of range for symbol %d", l, len(sym))
+	}
+	out := make([]complex128, 0, len(sym)+l)
+	out = append(out, sym[len(sym)-l:]...)
+	return append(out, sym...), nil
+}
+
+// RemoveCyclicPrefix drops the first l samples (the RCP actor of Fig. 7).
+func RemoveCyclicPrefix(sym []complex128, l int) ([]complex128, error) {
+	if l < 0 || l >= len(sym) {
+		return nil, fmt.Errorf("dsp: cyclic prefix %d out of range for frame %d", l, len(sym))
+	}
+	return sym[l:], nil
+}

@@ -1,0 +1,119 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// FIR is a finite-impulse-response filter with internal history, processing
+// streaming blocks like the StreamIt FM-radio stages.
+type FIR struct {
+	Taps []float64
+	hist []float64
+}
+
+// NewFIR creates a filter from taps.
+func NewFIR(taps []float64) *FIR {
+	return &FIR{Taps: append([]float64(nil), taps...), hist: make([]float64, len(taps)-1)}
+}
+
+// Filter processes a block, maintaining history across calls.
+func (f *FIR) Filter(x []float64) []float64 {
+	n := len(f.Taps)
+	buf := append(append([]float64(nil), f.hist...), x...)
+	out := make([]float64, len(x))
+	for i := range x {
+		var acc float64
+		for k := 0; k < n; k++ {
+			acc += f.Taps[k] * buf[i+n-1-k]
+		}
+		out[i] = acc
+	}
+	if len(buf) >= n-1 {
+		f.hist = append(f.hist[:0], buf[len(buf)-(n-1):]...)
+	}
+	return out
+}
+
+// Reset clears the filter history.
+func (f *FIR) Reset() {
+	for i := range f.hist {
+		f.hist[i] = 0
+	}
+}
+
+// LowPassTaps designs a windowed-sinc low-pass filter with the given
+// normalized cutoff (0 < cutoff < 0.5, as a fraction of the sample rate).
+func LowPassTaps(cutoff float64, ntaps int) ([]float64, error) {
+	if cutoff <= 0 || cutoff >= 0.5 {
+		return nil, fmt.Errorf("dsp: cutoff %g out of (0, 0.5)", cutoff)
+	}
+	if ntaps < 3 || ntaps%2 == 0 {
+		return nil, fmt.Errorf("dsp: ntaps %d must be odd and >= 3", ntaps)
+	}
+	taps := make([]float64, ntaps)
+	mid := ntaps / 2
+	var sum float64
+	for i := range taps {
+		x := float64(i - mid)
+		var v float64
+		if x == 0 {
+			v = 2 * cutoff
+		} else {
+			v = math.Sin(2*math.Pi*cutoff*x) / (math.Pi * x)
+		}
+		// Hamming window.
+		v *= 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(ntaps-1))
+		taps[i] = v
+		sum += v
+	}
+	for i := range taps {
+		taps[i] /= sum // unity DC gain
+	}
+	return taps, nil
+}
+
+// BandPassTaps designs a band-pass filter between normalized low and high
+// cutoffs by spectral shifting of a low-pass design.
+func BandPassTaps(low, high float64, ntaps int) ([]float64, error) {
+	if !(0 < low && low < high && high < 0.5) {
+		return nil, fmt.Errorf("dsp: band (%g, %g) out of range", low, high)
+	}
+	base, err := LowPassTaps((high-low)/2, ntaps)
+	if err != nil {
+		return nil, err
+	}
+	center := (low + high) / 2
+	mid := ntaps / 2
+	out := make([]float64, ntaps)
+	for i := range out {
+		out[i] = 2 * base[i] * math.Cos(2*math.Pi*center*float64(i-mid))
+	}
+	return out, nil
+}
+
+// FMDemod demodulates an FM signal by phase differentiation: the output is
+// proportional to the instantaneous frequency.
+func FMDemod(x []complex128) []float64 {
+	out := make([]float64, 0, len(x))
+	var prev complex128 = 1
+	for _, s := range x {
+		// angle(s * conj(prev)) is the phase advance.
+		d := s * complex(real(prev), -imag(prev))
+		out = append(out, math.Atan2(imag(d), real(d)))
+		prev = s
+	}
+	return out
+}
+
+// FMModulate synthesizes an FM signal from a message, with the given
+// normalized frequency deviation per unit amplitude.
+func FMModulate(msg []float64, deviation float64) []complex128 {
+	out := make([]complex128, len(msg))
+	phase := 0.0
+	for i, m := range msg {
+		phase += 2 * math.Pi * deviation * m
+		out[i] = complex(math.Cos(phase), math.Sin(phase))
+	}
+	return out
+}

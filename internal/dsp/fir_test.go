@@ -1,0 +1,164 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLowPassTapsProperties(t *testing.T) {
+	taps, err := LowPassTaps(0.1, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(taps) != 31 {
+		t.Fatalf("got %d taps", len(taps))
+	}
+	// Unity DC gain: taps sum to 1.
+	var sum float64
+	for _, v := range taps {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("DC gain = %g, want 1", sum)
+	}
+	// Symmetric (linear phase).
+	for i := 0; i < len(taps)/2; i++ {
+		if math.Abs(taps[i]-taps[len(taps)-1-i]) > 1e-12 {
+			t.Errorf("taps not symmetric at %d", i)
+		}
+	}
+}
+
+func TestLowPassTapsValidation(t *testing.T) {
+	if _, err := LowPassTaps(0.6, 31); err == nil {
+		t.Error("cutoff >= 0.5 must fail")
+	}
+	if _, err := LowPassTaps(0.1, 30); err == nil {
+		t.Error("even tap count must fail")
+	}
+	if _, err := LowPassTaps(0.1, 1); err == nil {
+		t.Error("too few taps must fail")
+	}
+}
+
+// gainAt measures the filter's steady-state amplitude response at the
+// normalized frequency f.
+func gainAt(taps []float64, f float64) float64 {
+	fir := NewFIR(taps)
+	n := 2048
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * f * float64(i))
+	}
+	y := fir.Filter(x)
+	// Peak amplitude over the settled second half.
+	var peak float64
+	for _, v := range y[n/2:] {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	return peak
+}
+
+func TestLowPassFrequencyResponse(t *testing.T) {
+	taps, err := LowPassTaps(0.1, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := gainAt(taps, 0.02)
+	stop := gainAt(taps, 0.35)
+	if pass < 0.9 {
+		t.Errorf("passband gain %g too low", pass)
+	}
+	if stop > 0.05 {
+		t.Errorf("stopband gain %g too high", stop)
+	}
+}
+
+func TestBandPassFrequencyResponse(t *testing.T) {
+	taps, err := BandPassTaps(0.1, 0.2, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := gainAt(taps, 0.15)
+	below := gainAt(taps, 0.02)
+	above := gainAt(taps, 0.4)
+	if in < 0.8 {
+		t.Errorf("in-band gain %g too low", in)
+	}
+	if below > 0.1 || above > 0.1 {
+		t.Errorf("out-of-band gains %g / %g too high", below, above)
+	}
+	if _, err := BandPassTaps(0.3, 0.2, 101); err == nil {
+		t.Error("inverted band must fail")
+	}
+}
+
+func TestFIRHistoryAcrossBlocks(t *testing.T) {
+	taps, _ := LowPassTaps(0.1, 31)
+	whole := NewFIR(taps)
+	blocked := NewFIR(taps)
+	x := make([]float64, 256)
+	rng := NewPRNG(13)
+	for i := range x {
+		x[i] = rng.Normal()
+	}
+	want := whole.Filter(x)
+	var got []float64
+	for i := 0; i < len(x); i += 64 {
+		got = append(got, blocked.Filter(x[i:i+64])...)
+	}
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-9 {
+			t.Fatalf("block processing diverges at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFIRReset(t *testing.T) {
+	taps, _ := LowPassTaps(0.1, 15)
+	f := NewFIR(taps)
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	first := f.Filter(x)
+	f.Reset()
+	second := f.Filter(x)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatal("Reset must restore initial state")
+		}
+	}
+}
+
+func TestFMRoundTrip(t *testing.T) {
+	// Modulate a slow tone, demodulate, verify the tone frequency appears.
+	n := 1024
+	msg := make([]float64, n)
+	for i := range msg {
+		msg[i] = math.Sin(2 * math.Pi * 0.01 * float64(i))
+	}
+	rf := FMModulate(msg, 0.05)
+	got := FMDemod(rf)
+	// demod[i] ≈ 2π·dev·msg[i]; correlate against the message.
+	var corr, e1, e2 float64
+	for i := 1; i < n; i++ {
+		corr += got[i] * msg[i]
+		e1 += got[i] * got[i]
+		e2 += msg[i] * msg[i]
+	}
+	rho := corr / math.Sqrt(e1*e2)
+	if rho < 0.99 {
+		t.Errorf("FM roundtrip correlation %g, want > 0.99", rho)
+	}
+}
+
+func TestFMModulateConstantEnvelope(t *testing.T) {
+	msg := []float64{0.5, -0.2, 0.9, 0}
+	rf := FMModulate(msg, 0.1)
+	for i, s := range rf {
+		mag := math.Hypot(real(s), imag(s))
+		if math.Abs(mag-1) > 1e-12 {
+			t.Errorf("sample %d magnitude %g, want 1", i, mag)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// QPSKMap maps bit pairs to QPSK constellation points (Gray-coded,
+// unit energy). len(bits) must be even; bits are 0/1.
+func QPSKMap(bits []byte) ([]complex128, error) {
+	if len(bits)%2 != 0 {
+		return nil, fmt.Errorf("dsp: QPSK needs an even bit count, got %d", len(bits))
+	}
+	s := math.Sqrt2 / 2
+	out := make([]complex128, len(bits)/2)
+	for i := 0; i < len(bits); i += 2 {
+		re, im := s, s
+		if bits[i] == 1 {
+			re = -s
+		}
+		if bits[i+1] == 1 {
+			im = -s
+		}
+		out[i/2] = complex(re, im)
+	}
+	return out, nil
+}
+
+// QPSKDemap hard-decides QPSK symbols back to bits (2 bits per symbol).
+func QPSKDemap(syms []complex128) []byte {
+	out := make([]byte, 0, 2*len(syms))
+	for _, s := range syms {
+		b0, b1 := byte(0), byte(0)
+		if real(s) < 0 {
+			b0 = 1
+		}
+		if imag(s) < 0 {
+			b1 = 1
+		}
+		out = append(out, b0, b1)
+	}
+	return out
+}
+
+// gray16 is the 2-bit Gray code used per axis by QAM16: 00 01 11 10
+// mapped onto amplitudes -3 -1 +1 +3 (then normalized).
+var gray16 = [4]float64{-3, -1, 1, 3}
+
+func grayIndex(b0, b1 byte) int {
+	// 00->0(-3) 01->1(-1) 11->2(+1) 10->3(+3)
+	switch {
+	case b0 == 0 && b1 == 0:
+		return 0
+	case b0 == 0 && b1 == 1:
+		return 1
+	case b0 == 1 && b1 == 1:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func grayBits(idx int) (byte, byte) {
+	switch idx {
+	case 0:
+		return 0, 0
+	case 1:
+		return 0, 1
+	case 2:
+		return 1, 1
+	default:
+		return 1, 0
+	}
+}
+
+// qamNorm normalizes average symbol energy to 1 for 16-QAM.
+var qamNorm = 1 / math.Sqrt(10)
+
+// QAM16Map maps bit quadruples to Gray-coded 16-QAM points (unit average
+// energy). len(bits) must be a multiple of 4.
+func QAM16Map(bits []byte) ([]complex128, error) {
+	if len(bits)%4 != 0 {
+		return nil, fmt.Errorf("dsp: 16-QAM needs a multiple of 4 bits, got %d", len(bits))
+	}
+	out := make([]complex128, len(bits)/4)
+	for i := 0; i < len(bits); i += 4 {
+		re := gray16[grayIndex(bits[i], bits[i+1])] * qamNorm
+		im := gray16[grayIndex(bits[i+2], bits[i+3])] * qamNorm
+		out[i/4] = complex(re, im)
+	}
+	return out, nil
+}
+
+// QAM16Demap hard-decides 16-QAM symbols back to bits (4 bits per symbol).
+func QAM16Demap(syms []complex128) []byte {
+	out := make([]byte, 0, 4*len(syms))
+	decide := func(v float64) int {
+		v /= qamNorm
+		switch {
+		case v < -2:
+			return 0
+		case v < 0:
+			return 1
+		case v < 2:
+			return 2
+		default:
+			return 3
+		}
+	}
+	for _, s := range syms {
+		b0, b1 := grayBits(decide(real(s)))
+		b2, b3 := grayBits(decide(imag(s)))
+		out = append(out, b0, b1, b2, b3)
+	}
+	return out
+}
+
+// BitErrors counts positions where a and b differ; the shorter length
+// bounds the comparison and any length difference counts as errors.
+func BitErrors(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	errs := len(a) - n + len(b) - n
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			errs++
+		}
+	}
+	return errs
+}
+
+// PRNG is a small deterministic xorshift64* generator: the simulated
+// sampler source. The zero value is invalid; use NewPRNG.
+type PRNG struct {
+	state uint64
+}
+
+// NewPRNG seeds the generator (seed 0 is remapped to a fixed constant).
+func NewPRNG(seed uint64) *PRNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &PRNG{state: seed}
+}
+
+// Uint64 returns the next raw value.
+func (p *PRNG) Uint64() uint64 {
+	x := p.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	p.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Bits fills a slice with n random bits.
+func (p *PRNG) Bits(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(p.Uint64() & 1)
+	}
+	return out
+}
+
+// Normal returns an approximately standard-normal sample (Irwin–Hall sum of
+// 12 uniforms), adequate for AWGN-style perturbation in tests and examples.
+func (p *PRNG) Normal() float64 {
+	var s float64
+	for i := 0; i < 12; i++ {
+		s += float64(p.Uint64()>>11) / (1 << 53)
+	}
+	return s - 6
+}

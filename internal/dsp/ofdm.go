@@ -1,0 +1,111 @@
+package dsp
+
+import (
+	"fmt"
+)
+
+// Scheme selects the demapping constellation of the reconfigurable
+// demodulator: QPSK (M=2) or 16-QAM (M=4), matching the paper's M
+// parameter.
+type Scheme int
+
+const (
+	// QPSK carries 2 bits per carrier (M = 2).
+	QPSK Scheme = 2
+	// QAM16 carries 4 bits per carrier (M = 4).
+	QAM16 Scheme = 4
+)
+
+// BitsPerSymbol returns the bits carried per OFDM carrier.
+func (s Scheme) BitsPerSymbol() int { return int(s) }
+
+// Modulator builds transmit-side OFDM symbols; it is the inverse of the
+// Fig. 7 receive pipeline and exists so tests and examples can generate
+// well-formed input for the demodulator.
+type Modulator struct {
+	N int // carriers per OFDM symbol (power of two)
+	L int // cyclic prefix length
+	S Scheme
+}
+
+// Demodulator is the Fig. 7 receive pipeline in library form:
+// RemoveCyclicPrefix -> FFT -> demap. Each call processes one OFDM symbol.
+type Demodulator struct {
+	N int
+	L int
+	S Scheme
+}
+
+// Modulate converts bits into one time-domain OFDM frame of N+L samples.
+// It needs exactly N*BitsPerSymbol bits.
+func (m Modulator) Modulate(bits []byte) ([]complex128, error) {
+	want := m.N * m.S.BitsPerSymbol()
+	if len(bits) != want {
+		return nil, fmt.Errorf("dsp: modulate needs %d bits, got %d", want, len(bits))
+	}
+	var carriers []complex128
+	var err error
+	switch m.S {
+	case QPSK:
+		carriers, err = QPSKMap(bits)
+	case QAM16:
+		carriers, err = QAM16Map(bits)
+	default:
+		return nil, fmt.Errorf("dsp: unknown scheme %d", m.S)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := IFFT(carriers); err != nil {
+		return nil, err
+	}
+	return AddCyclicPrefix(carriers, m.L)
+}
+
+// Demodulate converts one received frame of N+L samples back into bits,
+// mirroring the RCP -> FFT -> QPSK/QAM actors of Fig. 7.
+func (d Demodulator) Demodulate(frame []complex128) ([]byte, error) {
+	if len(frame) != d.N+d.L {
+		return nil, fmt.Errorf("dsp: demodulate needs %d samples, got %d", d.N+d.L, len(frame))
+	}
+	sym, err := RemoveCyclicPrefix(frame, d.L)
+	if err != nil {
+		return nil, err
+	}
+	work := append([]complex128(nil), sym...)
+	if err := FFT(work); err != nil {
+		return nil, err
+	}
+	switch d.S {
+	case QPSK:
+		return QPSKDemap(work), nil
+	case QAM16:
+		return QAM16Demap(work), nil
+	default:
+		return nil, fmt.Errorf("dsp: unknown scheme %d", d.S)
+	}
+}
+
+// Roundtrip pushes beta OFDM symbols of random bits through modulation and
+// demodulation, returning the bit error count (0 on a clean channel). It is
+// the payload-level counterpart of one TPDF iteration with vectorization
+// degree beta.
+func Roundtrip(n, l, beta int, s Scheme, seed uint64) (int, error) {
+	rng := NewPRNG(seed)
+	mod := Modulator{N: n, L: l, S: s}
+	dem := Demodulator{N: n, L: l, S: s}
+	errs := 0
+	for b := 0; b < beta; b++ {
+		bits := rng.Bits(n * s.BitsPerSymbol())
+		frame, err := mod.Modulate(bits)
+		if err != nil {
+			return 0, err
+		}
+		got, err := dem.Demodulate(frame)
+		if err != nil {
+			return 0, err
+		}
+		errs += BitErrors(bits, got)
+	}
+	return errs, nil
+}

@@ -1,0 +1,94 @@
+package graphio
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// randomGraph builds a small arbitrary-but-valid TPDF graph for round-trip
+// fuzzing: a random layered DAG with occasional parametric rates, priorities
+// and initial tokens.
+func randomGraph(rng *rand.Rand) *core.Graph {
+	g := core.NewGraph(fmt.Sprintf("fuzz%d", rng.Intn(1000)))
+	par := rng.Intn(2) == 0
+	if par {
+		g.AddParam("p", int64(rng.Intn(4)+1), 1, 16)
+	}
+	rate := func() string {
+		switch {
+		case par && rng.Intn(4) == 0:
+			return "[p]"
+		case rng.Intn(4) == 0:
+			return fmt.Sprintf("[%d,%d]", rng.Intn(3), rng.Intn(3)+1)
+		default:
+			return fmt.Sprintf("[%d]", rng.Intn(3)+1)
+		}
+	}
+	var prev []core.NodeID
+	for l := 0; l < rng.Intn(3)+2; l++ {
+		var cur []core.NodeID
+		for i := 0; i < rng.Intn(2)+1; i++ {
+			k := g.AddKernel(fmt.Sprintf("n%d_%d", l, i), int64(rng.Intn(9)))
+			cur = append(cur, k)
+			if l > 0 {
+				// Use the same rate on both ends so the graph also stays
+				// consistent (not required for round-tripping, but keeps
+				// the fixture usable for analyses).
+				r := rate()
+				if _, err := g.Connect(prev[rng.Intn(len(prev))], r, k, r, int64(rng.Intn(3))); err != nil {
+					panic(err)
+				}
+			}
+		}
+		if l > 0 {
+			for _, src := range prev {
+				used := false
+				for _, e := range g.Edges {
+					if e.Src == src {
+						used = true
+					}
+				}
+				if !used {
+					r := rate()
+					if _, err := g.Connect(src, r, cur[0], r, 0); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}
+		prev = cur
+	}
+	snk := g.AddKernel("zz", 0)
+	for _, src := range prev {
+		r := rate()
+		if _, err := g.Connect(src, r, snk, r, 0); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+func TestQuickFormatParseFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(rng)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: fixture invalid: %v", trial, err)
+		}
+		t1 := Format(g)
+		back, err := Parse(t1)
+		if err != nil {
+			t.Fatalf("trial %d: reparse failed: %v\n%s", trial, err, t1)
+		}
+		t2 := Format(back)
+		if t1 != t2 {
+			t.Fatalf("trial %d: format not a fixpoint:\n--- first\n%s--- second\n%s", trial, t1, t2)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("trial %d: round-tripped graph invalid: %v", trial, err)
+		}
+	}
+}

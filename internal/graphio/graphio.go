@@ -1,0 +1,404 @@
+// Package graphio reads and writes TPDF graphs in a small textual format,
+// and exports them as Graphviz DOT. The format covers everything Definition
+// 2 needs: parameters with ranges, the node kinds (kernel, control actor,
+// clock, select-duplicate, transaction), parametric cyclo-static rate
+// sequences, control channels, initial tokens and port priorities.
+//
+// Example:
+//
+//	graph fig2 {
+//	  param p = 2 range 1..100;
+//	  kernel A exec 1;
+//	  kernel B exec 1;
+//	  control C exec 1;
+//	  kernel D exec 1;
+//	  kernel E exec 1;
+//	  transaction F exec 1;
+//	  kernel SNK;
+//
+//	  edge e1: A [p] -> [1] B;
+//	  edge e2: B [1] -> [2] D;
+//	  edge e3: B [1] -> [2] C;
+//	  edge e4: B [1] -> [1] E;
+//	  edge e5: C [2] -> [1,1] F control;
+//	  edge e6: D [2] -> [0,2] F prio 1;
+//	  edge e7: E [1] -> [1,1] F prio 2;
+//	  edge e8: F [1] -> [1] SNK;
+//	}
+//
+// Comments run from '#' or '//' to end of line.
+package graphio
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Parse reads a graph description.
+func Parse(src string) (*core.Graph, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseGraph()
+}
+
+type tokKind int
+
+const (
+	tIdent tokKind = iota
+	tNumber
+	tRates // bracketed [...] text, raw
+	tSym   // single-character or arrow symbol
+	tEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '[':
+			depth := 0
+			start := i
+			for i < len(src) {
+				if src[i] == '[' {
+					depth++
+				}
+				if src[i] == ']' {
+					depth--
+					if depth == 0 {
+						break
+					}
+				}
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i >= len(src) {
+				return nil, fmt.Errorf("graphio: line %d: unterminated '['", line)
+			}
+			i++
+			toks = append(toks, token{tRates, src[start:i], line})
+		case c == '-' && i+1 < len(src) && src[i+1] == '>':
+			toks = append(toks, token{tSym, "->", line})
+			i += 2
+		case strings.IndexByte("{};:=", c) >= 0:
+			toks = append(toks, token{tSym, string(c), line})
+			i++
+		case c == '.' && i+1 < len(src) && src[i+1] == '.':
+			toks = append(toks, token{tSym, "..", line})
+			i += 2
+		case c >= '0' && c <= '9' || c == '-':
+			start := i
+			i++
+			for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+				i++
+			}
+			toks = append(toks, token{tNumber, src[start:i], line})
+		case isIdentByte(c):
+			start := i
+			for i < len(src) {
+				if isIdentByte(src[i]) {
+					i++
+					continue
+				}
+				// Interior hyphens are part of names ("ofdm-tpdf") as long
+				// as they are not the start of an arrow ("->").
+				if src[i] == '-' && i+1 < len(src) && isIdentByte(src[i+1]) {
+					i++
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{tIdent, src[start:i], line})
+		default:
+			return nil, fmt.Errorf("graphio: line %d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, token{tEOF, "", line})
+	return toks, nil
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("graphio: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectSym(s string) error {
+	t := p.next()
+	if t.kind != tSym || t.text != s {
+		return p.errf(t, "expected %q, got %q", s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.next()
+	if t.kind != tIdent {
+		return "", p.errf(t, "expected identifier, got %q", t.text)
+	}
+	return t.text, nil
+}
+
+func (p *parser) expectNumber() (int64, error) {
+	t := p.next()
+	if t.kind != tNumber {
+		return 0, p.errf(t, "expected number, got %q", t.text)
+	}
+	v, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, p.errf(t, "bad number %q", t.text)
+	}
+	return v, nil
+}
+
+func (p *parser) parseGraph() (*core.Graph, error) {
+	if kw, err := p.expectIdent(); err != nil || kw != "graph" {
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("graphio: file must start with 'graph <name>'")
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("{"); err != nil {
+		return nil, err
+	}
+	g := core.NewGraph(name)
+	for {
+		t := p.peek()
+		if t.kind == tSym && t.text == "}" {
+			p.next()
+			break
+		}
+		if t.kind == tEOF {
+			return nil, p.errf(t, "unexpected end of file (missing '}')")
+		}
+		kw, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "param":
+			if err := p.parseParam(g); err != nil {
+				return nil, err
+			}
+		case "kernel", "control", "clock", "transaction", "selectdup", "select_dup":
+			if err := p.parseNode(g, kw); err != nil {
+				return nil, err
+			}
+		case "edge":
+			if err := p.parseEdge(g); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf(t, "unknown declaration %q", kw)
+		}
+	}
+	return g, nil
+}
+
+func (p *parser) parseParam(g *core.Graph) error {
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	var def, mn, mx int64 = 1, 0, 0
+	if t := p.peek(); t.kind == tSym && t.text == "=" {
+		p.next()
+		if def, err = p.expectNumber(); err != nil {
+			return err
+		}
+	}
+	if t := p.peek(); t.kind == tIdent && t.text == "range" {
+		p.next()
+		if mn, err = p.expectNumber(); err != nil {
+			return err
+		}
+		if err := p.expectSym(".."); err != nil {
+			return err
+		}
+		if mx, err = p.expectNumber(); err != nil {
+			return err
+		}
+	}
+	g.AddParam(name, def, mn, mx)
+	return p.expectSym(";")
+}
+
+func (p *parser) parseNode(g *core.Graph, kind string) error {
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if _, dup := g.NodeByName(name); dup {
+		return fmt.Errorf("graphio: duplicate node %q", name)
+	}
+	var exec []int64
+	var period int64
+	for {
+		t := p.peek()
+		if t.kind == tSym && t.text == ";" {
+			p.next()
+			break
+		}
+		kw, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		switch kw {
+		case "exec":
+			for p.peek().kind == tNumber {
+				v, err := p.expectNumber()
+				if err != nil {
+					return err
+				}
+				exec = append(exec, v)
+			}
+		case "period":
+			if period, err = p.expectNumber(); err != nil {
+				return err
+			}
+		default:
+			return p.errf(t, "unknown node attribute %q", kw)
+		}
+	}
+	switch kind {
+	case "kernel":
+		g.AddKernel(name, exec...)
+	case "control":
+		g.AddControlActor(name, exec...)
+	case "clock":
+		if period <= 0 {
+			return fmt.Errorf("graphio: clock %q needs 'period N'", name)
+		}
+		g.AddClock(name, period)
+	case "transaction":
+		g.AddTransaction(name, exec...)
+	case "selectdup", "select_dup":
+		g.AddSelectDuplicate(name, exec...)
+	}
+	return nil
+}
+
+func (p *parser) parseEdge(g *core.Graph) error {
+	// edge [name:] SRC [rates] -> [rates] DST [control|init N|prio N]* ;
+	first, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	edgeName := ""
+	src := first
+	if t := p.peek(); t.kind == tSym && t.text == ":" {
+		p.next()
+		edgeName = first
+		if src, err = p.expectIdent(); err != nil {
+			return err
+		}
+	}
+	prodTok := p.next()
+	if prodTok.kind != tRates {
+		return p.errf(prodTok, "expected production rates [..], got %q", prodTok.text)
+	}
+	if err := p.expectSym("->"); err != nil {
+		return err
+	}
+	consTok := p.next()
+	if consTok.kind != tRates {
+		return p.errf(consTok, "expected consumption rates [..], got %q", consTok.text)
+	}
+	dst, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	var init int64
+	prio := 0
+	isCtl := false
+	for {
+		t := p.peek()
+		if t.kind == tSym && t.text == ";" {
+			p.next()
+			break
+		}
+		kw, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		switch kw {
+		case "control":
+			isCtl = true
+		case "init":
+			if init, err = p.expectNumber(); err != nil {
+				return err
+			}
+		case "prio":
+			pv, err := p.expectNumber()
+			if err != nil {
+				return err
+			}
+			prio = int(pv)
+		default:
+			return p.errf(t, "unknown edge attribute %q", kw)
+		}
+	}
+	srcID, ok := g.NodeByName(src)
+	if !ok {
+		return fmt.Errorf("graphio: edge references undeclared node %q", src)
+	}
+	dstID, ok := g.NodeByName(dst)
+	if !ok {
+		return fmt.Errorf("graphio: edge references undeclared node %q", dst)
+	}
+	var eid core.EdgeID
+	if isCtl {
+		eid, err = g.ConnectControl(srcID, prodTok.text, dstID, init)
+	} else {
+		eid, err = g.ConnectPriority(srcID, prodTok.text, dstID, consTok.text, init, prio)
+	}
+	if err != nil {
+		return err
+	}
+	if edgeName != "" {
+		g.Edges[eid].Name = edgeName
+	}
+	return nil
+}

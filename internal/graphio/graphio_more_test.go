@@ -1,0 +1,107 @@
+package graphio
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseErrorsReportLines(t *testing.T) {
+	src := `graph g {
+  kernel a;
+  bogus b;
+}`
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error should name line 3: %v", err)
+	}
+}
+
+func TestParseUnterminatedRates(t *testing.T) {
+	_, err := Parse("graph g { kernel a; kernel b; edge a [1 -> [1] b; }")
+	if err == nil || !strings.Contains(err.Error(), "unterminated") {
+		t.Errorf("want unterminated-bracket error, got %v", err)
+	}
+}
+
+func TestParseEdgeAttributes(t *testing.T) {
+	src := `graph g {
+  kernel a; kernel b;
+  edge named: a [2] -> [1] b init 4 prio 7;
+}`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := g.Edges[0]
+	if e.Name != "named" {
+		t.Errorf("edge name = %q", e.Name)
+	}
+	if e.Initial != 4 {
+		t.Errorf("init = %d", e.Initial)
+	}
+	if g.Nodes[e.Dst].Ports[e.DstPort].Priority != 7 {
+		t.Errorf("priority = %d", g.Nodes[e.Dst].Ports[e.DstPort].Priority)
+	}
+}
+
+func TestParseParamDefaultsAndRange(t *testing.T) {
+	g, err := Parse(`graph g {
+  param p;
+  param q = 5;
+  param r = 2 range 1..9;
+  kernel a; kernel b;
+  edge a [p*q*r] -> [1] b;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Params) != 3 {
+		t.Fatalf("params = %d", len(g.Params))
+	}
+	if g.Params[0].Default != 1 || g.Params[1].Default != 5 {
+		t.Errorf("defaults wrong: %+v", g.Params)
+	}
+	if g.Params[2].Min != 1 || g.Params[2].Max != 9 {
+		t.Errorf("range wrong: %+v", g.Params[2])
+	}
+}
+
+func TestParseHyphenatedNames(t *testing.T) {
+	g, err := Parse(`graph my-graph {
+  kernel node-a; kernel node-b;
+  edge node-a [1] -> [1] node-b;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "my-graph" {
+		t.Errorf("name = %q", g.Name)
+	}
+	if _, ok := g.NodeByName("node-a"); !ok {
+		t.Error("hyphenated node name lost")
+	}
+}
+
+func TestParseUnexpectedCharacter(t *testing.T) {
+	_, err := Parse("graph g { kernel a; % }")
+	if err == nil || !strings.Contains(err.Error(), "unexpected character") {
+		t.Errorf("want character error, got %v", err)
+	}
+}
+
+func TestFormatOmitsZeroDefaults(t *testing.T) {
+	g, err := Parse(`graph g {
+  kernel a; kernel b;
+  edge a [1] -> [1] b;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(g)
+	if strings.Contains(out, "init") || strings.Contains(out, "prio") {
+		t.Errorf("zero attributes should be omitted:\n%s", out)
+	}
+}

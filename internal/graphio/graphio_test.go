@@ -1,0 +1,201 @@
+package graphio
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+const fig2Src = `
+graph fig2 {
+  param p = 2 range 1..100;
+  kernel A exec 1;
+  kernel B exec 1;
+  control C exec 1;
+  kernel D exec 1;
+  kernel E exec 1;
+  transaction F exec 1;
+  kernel SNK;
+
+  edge e1: A [p] -> [1] B;
+  edge e2: B [1] -> [2] D;
+  edge e3: B [1] -> [2] C;
+  edge e4: B [1] -> [1] E;
+  edge e5: C [2] -> [1,1] F control;
+  edge e6: D [2] -> [0,2] F prio 1;
+  edge e7: E [1] -> [1,1] F prio 2;
+  edge e8: F [1] -> [1] SNK;
+}
+`
+
+func TestParseFig2(t *testing.T) {
+	g, err := Parse(fig2Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "fig2" {
+		t.Errorf("name = %q", g.Name)
+	}
+	if len(g.Nodes) != 7 || len(g.Edges) != 8 {
+		t.Fatalf("parsed %d nodes %d edges, want 7/8", len(g.Nodes), len(g.Edges))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Analysis of the parsed graph matches the hand-built fixture.
+	rep := analysis.Analyze(g)
+	if rep.Err != nil || !rep.Bounded {
+		t.Fatalf("parsed Fig. 2 should be bounded: %v", rep.Err)
+	}
+	ref := analysis.Analyze(apps.Fig2())
+	if rep.Solution.QString() != ref.Solution.QString() {
+		t.Errorf("parsed q %s != fixture q %s", rep.Solution.QString(), ref.Solution.QString())
+	}
+}
+
+func TestParseClockAndKinds(t *testing.T) {
+	src := `
+graph kinds {
+  kernel src exec 1 2 3;
+  clock clk period 500;
+  selectdup dup;
+  transaction tr;
+  kernel z;
+  edge src [1] -> [1] dup;
+  edge dup [1] -> [1] tr;
+  edge tr [1] -> [1] z;
+  edge clk [1] -> [1] tr control;
+}
+`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk, _ := g.NodeByName("clk")
+	if g.Nodes[clk].ClockPeriod != 500 {
+		t.Errorf("clock period = %d", g.Nodes[clk].ClockPeriod)
+	}
+	dup, _ := g.NodeByName("dup")
+	if g.Nodes[dup].Special != core.SpecialSelectDup {
+		t.Error("selectdup kind lost")
+	}
+	srcID, _ := g.NodeByName("src")
+	if len(g.Nodes[srcID].Exec) != 3 {
+		t.Errorf("multi-phase exec lost: %v", g.Nodes[srcID].Exec)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                     // no graph
+		"graph g {",            // unterminated
+		"graph g { bogus x; }", // unknown decl
+		"graph g { kernel a; edge a [1] -> [1] b; }",                    // undeclared node
+		"graph g { kernel a; kernel a; }",                               // duplicate
+		"graph g { clock c; }",                                          // clock without period
+		"graph g { kernel a ; kernel b; edge a [1 -> [1] b; }",          // bad rates
+		"graph g { param p; kernel a; kernel b; edge a [q] -> [1] b; }", // undeclared param is caught by Validate, not Parse
+	}
+	for i, src := range cases[:7] {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d should fail to parse: %q", i, src)
+		}
+	}
+	// Case 7 parses but fails validation.
+	g, err := Parse(cases[7])
+	if err != nil {
+		t.Fatalf("case 7 should parse: %v", err)
+	}
+	if err := g.Validate(); err == nil {
+		t.Error("undeclared parameter must fail validation")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, build := range []func() *core.Graph{
+		apps.Fig2, apps.Fig4a, apps.Fig4b,
+		func() *core.Graph { return apps.OFDMTPDF(apps.DefaultOFDM()) },
+		func() *core.Graph { return apps.OFDMCSDF(apps.DefaultOFDM()) },
+		func() *core.Graph { return apps.EdgeDetection(500, nil).Graph },
+	} {
+		g := build()
+		text := Format(g)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v\n%s", g.Name, err, text)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("%s: revalidate: %v", g.Name, err)
+		}
+		// The round-tripped graph must be analysis-equivalent.
+		a1 := analysis.Analyze(g)
+		a2 := analysis.Analyze(back)
+		if a1.Err != nil || a2.Err != nil {
+			t.Fatalf("%s: analysis errs %v / %v", g.Name, a1.Err, a2.Err)
+		}
+		if a1.Solution.QString() != a2.Solution.QString() {
+			t.Errorf("%s: q changed across round trip: %s vs %s",
+				g.Name, a1.Solution.QString(), a2.Solution.QString())
+		}
+		if a1.Bounded != a2.Bounded {
+			t.Errorf("%s: boundedness changed across round trip", g.Name)
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	dot := DOT(apps.Fig2())
+	for _, frag := range []string{
+		"digraph", "rankdir=LR", `"C" [shape=diamond]`, `"F" [shape=trapezium]`,
+		"style=dashed", `"A" -> "B"`,
+	} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, dot)
+		}
+	}
+	clockDot := DOT(apps.EdgeDetection(500, nil).Graph)
+	if !strings.Contains(clockDot, "doublecircle") {
+		t.Error("clock should render as doublecircle")
+	}
+	if !strings.Contains(clockDot, "house") {
+		t.Error("select-duplicate should render as house")
+	}
+}
+
+func TestFormatStable(t *testing.T) {
+	// Format must be deterministic and idempotent through a parse cycle.
+	g := apps.Fig2()
+	t1 := Format(g)
+	back, err := Parse(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2 := Format(back)
+	if t1 != t2 {
+		t.Errorf("format not stable:\n--- first\n%s\n--- second\n%s", t1, t2)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+# leading comment
+graph g { // trailing comment
+  kernel a; # comment
+  kernel b;
+  edge a [1] -> [1] b; // done
+}
+`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 2 {
+		t.Errorf("nodes = %d", len(g.Nodes))
+	}
+}

@@ -1,0 +1,108 @@
+package graphio
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Format serializes a graph back into the textual format; Parse(Format(g))
+// reconstructs an equivalent graph.
+func Format(g *core.Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s {\n", g.Name)
+	for _, p := range g.Params {
+		fmt.Fprintf(&b, "  param %s = %d", p.Name, defOr1(p.Default))
+		if p.Min > 0 || p.Max > 0 {
+			fmt.Fprintf(&b, " range %d..%d", p.Min, p.Max)
+		}
+		b.WriteString(";\n")
+	}
+	for _, n := range g.Nodes {
+		kind := "kernel"
+		switch {
+		case n.Kind == core.KindControl && n.ClockPeriod > 0:
+			kind = "clock"
+		case n.Kind == core.KindControl:
+			kind = "control"
+		case n.Special == core.SpecialTransaction:
+			kind = "transaction"
+		case n.Special == core.SpecialSelectDup:
+			kind = "selectdup"
+		}
+		fmt.Fprintf(&b, "  %s %s", kind, n.Name)
+		if len(n.Exec) > 0 {
+			b.WriteString(" exec")
+			for _, e := range n.Exec {
+				fmt.Fprintf(&b, " %d", e)
+			}
+		}
+		if n.ClockPeriod > 0 {
+			fmt.Fprintf(&b, " period %d", n.ClockPeriod)
+		}
+		b.WriteString(";\n")
+	}
+	for _, e := range g.Edges {
+		src, dst := g.Nodes[e.Src], g.Nodes[e.Dst]
+		sp, dp := src.Ports[e.SrcPort], dst.Ports[e.DstPort]
+		fmt.Fprintf(&b, "  edge %s: %s %s -> %s %s", e.Name, src.Name,
+			core.FormatRates(sp.Rates), core.FormatRates(dp.Rates), dst.Name)
+		if dp.Dir == core.CtlIn {
+			b.WriteString(" control")
+		}
+		if e.Initial != 0 {
+			fmt.Fprintf(&b, " init %d", e.Initial)
+		}
+		if dp.Priority != 0 {
+			fmt.Fprintf(&b, " prio %d", dp.Priority)
+		}
+		b.WriteString(";\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func defOr1(d int64) int64 {
+	if d == 0 {
+		return 1
+	}
+	return d
+}
+
+// DOT exports the graph in Graphviz format: control actors are diamonds,
+// clocks double-circles, transactions trapezia, select-duplicates houses;
+// control channels are dashed.
+func DOT(g *core.Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=box];\n", g.Name)
+	for _, n := range g.Nodes {
+		shape := "box"
+		switch {
+		case n.Kind == core.KindControl && n.ClockPeriod > 0:
+			shape = "doublecircle"
+		case n.Kind == core.KindControl:
+			shape = "diamond"
+		case n.Special == core.SpecialTransaction:
+			shape = "trapezium"
+		case n.Special == core.SpecialSelectDup:
+			shape = "house"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s];\n", n.Name, shape)
+	}
+	for _, e := range g.Edges {
+		src, dst := g.Nodes[e.Src], g.Nodes[e.Dst]
+		sp, dp := src.Ports[e.SrcPort], dst.Ports[e.DstPort]
+		style := ""
+		if dp.Dir == core.CtlIn {
+			style = ", style=dashed"
+		}
+		label := core.FormatRates(sp.Rates) + "/" + core.FormatRates(dp.Rates)
+		if e.Initial > 0 {
+			label += fmt.Sprintf(" (%d)", e.Initial)
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q%s];\n", src.Name, dst.Name, label, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,271 @@
+package imaging
+
+import "math"
+
+// QuickMask applies the "quick mask" edge detector (Phillips' classic
+// single-pass mask), the cheapest method in the Fig. 6 table:
+//
+//	-1  0 -1
+//	 0  4  0
+//	-1  0 -1
+//
+// Only the five nonzero coefficients are evaluated, which is what makes the
+// method "quick" relative to the full gradient operators.
+func QuickMask(im *Image) *Image {
+	out := New(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			acc := 4*int(im.At(x, y)) -
+				int(im.At(x-1, y-1)) - int(im.At(x+1, y-1)) -
+				int(im.At(x-1, y+1)) - int(im.At(x+1, y+1))
+			if acc < 0 {
+				acc = -acc
+			}
+			out.Pix[y*im.W+x] = clamp255(acc)
+		}
+	}
+	return out
+}
+
+// gradient applies a horizontal and vertical mask pair and returns the
+// L1 gradient magnitude image.
+func gradient(im *Image, kx, ky [9]int) *Image {
+	out := New(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			gx, gy := 0, 0
+			idx := 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					v := int(im.At(x+dx, y+dy))
+					gx += kx[idx] * v
+					gy += ky[idx] * v
+					idx++
+				}
+			}
+			if gx < 0 {
+				gx = -gx
+			}
+			if gy < 0 {
+				gy = -gy
+			}
+			out.Pix[y*im.W+x] = clamp255(gx + gy)
+		}
+	}
+	return out
+}
+
+var (
+	sobelX = [9]int{-1, 0, 1, -2, 0, 2, -1, 0, 1}
+	sobelY = [9]int{-1, -2, -1, 0, 0, 0, 1, 2, 1}
+
+	prewittX = [9]int{-1, 0, 1, -1, 0, 1, -1, 0, 1}
+	prewittY = [9]int{-1, -1, -1, 0, 0, 0, 1, 1, 1}
+)
+
+// Sobel applies the Sobel gradient operator.
+func Sobel(im *Image) *Image { return gradient(im, sobelX, sobelY) }
+
+// Prewitt applies the Prewitt gradient operator.
+func Prewitt(im *Image) *Image { return gradient(im, prewittX, prewittY) }
+
+// kirschMasks are the eight compass masks of the Kirsch detector.
+var kirschMasks = [8][9]int{
+	{5, 5, 5, -3, 0, -3, -3, -3, -3},
+	{5, 5, -3, 5, 0, -3, -3, -3, -3},
+	{5, -3, -3, 5, 0, -3, 5, -3, -3},
+	{-3, -3, -3, 5, 0, -3, 5, 5, -3},
+	{-3, -3, -3, -3, 0, -3, 5, 5, 5},
+	{-3, -3, -3, -3, 0, 5, -3, 5, 5},
+	{-3, -3, 5, -3, 0, 5, -3, -3, 5},
+	{-3, 5, 5, -3, 0, 5, -3, -3, -3},
+}
+
+// Kirsch applies the 8-direction Kirsch compass detector (max response).
+func Kirsch(im *Image) *Image {
+	out := New(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			best := 0
+			for m := range kirschMasks {
+				acc := 0
+				idx := 0
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						acc += kirschMasks[m][idx] * int(im.At(x+dx, y+dy))
+						idx++
+					}
+				}
+				if acc < 0 {
+					acc = -acc
+				}
+				if acc > best {
+					best = acc
+				}
+			}
+			out.Pix[y*im.W+x] = clamp255(best / 8)
+		}
+	}
+	return out
+}
+
+// gauss5 is a 5×5 Gaussian kernel (σ ≈ 1.4), sum 159 — the standard Canny
+// smoothing stage.
+var gauss5 = [25]int{
+	2, 4, 5, 4, 2,
+	4, 9, 12, 9, 4,
+	5, 12, 15, 12, 5,
+	4, 9, 12, 9, 4,
+	2, 4, 5, 4, 2,
+}
+
+func gaussianBlur(im *Image) *Image {
+	out := New(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			acc := 0
+			idx := 0
+			for dy := -2; dy <= 2; dy++ {
+				for dx := -2; dx <= 2; dx++ {
+					acc += gauss5[idx] * int(im.At(x+dx, y+dy))
+					idx++
+				}
+			}
+			out.Pix[y*im.W+x] = uint8(acc / 159)
+		}
+	}
+	return out
+}
+
+// Canny runs the full Canny pipeline: Gaussian smoothing, Sobel gradients,
+// non-maximum suppression, double thresholding and hysteresis tracking.
+// low and high are the weak/strong gradient thresholds (e.g. 40, 90).
+func Canny(im *Image, low, high int) *Image {
+	blurred := gaussianBlur(im)
+	w, h := im.W, im.H
+	mag := make([]int, w*h)
+	dir := make([]uint8, w*h) // 0: E-W, 1: NE-SW, 2: N-S, 3: NW-SE
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			gx, gy := 0, 0
+			idx := 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					v := int(blurred.At(x+dx, y+dy))
+					gx += sobelX[idx] * v
+					gy += sobelY[idx] * v
+					idx++
+				}
+			}
+			m := int(math.Hypot(float64(gx), float64(gy)))
+			mag[y*w+x] = m
+			ang := math.Atan2(float64(gy), float64(gx)) * 180 / math.Pi
+			if ang < 0 {
+				ang += 180
+			}
+			switch {
+			case ang < 22.5 || ang >= 157.5:
+				dir[y*w+x] = 0
+			case ang < 67.5:
+				dir[y*w+x] = 1
+			case ang < 112.5:
+				dir[y*w+x] = 2
+			default:
+				dir[y*w+x] = 3
+			}
+		}
+	}
+	// Non-maximum suppression.
+	nms := make([]int, w*h)
+	offset := [4][2][2]int{
+		{{1, 0}, {-1, 0}},
+		{{1, -1}, {-1, 1}},
+		{{0, 1}, {0, -1}},
+		{{1, 1}, {-1, -1}},
+	}
+	atMag := func(x, y int) int {
+		if x < 0 || x >= w || y < 0 || y >= h {
+			return 0
+		}
+		return mag[y*w+x]
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			d := dir[y*w+x]
+			m := mag[y*w+x]
+			a := atMag(x+offset[d][0][0], y+offset[d][0][1])
+			b := atMag(x+offset[d][1][0], y+offset[d][1][1])
+			if m >= a && m >= b {
+				nms[y*w+x] = m
+			}
+		}
+	}
+	// Double threshold + hysteresis.
+	const weak, strong = 1, 2
+	mark := make([]uint8, w*h)
+	var stack []int
+	for i, m := range nms {
+		switch {
+		case m >= high:
+			mark[i] = strong
+			stack = append(stack, i)
+		case m >= low:
+			mark[i] = weak
+		}
+	}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		x, y := i%w, i/w
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny := x+dx, y+dy
+				if nx < 0 || nx >= w || ny < 0 || ny >= h {
+					continue
+				}
+				j := ny*w + nx
+				if mark[j] == weak {
+					mark[j] = strong
+					stack = append(stack, j)
+				}
+			}
+		}
+	}
+	out := New(w, h)
+	for i, m := range mark {
+		if m == strong {
+			out.Pix[i] = 255
+		}
+	}
+	return out
+}
+
+// Detector is a named edge-detection function, the unit the Fig. 6 table
+// and the deadline experiment iterate over.
+type Detector struct {
+	Name string
+	Run  func(*Image) *Image
+}
+
+// Detectors returns the Fig. 6 methods in the table's order. Canny uses the
+// standard 40/90 thresholds.
+func Detectors() []Detector {
+	return []Detector{
+		{"QMask", QuickMask},
+		{"Sobel", Sobel},
+		{"Prewitt", Prewitt},
+		{"Canny", func(im *Image) *Image { return Canny(im, 40, 90) }},
+	}
+}
+
+// EdgeDensity returns the fraction of pixels above the threshold: a crude
+// quality proxy used to sanity-check detector output in tests.
+func EdgeDensity(im *Image, threshold uint8) float64 {
+	cnt := 0
+	for _, p := range im.Pix {
+		if p >= threshold {
+			cnt++
+		}
+	}
+	return float64(cnt) / float64(len(im.Pix))
+}

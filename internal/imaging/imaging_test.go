@@ -1,0 +1,203 @@
+package imaging
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestImageBasics(t *testing.T) {
+	im := New(4, 3)
+	im.Set(1, 2, 77)
+	if im.At(1, 2) != 77 {
+		t.Error("Set/At roundtrip failed")
+	}
+	// Border clamping.
+	im.Set(0, 0, 10)
+	if im.At(-5, -5) != 10 {
+		t.Error("negative coordinates must clamp to (0,0)")
+	}
+	if im.At(100, 100) != im.At(3, 2) {
+		t.Error("overflow coordinates must clamp to the far corner")
+	}
+	// Out-of-range Set is a no-op.
+	im.Set(-1, -1, 99)
+	if im.At(0, 0) != 10 {
+		t.Error("out-of-range Set must not write")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := Synthetic(16, 16, 1)
+	b := a.Clone()
+	b.Set(0, 0, b.At(0, 0)+1)
+	if a.At(0, 0) == b.At(0, 0) {
+		t.Error("Clone must copy pixels")
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(64, 64, 7)
+	b := Synthetic(64, 64, 7)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("Synthetic must be deterministic per seed")
+		}
+	}
+	c := Synthetic(64, 64, 8)
+	same := true
+	for i := range a.Pix {
+		if a.Pix[i] != c.Pix[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestFlatImageHasNoEdges(t *testing.T) {
+	im := New(32, 32)
+	for i := range im.Pix {
+		im.Pix[i] = 128
+	}
+	for _, d := range Detectors() {
+		out := d.Run(im)
+		if EdgeDensity(out, 10) != 0 {
+			t.Errorf("%s found edges in a flat image", d.Name)
+		}
+	}
+}
+
+func TestStepEdgeDetected(t *testing.T) {
+	// Vertical step: left 0, right 255.
+	im := New(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 16; x < 32; x++ {
+			im.Set(x, y, 255)
+		}
+	}
+	for _, d := range Detectors() {
+		out := d.Run(im)
+		// The edge column must respond strongly somewhere near x=16.
+		found := false
+		for y := 8; y < 24 && !found; y++ {
+			for x := 14; x <= 18; x++ {
+				if out.At(x, y) >= 100 {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s missed a hard step edge", d.Name)
+		}
+	}
+}
+
+func TestDetectorsPreserveSize(t *testing.T) {
+	im := Synthetic(48, 36, 3)
+	for _, d := range Detectors() {
+		out := d.Run(im)
+		if out.W != im.W || out.H != im.H {
+			t.Errorf("%s changed image size", d.Name)
+		}
+	}
+	k := Kirsch(im)
+	if k.W != im.W || k.H != im.H {
+		t.Error("Kirsch changed image size")
+	}
+}
+
+func TestCannyThinnerThanSobel(t *testing.T) {
+	// Canny's non-maximum suppression must produce sparser edges than raw
+	// Sobel magnitude on a noisy scene.
+	im := Synthetic(128, 128, 5)
+	sob := EdgeDensity(Sobel(im), 60)
+	can := EdgeDensity(Canny(im, 40, 90), 60)
+	if can >= sob {
+		t.Errorf("Canny density %.4f should be below Sobel %.4f", can, sob)
+	}
+	if can == 0 {
+		t.Error("Canny found nothing on a structured scene")
+	}
+}
+
+func TestCannyHysteresisConnectsWeakEdges(t *testing.T) {
+	// A diagonal ramp edge whose gradient straddles the two thresholds:
+	// hysteresis should retain weak pixels connected to strong ones.
+	im := New(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			if x > y {
+				im.Set(x, y, 200)
+			}
+		}
+	}
+	out := Canny(im, 20, 80)
+	if EdgeDensity(out, 255) == 0 {
+		t.Error("diagonal edge lost")
+	}
+}
+
+func TestConvolve3x3Identity(t *testing.T) {
+	im := Synthetic(20, 20, 2)
+	id := Convolve3x3(im, [9]int{0, 0, 0, 0, 1, 0, 0, 0, 0}, 1)
+	for i := range im.Pix {
+		if id.Pix[i] != im.Pix[i] {
+			t.Fatal("identity kernel must preserve the image")
+		}
+	}
+}
+
+func TestQuickDetectorsBounded(t *testing.T) {
+	// Outputs are valid images for arbitrary small inputs.
+	f := func(seed uint64, w8, h8 uint8) bool {
+		w := int(w8%16) + 3
+		h := int(h8%16) + 3
+		im := Synthetic(w, h, seed)
+		for _, d := range Detectors() {
+			out := d.Run(im)
+			if out.W != w || out.H != h || len(out.Pix) != w*h {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelativeCostOrdering(t *testing.T) {
+	// The Fig. 6 table's shape: Quick Mask is the cheapest method and Canny
+	// the most expensive, by a clear margin. (Sobel and Prewitt sit between
+	// them with nearly identical cost, so their mutual order is not
+	// asserted.) Measured on a reduced image to keep the test fast.
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short")
+	}
+	im := Synthetic(512, 512, 1)
+	timeOf := func(f func(*Image) *Image) time.Duration {
+		best := time.Duration(1<<62 - 1)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			f(im)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	quickT := timeOf(QuickMask)
+	sobelT := timeOf(Sobel)
+	cannyT := timeOf(func(im *Image) *Image { return Canny(im, 40, 90) })
+	if quickT >= sobelT {
+		t.Errorf("QuickMask (%v) should be cheaper than Sobel (%v)", quickT, sobelT)
+	}
+	if sobelT >= cannyT {
+		t.Errorf("Sobel (%v) should be cheaper than Canny (%v)", sobelT, cannyT)
+	}
+}

@@ -1,0 +1,106 @@
+package imaging
+
+// Block motion estimation, the §V AVC-encoder workload: the paper improves
+// the encoder by racing motion-vector searches of different quality under a
+// Transaction kernel with a quality threshold. Two real search strategies
+// are provided — exhaustive full search (best quality, slow) and three-step
+// search (fast, possibly suboptimal) — over the same SAD cost.
+
+// MotionVector is a block displacement with its matching cost.
+type MotionVector struct {
+	DX, DY int
+	SAD    int
+}
+
+// SAD computes the sum of absolute differences between the block at
+// (bx, by) in cur and the block displaced by (dx, dy) in ref. The motion
+// vector therefore points from the current block to its reference position:
+// a frame translated by (+3, -2) yields vectors of (-3, +2).
+func SAD(cur, ref *Image, bx, by, size, dx, dy int) int {
+	acc := 0
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			a := int(cur.At(bx+x, by+y))
+			b := int(ref.At(bx+x+dx, by+y+dy))
+			d := a - b
+			if d < 0 {
+				d = -d
+			}
+			acc += d
+		}
+	}
+	return acc
+}
+
+// FullSearch exhaustively scans displacements within ±radius and returns
+// the best motion vector. Cost grows with radius²·size².
+func FullSearch(cur, ref *Image, bx, by, size, radius int) MotionVector {
+	best := MotionVector{SAD: 1 << 30}
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			if s := SAD(cur, ref, bx, by, size, dx, dy); s < best.SAD {
+				best = MotionVector{DX: dx, DY: dy, SAD: s}
+			}
+		}
+	}
+	return best
+}
+
+// ThreeStepSearch is the classic fast block-matching heuristic: the step
+// halves from radius/2 toward 1, probing the 8 neighbours at each step.
+// Much cheaper than FullSearch but can fall into local minima.
+func ThreeStepSearch(cur, ref *Image, bx, by, size, radius int) MotionVector {
+	cx, cy := 0, 0
+	best := MotionVector{SAD: SAD(cur, ref, bx, by, size, 0, 0)}
+	step := radius / 2
+	if step < 1 {
+		step = 1
+	}
+	for step >= 1 {
+		improved := true
+		for improved {
+			improved = false
+			for dy := -step; dy <= step; dy += step {
+				for dx := -step; dx <= step; dx += step {
+					nx, ny := cx+dx, cy+dy
+					if nx < -radius || nx > radius || ny < -radius || ny > radius {
+						continue
+					}
+					if s := SAD(cur, ref, bx, by, size, nx, ny); s < best.SAD {
+						best = MotionVector{DX: nx, DY: ny, SAD: s}
+						cx, cy = nx, ny
+						improved = true
+					}
+				}
+			}
+		}
+		step /= 2
+	}
+	return best
+}
+
+// Shift renders the image displaced by (dx, dy), replicating borders; used
+// to synthesize a "next frame" with known ground-truth motion.
+func Shift(im *Image, dx, dy int) *Image {
+	out := New(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			out.Pix[y*im.W+x] = im.At(x-dx, y-dy)
+		}
+	}
+	return out
+}
+
+// EstimateFrame runs a motion search over every size×size block of the
+// frame pair and returns the total SAD (residual energy: lower is better
+// quality) — the quality metric the §V transaction thresholds on.
+func EstimateFrame(cur, ref *Image, size, radius int,
+	search func(cur, ref *Image, bx, by, size, radius int) MotionVector) int {
+	total := 0
+	for by := 0; by+size <= cur.H; by += size {
+		for bx := 0; bx+size <= cur.W; bx += size {
+			total += search(cur, ref, bx, by, size, radius).SAD
+		}
+	}
+	return total
+}

@@ -1,0 +1,85 @@
+package imaging
+
+import (
+	"testing"
+	"time"
+)
+
+func framePair(t *testing.T, dx, dy int) (*Image, *Image) {
+	t.Helper()
+	ref := Synthetic(64, 64, 3)
+	cur := Shift(ref, dx, dy)
+	return cur, ref
+}
+
+func TestFullSearchRecoversKnownMotion(t *testing.T) {
+	// The frame moved by (+3, -2), so each block's reference position —
+	// the motion vector — is (-3, +2).
+	cur, ref := framePair(t, 3, -2)
+	mv := FullSearch(cur, ref, 16, 16, 16, 7)
+	if mv.DX != -3 || mv.DY != 2 {
+		t.Errorf("full search found (%d,%d), want (-3,2)", mv.DX, mv.DY)
+	}
+	if mv.SAD != 0 {
+		t.Errorf("pure translation must match exactly, SAD = %d", mv.SAD)
+	}
+}
+
+func TestThreeStepFindsLowCostVector(t *testing.T) {
+	cur, ref := framePair(t, 2, 2)
+	full := FullSearch(cur, ref, 16, 16, 16, 7)
+	tss := ThreeStepSearch(cur, ref, 16, 16, 16, 7)
+	// TSS may be suboptimal but must never beat the exhaustive optimum.
+	if tss.SAD < full.SAD {
+		t.Errorf("TSS SAD %d below full-search optimum %d", tss.SAD, full.SAD)
+	}
+	// On a clean global shift it should still find a good match.
+	if tss.SAD > 4*full.SAD+1000 {
+		t.Errorf("TSS SAD %d far from optimum %d", tss.SAD, full.SAD)
+	}
+}
+
+func TestSADZeroForIdenticalBlocks(t *testing.T) {
+	im := Synthetic(32, 32, 9)
+	if s := SAD(im, im, 8, 8, 8, 0, 0); s != 0 {
+		t.Errorf("self-SAD = %d, want 0", s)
+	}
+}
+
+func TestShiftGroundTruth(t *testing.T) {
+	im := Synthetic(32, 32, 4)
+	sh := Shift(im, 5, 0)
+	if sh.At(10, 10) != im.At(5, 10) {
+		t.Error("shift misplaced pixels")
+	}
+}
+
+func TestEstimateFrameQualityOrdering(t *testing.T) {
+	// Full search residual <= three-step residual on any frame pair.
+	cur, ref := framePair(t, 3, 1)
+	full := EstimateFrame(cur, ref, 16, 7, FullSearch)
+	tss := EstimateFrame(cur, ref, 16, 7, ThreeStepSearch)
+	if full > tss {
+		t.Errorf("full-search residual %d worse than TSS %d", full, tss)
+	}
+}
+
+func TestSearchCostOrdering(t *testing.T) {
+	// The §V premise: the high-quality search is the slow one.
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short")
+	}
+	ref := Synthetic(256, 256, 5)
+	cur := Shift(ref, 4, 3)
+	tFull := timeIt(func() { EstimateFrame(cur, ref, 16, 8, FullSearch) })
+	tTSS := timeIt(func() { EstimateFrame(cur, ref, 16, 8, ThreeStepSearch) })
+	if tFull <= tTSS {
+		t.Errorf("full search (%v) should cost more than TSS (%v)", tFull, tTSS)
+	}
+}
+
+func timeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

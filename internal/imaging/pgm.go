@@ -1,0 +1,85 @@
+package imaging
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WritePGM serializes the image as binary PGM (P5), the simplest portable
+// grayscale format; viewers and converters accept it everywhere.
+func WritePGM(w io.Writer, im *Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	if _, err := bw.Write(im.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadPGM parses a binary PGM (P5) image with max value 255.
+func ReadPGM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	if _, err := fmt.Fscan(br, &magic); err != nil {
+		return nil, fmt.Errorf("imaging: reading PGM magic: %v", err)
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("imaging: not a binary PGM (magic %q)", magic)
+	}
+	readTokenInt := func() (int, error) {
+		// Skip whitespace and '#' comments between header fields.
+		for {
+			b, err := br.ReadByte()
+			if err != nil {
+				return 0, err
+			}
+			switch {
+			case b == '#':
+				if _, err := br.ReadString('\n'); err != nil {
+					return 0, err
+				}
+			case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+				continue
+			default:
+				if err := br.UnreadByte(); err != nil {
+					return 0, err
+				}
+				var v int
+				if _, err := fmt.Fscan(br, &v); err != nil {
+					return 0, err
+				}
+				return v, nil
+			}
+		}
+	}
+	w, err := readTokenInt()
+	if err != nil {
+		return nil, fmt.Errorf("imaging: PGM width: %v", err)
+	}
+	h, err := readTokenInt()
+	if err != nil {
+		return nil, fmt.Errorf("imaging: PGM height: %v", err)
+	}
+	maxv, err := readTokenInt()
+	if err != nil {
+		return nil, fmt.Errorf("imaging: PGM maxval: %v", err)
+	}
+	if w <= 0 || h <= 0 || w*h > 1<<28 {
+		return nil, fmt.Errorf("imaging: implausible PGM size %dx%d", w, h)
+	}
+	if maxv != 255 {
+		return nil, fmt.Errorf("imaging: unsupported PGM maxval %d", maxv)
+	}
+	// Exactly one whitespace byte separates the header from the raster.
+	if _, err := br.ReadByte(); err != nil {
+		return nil, err
+	}
+	im := New(w, h)
+	if _, err := io.ReadFull(br, im.Pix); err != nil {
+		return nil, fmt.Errorf("imaging: PGM raster: %v", err)
+	}
+	return im, nil
+}

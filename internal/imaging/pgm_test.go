@@ -1,0 +1,53 @@
+package imaging
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPGMRoundTrip(t *testing.T) {
+	im := Synthetic(37, 23, 5)
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != im.W || back.H != im.H {
+		t.Fatalf("size changed: %dx%d", back.W, back.H)
+	}
+	for i := range im.Pix {
+		if im.Pix[i] != back.Pix[i] {
+			t.Fatalf("pixel %d changed", i)
+		}
+	}
+}
+
+func TestPGMHeaderComments(t *testing.T) {
+	src := "P5\n# a comment\n2 2\n# another\n255\n\x01\x02\x03\x04"
+	im, err := ReadPGM(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.W != 2 || im.H != 2 || im.Pix[3] != 4 {
+		t.Errorf("parsed %dx%d pix %v", im.W, im.H, im.Pix)
+	}
+}
+
+func TestPGMRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"",                       // empty
+		"P2\n2 2\n255\n....",     // ASCII variant unsupported
+		"P5\n2 2\n65535\n\x00",   // 16-bit unsupported
+		"P5\n-1 2\n255\n",        // negative size
+		"P5\n2 2\n255\n\x01\x02", // truncated raster
+	}
+	for i, src := range cases {
+		if _, err := ReadPGM(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d should fail: %q", i, src)
+		}
+	}
+}

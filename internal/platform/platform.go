@@ -1,0 +1,95 @@
+// Package platform models the clustered many-core targets the paper
+// schedules TPDF graphs onto: the Kalray MPPA-256 (16 compute clusters of 16
+// processing elements linked by a NoC) and the Adapteva Epiphany (64 cores).
+//
+// The scheduling heuristic of §III-D consumes only what this abstraction
+// provides: the number of processing elements, and the message-passing
+// latency between two PEs as a function of their placement. ISA-level
+// detail is irrelevant to the analyses, so none is modelled (this is the
+// documented substitution for the physical hardware).
+package platform
+
+import "fmt"
+
+// Platform is an abstract clustered many-core machine.
+type Platform struct {
+	Name string
+	// Clusters is the number of compute clusters.
+	Clusters int
+	// PEsPerCluster is the number of processing elements per cluster.
+	PEsPerCluster int
+	// IntraLatency is the message latency between PEs of one cluster
+	// (shared-memory exchange), in time units.
+	IntraLatency int64
+	// HopLatency is the per-hop NoC latency between clusters.
+	HopLatency int64
+}
+
+// MPPA256 returns the Kalray MPPA-256 abstraction: 16 clusters × 16 PEs,
+// cheap intra-cluster shared memory, a 2D-torus-like NoC approximated by a
+// per-hop cost on a 4×4 grid.
+func MPPA256() *Platform {
+	return &Platform{Name: "MPPA-256", Clusters: 16, PEsPerCluster: 16, IntraLatency: 1, HopLatency: 10}
+}
+
+// Epiphany64 returns the Adapteva Epiphany-IV abstraction: 64 single-PE
+// tiles on an 8×8 mesh.
+func Epiphany64() *Platform {
+	return &Platform{Name: "Epiphany-64", Clusters: 64, PEsPerCluster: 1, IntraLatency: 0, HopLatency: 2}
+}
+
+// Simple returns an idealized n-PE shared-memory machine with uniform unit
+// message latency; useful for isolating scheduling effects from topology.
+func Simple(n int) *Platform {
+	return &Platform{Name: fmt.Sprintf("SMP-%d", n), Clusters: 1, PEsPerCluster: n, IntraLatency: 1, HopLatency: 0}
+}
+
+// NumPEs returns the total number of processing elements.
+func (p *Platform) NumPEs() int { return p.Clusters * p.PEsPerCluster }
+
+// ClusterOf returns the cluster index of a PE.
+func (p *Platform) ClusterOf(pe int) int {
+	if p.PEsPerCluster == 0 {
+		return 0
+	}
+	return pe / p.PEsPerCluster
+}
+
+// gridSide returns the side of the (square-ish) cluster grid used for hop
+// distance: 4 for 16 clusters, 8 for 64.
+func (p *Platform) gridSide() int {
+	s := 1
+	for s*s < p.Clusters {
+		s++
+	}
+	return s
+}
+
+// MessageLatency returns the cost of sending a token notification from
+// srcPE to dstPE: zero on the same PE, IntraLatency within a cluster, and
+// HopLatency times the Manhattan distance on the cluster grid otherwise.
+func (p *Platform) MessageLatency(srcPE, dstPE int) int64 {
+	if srcPE == dstPE {
+		return 0
+	}
+	cs, cd := p.ClusterOf(srcPE), p.ClusterOf(dstPE)
+	if cs == cd {
+		return p.IntraLatency
+	}
+	side := p.gridSide()
+	dx := abs(cs%side - cd%side)
+	dy := abs(cs/side - cd/side)
+	return p.IntraLatency + p.HopLatency*int64(dx+dy)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// String describes the platform.
+func (p *Platform) String() string {
+	return fmt.Sprintf("%s (%d clusters × %d PEs = %d)", p.Name, p.Clusters, p.PEsPerCluster, p.NumPEs())
+}

@@ -1,0 +1,57 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestString(t *testing.T) {
+	s := MPPA256().String()
+	for _, frag := range []string{"MPPA-256", "16 clusters", "256"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String missing %q: %s", frag, s)
+		}
+	}
+}
+
+func TestEpiphanyLatency(t *testing.T) {
+	e := Epiphany64()
+	// Single-PE tiles: every pair of distinct PEs crosses the mesh.
+	if e.MessageLatency(0, 0) != 0 {
+		t.Error("same tile must be free")
+	}
+	// Tiles 0 (0,0) and 9 (1,1) on the 8x8 mesh: 2 hops.
+	if got := e.MessageLatency(0, 9); got != e.IntraLatency+2*e.HopLatency {
+		t.Errorf("latency(0,9) = %d", got)
+	}
+	// Corner to corner: 14 hops.
+	if got := e.MessageLatency(0, 63); got != e.IntraLatency+14*e.HopLatency {
+		t.Errorf("corner latency = %d", got)
+	}
+}
+
+func TestGridSideNonSquare(t *testing.T) {
+	p := &Platform{Name: "odd", Clusters: 5, PEsPerCluster: 1, HopLatency: 1}
+	// 5 clusters fit on a 3x3 grid; distances stay finite and symmetric.
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if p.MessageLatency(i, j) != p.MessageLatency(j, i) {
+				t.Fatalf("asymmetric latency between %d and %d", i, j)
+			}
+		}
+	}
+}
+
+func TestLatencyTriangleInequalityOnMesh(t *testing.T) {
+	m := MPPA256()
+	pes := []int{0, 40, 170, 255}
+	for _, a := range pes {
+		for _, b := range pes {
+			for _, c := range pes {
+				if m.MessageLatency(a, c) > m.MessageLatency(a, b)+m.MessageLatency(b, c)+m.IntraLatency {
+					t.Fatalf("triangle inequality violated: %d->%d->%d", a, b, c)
+				}
+			}
+		}
+	}
+}

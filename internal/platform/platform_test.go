@@ -1,0 +1,52 @@
+package platform
+
+import "testing"
+
+func TestPresets(t *testing.T) {
+	m := MPPA256()
+	if m.NumPEs() != 256 {
+		t.Errorf("MPPA-256 has %d PEs, want 256", m.NumPEs())
+	}
+	e := Epiphany64()
+	if e.NumPEs() != 64 {
+		t.Errorf("Epiphany has %d PEs, want 64", e.NumPEs())
+	}
+	s := Simple(4)
+	if s.NumPEs() != 4 || s.Clusters != 1 {
+		t.Errorf("Simple(4) = %+v", s)
+	}
+}
+
+func TestClusterOf(t *testing.T) {
+	m := MPPA256()
+	if m.ClusterOf(0) != 0 || m.ClusterOf(15) != 0 || m.ClusterOf(16) != 1 || m.ClusterOf(255) != 15 {
+		t.Error("ClusterOf mapping wrong")
+	}
+}
+
+func TestMessageLatency(t *testing.T) {
+	m := MPPA256()
+	if m.MessageLatency(3, 3) != 0 {
+		t.Error("same PE must be free")
+	}
+	if got := m.MessageLatency(0, 1); got != m.IntraLatency {
+		t.Errorf("intra-cluster latency = %d, want %d", got, m.IntraLatency)
+	}
+	// Cluster 0 (0,0) to cluster 5 (1,1) on the 4x4 grid: 2 hops.
+	got := m.MessageLatency(0, 5*16)
+	want := m.IntraLatency + 2*m.HopLatency
+	if got != want {
+		t.Errorf("inter-cluster latency = %d, want %d", got, want)
+	}
+	// Symmetry.
+	if m.MessageLatency(0, 80) != m.MessageLatency(80, 0) {
+		t.Error("latency must be symmetric")
+	}
+}
+
+func TestSimpleUniform(t *testing.T) {
+	s := Simple(8)
+	if s.MessageLatency(0, 7) != s.IntraLatency {
+		t.Error("SMP latency must be uniform")
+	}
+}

@@ -1,0 +1,88 @@
+package rat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFloat(t *testing.T) {
+	if New(1, 2).Float() != 0.5 {
+		t.Error("1/2 as float")
+	}
+	if New(-3, 4).Float() != -0.75 {
+		t.Error("-3/4 as float")
+	}
+	var z Rat
+	if z.Float() != 0 {
+		t.Error("zero value as float")
+	}
+}
+
+func TestAbs(t *testing.T) {
+	if !New(-5, 3).Abs().Equal(New(5, 3)) {
+		t.Error("abs of negative")
+	}
+	if !New(5, 3).Abs().Equal(New(5, 3)) {
+		t.Error("abs of positive")
+	}
+}
+
+func TestSign(t *testing.T) {
+	cases := []struct {
+		r Rat
+		w int
+	}{{New(1, 2), 1}, {New(-1, 2), -1}, {Zero, 0}}
+	for _, c := range cases {
+		if c.r.Sign() != c.w {
+			t.Errorf("Sign(%v) = %d, want %d", c.r, c.r.Sign(), c.w)
+		}
+	}
+}
+
+func TestCmpHugeOperandsFallback(t *testing.T) {
+	// Operands whose cross-products overflow fall back to float compare.
+	big1 := New(1<<62, 3)
+	big2 := New(1<<62, 5)
+	if big1.Cmp(big2) != 1 {
+		t.Error("2^62/3 > 2^62/5")
+	}
+	if big2.Cmp(big1) != -1 {
+		t.Error("symmetric comparison")
+	}
+}
+
+func TestMustOpsPanicOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustMul must panic on overflow")
+		}
+	}()
+	FromInt(1 << 62).MustMul(FromInt(4))
+}
+
+func TestSumPropagatesOverflow(t *testing.T) {
+	if _, err := Sum(FromInt(1<<62), FromInt(1<<62)); err == nil {
+		t.Error("sum overflow undetected")
+	}
+}
+
+func TestGCDRatOverflow(t *testing.T) {
+	// LCM of denominators overflows.
+	a := New(1, (1<<62)+1)
+	b := New(1, (1<<62)-1)
+	if _, err := GCDRat(a, b); err == nil {
+		t.Error("gcd denominator lcm overflow undetected")
+	}
+}
+
+func TestFloatMonotone(t *testing.T) {
+	// Floats preserve order for moderate rationals.
+	prev := math.Inf(-1)
+	for i := int64(-10); i <= 10; i++ {
+		v := New(i, 7).Float()
+		if v < prev {
+			t.Fatal("float conversion not monotone")
+		}
+		prev = v
+	}
+}

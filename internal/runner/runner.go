@@ -1,0 +1,149 @@
+// Package runner executes TPDF graphs at the payload level: real data
+// values flow across the channels while firings follow a valid sequential
+// schedule (PASS) of the instantiated graph. It complements internal/sim —
+// sim is token-count- and time-accurate, runner is value-accurate — and is
+// what the examples use to push images and samples through the paper's
+// application graphs.
+package runner
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/csdf"
+	"repro/internal/symb"
+)
+
+// Firing gives a behavior access to one firing's tokens.
+type Firing struct {
+	// Node is the firing node's name; K is the 0-based firing index.
+	Node string
+	K    int64
+	// In holds consumed payloads per input port name.
+	In map[string][]any
+	// Out collects produced payloads per output port name; the runner
+	// checks counts against the port rates.
+	Out map[string][]any
+}
+
+// Produce appends payloads to an output port.
+func (f *Firing) Produce(port string, values ...any) {
+	f.Out[port] = append(f.Out[port], values...)
+}
+
+// Behavior computes one firing: read f.In, fill f.Out.
+type Behavior func(f *Firing) error
+
+// Config configures a payload run.
+type Config struct {
+	Graph *core.Graph
+	Env   symb.Env
+	// Behaviors maps node names to their firing functions. Nodes without a
+	// behavior forward nothing (their produced tokens carry nil payloads),
+	// which is fine for sources/sinks that only exist for rate structure.
+	Behaviors map[string]Behavior
+	// Iterations repeats the schedule (default 1).
+	Iterations int
+}
+
+// Result reports a payload run.
+type Result struct {
+	// Firings counts executed firings per node name.
+	Firings map[string]int64
+	// Remaining holds leftover payloads per edge name after the run.
+	Remaining map[string][]any
+}
+
+// Run executes the configured number of iterations sequentially.
+func Run(cfg Config) (*Result, error) {
+	g := cfg.Graph
+	cg, low, err := g.Instantiate(cfg.Env)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := cg.RepetitionVector()
+	if err != nil {
+		return nil, err
+	}
+	sched, err := cg.BuildSchedule(sol, csdf.Demand)
+	if err != nil {
+		return nil, fmt.Errorf("runner: no sequential schedule: %v", err)
+	}
+
+	// Channel payload queues, indexed by csdf edge index.
+	queues := make([][]any, len(cg.Edges))
+	for ei := range cg.Edges {
+		for k := int64(0); k < cg.Edges[ei].Initial; k++ {
+			queues[ei] = append(queues[ei], nil)
+		}
+	}
+	// Per node: edges in/out with port names.
+	type portEdge struct {
+		edge int
+		port string
+	}
+	ins := make([][]portEdge, len(g.Nodes))
+	outs := make([][]portEdge, len(g.Nodes))
+	for ei, e := range g.Edges {
+		ci := low.EdgeOf[ei]
+		ins[e.Dst] = append(ins[e.Dst], portEdge{ci, g.Nodes[e.Dst].Ports[e.DstPort].Name})
+		outs[e.Src] = append(outs[e.Src], portEdge{ci, g.Nodes[e.Src].Ports[e.SrcPort].Name})
+	}
+
+	res := &Result{Firings: map[string]int64{}, Remaining: map[string][]any{}}
+	iters := cfg.Iterations
+	if iters <= 0 {
+		iters = 1
+	}
+	fired := make([]int64, len(g.Nodes))
+	for it := 0; it < iters; it++ {
+		for _, actor := range sched.Order {
+			node := actor // lowering is index-preserving; keep it explicit
+			name := g.Nodes[node].Name
+			k := fired[node]
+			f := &Firing{Node: name, K: k, In: map[string][]any{}, Out: map[string][]any{}}
+			// Consume.
+			for _, pe := range ins[node] {
+				rate := cg.Edges[pe.edge].ConsAt(k)
+				if int64(len(queues[pe.edge])) < rate {
+					return nil, fmt.Errorf("runner: %s firing %d: edge %s underflow (%d < %d)",
+						name, k, cg.Edges[pe.edge].Name, len(queues[pe.edge]), rate)
+				}
+				f.In[pe.port] = append(f.In[pe.port], queues[pe.edge][:rate]...)
+				queues[pe.edge] = queues[pe.edge][rate:]
+			}
+			// Compute.
+			if b, ok := cfg.Behaviors[name]; ok {
+				if err := b(f); err != nil {
+					return nil, fmt.Errorf("runner: %s firing %d: %v", name, k, err)
+				}
+			}
+			// Produce, checking counts.
+			for _, pe := range outs[node] {
+				rate := cg.Edges[pe.edge].ProdAt(k)
+				vals := f.Out[pe.port]
+				switch {
+				case int64(len(vals)) == rate:
+					queues[pe.edge] = append(queues[pe.edge], vals...)
+				case len(vals) == 0:
+					// No behavior output: emit nil payloads to keep the
+					// token count right.
+					for j := int64(0); j < rate; j++ {
+						queues[pe.edge] = append(queues[pe.edge], nil)
+					}
+				default:
+					return nil, fmt.Errorf("runner: %s firing %d: port %s produced %d payloads, rate is %d",
+						name, k, pe.port, len(vals), rate)
+				}
+			}
+			fired[node]++
+			res.Firings[name]++
+		}
+	}
+	for ei, q := range queues {
+		if len(q) > 0 {
+			res.Remaining[cg.Edges[ei].Name] = q
+		}
+	}
+	return res, nil
+}

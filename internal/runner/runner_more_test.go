@@ -1,0 +1,122 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/symb"
+)
+
+func TestMultiPortJoin(t *testing.T) {
+	// Two sources feed a join that concatenates payloads port by port.
+	g := core.NewGraph("join")
+	a := g.AddKernel("a")
+	b := g.AddKernel("b")
+	j := g.AddKernel("j")
+	if _, err := g.Connect(a, "[1]", j, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect(b, "[1]", j, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	_, err := Run(Config{
+		Graph: g,
+		Behaviors: map[string]Behavior{
+			"a": func(f *Firing) error { f.Produce("o0", "left"); return nil },
+			"b": func(f *Firing) error { f.Produce("o0", "right"); return nil },
+			"j": func(f *Firing) error {
+				got = f.In["i0"][0].(string) + "+" + f.In["i1"][0].(string)
+				return nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "left+right" {
+		t.Errorf("join saw %q", got)
+	}
+}
+
+func TestBehaviorErrorPropagates(t *testing.T) {
+	g := core.NewGraph("err")
+	a := g.AddKernel("a")
+	b := g.AddKernel("b")
+	if _, err := g.Connect(a, "[1]", b, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Run(Config{
+		Graph: g,
+		Behaviors: map[string]Behavior{
+			"b": func(f *Firing) error { return errBoom },
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("behavior error lost: %v", err)
+	}
+}
+
+type boomError struct{}
+
+func (boomError) Error() string { return "boom" }
+
+var errBoom = boomError{}
+
+func TestInitialTokensVisibleAsNil(t *testing.T) {
+	g := core.NewGraph("init")
+	a := g.AddKernel("a")
+	b := g.AddKernel("b")
+	if _, err := g.Connect(a, "[1]", b, "[1]", 2); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	_, err := Run(Config{
+		Graph: g,
+		Behaviors: map[string]Behavior{
+			"b": func(f *Firing) error {
+				seen += len(f.In["i0"])
+				return nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One iteration: b fires once (q=1), consuming one token (an initial
+	// nil placeholder or a's output depending on order; count is 1).
+	if seen != 1 {
+		t.Errorf("b consumed %d payloads, want 1", seen)
+	}
+}
+
+func TestParametricPayloadRun(t *testing.T) {
+	// The Fig. 2 graph at p=2 runs at payload level; F receives its control
+	// token as a consumed payload on the control port.
+	g := apps.Fig2()
+	counts := map[string]int{}
+	res, err := Run(Config{
+		Graph: g,
+		Env:   symb.Env{"p": 2},
+		Behaviors: map[string]Behavior{
+			"F": func(f *Firing) error {
+				counts["ctl"] += len(f.In["ctl"])
+				return nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Firings["F"] != 2 {
+		t.Errorf("F fired %d, want 2", res.Firings["F"])
+	}
+	if counts["ctl"] != 2 {
+		t.Errorf("F consumed %d control tokens, want 2", counts["ctl"])
+	}
+	if len(res.Remaining) != 0 {
+		t.Errorf("payload leftovers: %v", res.Remaining)
+	}
+}

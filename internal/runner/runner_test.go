@@ -1,0 +1,117 @@
+package runner
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestPayloadPipeline(t *testing.T) {
+	// src emits 1..3 per firing (rate 3), doubler doubles each, sink sums.
+	g := core.NewGraph("pipe")
+	src := g.AddKernel("src")
+	dbl := g.AddKernel("dbl")
+	snk := g.AddKernel("snk")
+	if _, err := g.Connect(src, "[3]", dbl, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect(dbl, "[1]", snk, "[3]", 0); err != nil {
+		t.Fatal(err)
+	}
+	var sum int
+	res, err := Run(Config{
+		Graph: g,
+		Behaviors: map[string]Behavior{
+			"src": func(f *Firing) error {
+				f.Produce("o0", 1, 2, 3)
+				return nil
+			},
+			"dbl": func(f *Firing) error {
+				v := f.In["i0"][0].(int)
+				f.Produce("o0", v*2)
+				return nil
+			},
+			"snk": func(f *Firing) error {
+				for _, v := range f.In["i0"] {
+					sum += v.(int)
+				}
+				return nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 12 {
+		t.Errorf("sum = %d, want 12", sum)
+	}
+	if res.Firings["dbl"] != 3 {
+		t.Errorf("dbl fired %d, want 3", res.Firings["dbl"])
+	}
+	if len(res.Remaining) != 0 {
+		t.Errorf("leftover payloads: %v", res.Remaining)
+	}
+}
+
+func TestProduceCountChecked(t *testing.T) {
+	g := core.NewGraph("bad")
+	a := g.AddKernel("a")
+	b := g.AddKernel("b")
+	if _, err := g.Connect(a, "[2]", b, "[2]", 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Run(Config{
+		Graph: g,
+		Behaviors: map[string]Behavior{
+			"a": func(f *Firing) error {
+				f.Produce("o0", 1) // rate is 2
+				return nil
+			},
+		},
+	})
+	if err == nil {
+		t.Fatal("wrong production count must fail")
+	}
+}
+
+func TestNilBehaviorsForwardTokens(t *testing.T) {
+	g := core.NewGraph("nil")
+	a := g.AddKernel("a")
+	b := g.AddKernel("b")
+	if _, err := g.Connect(a, "[1]", b, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Graph: g, Iterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Firings["b"] != 4 {
+		t.Errorf("b fired %d, want 4", res.Firings["b"])
+	}
+}
+
+func TestMultiIterationState(t *testing.T) {
+	// A stateful accumulator across iterations.
+	g := core.NewGraph("acc")
+	src := g.AddKernel("src")
+	acc := g.AddKernel("acc")
+	if _, err := g.Connect(src, "[1]", acc, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	n := 0
+	_, err := Run(Config{
+		Graph:      g,
+		Iterations: 5,
+		Behaviors: map[string]Behavior{
+			"src": func(f *Firing) error { n++; f.Produce("o0", n); return nil },
+			"acc": func(f *Firing) error { total += f.In["i0"][0].(int); return nil },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 15 {
+		t.Errorf("total = %d, want 15", total)
+	}
+}

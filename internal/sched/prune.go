@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"repro/internal/csdf"
+)
+
+// PruneForModes applies the Actor Dependence Function rule of §III-D: when
+// a kernel is fired in a mode where some of its input edges are rejected,
+// the dependencies through those edges disappear, and producer firings whose
+// results are no longer consumed by anyone are cancelled transitively.
+//
+// rejected flags csdf edge indices whose tokens the consumer's selected mode
+// discards. keep flags actors that must never be pruned (sources, sinks,
+// control actors). It returns a new precedence relation containing only the
+// firings that remain necessary, plus the mapping from new node ids to old.
+func PruneForModes(g *csdf.Graph, prec *csdf.Precedence, sol *csdf.Solution, rejected map[int]bool, keep func(actor int) bool) (*csdf.Precedence, []int) {
+	// Recompute dependencies, dropping those carried by rejected edges.
+	// BuildPrecedence added an edge (src firing -> dst firing) per data
+	// dependence; we rebuild the same way but skip rejected edges, then
+	// drop firings with no remaining consumers (unless kept).
+	n := prec.N()
+	deps := make([][]int, n)
+	// Serialization chains (same actor) are identified by equal actor ids.
+	for u := 0; u < n; u++ {
+		for _, dep := range prec.Deps[u] {
+			if prec.Firings[dep].Actor == prec.Firings[u].Actor {
+				deps[u] = append(deps[u], dep) // keep chains
+			}
+		}
+	}
+	for ei := range g.Edges {
+		if rejected[ei] {
+			continue
+		}
+		e := &g.Edges[ei]
+		if e.Src == e.Dst {
+			continue
+		}
+		var m int64
+		for nc := int64(0); nc < sol.Q[e.Dst]; nc++ {
+			need := e.CumCons(nc + 1)
+			if need <= e.Initial {
+				continue
+			}
+			for m < sol.Q[e.Src] && e.Initial+e.CumProd(m+1) < need {
+				m++
+			}
+			if m >= sol.Q[e.Src] {
+				break
+			}
+			deps[prec.NodeID(e.Dst, nc)] = append(deps[prec.NodeID(e.Dst, nc)], prec.NodeID(e.Src, m))
+		}
+	}
+
+	// Mark live firings: kept actors' firings, then everything reachable
+	// backwards through deps.
+	live := make([]bool, n)
+	var stack []int
+	for u := 0; u < n; u++ {
+		if keep != nil && keep(prec.Firings[u].Actor) {
+			live[u] = true
+			stack = append(stack, u)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, dep := range deps[u] {
+			if !live[dep] {
+				live[dep] = true
+				stack = append(stack, dep)
+			}
+		}
+	}
+
+	// Compact.
+	newID := make([]int, n)
+	var oldOf []int
+	for u := 0; u < n; u++ {
+		if live[u] {
+			newID[u] = len(oldOf)
+			oldOf = append(oldOf, u)
+		} else {
+			newID[u] = -1
+		}
+	}
+	firings := make([]csdf.Firing, len(oldOf))
+	newDeps := make([][]int, len(oldOf))
+	for i, old := range oldOf {
+		firings[i] = prec.Firings[old]
+		for _, dep := range deps[old] {
+			if newID[dep] >= 0 {
+				newDeps[i] = append(newDeps[i], newID[dep])
+			}
+		}
+	}
+	return csdf.NewPrecedence(firings, newDeps), oldOf
+}

@@ -1,0 +1,251 @@
+// Package sched implements the canonical-period scheduling heuristic of
+// §III-D: the partial order of one iteration (the precedence graph built by
+// internal/csdf) is mapped onto a many-core platform by list scheduling
+// with two TPDF-specific rules:
+//
+//   - control actors are scheduled with the highest priority — when a
+//     control actor and kernels are ready simultaneously, the control actor
+//     is guaranteed a processing element first, and message-passing time is
+//     accounted for inside the schedule so the system behaves as if control
+//     distribution were instantaneous;
+//   - a kernel that receives a control token is fired immediately after the
+//     token arrives; if the mode it selects rejects some of its inputs, the
+//     Actor Dependence Function prunes the producer firings that became
+//     unnecessary (PruneForModes).
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/csdf"
+	"repro/internal/platform"
+)
+
+// Options configures list scheduling.
+type Options struct {
+	// Platform supplies PE count and message latencies. Required.
+	Platform *platform.Platform
+	// PEs optionally restricts the number of PEs used (0 = all).
+	PEs int
+	// ControlPriority applies the §III-D rule that control actors win ties
+	// and preempt the ready queue ordering.
+	ControlPriority bool
+	// IsControl flags, per graph actor index, whether it is a control
+	// actor (from the TPDF lowering). Nil means no control actors.
+	IsControl []bool
+}
+
+// Item is one scheduled firing.
+type Item struct {
+	Node  int // precedence node id
+	PE    int
+	Start int64
+	End   int64
+}
+
+// Result is a complete static schedule of one canonical period.
+type Result struct {
+	Items    []Item // indexed by precedence node id
+	Makespan int64
+	// PEBusy is the total busy time per PE.
+	PEBusy []int64
+	// PEOf is the PE assignment per precedence node.
+	PEOf []int
+}
+
+// Utilization returns average PE utilization over the makespan.
+func (r *Result) Utilization() float64 {
+	if r.Makespan == 0 || len(r.PEBusy) == 0 {
+		return 0
+	}
+	var busy int64
+	for _, b := range r.PEBusy {
+		busy += b
+	}
+	return float64(busy) / (float64(r.Makespan) * float64(len(r.PEBusy)))
+}
+
+// readyTask is a heap entry: higher rank first.
+type readyTask struct {
+	node    int
+	control bool
+	rank    int64 // critical-path-to-sink length (larger = more urgent)
+	ready   int64 // earliest data-ready time
+}
+
+type readyHeap []readyTask
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].control != h[j].control {
+		return h[i].control // control actors first (§III-D)
+	}
+	if h[i].rank != h[j].rank {
+		return h[i].rank > h[j].rank
+	}
+	if h[i].ready != h[j].ready {
+		return h[i].ready < h[j].ready
+	}
+	return h[i].node < h[j].node
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(readyTask)) }
+func (h *readyHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// ListSchedule maps the canonical period onto the platform. The priority
+// rank is the longest path to a sink weighted by execution times (HLFET);
+// ties and ordering are overridden by the control-priority rule when
+// enabled. PE selection picks the PE giving the earliest start, accounting
+// for message latency from every dependency's PE.
+func ListSchedule(g *csdf.Graph, prec *csdf.Precedence, opts Options) (*Result, error) {
+	if opts.Platform == nil {
+		return nil, fmt.Errorf("sched: nil platform")
+	}
+	pes := opts.Platform.NumPEs()
+	if opts.PEs > 0 && opts.PEs < pes {
+		pes = opts.PEs
+	}
+	if pes <= 0 {
+		return nil, fmt.Errorf("sched: no processing elements")
+	}
+	n := prec.N()
+	d := prec.Digraph()
+	order, err := d.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("sched: precedence graph cyclic: %v", err)
+	}
+
+	cost := func(node int) int64 {
+		f := prec.Firings[node]
+		return g.Actors[f.Actor].ExecAt(f.K)
+	}
+	isCtl := func(node int) bool {
+		if opts.IsControl == nil {
+			return false
+		}
+		return opts.IsControl[prec.Firings[node].Actor]
+	}
+
+	// rank: longest path to sink (inclusive of own cost).
+	rank := make([]int64, n)
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		var best int64
+		for _, v := range d.Succ(u) {
+			if rank[v] > best {
+				best = rank[v]
+			}
+		}
+		rank[u] = best + cost(u)
+	}
+
+	indeg := make([]int, n)
+	for u := 0; u < n; u++ {
+		for _, v := range d.Succ(u) {
+			indeg[v]++
+		}
+	}
+
+	res := &Result{
+		Items:  make([]Item, n),
+		PEBusy: make([]int64, pes),
+		PEOf:   make([]int, n),
+	}
+	peFree := make([]int64, pes)
+	done := make([]bool, n)
+	finish := make([]int64, n)
+
+	var ready readyHeap
+	for u := 0; u < n; u++ {
+		if indeg[u] == 0 {
+			heap.Push(&ready, readyTask{node: u, control: opts.ControlPriority && isCtl(u), rank: rank[u]})
+		}
+	}
+
+	scheduled := 0
+	for ready.Len() > 0 {
+		t := heap.Pop(&ready).(readyTask)
+		u := t.node
+		// Choose the PE minimizing start time; break ties toward the PE of
+		// the heaviest dependency (locality), then lowest index.
+		bestPE, bestStart := -1, int64(0)
+		for pe := 0; pe < pes; pe++ {
+			start := peFree[pe]
+			for _, dep := range prec.Deps[u] {
+				arr := finish[dep] + opts.Platform.MessageLatency(res.PEOf[dep], pe)
+				if arr > start {
+					start = arr
+				}
+			}
+			if bestPE == -1 || start < bestStart {
+				bestPE, bestStart = pe, start
+			}
+		}
+		end := bestStart + cost(u)
+		res.Items[u] = Item{Node: u, PE: bestPE, Start: bestStart, End: end}
+		res.PEOf[u] = bestPE
+		res.PEBusy[bestPE] += cost(u)
+		peFree[bestPE] = end
+		finish[u] = end
+		if end > res.Makespan {
+			res.Makespan = end
+		}
+		done[u] = true
+		scheduled++
+		for _, v := range d.Succ(u) {
+			indeg[v]--
+			if indeg[v] == 0 {
+				heap.Push(&ready, readyTask{
+					node: v, control: opts.ControlPriority && isCtl(v), rank: rank[v],
+				})
+			}
+		}
+	}
+	if scheduled != n {
+		return nil, fmt.Errorf("sched: scheduled %d of %d firings (cycle?)", scheduled, n)
+	}
+	return res, nil
+}
+
+// Verify checks that a schedule respects precedence (with message latency)
+// and never overlaps two firings on one PE.
+func Verify(g *csdf.Graph, prec *csdf.Precedence, opts Options, res *Result) error {
+	for u := range res.Items {
+		it := res.Items[u]
+		f := prec.Firings[u]
+		if it.End-it.Start != g.Actors[f.Actor].ExecAt(f.K) {
+			return fmt.Errorf("sched: node %d duration mismatch", u)
+		}
+		for _, dep := range prec.Deps[u] {
+			need := res.Items[dep].End + opts.Platform.MessageLatency(res.PEOf[dep], it.PE)
+			if it.Start < need {
+				return fmt.Errorf("sched: node %d starts at %d before dependency %d arrives at %d",
+					u, it.Start, dep, need)
+			}
+		}
+	}
+	// Per-PE non-overlap.
+	byPE := map[int][]Item{}
+	for _, it := range res.Items {
+		byPE[it.PE] = append(byPE[it.PE], it)
+	}
+	for pe, items := range byPE {
+		// Zero-duration firings (cost-0 control actors) occupy no time and
+		// cannot overlap anything; drop them before the sweep.
+		busy := items[:0]
+		for _, it := range items {
+			if it.End > it.Start {
+				busy = append(busy, it)
+			}
+		}
+		sort.Slice(busy, func(i, j int) bool { return busy[i].Start < busy[j].Start })
+		for i := 1; i < len(busy); i++ {
+			if busy[i].Start < busy[i-1].End {
+				return fmt.Errorf("sched: PE %d overlap between nodes %d and %d", pe, busy[i-1].Node, busy[i].Node)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/csdf"
+	"repro/internal/platform"
+)
+
+func twoActorChain(t *testing.T) (*csdf.Graph, *csdf.Precedence) {
+	t.Helper()
+	g := csdf.NewGraph()
+	a := g.AddActor("a", 1)
+	b := g.AddActor("b", 1)
+	g.Connect(a, []int64{1}, b, []int64{1}, 0)
+	sol, err := g.RepetitionVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec, err := g.BuildPrecedence(sol, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, prec
+}
+
+func TestListScheduleNilPlatform(t *testing.T) {
+	g, prec := twoActorChain(t)
+	if _, err := ListSchedule(g, prec, Options{}); err == nil {
+		t.Error("nil platform must be rejected")
+	}
+}
+
+func TestListScheduleZeroPEs(t *testing.T) {
+	g, prec := twoActorChain(t)
+	p := platform.Simple(0)
+	if _, err := ListSchedule(g, prec, Options{Platform: p}); err == nil {
+		t.Error("zero PEs must be rejected")
+	}
+}
+
+func TestUtilizationEmpty(t *testing.T) {
+	var r Result
+	if r.Utilization() != 0 {
+		t.Error("empty result utilization must be 0")
+	}
+}
+
+func TestVerifyCatchesDurationTamper(t *testing.T) {
+	g, prec := twoActorChain(t)
+	opts := Options{Platform: platform.Simple(2)}
+	res, err := ListSchedule(g, prec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Items[0].End += 5 // corrupt
+	err = Verify(g, prec, opts, res)
+	if err == nil || !strings.Contains(err.Error(), "duration") {
+		t.Errorf("tampered duration not caught: %v", err)
+	}
+}
+
+func TestVerifyCatchesPrecedenceViolation(t *testing.T) {
+	g, prec := twoActorChain(t)
+	opts := Options{Platform: platform.Simple(2)}
+	res, err := ListSchedule(g, prec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the consumer to start before its dependency arrives.
+	var consumer int
+	for u := range prec.Deps {
+		if len(prec.Deps[u]) > 0 {
+			consumer = u
+		}
+	}
+	res.Items[consumer].Start = 0
+	res.Items[consumer].End = res.Items[consumer].Start +
+		g.Actors[prec.Firings[consumer].Actor].ExecAt(0)
+	if err := Verify(g, prec, opts, res); err == nil {
+		t.Error("precedence violation not caught")
+	}
+}
+
+func TestMessageLatencyDelaysCrossPEStart(t *testing.T) {
+	// Producer and consumer forced onto different PEs by occupancy: the
+	// consumer's start must include the message latency.
+	g := csdf.NewGraph()
+	a := g.AddActor("a", 10)
+	b := g.AddActor("b", 10)
+	c := g.AddActor("c", 1)
+	g.Connect(a, []int64{1}, c, []int64{1}, 0)
+	g.Connect(b, []int64{1}, c, []int64{1}, 0)
+	sol, _ := g.RepetitionVector()
+	prec, err := g.BuildPrecedence(sol, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := platform.Simple(2)
+	p.IntraLatency = 3
+	opts := Options{Platform: p}
+	res, err := ListSchedule(g, prec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, prec, opts, res); err != nil {
+		t.Fatal(err)
+	}
+	cNode := prec.NodeID(c, 0)
+	// a and b run in parallel on both PEs finishing at 10; c sits on one of
+	// them but needs the other's token: start >= 10 + 3.
+	if res.Items[cNode].Start < 13 {
+		t.Errorf("c starts at %d, want >= 13 (message latency)", res.Items[cNode].Start)
+	}
+}
+
+func TestPruneNilKeepPrunesEverything(t *testing.T) {
+	g := csdf.NewGraph()
+	a := g.AddActor("a", 1)
+	b := g.AddActor("b", 1)
+	ei := g.Connect(a, []int64{1}, b, []int64{1}, 0)
+	sol, _ := g.RepetitionVector()
+	prec, _ := g.BuildPrecedence(sol, false)
+	pruned, oldOf := PruneForModes(g, prec, sol, map[int]bool{ei: true}, nil)
+	if pruned.N() != 0 || len(oldOf) != 0 {
+		t.Errorf("nil keep with all edges rejected should prune everything, got %d nodes", pruned.N())
+	}
+}

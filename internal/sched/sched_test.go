@@ -1,0 +1,234 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/csdf"
+	"repro/internal/platform"
+	"repro/internal/symb"
+)
+
+// fig2Period instantiates the Fig. 2 TPDF example at the given p and builds
+// its canonical period (serialized same-actor firings, as ΣC deploys tasks).
+func fig2Period(t *testing.T, p int64) (*csdf.Graph, *csdf.Precedence, *csdf.Solution, []bool) {
+	t.Helper()
+	g := apps.Fig2()
+	cg, low, err := g.Instantiate(symb.Env{"p": p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := cg.RepetitionVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec, err := cg.BuildPrecedence(sol, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isCtl := make([]bool, len(cg.Actors))
+	for id, n := range g.Nodes {
+		if n.Kind == 1 { // core.KindControl
+			isCtl[low.ActorOf[id]] = true
+		}
+	}
+	return cg, prec, sol, isCtl
+}
+
+func TestFig5CanonicalPeriodShape(t *testing.T) {
+	cg, prec, sol, _ := fig2Period(t, 1)
+	// Fig. 5 shows A1 A2 / B1 B2 / C1 / D1 / E1 E2 / F1 F2 — ten firings
+	// (plus our added sink's two firings).
+	var want int64
+	for _, q := range sol.Q {
+		want += q
+	}
+	if int64(prec.N()) != want {
+		t.Fatalf("period has %d firings, want %d", prec.N(), want)
+	}
+	aIdx, _ := cg.ActorIndex("A")
+	fIdx, _ := cg.ActorIndex("F")
+	cIdx, _ := cg.ActorIndex("C")
+	if sol.Q[aIdx] != 2 || sol.Q[fIdx] != 2 || sol.Q[cIdx] != 1 {
+		t.Fatalf("q = %v, want A:2 C:1 F:2 at p=1", sol.Q)
+	}
+	// F's firings depend (transitively) on C1: the control token precedes
+	// the kernel firing.
+	d := prec.Digraph()
+	c1 := prec.NodeID(cIdx, 0)
+	reach := d.Reachable(c1)
+	if !reach[prec.NodeID(fIdx, 0)] || !reach[prec.NodeID(fIdx, 1)] {
+		t.Error("F1/F2 must depend on the control firing C1")
+	}
+}
+
+func TestListScheduleFig2Valid(t *testing.T) {
+	for _, p := range []int64{1, 3} {
+		cg, prec, _, isCtl := fig2Period(t, p)
+		opts := Options{Platform: platform.Simple(4), ControlPriority: true, IsControl: isCtl}
+		res, err := ListSchedule(cg, prec, opts)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if err := Verify(cg, prec, opts, res); err != nil {
+			t.Fatalf("p=%d: invalid schedule: %v", p, err)
+		}
+		if res.Makespan <= 0 {
+			t.Errorf("p=%d: makespan = %d", p, res.Makespan)
+		}
+	}
+}
+
+func TestMorePEsNeverWorse(t *testing.T) {
+	cg, prec, _, isCtl := fig2Period(t, 4)
+	var prev int64 = 1 << 62
+	for _, pes := range []int{1, 2, 4, 8} {
+		opts := Options{Platform: platform.Simple(pes), ControlPriority: true, IsControl: isCtl}
+		res, err := ListSchedule(cg, prec, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(cg, prec, opts, res); err != nil {
+			t.Fatal(err)
+		}
+		// List scheduling is not strictly monotone in theory, but on this
+		// pipeline-ish graph adding PEs must not increase makespan by more
+		// than a message-latency slack.
+		if res.Makespan > prev+2 {
+			t.Errorf("PEs=%d makespan %d much worse than previous %d", pes, res.Makespan, prev)
+		}
+		prev = res.Makespan
+	}
+}
+
+func TestSinglePEMakespanIsSum(t *testing.T) {
+	// On one PE with zero-latency platform, makespan = total work.
+	g := csdf.NewGraph()
+	a := g.AddActor("a", 5)
+	b := g.AddActor("b", 3)
+	g.Connect(a, []int64{1}, b, []int64{1}, 0)
+	sol, _ := g.RepetitionVector()
+	prec, err := g.BuildPrecedence(sol, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := platform.Simple(1)
+	p.IntraLatency = 0
+	opts := Options{Platform: p}
+	res, err := ListSchedule(g, prec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 8 {
+		t.Errorf("makespan = %d, want 8", res.Makespan)
+	}
+	if u := res.Utilization(); u != 1.0 {
+		t.Errorf("utilization = %f, want 1.0", u)
+	}
+}
+
+func TestControlPriorityWins(t *testing.T) {
+	// Two independent firings, one control, one kernel, one PE: control
+	// must be scheduled first when the rule is on.
+	g := csdf.NewGraph()
+	k := g.AddActor("K", 10)
+	c := g.AddActor("CTL", 1)
+	snk := g.AddActor("SNK", 0)
+	g.Connect(k, []int64{1}, snk, []int64{1}, 0)
+	g.Connect(c, []int64{1}, snk, []int64{1}, 0)
+	sol, _ := g.RepetitionVector()
+	prec, err := g.BuildPrecedence(sol, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isCtl := []bool{false, true, false}
+	one := platform.Simple(1)
+
+	withRule, err := ListSchedule(g, prec, Options{Platform: one, ControlPriority: true, IsControl: isCtl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cNode := prec.NodeID(c, 0)
+	kNode := prec.NodeID(k, 0)
+	if withRule.Items[cNode].Start > withRule.Items[kNode].Start {
+		t.Error("control actor must start first under the §III-D rule")
+	}
+
+	without, err := ListSchedule(g, prec, Options{Platform: one, ControlPriority: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the rule, the longer kernel has the higher HLFET rank.
+	if without.Items[kNode].Start > without.Items[cNode].Start {
+		t.Error("without the rule, rank order should schedule the kernel first")
+	}
+}
+
+func TestPruneForModes(t *testing.T) {
+	// S1 -> T <- S2 where T's mode rejects the S2 edge: S2's firing must be
+	// pruned, S1's kept.
+	g := csdf.NewGraph()
+	s1 := g.AddActor("S1", 1)
+	s2 := g.AddActor("S2", 1)
+	tr := g.AddActor("T", 1)
+	g.Connect(s1, []int64{1}, tr, []int64{1}, 0)
+	e2 := g.Connect(s2, []int64{1}, tr, []int64{1}, 0)
+	sol, _ := g.RepetitionVector()
+	prec, err := g.BuildPrecedence(sol, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, oldOf := PruneForModes(g, prec, sol, map[int]bool{e2: true}, func(actor int) bool {
+		return actor == tr
+	})
+	if pruned.N() != 2 {
+		t.Fatalf("pruned period has %d firings, want 2 (T, S1)", pruned.N())
+	}
+	kept := map[int]bool{}
+	for _, old := range oldOf {
+		kept[prec.Firings[old].Actor] = true
+	}
+	if !kept[s1] || !kept[tr] || kept[s2] {
+		t.Errorf("kept actors wrong: %v", kept)
+	}
+	// NodeID lookups on the pruned relation work via the map index.
+	if pruned.NodeID(s2, 0) != -1 {
+		t.Error("pruned firing should resolve to -1")
+	}
+	if pruned.NodeID(tr, 0) < 0 {
+		t.Error("kept firing must resolve")
+	}
+}
+
+func TestPruneKeepsTransitiveProducers(t *testing.T) {
+	// Chain A -> B -> T plus rejected R -> T: pruning must keep A (feeds B)
+	// and drop R.
+	g := csdf.NewGraph()
+	a := g.AddActor("A", 1)
+	b := g.AddActor("B", 1)
+	r := g.AddActor("R", 1)
+	tr := g.AddActor("T", 1)
+	g.Connect(a, []int64{1}, b, []int64{1}, 0)
+	g.Connect(b, []int64{1}, tr, []int64{1}, 0)
+	eR := g.Connect(r, []int64{1}, tr, []int64{1}, 0)
+	sol, _ := g.RepetitionVector()
+	prec, _ := g.BuildPrecedence(sol, true)
+	pruned, _ := PruneForModes(g, prec, sol, map[int]bool{eR: true}, func(actor int) bool {
+		return actor == tr
+	})
+	if pruned.N() != 3 {
+		t.Fatalf("pruned period has %d firings, want 3 (A, B, T)", pruned.N())
+	}
+}
+
+func TestMPPAScheduleFig2(t *testing.T) {
+	cg, prec, _, isCtl := fig2Period(t, 8)
+	opts := Options{Platform: platform.MPPA256(), PEs: 32, ControlPriority: true, IsControl: isCtl}
+	res, err := ListSchedule(cg, prec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(cg, prec, opts, res); err != nil {
+		t.Fatal(err)
+	}
+}

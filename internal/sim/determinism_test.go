@@ -1,0 +1,98 @@
+package sim_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/symb"
+)
+
+func TestSimulatorDeterministic(t *testing.T) {
+	// Identical configurations produce identical traces, including event
+	// order, across repeated runs.
+	app := apps.EdgeDetection(500, nil)
+	var first *sim.Result
+	for i := 0; i < 3; i++ {
+		res, err := sim.Run(sim.Config{Graph: app.Graph, Decide: app.DeadlineDecide(), Record: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = res
+			continue
+		}
+		if !reflect.DeepEqual(first.Events, res.Events) {
+			t.Fatal("event traces differ between identical runs")
+		}
+		if !reflect.DeepEqual(first.HighWater, res.HighWater) {
+			t.Fatal("high-water marks differ between identical runs")
+		}
+		if first.Time != res.Time {
+			t.Fatal("completion times differ between identical runs")
+		}
+	}
+}
+
+func TestSimulatorDeterministicUnderContention(t *testing.T) {
+	// PE contention adds scheduling choices; the fixed control-first,
+	// index-order policy must keep runs reproducible.
+	rng := rand.New(rand.NewSource(3))
+	g := core.NewGraph("contend")
+	src := g.AddKernel("src", 1)
+	snk := g.AddKernel("snk", 0)
+	for i := 0; i < 6; i++ {
+		k := g.AddKernel(name2(i), int64(rng.Intn(20)+1))
+		if _, err := g.Connect(src, "[1]", k, "[1]", 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Connect(k, "[1]", snk, "[1]", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ref *sim.Result
+	for i := 0; i < 3; i++ {
+		res, err := sim.Run(sim.Config{Graph: g, Processors: 2, Iterations: 3, Record: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(ref.Events, res.Events) {
+			t.Fatal("contended traces differ")
+		}
+	}
+}
+
+func name2(i int) string { return string(rune('k')) + string(rune('0'+i)) }
+
+func TestBusyAccounting(t *testing.T) {
+	g := core.NewGraph("busy")
+	a := g.AddKernel("a", 7)
+	b := g.AddKernel("b", 3)
+	if _, err := g.Connect(a, "[1]", b, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{Graph: g, Iterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Busy[0] != 28 || res.Busy[1] != 12 {
+		t.Errorf("busy = %v, want [28 12]", res.Busy)
+	}
+}
+
+func TestIterationPeriodValidation(t *testing.T) {
+	g := apps.Fig2()
+	if _, err := sim.IterationPeriod(sim.Config{Graph: g, Env: symb.Env{"p": 1}}, 0, 4); err == nil {
+		t.Error("warm=0 must be rejected")
+	}
+	if _, err := sim.IterationPeriod(sim.Config{Graph: g, Env: symb.Env{"p": 1}}, 2, 0); err == nil {
+		t.Error("span=0 must be rejected")
+	}
+}

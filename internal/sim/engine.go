@@ -1,0 +1,467 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Run executes the configuration and returns the metrics.
+func Run(cfg Config) (*Result, error) {
+	eng, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return eng.run()
+}
+
+type engine struct {
+	cfg   Config
+	g     *core.Graph
+	nodes []nodeState
+	edges []edgeState
+	exec  [][]int64 // per node, cyclic execution times (nil = zero)
+
+	events       eventHeap
+	pendingModes []pendingFiring
+	caps         []int64 // per-edge capacities; nil or <=0 entries unbounded
+	seq          int64
+	now          int64
+	inFlight     int
+	total        int64 // completed firings
+	res          *Result
+}
+
+func newEngine(cfg Config) (*engine, error) {
+	g := cfg.Graph
+	cg, low, err := g.Instantiate(cfg.Env)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := cg.RepetitionVector()
+	if err != nil {
+		return nil, fmt.Errorf("sim: %v", err)
+	}
+	iters := cfg.Iterations
+	if iters <= 0 {
+		iters = 1
+	}
+	eng := &engine{cfg: cfg, g: g}
+	eng.nodes = make([]nodeState, len(g.Nodes))
+	eng.exec = make([][]int64, len(g.Nodes))
+	for i, n := range g.Nodes {
+		ns := &eng.nodes[i]
+		ns.id = core.NodeID(i)
+		ns.ctlEdge = -1
+		ns.limit = iters * sol.Q[low.ActorOf[i]]
+		ns.isCtl = n.Kind == core.KindControl
+		ns.isClock = n.Kind == core.KindControl && n.ClockPeriod > 0
+		ns.lastTok = ControlToken{Mode: core.ModeWaitAll}
+		eng.exec[i] = n.Exec
+	}
+	eng.edges = make([]edgeState, len(g.Edges))
+	for ei, e := range g.Edges {
+		ce := cg.Edges[low.EdgeOf[ei]]
+		dst := g.Nodes[e.Dst]
+		dp := dst.Ports[e.DstPort]
+		es := &eng.edges[ei]
+		es.prod = ce.Prod
+		es.cons = ce.Cons
+		es.tokens = ce.Initial
+		es.high = ce.Initial
+		es.isCtl = dp.Dir == core.CtlIn
+		es.dstPrio = dp.Priority
+		es.dstName = dp.Name
+		if es.isCtl {
+			eng.nodes[e.Dst].ctlEdge = ei
+			// Pre-existing control tokens default to wait-all.
+			for k := int64(0); k < ce.Initial; k++ {
+				es.ctl = append(es.ctl, ControlToken{Mode: core.ModeWaitAll})
+			}
+		} else {
+			eng.nodes[e.Dst].inEdges = append(eng.nodes[e.Dst].inEdges, ei)
+		}
+		eng.nodes[e.Src].outEdges = append(eng.nodes[e.Src].outEdges, ei)
+	}
+	eng.res = &Result{
+		Firings:   make([]int64, len(g.Nodes)),
+		Busy:      make([]int64, len(g.Nodes)),
+		HighWater: make([]int64, len(g.Edges)),
+		Final:     make([]int64, len(g.Edges)),
+	}
+	// Clock initial ticks.
+	for i, n := range g.Nodes {
+		if eng.nodes[i].isClock {
+			eng.nodes[i].nextTick = n.ClockPeriod
+			eng.push(event{time: n.ClockPeriod, kind: 1, node: i})
+		}
+	}
+	return eng, nil
+}
+
+func (e *engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+func (e *engine) maxEvents() int64 {
+	if e.cfg.MaxEvents > 0 {
+		return e.cfg.MaxEvents
+	}
+	return 50_000_000
+}
+
+func (e *engine) run() (*Result, error) {
+	e.startAllEnabled()
+	var processed int64
+	for e.events.Len() > 0 {
+		if processed++; processed > e.maxEvents() {
+			return nil, fmt.Errorf("sim: exceeded %d events at t=%d", e.maxEvents(), e.now)
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.time
+		switch ev.kind {
+		case 0:
+			e.complete(ev.node)
+		case 1:
+			e.clockTick(ev.node)
+		}
+		e.startAllEnabled()
+	}
+	e.res.Time = e.now
+	e.res.Quiescent = true
+	for ei := range e.edges {
+		e.res.Final[ei] = e.edges[ei].tokens
+		e.res.HighWater[ei] = e.edges[ei].high
+	}
+	return e.res, nil
+}
+
+// startAllEnabled starts every enabled firing, control actors first
+// (§III-D), respecting the PE pool.
+func (e *engine) startAllEnabled() {
+	order := make([]int, 0, len(e.nodes))
+	for i := range e.nodes {
+		if e.nodes[i].isCtl {
+			order = append(order, i)
+		}
+	}
+	for i := range e.nodes {
+		if !e.nodes[i].isCtl {
+			order = append(order, i)
+		}
+	}
+	for {
+		progressed := false
+		for _, i := range order {
+			if e.cfg.Processors > 0 && e.inFlight >= e.cfg.Processors {
+				return
+			}
+			if e.tryStart(i) {
+				progressed = true
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// tryStart begins one firing of node i if it is enabled.
+func (e *engine) tryStart(i int) bool {
+	ns := &e.nodes[i]
+	if ns.busy || ns.started >= ns.limit || ns.isClock {
+		return false
+	}
+	firing := ns.started
+	if !e.outputsHaveRoom(i, firing) {
+		return false // bounded-buffer back-pressure
+	}
+
+	tok := ns.lastTok
+	needsCtl := false
+	if ns.ctlEdge >= 0 {
+		ce := &e.edges[ns.ctlEdge]
+		if ce.consAt(firing) > 0 {
+			needsCtl = true
+			if ce.tokens < 1 || len(ce.ctl) == 0 {
+				return false // §II-B: wait until the control port is available
+			}
+			tok = ce.ctl[0]
+		}
+	}
+
+	active, ok := e.activeInputs(i, firing, tok)
+	if !ok {
+		return false
+	}
+
+	// Commit: consume control token, consume active inputs, register
+	// discard debt on rejected inputs.
+	if needsCtl {
+		ce := &e.edges[ns.ctlEdge]
+		ce.tokens--
+		ce.ctl = ce.ctl[1:]
+		ns.lastTok = tok
+	}
+	activeSet := map[int]bool{}
+	for _, ei := range active {
+		activeSet[ei] = true
+		es := &e.edges[ei]
+		es.tokens -= es.consAt(firing)
+	}
+	// Rejected-input handling depends on the mode's semantics:
+	//
+	//   - highest-priority (the racing/deadline pattern) *drains*: the
+	//     losers' tokens of this round are removed — immediately if present,
+	//     via discard debt if the slow producer finishes later ("remove
+	//     remaining tokens", §II);
+	//   - select-one/select-many reconfigure the topology: the unchosen
+	//     edges are absent this iteration ("allowing to remove unused
+	//     edges", §IV-B), their producers never produce, so nothing must be
+	//     drained — draining would steal tokens from a later iteration that
+	//     re-enables the branch.
+	if tok.Mode == core.ModeHighestPriority && ns.ctlEdge >= 0 {
+		for _, ei := range ns.inEdges {
+			if activeSet[ei] {
+				continue
+			}
+			es := &e.edges[ei]
+			rate := es.consAt(firing)
+			if rate == 0 {
+				continue
+			}
+			// Remove what is present, owe the rest.
+			avail := rate
+			if es.tokens < avail {
+				avail = es.tokens
+			}
+			es.tokens -= avail
+			es.debt += rate - avail
+		}
+	}
+
+	ns.busy = true
+	ns.started++
+	e.inFlight++
+	dur := int64(0)
+	if len(e.exec[i]) > 0 {
+		dur = e.exec[i][int(firing%int64(len(e.exec[i])))]
+	}
+	e.pendingModes = append(e.pendingModes, pendingFiring{node: i, firing: firing, tok: tok, active: activeSet, start: e.now})
+	e.push(event{time: e.now + dur, kind: 0, node: i})
+	return true
+}
+
+type pendingFiring struct {
+	node   int
+	firing int64
+	tok    ControlToken
+	active map[int]bool
+	start  int64
+}
+
+// activeInputs decides which data input edges participate in this firing
+// under the mode, and whether the firing is enabled now.
+func (e *engine) activeInputs(i int, firing int64, tok ControlToken) ([]int, bool) {
+	ns := &e.nodes[i]
+	mode := tok.Mode
+	if ns.ctlEdge < 0 {
+		mode = core.ModeWaitAll // kernels without control ports are dataflow
+	}
+	needed := func(ei int) bool { return e.edges[ei].consAt(firing) > 0 }
+	avail := func(ei int) bool {
+		es := &e.edges[ei]
+		return es.tokens >= es.consAt(firing)
+	}
+	switch mode {
+	case core.ModeWaitAll:
+		var act []int
+		for _, ei := range ns.inEdges {
+			if !needed(ei) {
+				continue
+			}
+			if !avail(ei) {
+				return nil, false
+			}
+			act = append(act, ei)
+		}
+		return act, true
+	case core.ModeSelectOne, core.ModeSelectMany:
+		sel := map[string]bool{}
+		for _, s := range tok.Selected {
+			sel[s] = true
+		}
+		var act []int
+		for _, ei := range ns.inEdges {
+			if !needed(ei) || !sel[e.edges[ei].dstName] {
+				continue
+			}
+			if !avail(ei) {
+				return nil, false
+			}
+			act = append(act, ei)
+		}
+		if len(act) == 0 {
+			// Selection names no input port: for a Select-duplicate the
+			// choice concerns outputs; inputs behave wait-all.
+			for _, ei := range ns.inEdges {
+				if !needed(ei) {
+					continue
+				}
+				if !avail(ei) {
+					return nil, false
+				}
+				act = append(act, ei)
+			}
+		}
+		return act, true
+	case core.ModeHighestPriority:
+		best := -1
+		for _, ei := range ns.inEdges {
+			if !needed(ei) || !avail(ei) {
+				continue
+			}
+			if best < 0 || e.edges[ei].dstPrio > e.edges[best].dstPrio {
+				best = ei
+			}
+		}
+		if best < 0 {
+			return nil, false // wait until any input becomes available
+		}
+		return []int{best}, true
+	default:
+		return nil, false
+	}
+}
+
+// complete finishes the oldest pending firing of node i: produce outputs,
+// emit control tokens, free the PE.
+func (e *engine) complete(i int) {
+	ns := &e.nodes[i]
+	// Find the pending firing for this node (serialized: exactly one).
+	idx := -1
+	for k := range e.pendingModes {
+		if e.pendingModes[k].node == i {
+			idx = k
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	pf := e.pendingModes[idx]
+	e.pendingModes = append(e.pendingModes[:idx], e.pendingModes[idx+1:]...)
+
+	n := e.g.Nodes[i]
+	firing := pf.firing
+
+	// Output selection: select modes on a Select-duplicate choose outputs.
+	outSel := map[string]bool{}
+	selectingOutputs := n.Special == core.SpecialSelectDup &&
+		(pf.tok.Mode == core.ModeSelectOne || pf.tok.Mode == core.ModeSelectMany) &&
+		len(pf.tok.Selected) > 0
+	if selectingOutputs {
+		for _, s := range pf.tok.Selected {
+			outSel[s] = true
+		}
+	}
+
+	var decision map[string]ControlToken
+	if ns.isCtl {
+		if d, ok := e.cfg.Decide[n.Name]; ok {
+			decision = d(firing)
+		}
+	}
+
+	for _, ei := range ns.outEdges {
+		es := &e.edges[ei]
+		rate := es.prodAt(firing)
+		if rate == 0 {
+			continue
+		}
+		srcPort := e.g.Nodes[i].Ports[e.g.Edges[ei].SrcPort].Name
+		if selectingOutputs && !es.isCtl && !outSel[srcPort] {
+			continue // unchosen output: tokens are never produced
+		}
+		if es.isCtl {
+			tok := ControlToken{Mode: core.ModeWaitAll}
+			if decision != nil {
+				if t, ok := decision[srcPort]; ok {
+					tok = t
+				}
+			}
+			for k := int64(0); k < rate; k++ {
+				es.ctl = append(es.ctl, tok)
+			}
+		}
+		es.arrive(rate)
+	}
+
+	ns.busy = false
+	ns.fired++
+	e.inFlight--
+	e.total++
+	if e.res.Time < e.now {
+		e.res.Time = e.now
+	}
+	e.res.Firings[i]++
+	e.res.Busy[i] += e.now - pf.start
+
+	ev := FireEvent{
+		Node: n.Name, Firing: firing, Start: pf.start, End: e.now,
+		Mode: pf.tok.Mode, Selected: e.selectedNames(pf),
+	}
+	if e.cfg.Record {
+		e.res.Events = append(e.res.Events, ev)
+	}
+	if e.cfg.OnFire != nil {
+		e.cfg.OnFire(ev)
+	}
+}
+
+// selectedNames reports the destination port names that actually
+// participated in a firing (for tracing the transaction's choice).
+func (e *engine) selectedNames(pf pendingFiring) []string {
+	if len(pf.active) == 0 {
+		return nil
+	}
+	var names []string
+	for ei := range pf.active {
+		names = append(names, e.edges[ei].dstName)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// clockTick fires a clock control actor: no consumption, immediate
+// production of its control tokens after its execution time.
+func (e *engine) clockTick(i int) {
+	ns := &e.nodes[i]
+	if ns.started >= ns.limit {
+		return // clock exhausted its iteration budget; stop ticking
+	}
+	if ns.busy || !e.outputsHaveRoom(i, ns.started) {
+		// Busy (long Exec) or back-pressured at tick time: skip to the
+		// next period, as a watchdog would.
+		ns.nextTick += e.g.Nodes[i].ClockPeriod
+		e.push(event{time: ns.nextTick, kind: 1, node: i})
+		return
+	}
+	ns.busy = true
+	ns.started++
+	e.inFlight++
+	e.pendingModes = append(e.pendingModes, pendingFiring{node: i, firing: ns.started - 1, tok: ControlToken{Mode: core.ModeWaitAll}, start: e.now})
+	dur := int64(0)
+	if len(e.exec[i]) > 0 {
+		dur = e.exec[i][int((ns.started-1)%int64(len(e.exec[i])))]
+	}
+	e.push(event{time: e.now + dur, kind: 0, node: i})
+	if ns.started < ns.limit {
+		ns.nextTick += e.g.Nodes[i].ClockPeriod
+		e.push(event{time: ns.nextTick, kind: 1, node: i})
+	}
+}

@@ -1,0 +1,176 @@
+// Package sim executes TPDF graphs token-accurately in virtual time.
+//
+// The simulator implements the §II-B firing semantics that the static
+// analyses abstract over:
+//
+//   - a kernel with a control port waits for a control token; the token
+//     selects the mode of the firing (wait-all, select-one, select-many,
+//     highest-priority) and therefore which data ports participate;
+//   - rejected inputs follow the mode's semantics: highest-priority firings
+//     (the racing/deadline pattern) drain the losers' tokens — immediately
+//     or through a discard debt for slow producers — so the graph returns
+//     to its initial state (Theorem 2); select-one/select-many firings
+//     treat the unchosen edges as absent ("removing unused edges", §IV-B),
+//     because their deselected producers never emit anything to drain;
+//   - Select-duplicate kernels copy each input token onto the currently
+//     enabled combination of outputs; Transaction kernels atomically select
+//     tokens from one or several inputs — combined with a Clock control
+//     actor this yields the highest-priority-at-deadline behaviour of the
+//     edge-detection case study (§IV-A);
+//   - Clock control actors are watchdog timers firing at multiples of their
+//     period, consuming nothing;
+//   - control actors win processing elements over kernels when the PE pool
+//     is limited (§III-D).
+//
+// The engine is a deterministic discrete-event loop: firings consume their
+// inputs when they start and produce at completion after the actor's
+// execution time; events at equal times are processed in a fixed order, so
+// every run of a configuration is reproducible.
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/symb"
+)
+
+// ControlToken is the value carried by control channels: the mode the
+// receiving kernel must fire in, plus the names of the kernel's data ports
+// enabled by selecting modes.
+type ControlToken struct {
+	Mode     core.Mode
+	Selected []string
+}
+
+// DecideFunc lets a control actor choose the tokens it emits on its n-th
+// firing, keyed by its control-output port name. Missing entries default to
+// wait-all.
+type DecideFunc func(firing int64) map[string]ControlToken
+
+// FireEvent describes one completed firing for tracing.
+type FireEvent struct {
+	Node     string
+	Firing   int64
+	Start    int64
+	End      int64
+	Mode     core.Mode
+	Selected []string
+}
+
+// Config configures a simulation run.
+type Config struct {
+	Graph *core.Graph
+	// Env instantiates the graph's parameters (defaults used when nil).
+	Env symb.Env
+	// Iterations bounds the run: every node fires at most
+	// Iterations × q(node) times. Default 1.
+	Iterations int64
+	// Processors limits concurrently executing firings; 0 means unlimited.
+	Processors int
+	// Decide supplies mode decisions per control-actor name.
+	Decide map[string]DecideFunc
+	// OnFire, when set, receives every completed firing.
+	OnFire func(FireEvent)
+	// Record stores completed firings in Result.Events.
+	Record bool
+	// MaxEvents guards against runaway simulations (default 50M).
+	MaxEvents int64
+}
+
+// Result reports the outcome of a run.
+type Result struct {
+	// Time is the virtual time of the last completion.
+	Time int64
+	// Firings counts completed firings per node.
+	Firings []int64
+	// HighWater is the maximum token count observed per edge, including
+	// initial tokens and control tokens: the buffer capacity the run needs.
+	HighWater []int64
+	// Final is the per-edge token count at the end of the run.
+	Final []int64
+	// Quiescent is true when the run ended because nothing could fire any
+	// more (as opposed to hitting MaxEvents).
+	Quiescent bool
+	// Busy accumulates execution time per node (firing durations), the
+	// basis for utilization accounting.
+	Busy []int64
+	// Events holds the trace when Config.Record was set.
+	Events []FireEvent
+}
+
+// TotalBuffer sums the per-edge high-water marks.
+func (r *Result) TotalBuffer() int64 {
+	var t int64
+	for _, v := range r.HighWater {
+		t += v
+	}
+	return t
+}
+
+// edgeState is the runtime state of one channel.
+type edgeState struct {
+	tokens  int64
+	ctl     []ControlToken // queue, parallel to tokens for control edges
+	debt    int64          // tokens to discard on arrival (rejected ports)
+	high    int64
+	prod    []int64 // concrete production rates
+	cons    []int64 // concrete consumption rates
+	isCtl   bool
+	dstPrio int
+	dstName string // destination port name (for Selected matching)
+}
+
+func (e *edgeState) prodAt(n int64) int64 { return e.prod[int(n%int64(len(e.prod)))] }
+func (e *edgeState) consAt(n int64) int64 { return e.cons[int(n%int64(len(e.cons)))] }
+
+// arrive adds produced tokens, paying any discard debt first.
+func (e *edgeState) arrive(n int64) {
+	if e.debt > 0 {
+		d := e.debt
+		if d > n {
+			d = n
+		}
+		e.debt -= d
+		n -= d
+	}
+	e.tokens += n
+	if e.tokens > e.high {
+		e.high = e.tokens
+	}
+}
+
+type nodeState struct {
+	id      core.NodeID
+	fired   int64 // completed firings
+	started int64 // started firings (== fired or fired+1; serialized)
+	busy    bool
+	// lastTok is the most recent control token; firings whose control rate
+	// is 0 reuse it entirely (mode and port selection), per §II-B.
+	lastTok  ControlToken
+	limit    int64 // Iterations × q
+	isCtl    bool
+	isClock  bool
+	inEdges  []int // edge indices with Dst == id, data ports only
+	ctlEdge  int   // edge index feeding the control port, -1 if none
+	outEdges []int // edge indices with Src == id (data and control)
+	nextTick int64 // clocks: next tick time
+}
+
+type event struct {
+	time int64
+	seq  int64
+	kind int // 0 = completion, 1 = clock tick
+	node int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }

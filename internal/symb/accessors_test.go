@@ -1,0 +1,223 @@
+package symb
+
+import (
+	"testing"
+
+	"repro/internal/rat"
+)
+
+func TestMonoPow(t *testing.T) {
+	if !MonoPow("p", 0).IsUnit() {
+		t.Error("p^0 must be the unit")
+	}
+	if MonoPow("p", 3).String() != "p^3" {
+		t.Errorf("p^3 = %q", MonoPow("p", 3).String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative exponent must panic")
+		}
+	}()
+	MonoPow("p", -1)
+}
+
+func TestMonoExpAndVars(t *testing.T) {
+	m := MonoVar("p").Mul(MonoPow("q", 2))
+	if m.Exp("p") != 1 || m.Exp("q") != 2 || m.Exp("r") != 0 {
+		t.Errorf("exponents wrong: p=%d q=%d r=%d", m.Exp("p"), m.Exp("q"), m.Exp("r"))
+	}
+	vars := m.Vars()
+	if len(vars) != 2 || vars[0] != "p" || vars[1] != "q" {
+		t.Errorf("Vars = %v", vars)
+	}
+	if m.Degree() != 3 {
+		t.Errorf("degree = %d", m.Degree())
+	}
+}
+
+func TestMonoEvalOverflow(t *testing.T) {
+	m := MonoPow("p", 8)
+	if _, ok := m.Eval(Env{"p": 1 << 40}, 1); ok {
+		t.Error("p^8 at 2^40 must overflow")
+	}
+	v, ok := m.Eval(Env{"p": 2}, 1)
+	if !ok || v != 256 {
+		t.Errorf("2^8 = %d, %v", v, ok)
+	}
+	// Default value path.
+	v, ok = m.Eval(nil, 3)
+	if !ok || v != 6561 {
+		t.Errorf("3^8 = %d, %v", v, ok)
+	}
+}
+
+func TestEnvCloneAndNames(t *testing.T) {
+	e := Env{"b": 2, "a": 1}
+	c := e.Clone()
+	c["a"] = 99
+	if e["a"] != 1 {
+		t.Error("Clone must copy")
+	}
+	names := e.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestRatExprAndNewExpr(t *testing.T) {
+	e := RatExpr(rat.New(3, 2))
+	c, ok := e.Const()
+	if !ok || !c.Equal(rat.New(3, 2)) {
+		t.Errorf("RatExpr = %v", e)
+	}
+	n, err := NewExpr(PolyVar("p"), PolyInt(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.String() != "p/2" {
+		t.Errorf("NewExpr = %q", n.String())
+	}
+	if _, err := NewExpr(PolyVar("p"), ZeroPoly()); err == nil {
+		t.Error("zero denominator must fail")
+	}
+}
+
+func TestExprNumDenIsPoly(t *testing.T) {
+	e := MustParseExpr("p/2")
+	if e.Num().String() != "p" || e.Den().String() != "2" {
+		t.Errorf("num/den = %s / %s", e.Num(), e.Den())
+	}
+	if _, ok := e.IsPoly(); ok {
+		t.Error("p/2 is not a polynomial")
+	}
+	p := MustParseExpr("p+1")
+	if poly, ok := p.IsPoly(); !ok || poly.Degree() != 1 {
+		t.Error("p+1 should be a polynomial")
+	}
+}
+
+func TestExprVars(t *testing.T) {
+	e := MustParseExpr("beta*(N+L)/M")
+	vars := e.Vars()
+	want := []string{"L", "M", "N", "beta"}
+	if len(vars) != len(want) {
+		t.Fatalf("Vars = %v", vars)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", vars, want)
+		}
+	}
+}
+
+func TestSumExprs(t *testing.T) {
+	s := SumExprs([]Expr{IntExpr(1), Var("p"), IntExpr(2)})
+	if !s.Equal(MustParseExpr("p+3")) {
+		t.Errorf("sum = %s", s)
+	}
+	if !SumExprs(nil).IsZero() {
+		t.Error("empty sum must be zero")
+	}
+}
+
+func TestExprDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("division by zero expression must panic")
+		}
+	}()
+	Var("p").Div(ZeroExpr())
+}
+
+func TestPolyAccessors(t *testing.T) {
+	p := PolyVar("p").Add(PolyInt(2)).Scale(rat.FromInt(3)) // 3p + 6
+	if p.NumTerms() != 2 {
+		t.Errorf("terms = %d", p.NumTerms())
+	}
+	if !p.Coef(MonoVar("p")).Equal(rat.FromInt(3)) {
+		t.Errorf("coef p = %v", p.Coef(MonoVar("p")))
+	}
+	if !p.Coef(UnitMono).Equal(rat.FromInt(6)) {
+		t.Errorf("coef 1 = %v", p.Coef(UnitMono))
+	}
+	if !p.Coef(MonoVar("q")).IsZero() {
+		t.Error("absent monomial must have zero coef")
+	}
+	if p.IsOne() {
+		t.Error("3p+6 is not one")
+	}
+	if !PolyInt(1).IsOne() {
+		t.Error("1 must be one")
+	}
+	if vars := p.Vars(); len(vars) != 1 || vars[0] != "p" {
+		t.Errorf("Vars = %v", vars)
+	}
+	if ZeroPoly().Degree() != -1 {
+		t.Error("zero poly degree must be -1")
+	}
+}
+
+func TestPolyLCM(t *testing.T) {
+	a := PolyTerm(rat.FromInt(2), MonoVar("p"))                   // 2p
+	b := PolyTerm(rat.FromInt(3), MonoVar("p").Mul(MonoVar("q"))) // 3pq
+	l := PolyLCM(a, b)
+	// lcm(2p, 3pq) = 6pq.
+	want := PolyTerm(rat.FromInt(6), MonoVar("p").Mul(MonoVar("q")))
+	if !l.Equal(want) {
+		t.Errorf("lcm = %s, want %s", l, want)
+	}
+	if !PolyLCM(ZeroPoly(), a).IsZero() {
+		t.Error("lcm with zero must be zero")
+	}
+}
+
+func TestMonoLCM(t *testing.T) {
+	a := MonoPow("p", 2)
+	b := MonoVar("p").Mul(MonoVar("q"))
+	if got := a.LCM(b).String(); got != "p^2*q" {
+		t.Errorf("lcm = %q", got)
+	}
+}
+
+func TestGCDExprWithZero(t *testing.T) {
+	p := Var("p")
+	if !GCDExpr(ZeroExpr(), p).Equal(p) {
+		t.Error("gcd(0, p) = p")
+	}
+	if !GCDExpr(p, ZeroExpr()).Equal(p) {
+		t.Error("gcd(p, 0) = p")
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	e := MustParseExpr("beta*M*N + 3")
+	got := e.Substitute("M", IntExpr(4))
+	if !got.Equal(MustParseExpr("4*beta*N + 3")) {
+		t.Errorf("substitute M=4: %s", got)
+	}
+	// Substituting with an expression.
+	f := MustParseExpr("p^2 + p")
+	got = f.Substitute("p", MustParseExpr("q+1"))
+	if !got.Equal(MustParseExpr("q^2 + 3q + 2")) {
+		t.Errorf("substitute p=q+1: %s", got)
+	}
+	// Absent parameter is a no-op.
+	if !e.Substitute("zz", IntExpr(9)).Equal(e) {
+		t.Error("substituting an absent parameter must not change the expression")
+	}
+	// Substitution into a denominator.
+	d := MustParseExpr("N/M")
+	if !d.Substitute("M", IntExpr(2)).Equal(MustParseExpr("N/2")) {
+		t.Errorf("denominator substitution: %s", d.Substitute("M", IntExpr(2)))
+	}
+}
+
+func TestNormalizeVectorRejectsZeroEntry(t *testing.T) {
+	if _, err := NormalizeVector([]Expr{Var("p"), ZeroExpr()}); err == nil {
+		t.Error("zero entry must be rejected")
+	}
+	out, err := NormalizeVector(nil)
+	if err != nil || out != nil {
+		t.Error("empty vector is trivially normalized")
+	}
+}

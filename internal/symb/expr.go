@@ -1,0 +1,368 @@
+package symb
+
+import (
+	"fmt"
+
+	"repro/internal/rat"
+)
+
+// Expr is a rational function Num/Den of integer parameters. It is the value
+// type for parametric dataflow rates and for symbolic repetition-vector
+// entries. The zero value is the expression 0.
+//
+// Exprs are normalized on construction: the denominator is never zero, an
+// exact polynomial quotient is taken when possible, common monomial and
+// rational content is cancelled, and the denominator's leading coefficient
+// is positive.
+type Expr struct {
+	num Poly
+	den Poly // nil/zero treated as 1 so the zero value is usable
+}
+
+// ZeroExpr returns the expression 0.
+func ZeroExpr() Expr { return Expr{} }
+
+// OneExpr returns the expression 1.
+func OneExpr() Expr { return IntExpr(1) }
+
+// IntExpr returns the constant expression n.
+func IntExpr(n int64) Expr { return Expr{num: PolyInt(n), den: PolyInt(1)} }
+
+// RatExpr returns the constant expression r.
+func RatExpr(r rat.Rat) Expr { return Expr{num: PolyConst(r), den: PolyInt(1)} }
+
+// Var returns the expression consisting of the single parameter name.
+func Var(name string) Expr { return Expr{num: PolyVar(name), den: PolyInt(1)} }
+
+// FromPoly returns the expression p/1.
+func FromPoly(p Poly) Expr { return Expr{num: p, den: PolyInt(1)} }
+
+// NewExpr returns the normalized rational function num/den.
+// It returns an error if den is the zero polynomial.
+func NewExpr(num, den Poly) (Expr, error) {
+	if den.IsZero() {
+		return Expr{}, fmt.Errorf("symb: zero denominator")
+	}
+	return normalize(num, den), nil
+}
+
+func normalize(num, den Poly) Expr {
+	if num.IsZero() {
+		return Expr{num: ZeroPoly(), den: PolyInt(1)}
+	}
+	// Exact quotient if possible. The quotient may have fractional
+	// coefficients (e.g. 2p/4 -> (1/2)p); re-split so the numerator keeps
+	// integer coefficients and the denominator carries the scale (p/2).
+	if q, ok := num.TryDiv(den); ok {
+		c := q.ContentRat()
+		if c.Den() == 1 {
+			return Expr{num: q, den: PolyInt(1)}
+		}
+		k := rat.FromInt(c.Den())
+		return Expr{num: q.Scale(k), den: PolyConst(k)}
+	}
+	// Cancel common monomial and rational content.
+	np, nc, nm := num.Primitive()
+	dp, dc, dm := den.Primitive()
+	gm := nm.GCD(dm)
+	nmq, _ := nm.Div(gm)
+	dmq, _ := dm.Div(gm)
+	// Only the scalar c = nc/dc may be fractional (the primitive parts have
+	// integer coprime coefficients); split it across the two sides so both
+	// keep integer coefficients and the denominator stays positive-led.
+	c := nc.MustDiv(dc)
+	num = np.MulTerm(rat.FromInt(c.Num()), nmq)
+	den = dp.MulTerm(rat.FromInt(c.Den()), dmq)
+	// Final content pass to keep the pair primitive overall.
+	ncont := num.ContentRat()
+	dcont := den.ContentRat()
+	g, err := rat.GCDRat(ncont, dcont)
+	if err == nil && !g.IsZero() && !g.Equal(rat.One) {
+		num = num.Scale(g.Inv())
+		den = den.Scale(g.Inv())
+	}
+	return Expr{num: num, den: den}
+}
+
+// Num returns the numerator polynomial.
+func (e Expr) Num() Poly {
+	return e.normNum()
+}
+
+func (e Expr) normNum() Poly { return e.num }
+
+// Den returns the denominator polynomial (1 for the zero value).
+func (e Expr) Den() Poly {
+	if e.den.IsZero() {
+		return PolyInt(1)
+	}
+	return e.den
+}
+
+// IsZero reports whether e == 0.
+func (e Expr) IsZero() bool { return e.num.IsZero() }
+
+// IsOne reports whether e == 1.
+func (e Expr) IsOne() bool {
+	c, ok := e.Const()
+	return ok && c.Equal(rat.One)
+}
+
+// Const returns the constant value of e if e has no parameters.
+func (e Expr) Const() (rat.Rat, bool) {
+	nc, ok := e.num.Const()
+	if !ok {
+		return rat.Rat{}, false
+	}
+	dc, ok := e.Den().Const()
+	if !ok {
+		return rat.Rat{}, false
+	}
+	return nc.MustDiv(dc), true
+}
+
+// Int returns the value of e as an int64 when e is a constant integer.
+func (e Expr) Int() (int64, bool) {
+	c, ok := e.Const()
+	if !ok {
+		return 0, false
+	}
+	return c.Int()
+}
+
+// IsPoly reports whether the denominator is 1, returning the numerator.
+func (e Expr) IsPoly() (Poly, bool) {
+	d, ok := e.Den().Const()
+	if ok && d.Equal(rat.One) {
+		return e.num, true
+	}
+	return Poly{}, false
+}
+
+// Vars returns the sorted parameter names in e.
+func (e Expr) Vars() []string {
+	set := map[string]bool{}
+	for _, v := range e.num.Vars() {
+		set[v] = true
+	}
+	for _, v := range e.Den().Vars() {
+		set[v] = true
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Add returns e + f.
+func (e Expr) Add(f Expr) Expr {
+	return normalize(e.num.Mul(f.Den()).Add(f.num.Mul(e.Den())), e.Den().Mul(f.Den()))
+}
+
+// Sub returns e - f.
+func (e Expr) Sub(f Expr) Expr { return e.Add(f.Neg()) }
+
+// Neg returns -e.
+func (e Expr) Neg() Expr { return Expr{num: e.num.Neg(), den: e.Den()} }
+
+// Mul returns e * f.
+func (e Expr) Mul(f Expr) Expr {
+	return normalize(e.num.Mul(f.num), e.Den().Mul(f.Den()))
+}
+
+// Div returns e / f. It panics if f is zero (rates are validated nonzero
+// before any division in the analyses).
+func (e Expr) Div(f Expr) Expr {
+	if f.IsZero() {
+		panic("symb: division by zero expression")
+	}
+	return normalize(e.num.Mul(f.Den()), e.Den().Mul(f.num))
+}
+
+// Inv returns 1/e. It panics if e is zero.
+func (e Expr) Inv() Expr { return OneExpr().Div(e) }
+
+// ScaleInt returns n * e.
+func (e Expr) ScaleInt(n int64) Expr { return e.Mul(IntExpr(n)) }
+
+// Equal reports e == f (by cross multiplication, so representation
+// differences cannot cause false negatives).
+func (e Expr) Equal(f Expr) bool {
+	return e.num.Mul(f.Den()).Equal(f.num.Mul(e.Den()))
+}
+
+// Eval evaluates e in env; parameters missing from env default to
+// defaultVal. It reports an error on overflow or a zero denominator.
+func (e Expr) Eval(env Env, defaultVal int64) (rat.Rat, error) {
+	nv, err := e.num.Eval(env, defaultVal)
+	if err != nil {
+		return rat.Rat{}, err
+	}
+	dv, err := e.Den().Eval(env, defaultVal)
+	if err != nil {
+		return rat.Rat{}, err
+	}
+	if dv.IsZero() {
+		return rat.Rat{}, fmt.Errorf("symb: denominator %s evaluates to zero", e.Den())
+	}
+	return nv.Div(dv)
+}
+
+// EvalInt evaluates e and requires an integer result.
+func (e Expr) EvalInt(env Env, defaultVal int64) (int64, error) {
+	v, err := e.Eval(env, defaultVal)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := v.Int()
+	if !ok {
+		return 0, fmt.Errorf("symb: %s evaluates to non-integer %s", e, v)
+	}
+	return n, nil
+}
+
+// Substitute replaces every occurrence of the named parameter with the
+// expression val, e.g. fixing M=4 in beta*M*N to get 4*beta*N.
+func (e Expr) Substitute(name string, val Expr) Expr {
+	num := substPoly(e.num, name, val)
+	den := substPoly(e.Den(), name, val)
+	return num.Div(den)
+}
+
+// substPoly substitutes into a polynomial, producing an Expr (val may be a
+// rational function).
+func substPoly(p Poly, name string, val Expr) Expr {
+	acc := ZeroExpr()
+	for _, t := range p.sortedTerms() {
+		exp := t.mono.Exp(name)
+		rest, _ := t.mono.Div(MonoPow(name, exp))
+		term := FromPoly(PolyTerm(t.coef, rest))
+		for i := 0; i < exp; i++ {
+			term = term.Mul(val)
+		}
+		acc = acc.Add(term)
+	}
+	return acc
+}
+
+// String renders the expression, e.g. "2*p", "p/2", "(p + 1)/(2*q)".
+func (e Expr) String() string {
+	den := e.Den()
+	if c, ok := den.Const(); ok && c.Equal(rat.One) {
+		return e.num.String()
+	}
+	ns := e.num.String()
+	ds := den.String()
+	if e.num.NumTerms() > 1 {
+		ns = "(" + ns + ")"
+	}
+	if den.NumTerms() > 1 {
+		ds = "(" + ds + ")"
+	}
+	return ns + "/" + ds
+}
+
+// GCDExpr returns a best-effort symbolic gcd of two expressions, exact when
+// both are single-term (monomial) expressions or when one divides the other.
+// Used to compute local solutions q^L = q / gcd(q_i) (Definition 4).
+func GCDExpr(a, b Expr) Expr {
+	if a.IsZero() {
+		return b
+	}
+	if b.IsZero() {
+		return a
+	}
+	// gcd(n1/d1, n2/d2) = gcd(n1*d2, n2*d1) / (d1*d2)
+	n := PolyGCD(a.num.Mul(b.Den()), b.num.Mul(a.Den()))
+	return normalize(n, a.Den().Mul(b.Den()))
+}
+
+// GCDExprs folds GCDExpr over a vector.
+func GCDExprs(xs []Expr) Expr {
+	g := ZeroExpr()
+	for _, x := range xs {
+		g = GCDExpr(g, x)
+		if g.IsOne() {
+			break
+		}
+	}
+	return g
+}
+
+// SumExprs returns the sum of xs.
+func SumExprs(xs []Expr) Expr {
+	acc := ZeroExpr()
+	for _, x := range xs {
+		acc = acc.Add(x)
+	}
+	return acc
+}
+
+// NormalizeVector scales a vector of rational-function solutions to the
+// minimal integral symbolic solution, mirroring §III-A: multiply by the LCM
+// of all denominators, then divide by the common content (integer and
+// monomial factors shared by every entry). All entries must be nonzero.
+func NormalizeVector(xs []Expr) ([]Expr, error) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	// LCM of denominators.
+	l := PolyInt(1)
+	for _, x := range xs {
+		if x.IsZero() {
+			return nil, fmt.Errorf("symb: zero entry in solution vector")
+		}
+		l = PolyLCM(l, x.Den())
+	}
+	scaled := make([]Poly, len(xs))
+	for i, x := range xs {
+		q, ok := l.TryDiv(x.Den())
+		if !ok {
+			// PolyLCM was conservative; multiply through instead.
+			q = l
+		}
+		scaled[i] = x.num.Mul(q)
+	}
+	// Common rational content and monomial factor.
+	g := rat.Zero
+	gm := scaled[0].ContentMono()
+	for _, p := range scaled {
+		var err error
+		g, err = rat.GCDRat(g, p.ContentRat())
+		if err != nil {
+			g = rat.One
+			break
+		}
+		gm = gm.GCD(p.ContentMono())
+	}
+	if g.IsZero() {
+		g = rat.One
+	}
+	out := make([]Expr, len(xs))
+	for i, p := range scaled {
+		prim := p.Scale(g.Inv())
+		if !gm.IsUnit() {
+			q := ZeroPoly()
+			for _, t := range prim.sortedTerms() {
+				dm, ok := t.mono.Div(gm)
+				if !ok {
+					return nil, fmt.Errorf("symb: internal: content monomial %s does not divide %s", gm, t.mono)
+				}
+				q = q.addTerm(dm, t.coef)
+			}
+			prim = q
+		}
+		out[i] = FromPoly(prim)
+	}
+	return out, nil
+}
