@@ -1,32 +1,38 @@
 // Command gen-graphs regenerates the shipped graphs/*.tpdf files from the
-// built-in application fixtures. Run it after changing a fixture.
+// tpdf.Builtin registry. Run it after changing an application fixture; the
+// output is deterministic (sorted names), so regeneration diffs are stable.
 package main
 
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 
-	"repro/internal/apps"
-	"repro/internal/graphio"
+	"repro/tpdf"
 )
 
-func main() {
-	for name, text := range map[string]string{
-		"fig2":         graphio.Format(apps.Fig2()),
-		"fig4a":        graphio.Format(apps.Fig4a()),
-		"fig4b":        graphio.Format(apps.Fig4b()),
-		"ofdm":         graphio.Format(apps.OFDMTPDF(apps.DefaultOFDM())),
-		"ofdm-csdf":    graphio.Format(apps.OFDMCSDF(apps.DefaultOFDM())),
-		"edge":         graphio.Format(apps.EdgeDetection(500, nil).Graph),
-		"fmradio":      graphio.Format(apps.FMRadioTPDF()),
-		"fmradio-csdf": graphio.Format(apps.FMRadioCSDF()),
-		"vc1":          graphio.Format(apps.VC1Decoder()),
-		"avc-me":       graphio.Format(apps.MotionEstimation(500, 60, 15).Graph),
-	} {
-		if err := os.WriteFile("graphs/"+name+".tpdf", []byte(text), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "gen-graphs:", err)
-			os.Exit(1)
+func run() error {
+	dir := "graphs"
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range tpdf.BuiltinNames() {
+		g, err := tpdf.Builtin(name)
+		if err != nil {
+			return err
 		}
-		fmt.Println("wrote graphs/" + name + ".tpdf")
+		path := filepath.Join(dir, name+".tpdf")
+		if err := os.WriteFile(path, []byte(tpdf.Format(g)), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote " + path)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gen-graphs:", err)
+		os.Exit(1)
 	}
 }

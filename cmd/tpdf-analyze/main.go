@@ -8,8 +8,8 @@
 //	tpdf-analyze [-dot out.dot] [-builtin name] [file.tpdf]
 //
 // With -builtin, one of the repository's application graphs is analyzed
-// instead of a file: fig2, fig4a, fig4b, ofdm, ofdm-csdf, edge, fmradio,
-// fmradio-csdf.
+// instead of a file (see tpdf.BuiltinNames: fig2, fig4a, fig4b, ofdm,
+// ofdm-csdf, edge, fmradio, fmradio-csdf, vc1, avc-me).
 package main
 
 import (
@@ -17,72 +17,35 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/analysis"
-	"repro/internal/apps"
-	"repro/internal/core"
-	"repro/internal/graphio"
+	"repro/tpdf"
 )
-
-func builtinGraph(name string) (*core.Graph, error) {
-	switch name {
-	case "fig2":
-		return apps.Fig2(), nil
-	case "fig4a":
-		return apps.Fig4a(), nil
-	case "fig4b":
-		return apps.Fig4b(), nil
-	case "ofdm":
-		return apps.OFDMTPDF(apps.DefaultOFDM()), nil
-	case "ofdm-csdf":
-		return apps.OFDMCSDF(apps.DefaultOFDM()), nil
-	case "edge":
-		return apps.EdgeDetection(500, nil).Graph, nil
-	case "fmradio":
-		return apps.FMRadioTPDF(), nil
-	case "fmradio-csdf":
-		return apps.FMRadioCSDF(), nil
-	case "vc1":
-		return apps.VC1Decoder(), nil
-	case "avc-me":
-		return apps.MotionEstimation(500, 60, 15).Graph, nil
-	default:
-		return nil, fmt.Errorf("unknown builtin %q (try fig2, fig4a, fig4b, ofdm, ofdm-csdf, edge, fmradio, fmradio-csdf, vc1, avc-me)", name)
-	}
-}
 
 func run() error {
 	dotOut := flag.String("dot", "", "write a Graphviz rendering to this file")
 	builtin := flag.String("builtin", "", "analyze a built-in application graph instead of a file")
 	flag.Parse()
 
-	var g *core.Graph
+	var g *tpdf.Graph
+	var err error
 	switch {
 	case *builtin != "":
-		var err error
-		g, err = builtinGraph(*builtin)
-		if err != nil {
-			return err
-		}
+		g, err = tpdf.Builtin(*builtin)
 	case flag.NArg() == 1:
-		src, err := os.ReadFile(flag.Arg(0))
-		if err != nil {
-			return err
-		}
-		g, err = graphio.Parse(string(src))
-		if err != nil {
-			return err
-		}
+		g, err = tpdf.LoadFile(flag.Arg(0))
 	default:
 		return fmt.Errorf("usage: tpdf-analyze [-dot out.dot] (-builtin name | file.tpdf)")
 	}
+	if err != nil {
+		return err
+	}
 
-	rep := analysis.Analyze(g)
+	rep := tpdf.Analyze(g)
 	fmt.Print(rep.String())
 	if rep.Err != nil {
 		return rep.Err
 	}
 	if *dotOut != "" {
-		if err := os.WriteFile(*dotOut, []byte(graphio.DOT(g)), 0o644); err != nil {
+		if err := os.WriteFile(*dotOut, []byte(tpdf.DOT(g)), 0o644); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *dotOut)

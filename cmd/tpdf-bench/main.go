@@ -6,64 +6,32 @@
 //
 //	tpdf-bench            # run everything (1024×1024 image for the table)
 //	tpdf-bench -quick     # reduced image size, shorter sweeps
-//	tpdf-bench -exp f8    # a single experiment: f1..f8, t6, a1..a3
+//	tpdf-bench -exp f8    # a single experiment (see tpdf.ExperimentNames)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"repro/internal/experiments"
+	"repro/tpdf"
 )
 
 func run() error {
 	quick := flag.Bool("quick", false, "smaller image and sweeps")
-	exp := flag.String("exp", "", "run one experiment: f1 f2 f3 f4 f5 t6 f6 f7 f8 a1 a2 a3")
+	exp := flag.String("exp", "", "run one experiment: "+strings.Join(tpdf.ExperimentNames(), " "))
 	flag.Parse()
 
-	size := 1024
-	if *quick {
-		size = 256
-	}
-	single := map[string]func() (string, error){
-		"f1": experiments.F1,
-		"f2": experiments.F2,
-		"f3": experiments.F3,
-		"f4": experiments.F4,
-		"f5": experiments.F5,
-		"t6": func() (string, error) { return experiments.F6Table(size, true) },
-		"f6": experiments.F6Deadline,
-		"f7": experiments.F7,
-		"f8": func() (string, error) {
-			betas := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
-			if *quick {
-				betas = []int64{10, 30, 50, 100}
-			}
-			return experiments.F8(betas)
-		},
-		"a1": experiments.ScheduleAblation,
-		"a2": experiments.PlatformSweep,
-		"a3": experiments.FMRadioComparison,
-		"a4": experiments.ADFPruning,
-		"a5": experiments.AVCQualityThreshold,
-		"a6": experiments.ThroughputValidation,
-		"a7": experiments.PipelinedScheduling,
-		"a8": experiments.CapacityMinimization,
-	}
 	if *exp != "" {
-		f, ok := single[*exp]
-		if !ok {
-			return fmt.Errorf("unknown experiment %q", *exp)
-		}
-		out, err := f()
+		out, err := tpdf.RunExperiment(*exp, *quick)
 		if err != nil {
 			return err
 		}
 		fmt.Print(out)
 		return nil
 	}
-	out, err := experiments.All(*quick)
+	out, err := tpdf.RunAllExperiments(*quick)
 	fmt.Print(out)
 	return err
 }

@@ -12,38 +12,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
-	"repro/internal/apps"
-	"repro/internal/codegen"
-	"repro/internal/core"
-	"repro/internal/graphio"
-	"repro/internal/platform"
-	"repro/internal/sched"
-	"repro/internal/symb"
-	"repro/internal/trace"
+	"repro/tpdf"
 )
 
-type paramFlags map[string]int64
-
-func (p paramFlags) String() string { return fmt.Sprint(map[string]int64(p)) }
-func (p paramFlags) Set(s string) error {
-	name, val, ok := strings.Cut(s, "=")
-	if !ok {
-		return fmt.Errorf("expected name=value, got %q", s)
-	}
-	v, err := strconv.ParseInt(val, 10, 64)
-	if err != nil {
-		return err
-	}
-	p[name] = v
-	return nil
-}
-
 func run() error {
-	params := paramFlags{}
-	builtin := flag.String("builtin", "", "schedule a built-in graph (fig2, ofdm, edge, fmradio)")
+	params := tpdf.Params{}
+	builtin := flag.String("builtin", "", "schedule a built-in graph (see tpdf.BuiltinNames)")
 	platName := flag.String("platform", "smp", "platform: mppa, epiphany or smp")
 	pes := flag.Int("pes", 8, "processing elements to use")
 	noCtl := flag.Bool("no-ctl-priority", false, "disable the control-actor priority rule")
@@ -51,101 +26,57 @@ func run() error {
 	flag.Var(params, "param", "parameter assignment name=value (repeatable)")
 	flag.Parse()
 
-	var g *core.Graph
+	var g *tpdf.Graph
+	var err error
 	switch {
 	case *builtin != "":
-		switch *builtin {
-		case "fig2":
-			g = apps.Fig2()
-		case "ofdm":
-			g = apps.OFDMTPDF(apps.DefaultOFDM())
-		case "edge":
-			g = apps.EdgeDetection(500, nil).Graph
-		case "fmradio":
-			g = apps.FMRadioTPDF()
-		default:
-			return fmt.Errorf("unknown builtin %q", *builtin)
-		}
+		g, err = tpdf.Builtin(*builtin)
 	case flag.NArg() == 1:
-		src, err := os.ReadFile(flag.Arg(0))
-		if err != nil {
-			return err
-		}
-		g, err = graphio.Parse(string(src))
-		if err != nil {
-			return err
-		}
+		g, err = tpdf.LoadFile(flag.Arg(0))
 	default:
 		return fmt.Errorf("usage: tpdf-sched [flags] (-builtin name | file.tpdf)")
 	}
+	if err != nil {
+		return err
+	}
 
-	var plat *platform.Platform
+	var plat *tpdf.Platform
 	switch *platName {
 	case "mppa":
-		plat = platform.MPPA256()
+		plat = tpdf.MPPA256()
 	case "epiphany":
-		plat = platform.Epiphany64()
+		plat = tpdf.Epiphany64()
 	case "smp":
-		plat = platform.Simple(*pes)
+		plat = tpdf.SMP(*pes)
 	default:
 		return fmt.Errorf("unknown platform %q", *platName)
 	}
 
-	cg, low, err := g.Instantiate(symb.Env(params))
+	opts := []tpdf.Option{
+		tpdf.WithParams(params),
+		tpdf.WithPlatform(plat),
+		tpdf.WithProcessors(*pes),
+	}
+	if *noCtl {
+		opts = append(opts, tpdf.WithoutControlPriority())
+	}
+	res, err := tpdf.Schedule(g, opts...)
 	if err != nil {
 		return err
-	}
-	sol, err := cg.RepetitionVector()
-	if err != nil {
-		return err
-	}
-	prec, err := cg.BuildPrecedence(sol, true)
-	if err != nil {
-		return err
-	}
-	isCtl := make([]bool, len(cg.Actors))
-	for id, n := range g.Nodes {
-		if n.Kind == core.KindControl {
-			isCtl[low.ActorOf[id]] = true
-		}
-	}
-	opts := sched.Options{
-		Platform:        plat,
-		PEs:             *pes,
-		ControlPriority: !*noCtl,
-		IsControl:       isCtl,
-	}
-	res, err := sched.ListSchedule(cg, prec, opts)
-	if err != nil {
-		return err
-	}
-	if err := sched.Verify(cg, prec, opts, res); err != nil {
-		return fmt.Errorf("schedule failed verification: %v", err)
 	}
 
 	fmt.Printf("graph %s on %s (%d PEs used)\n", g.Name, plat, *pes)
-	fmt.Printf("canonical period: %d firings, repetition vector %v\n", prec.N(), sol.Q)
-	var items []trace.GanttItem
-	for u := range res.Items {
-		f := prec.Firings[u]
-		items = append(items, trace.GanttItem{
-			Lane:  res.Items[u].PE,
-			Label: fmt.Sprintf("%s%d", cg.Actors[f.Actor].Name, f.K+1),
-			Start: res.Items[u].Start,
-			End:   res.Items[u].End,
-		})
+	fmt.Printf("canonical period: %d firings, repetition vector %v\n", res.Firings, res.RepetitionVector)
+	fmt.Print(res.Gantt(100))
+	fmt.Printf("makespan: %d   utilization: %.2f\n", res.Makespan, res.Utilization)
+	if res.CriticalPath > 0 {
+		fmt.Printf("critical path: %d (lower bound on any schedule)\n", res.CriticalPath)
 	}
-	fmt.Print(trace.Gantt(items, 100))
-	fmt.Printf("makespan: %d   utilization: %.2f\n", res.Makespan, res.Utilization())
-	cp, _, err := prec.CriticalPath(cg)
-	if err == nil {
-		fmt.Printf("critical path: %d (lower bound on any schedule)\n", cp)
-	}
-	if mcr, err := cg.MaxCycleRatio(sol, 1e-6); err == nil {
-		fmt.Printf("steady-state period bound (MCR): %.2f\n", mcr)
+	if res.MCR > 0 {
+		fmt.Printf("steady-state period bound (MCR): %.2f\n", res.MCR)
 	}
 	if *genOut != "" {
-		src, err := codegen.Generate(g, codegen.Options{Env: symb.Env(params)})
+		src, err := tpdf.GenerateCode(g, tpdf.WithParams(params))
 		if err != nil {
 			return err
 		}

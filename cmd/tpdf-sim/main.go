@@ -13,91 +13,32 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
-	"repro/internal/apps"
-	"repro/internal/core"
-	"repro/internal/graphio"
-	"repro/internal/sim"
-	"repro/internal/symb"
-	"repro/internal/trace"
+	"repro/tpdf"
 )
 
-type paramFlags map[string]int64
-
-func (p paramFlags) String() string { return fmt.Sprint(map[string]int64(p)) }
-func (p paramFlags) Set(s string) error {
-	name, val, ok := strings.Cut(s, "=")
-	if !ok {
-		return fmt.Errorf("expected name=value, got %q", s)
-	}
-	v, err := strconv.ParseInt(val, 10, 64)
-	if err != nil {
-		return err
-	}
-	p[name] = v
-	return nil
-}
-
 func run() error {
-	params := paramFlags{}
-	builtin := flag.String("builtin", "", "simulate a built-in graph (fig2, ofdm, ofdm-csdf, edge, fmradio)")
+	params := tpdf.Params{}
+	builtin := flag.String("builtin", "", "simulate a built-in graph (see tpdf.BuiltinNames)")
 	iters := flag.Int64("iterations", 1, "iterations to run")
 	pes := flag.Int("pes", 0, "processing element limit (0 = unlimited)")
 	doTrace := flag.Bool("trace", false, "print the firing trace")
 	flag.Var(params, "param", "parameter assignment name=value (repeatable)")
 	flag.Parse()
 
-	var g *core.Graph
-	var decide map[string]sim.DecideFunc
+	var g *tpdf.Graph
+	var decide map[string]tpdf.DecideFunc
 	switch {
 	case *builtin != "":
-		switch *builtin {
-		case "fig2":
-			g = apps.Fig2()
-		case "ofdm":
-			p := apps.DefaultOFDM()
-			if v, ok := params["beta"]; ok {
-				p.Beta = v
-			}
-			if v, ok := params["M"]; ok {
-				p.M = v
-			}
-			if v, ok := params["N"]; ok {
-				p.N = v
-			}
-			if v, ok := params["L"]; ok {
-				p.L = v
-			}
-			g = apps.OFDMTPDF(p)
-			var err error
-			decide, err = apps.OFDMDecide(g, p.M)
-			if err != nil {
-				return err
-			}
-		case "ofdm-csdf":
-			g = apps.OFDMCSDF(apps.DefaultOFDM())
-		case "edge":
-			app := apps.EdgeDetection(500, nil)
-			g = app.Graph
-			decide = app.DeadlineDecide()
-		case "fmradio":
-			g = apps.FMRadioTPDF()
-			var err error
-			decide, err = apps.FMRadioSelectBand(g, 1)
-			if err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("unknown builtin %q", *builtin)
-		}
-	case flag.NArg() == 1:
-		src, err := os.ReadFile(flag.Arg(0))
+		scen, err := tpdf.BuiltinScenario(*builtin, params)
 		if err != nil {
 			return err
 		}
-		g, err = graphio.Parse(string(src))
+		g, decide = scen.Graph, scen.Decide
+	case flag.NArg() == 1:
+		var err error
+		g, err = tpdf.LoadFile(flag.Arg(0))
 		if err != nil {
 			return err
 		}
@@ -105,14 +46,16 @@ func run() error {
 		return fmt.Errorf("usage: tpdf-sim [flags] (-builtin name | file.tpdf)")
 	}
 
-	res, err := sim.Run(sim.Config{
-		Graph:      g,
-		Env:        symb.Env(params),
-		Iterations: *iters,
-		Processors: *pes,
-		Decide:     decide,
-		Record:     *doTrace,
-	})
+	opts := []tpdf.Option{
+		tpdf.WithParams(params),
+		tpdf.WithIterations(*iters),
+		tpdf.WithProcessors(*pes),
+		tpdf.WithDecisions(decide),
+	}
+	if *doTrace {
+		opts = append(opts, tpdf.WithRecord())
+	}
+	res, err := tpdf.Simulate(g, opts...)
 	if err != nil {
 		return err
 	}
@@ -122,7 +65,7 @@ func run() error {
 	for i, n := range g.Nodes {
 		rows = append(rows, []string{n.Name, fmt.Sprint(res.Firings[i])})
 	}
-	fmt.Print(trace.Table([]string{"node", "firings"}, rows))
+	fmt.Print(tpdf.Table([]string{"node", "firings"}, rows))
 
 	rows = rows[:0]
 	for ei, e := range g.Edges {
@@ -134,7 +77,7 @@ func run() error {
 			fmt.Sprint(res.Final[ei]),
 		})
 	}
-	fmt.Print(trace.Table([]string{"edge", "route", "max tokens", "final"}, rows))
+	fmt.Print(tpdf.Table([]string{"edge", "route", "max tokens", "final"}, rows))
 	fmt.Printf("total buffer: %d tokens\n", res.TotalBuffer())
 
 	if *doTrace {

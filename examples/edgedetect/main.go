@@ -13,9 +13,8 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/apps"
-	"repro/internal/imaging"
-	"repro/internal/sim"
+	"repro/tpdf"
+	"repro/tpdf/imaging"
 )
 
 // writePGMFile saves an image under the given path, creating directories.
@@ -57,7 +56,7 @@ func main() {
 		}
 		measured[d.Name] = ms
 		fmt.Printf("%-8s %8d  %12d  %.4f\n",
-			d.Name, apps.PaperDetectorTimes[d.Name], ms, imaging.EdgeDensity(out, 60))
+			d.Name, tpdf.PaperDetectorTimes[d.Name], ms, imaging.EdgeDensity(out, 60))
 		if *outDir != "" {
 			name := filepath.Join(*outDir, strings.ToLower(d.Name)+".pgm")
 			if err := writePGMFile(name, out); err != nil {
@@ -78,8 +77,9 @@ func main() {
 		{"paper times (i3 @ 2.53GHz)", nil},
 		{"measured times (this host)", measured},
 	} {
-		app := apps.EdgeDetection(*deadline, cfg.times)
-		res, err := sim.Run(sim.Config{Graph: app.Graph, Decide: app.DeadlineDecide(), Record: true})
+		app := tpdf.EdgeDetection(*deadline, cfg.times)
+		res, err := tpdf.Simulate(app.Graph,
+			tpdf.WithDecisions(app.DeadlineDecide()), tpdf.WithRecord())
 		if err != nil {
 			log.Fatal(err)
 		}

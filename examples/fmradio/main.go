@@ -9,10 +9,8 @@ import (
 	"log"
 	"math"
 
-	"repro/internal/apps"
-	"repro/internal/dsp"
-	"repro/internal/runner"
-	"repro/internal/sim"
+	"repro/tpdf"
+	"repro/tpdf/dsp"
 )
 
 func main() {
@@ -33,33 +31,33 @@ func main() {
 
 	// Drive the samples through the payload graph in blocks of 64.
 	const block = 64
-	g := apps.OFDMPayloadGraph() // reuse the 5-stage single-rate pipeline shape
+	g := tpdf.OFDMPayloadGraph() // reuse the 5-stage single-rate pipeline shape
 	idx := 0
 	var captured []float64
-	behaviors := map[string]runner.Behavior{
-		"SRC": func(f *runner.Firing) error {
+	behaviors := map[string]tpdf.Behavior{
+		"SRC": func(f *tpdf.Firing) error {
 			f.Produce("o0", demod[idx*block:(idx+1)*block])
 			idx++
 			return nil
 		},
-		"RCP": func(f *runner.Firing) error { // pass-through stage
+		"RCP": func(f *tpdf.Firing) error { // pass-through stage
 			f.Produce("o0", f.In["i0"][0])
 			return nil
 		},
-		"FFT": func(f *runner.Firing) error { // pass-through stage
+		"FFT": func(f *tpdf.Firing) error { // pass-through stage
 			f.Produce("o0", f.In["i0"][0])
 			return nil
 		},
-		"QAM": func(f *runner.Firing) error { // equalizer band
+		"QAM": func(f *tpdf.Firing) error { // equalizer band
 			f.Produce("o0", band.Filter(f.In["i0"][0].([]float64)))
 			return nil
 		},
-		"SNK": func(f *runner.Firing) error {
+		"SNK": func(f *tpdf.Firing) error {
 			captured = append(captured, f.In["i0"][0].([]float64)...)
 			return nil
 		},
 	}
-	if _, err := runner.Run(runner.Config{Graph: g, Behaviors: behaviors, Iterations: samples / block}); err != nil {
+	if _, err := tpdf.Execute(g, behaviors, tpdf.WithIterations(samples/block)); err != nil {
 		log.Fatal(err)
 	}
 	var power float64
@@ -70,16 +68,16 @@ func main() {
 		len(captured), power, power > 1)
 
 	// 2. Model-level comparison: TPDF band selection vs CSDF all-bands.
-	cres, err := sim.Run(sim.Config{Graph: apps.FMRadioCSDF()})
+	cres, err := tpdf.Simulate(tpdf.FMRadioBaseline())
 	if err != nil {
 		log.Fatal(err)
 	}
-	tg := apps.FMRadioTPDF()
-	decide, err := apps.FMRadioSelectBand(tg, 2)
+	tg := tpdf.FMRadioGraph()
+	decide, err := tpdf.FMRadioSelectBand(tg, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tres, err := sim.Run(sim.Config{Graph: tg, Decide: decide})
+	tres, err := tpdf.Simulate(tg, tpdf.WithDecisions(decide))
 	if err != nil {
 		log.Fatal(err)
 	}

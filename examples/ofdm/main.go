@@ -9,25 +9,20 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/analysis"
-	"repro/internal/apps"
-	"repro/internal/buffer"
-	"repro/internal/dsp"
-	"repro/internal/runner"
-	"repro/internal/sim"
-	"repro/internal/symb"
+	"repro/tpdf"
+	"repro/tpdf/dsp"
 )
 
 func main() {
-	params := apps.OFDMParams{Beta: 10, M: 4, N: 512, L: 16}
+	params := tpdf.OFDMParams{Beta: 10, M: 4, N: 512, L: 16}
 
 	// 1. Static guarantees for all parameter values.
-	g := apps.OFDMTPDF(params)
-	rep := analysis.Analyze(g)
+	g := tpdf.OFDMGraph(params)
+	rep := tpdf.Analyze(g)
 	fmt.Print(rep.String())
 
 	// 2. Buffer comparison against CSDF (the Fig. 8 point for this config).
-	pt, err := buffer.OFDMPoint(params)
+	pt, err := tpdf.OFDMBufferPoint(params)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,11 +30,11 @@ func main() {
 		params.Beta, params.N, pt.TPDF, pt.PaperTPDF, pt.CSDF, pt.PaperCSDF, 100*pt.Improvement())
 
 	// 3. Mode selection in the simulator: QAM path active, QPSK dormant.
-	decide, err := apps.OFDMDecide(g, params.M)
+	decide, err := tpdf.OFDMDecide(g, params.M)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sim.Run(sim.Config{Graph: g, Env: symb.Env(params.Env()), Decide: decide})
+	res, err := tpdf.Simulate(g, tpdf.WithParams(params.Env()), tpdf.WithDecisions(decide))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,9 +51,9 @@ func main() {
 	rng := dsp.NewPRNG(42)
 	var sentBits [][]byte
 
-	pg := apps.OFDMPayloadGraph()
-	behaviors := map[string]runner.Behavior{
-		"SRC": func(f *runner.Firing) error {
+	pg := tpdf.OFDMPayloadGraph()
+	behaviors := map[string]tpdf.Behavior{
+		"SRC": func(f *tpdf.Firing) error {
 			bits := rng.Bits(n * scheme.BitsPerSymbol())
 			sentBits = append(sentBits, bits)
 			frame, err := mod.Modulate(bits)
@@ -68,7 +63,7 @@ func main() {
 			f.Produce("o0", frame)
 			return nil
 		},
-		"RCP": func(f *runner.Firing) error {
+		"RCP": func(f *tpdf.Firing) error {
 			frame := f.In["i0"][0].([]complex128)
 			sym, err := dsp.RemoveCyclicPrefix(frame, l)
 			if err != nil {
@@ -77,7 +72,7 @@ func main() {
 			f.Produce("o0", sym)
 			return nil
 		},
-		"FFT": func(f *runner.Firing) error {
+		"FFT": func(f *tpdf.Firing) error {
 			sym := append([]complex128(nil), f.In["i0"][0].([]complex128)...)
 			if err := dsp.FFT(sym); err != nil {
 				return err
@@ -85,20 +80,20 @@ func main() {
 			f.Produce("o0", sym)
 			return nil
 		},
-		"QAM": func(f *runner.Firing) error {
+		"QAM": func(f *tpdf.Firing) error {
 			f.Produce("o0", dsp.QAM16Demap(f.In["i0"][0].([]complex128)))
 			return nil
 		},
 	}
 	totalErrs := 0
 	frames := 0
-	behaviors["SNK"] = func(f *runner.Firing) error {
+	behaviors["SNK"] = func(f *tpdf.Firing) error {
 		got := f.In["i0"][0].([]byte)
 		totalErrs += dsp.BitErrors(sentBits[frames], got)
 		frames++
 		return nil
 	}
-	if _, err := runner.Run(runner.Config{Graph: pg, Behaviors: behaviors, Iterations: 20}); err != nil {
+	if _, err := tpdf.Execute(pg, behaviors, tpdf.WithIterations(20)); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("payload run: %d OFDM symbols demodulated, %d bit errors (clean channel)\n",

@@ -1,53 +1,41 @@
 // Quickstart: build a small TPDF graph with a parametric rate and a control
 // actor, run the complete static analysis chain, schedule its canonical
-// period, and execute it in the token-accurate simulator.
+// period, and execute it in the token-accurate simulator — all through the
+// public tpdf package.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/analysis"
-	"repro/internal/core"
-	"repro/internal/graphio"
-	"repro/internal/platform"
-	"repro/internal/sched"
-	"repro/internal/sim"
-	"repro/internal/symb"
+	"repro/tpdf"
 )
 
 func main() {
 	// A producer with a parametric rate feeding two consumers through a
 	// transaction that picks whichever branch the control actor selects.
-	g := core.NewGraph("quickstart")
-	g.AddParam("n", 4, 1, 64)
-
-	src := g.AddKernel("SRC", 2)
-	fast := g.AddKernel("FAST", 1)
-	slow := g.AddKernel("SLOW", 9)
-	ctl := g.AddControlActor("CTL", 0)
-	tr := g.AddTransaction("TR", 1)
-	snk := g.AddKernel("SNK", 0)
-
-	must := func(_ core.EdgeID, err error) {
-		if err != nil {
-			log.Fatal(err)
-		}
-	}
-	must(g.Connect(src, "[n]", fast, "[n]", 0))
-	must(g.Connect(src, "[n]", slow, "[n]", 0))
-	must(g.Connect(src, "[1]", ctl, "[1]", 0))
-	must(g.ConnectPriority(fast, "[1]", tr, "[1]", 0, 1))
-	must(g.ConnectPriority(slow, "[1]", tr, "[1]", 0, 2))
-	must(g.Connect(tr, "[1]", snk, "[1]", 0))
-	ctlEdge, err := g.ConnectControl(ctl, "[1]", tr, 0)
+	g, err := tpdf.NewGraph("quickstart").
+		Param("n", 4, 1, 64).
+		Kernel("SRC", 2).
+		Kernel("FAST", 1).
+		Kernel("SLOW", 9).
+		ControlActor("CTL", 0).
+		Transaction("TR", 1).
+		Kernel("SNK", 0).
+		Connect("SRC[n] -> FAST[n]").
+		Connect("SRC[n] -> SLOW[n]").
+		Connect("SRC[1] -> CTL[1]").
+		Connect("FAST[1] -> TR[1] prio=1").
+		Connect("SLOW[1] -> TR[1] prio=2").
+		Connect("TR[1] -> SNK[1]").
+		Connect("CTL[1] => TR").
+		Build()
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctlPort := g.Nodes[ctl].Ports[g.Edges[ctlEdge].SrcPort].Name
 
 	// 1. Static analysis: consistency, rate safety, liveness, boundedness.
-	rep := analysis.Analyze(g)
+	rep := tpdf.Analyze(g)
 	fmt.Print(rep.String())
 	if !rep.Bounded {
 		log.Fatal("graph is not bounded")
@@ -55,41 +43,29 @@ func main() {
 
 	// 2. The graph's textual form (parseable by tpdf-analyze).
 	fmt.Println("--- textual form ---")
-	fmt.Print(graphio.Format(g))
+	fmt.Print(tpdf.Format(g))
 
 	// 3. Canonical period scheduling on a 4-PE machine.
-	cg, low, err := g.Instantiate(symb.Env{"n": 4})
-	if err != nil {
-		log.Fatal(err)
-	}
-	sol, err := cg.RepetitionVector()
-	if err != nil {
-		log.Fatal(err)
-	}
-	prec, err := cg.BuildPrecedence(sol, true)
-	if err != nil {
-		log.Fatal(err)
-	}
-	isCtl := make([]bool, len(cg.Actors))
-	isCtl[low.ActorOf[ctl]] = true
-	res, err := sched.ListSchedule(cg, prec, sched.Options{
-		Platform: platform.Simple(4), ControlPriority: true, IsControl: isCtl,
-	})
+	sch, err := tpdf.Schedule(g, tpdf.WithParam("n", 4), tpdf.WithPlatform(tpdf.SMP(4)))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("--- schedule: %d firings, makespan %d, utilization %.2f ---\n",
-		prec.N(), res.Makespan, res.Utilization())
+		sch.Firings, sch.Makespan, sch.Utilization)
 
 	// 4. Simulate with the control actor picking the high-priority branch.
-	decide := map[string]sim.DecideFunc{
-		"CTL": func(firing int64) map[string]sim.ControlToken {
-			return map[string]sim.ControlToken{
-				ctlPort: {Mode: core.ModeHighestPriority},
+	ctlPorts, err := tpdf.ControlOutPorts(g, "CTL")
+	if err != nil {
+		log.Fatal(err)
+	}
+	decide := map[string]tpdf.DecideFunc{
+		"CTL": func(firing int64) map[string]tpdf.ControlToken {
+			return map[string]tpdf.ControlToken{
+				ctlPorts[0]: {Mode: tpdf.ModeHighestPriority},
 			}
 		},
 	}
-	simRes, err := sim.Run(sim.Config{Graph: g, Env: symb.Env{"n": 4}, Decide: decide})
+	simRes, err := tpdf.Simulate(g, tpdf.WithParam("n", 4), tpdf.WithDecisions(decide))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,28 +11,23 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/apps"
-	"repro/internal/core"
-	"repro/internal/runner"
-	"repro/internal/sim"
+	"repro/tpdf"
 )
 
 // tmrGraph: SRC feeds three replicas whose results a voter combines.
-func tmrGraph() *core.Graph {
-	g := core.NewGraph("tmr")
-	src := g.AddKernel("SRC")
-	vote := g.AddKernel("VOTE")
-	snk := g.AddKernel("SNK")
+func tmrGraph() *tpdf.Graph {
+	b := tpdf.NewGraph("tmr").
+		Kernel("SRC").
+		Kernel("VOTE").
+		Kernel("SNK")
 	for i := 1; i <= 3; i++ {
-		r := g.AddKernel(fmt.Sprintf("R%d", i))
-		if _, err := g.Connect(src, "[1]", r, "[1]", 0); err != nil {
-			log.Fatal(err)
-		}
-		if _, err := g.Connect(r, "[1]", vote, "[1]", 0); err != nil {
-			log.Fatal(err)
-		}
+		r := fmt.Sprintf("R%d", i)
+		b.Kernel(r).
+			Connect("SRC[1] -> " + r + "[1]").
+			Connect(r + "[1] -> VOTE[1]")
 	}
-	if _, err := g.Connect(vote, "[1]", snk, "[1]", 0); err != nil {
+	g, err := b.Connect("VOTE[1] -> SNK[1]").Build()
+	if err != nil {
 		log.Fatal(err)
 	}
 	return g
@@ -53,8 +48,8 @@ func main() {
 	faultIn := "R2"
 	votes := map[string]int{}
 	var voted int
-	replica := func(name string) runner.Behavior {
-		return func(f *runner.Firing) error {
+	replica := func(name string) tpdf.Behavior {
+		return func(f *tpdf.Firing) error {
 			v := checksum(data)
 			if name == faultIn {
 				v ^= 0xDEAD // injected fault
@@ -63,15 +58,15 @@ func main() {
 			return nil
 		}
 	}
-	behaviors := map[string]runner.Behavior{
-		"SRC": func(f *runner.Firing) error {
+	behaviors := map[string]tpdf.Behavior{
+		"SRC": func(f *tpdf.Firing) error {
 			f.Produce("o0", 1)
 			f.Produce("o1", 1)
 			f.Produce("o2", 1)
 			return nil
 		},
 		"R1": replica("R1"), "R2": replica("R2"), "R3": replica("R3"),
-		"VOTE": func(f *runner.Firing) error {
+		"VOTE": func(f *tpdf.Firing) error {
 			counts := map[int]int{}
 			for _, port := range []string{"i0", "i1", "i2"} {
 				v := f.In[port][0].(int)
@@ -89,7 +84,7 @@ func main() {
 			return nil
 		},
 	}
-	if _, err := runner.Run(runner.Config{Graph: g, Behaviors: behaviors}); err != nil {
+	if _, err := tpdf.Execute(g, behaviors); err != nil {
 		log.Fatal(err)
 	}
 	want := checksum(data)
@@ -100,10 +95,11 @@ func main() {
 	// Two implementations race; the transaction takes the first finisher
 	// when the clock fires. With a fast heuristic (80) and a slow exact
 	// method (700), a 200-unit deadline picks the heuristic.
-	app := apps.EdgeDetection(200, map[string]int64{
+	app := tpdf.EdgeDetection(200, map[string]int64{
 		"QMask": 80, "Sobel": 700, "Prewitt": 800, "Canny": 900,
 	})
-	res, err := sim.Run(sim.Config{Graph: app.Graph, Decide: app.DeadlineDecide(), Record: true})
+	res, err := tpdf.Simulate(app.Graph,
+		tpdf.WithDecisions(app.DeadlineDecide()), tpdf.WithRecord())
 	if err != nil {
 		log.Fatal(err)
 	}

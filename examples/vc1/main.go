@@ -9,17 +9,13 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/analysis"
-	"repro/internal/apps"
-	"repro/internal/core"
-	"repro/internal/sim"
-	"repro/internal/symb"
+	"repro/tpdf"
 )
 
 func main() {
-	g := apps.VC1Decoder()
+	g := tpdf.VC1Decoder()
 
-	rep := analysis.Analyze(g)
+	rep := tpdf.Analyze(g)
 	fmt.Print(rep.String())
 	if !rep.Bounded {
 		log.Fatal("decoder graph is not bounded")
@@ -29,16 +25,16 @@ func main() {
 	pattern := []string{"I", "P", "P", "P", "I", "P", "P", "P"}
 
 	// Resolve the port wiring once (any frame type gives the same ports).
-	iDecide, err := apps.VC1FrameDecide(g, "I")
+	iDecide, err := tpdf.VC1FrameDecide(g, "I")
 	if err != nil {
 		log.Fatal(err)
 	}
-	pDecide, err := apps.VC1FrameDecide(g, "P")
+	pDecide, err := tpdf.VC1FrameDecide(g, "P")
 	if err != nil {
 		log.Fatal(err)
 	}
-	decide := map[string]sim.DecideFunc{
-		"CON": func(firing int64) map[string]sim.ControlToken {
+	decide := map[string]tpdf.DecideFunc{
+		"CON": func(firing int64) map[string]tpdf.ControlToken {
 			if pattern[firing%int64(len(pattern))] == "I" {
 				return iDecide["CON"](firing)
 			}
@@ -46,13 +42,11 @@ func main() {
 		},
 	}
 
-	res, err := sim.Run(sim.Config{
-		Graph:      g,
-		Env:        symb.Env{"mb": 396}, // CIF frame
-		Iterations: int64(len(pattern)),
-		Decide:     decide,
-		Record:     true,
-	})
+	res, err := tpdf.Simulate(g,
+		tpdf.WithParam("mb", 396), // CIF frame
+		tpdf.WithIterations(int64(len(pattern))),
+		tpdf.WithDecisions(decide),
+		tpdf.WithRecord())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,13 +77,13 @@ func main() {
 	}
 }
 
-func busyOf(g *core.Graph, res *sim.Result, name string) int64 {
+func busyOf(g *tpdf.Graph, res *tpdf.SimResult, name string) int64 {
 	id, _ := g.NodeByName(name)
 	return res.Busy[id]
 }
 
 // hasEdgeTo reports whether src feeds the TRAN input port named port.
-func hasEdgeTo(g *core.Graph, src core.NodeID, port string) bool {
+func hasEdgeTo(g *tpdf.Graph, src tpdf.NodeID, port string) bool {
 	tran, _ := g.NodeByName("TRAN")
 	for _, e := range g.Edges {
 		if e.Src == src && e.Dst == tran && g.Nodes[tran].Ports[e.DstPort].Name == port {

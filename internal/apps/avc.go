@@ -1,6 +1,9 @@
 package apps
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
 
 // MotionEstimationApp is the §V AVC-encoder scenario: two motion-vector
 // searches of different quality and cost race under a deadline, and a
@@ -47,6 +50,19 @@ func MotionEstimation(deadlineMS, fullMS, tssMS int64) *MotionEstimationApp {
 	cid := mustEdge(g.ConnectControl(clk, "[1]", tran, 0))
 	app.ClockPort = g.Nodes[clk].Ports[g.Edges[cid].SrcPort].Name
 	return app
+}
+
+// DeadlineDecide returns the clock decision committing the
+// highest-priority search result available when the frame budget expires.
+func (a *MotionEstimationApp) DeadlineDecide() map[string]sim.DecideFunc {
+	clock := a.Graph.Nodes[a.Clock].Name
+	return map[string]sim.DecideFunc{
+		clock: func(int64) map[string]sim.ControlToken {
+			return map[string]sim.ControlToken{
+				a.ClockPort: {Mode: core.ModeHighestPriority},
+			}
+		},
+	}
 }
 
 // SearchFor resolves a Transaction input port back to the search kernel.

@@ -191,14 +191,8 @@ func AVCQualityThreshold() (string, error) {
 	for _, deadline := range []int64{30, 80} {
 		app := apps.MotionEstimation(deadline, 60 /*full*/, 15 /*tss*/)
 		res, err := sim.Run(sim.Config{
-			Graph: app.Graph,
-			Decide: map[string]sim.DecideFunc{
-				"CLK": func(int64) map[string]sim.ControlToken {
-					return map[string]sim.ControlToken{
-						app.ClockPort: {Mode: core.ModeHighestPriority},
-					}
-				},
-			},
+			Graph:  app.Graph,
+			Decide: app.DeadlineDecide(),
 			Record: true,
 		})
 		if err != nil {

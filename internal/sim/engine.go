@@ -121,6 +121,11 @@ func (e *engine) run() (*Result, error) {
 		if processed++; processed > e.maxEvents() {
 			return nil, fmt.Errorf("sim: exceeded %d events at t=%d", e.maxEvents(), e.now)
 		}
+		if e.cfg.Context != nil {
+			if err := e.cfg.Context.Err(); err != nil {
+				return nil, fmt.Errorf("sim: cancelled at t=%d: %w", e.now, err)
+			}
+		}
 		ev := heap.Pop(&e.events).(event)
 		e.now = ev.time
 		switch ev.kind {

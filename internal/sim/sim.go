@@ -29,6 +29,8 @@
 package sim
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/symb"
 )
@@ -59,6 +61,9 @@ type FireEvent struct {
 // Config configures a simulation run.
 type Config struct {
 	Graph *core.Graph
+	// Context, when non-nil, cancels the run: the engine polls it between
+	// events and returns its error once it is done.
+	Context context.Context
 	// Env instantiates the graph's parameters (defaults used when nil).
 	Env symb.Env
 	// Iterations bounds the run: every node fires at most

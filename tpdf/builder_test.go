@@ -1,0 +1,127 @@
+package tpdf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderBuildsValidGraph(t *testing.T) {
+	g, err := NewGraph("pipe").
+		Param("p", 2, 1, 8).
+		Kernel("A", 1).
+		Kernel("B", 2).
+		Kernel("C", 1).
+		Connect("A[p] -> B[1]").
+		Connect("B[1] -> C[2] init=2").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 3 || len(g.Edges) != 2 {
+		t.Fatalf("got %d nodes, %d edges", len(g.Nodes), len(g.Edges))
+	}
+	if g.Edges[1].Initial != 2 {
+		t.Errorf("init option lost: %d", g.Edges[1].Initial)
+	}
+	if rep := Analyze(g); !rep.Bounded {
+		t.Errorf("pipeline should be bounded:\n%s", rep)
+	}
+}
+
+func TestBuilderAccumulatesAllErrors(t *testing.T) {
+	_, err := NewGraph("bad").
+		Kernel("A", 1).
+		Kernel("A", 1).              // duplicate node
+		Connect("A[1] -> NOPE[1]").  // unknown destination
+		Connect("A[1] B[1]").        // missing arrow
+		Connect("GHOST[1] -> A[1]"). // unknown source
+		Build()
+	if err == nil {
+		t.Fatal("Build should fail")
+	}
+	for _, frag := range []string{"duplicate node", "NOPE", "missing", "GHOST"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("joined error missing %q:\n%v", frag, err)
+		}
+	}
+}
+
+func TestBuilderControlEdges(t *testing.T) {
+	g, err := NewGraph("ctl").
+		Kernel("SRC", 1).
+		ControlActor("CTL", 0).
+		Transaction("TR", 1).
+		Kernel("A", 3).
+		Kernel("B", 5).
+		Kernel("SNK", 0).
+		Connect("SRC[1] -> CTL[1]").
+		Connect("SRC[1] -> A[1]").
+		Connect("SRC[1] -> B[1]").
+		Connect("A[1] -> TR[1] prio=2").
+		Connect("B[1] -> TR[1] prio=1").
+		Connect("TR[1] -> SNK[1]").
+		Connect("CTL[1] => TR").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctlEdges := 0
+	for _, e := range g.Edges {
+		if g.IsControlEdge(e) {
+			ctlEdges++
+		}
+	}
+	if ctlEdges != 1 {
+		t.Errorf("want 1 control edge, got %d", ctlEdges)
+	}
+	tr, _ := g.NodeByName("TR")
+	prios := map[int]bool{}
+	for _, pi := range g.Nodes[tr].DataIns() {
+		prios[g.Nodes[tr].Ports[pi].Priority] = true
+	}
+	if !prios[1] || !prios[2] {
+		t.Errorf("prio options lost: %v", prios)
+	}
+}
+
+func TestBuilderSpecSyntaxErrors(t *testing.T) {
+	cases := []string{
+		"A[1] -> B",           // data destination without rates
+		"A -> B[1]",           // data source without rates
+		"A[1] => B[1]",        // control destination with rates
+		"A[1] -> B[1] init",   // malformed option
+		"A[1] -> B[1] x=1",    // unknown option
+		"A[1] => B prio=1",    // prio on a control edge
+		"A[] -> B[1]",         // empty rate list
+		"A[1] -> B[1] init=x", // non-numeric option
+	}
+	for _, spec := range cases {
+		_, err := NewGraph("t").Kernel("A", 1).Kernel("B", 1).Connect(spec).Build()
+		if err == nil {
+			t.Errorf("spec %q should fail", spec)
+		}
+	}
+}
+
+func TestBuilderValidatesStructure(t *testing.T) {
+	// An unconnected port set that declares an undeclared parameter is a
+	// structural error surfaced by Build even when every chain call
+	// succeeded.
+	_, err := NewGraph("undeclared").
+		Kernel("A", 1).
+		Kernel("B", 1).
+		Connect("A[q] -> B[1]").
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "undeclared") {
+		t.Errorf("want undeclared-parameter validation error, got %v", err)
+	}
+}
+
+func TestBuilderClockAndModes(t *testing.T) {
+	if _, err := NewGraph("t").Clock("CLK", 0).Build(); err == nil {
+		t.Error("zero-period clock should fail")
+	}
+	if _, err := NewGraph("t").Modes("NOPE", ModeWaitAll).Kernel("A", 1).Build(); err == nil {
+		t.Error("Modes on unknown node should fail")
+	}
+}

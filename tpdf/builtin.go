@@ -1,0 +1,115 @@
+package tpdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/apps"
+)
+
+// Scenario bundles a built-in application graph with its paper-default
+// control decisions (nil when the graph needs none: every control actor
+// then defaults to wait-all).
+type Scenario struct {
+	Graph  *Graph
+	Decide map[string]DecideFunc
+}
+
+// builtins is the registry behind Builtin: every application graph the
+// repository ships, keyed by the name the CLIs and graphs/*.tpdf use.
+// Each constructor takes the parameter overrides a caller passed via
+// BuiltinScenario (semantics per entry, e.g. "beta" for ofdm, "deadline"
+// for edge).
+var builtins = map[string]func(params map[string]int64) (*Scenario, error){
+	"fig2":  plainBuiltin(apps.Fig2),
+	"fig4a": plainBuiltin(apps.Fig4a),
+	"fig4b": plainBuiltin(apps.Fig4b),
+	"ofdm": func(params map[string]int64) (*Scenario, error) {
+		p := ofdmParams(params)
+		g := apps.OFDMTPDF(p)
+		decide, err := apps.OFDMDecide(g, p.M)
+		if err != nil {
+			return nil, err
+		}
+		return &Scenario{Graph: g, Decide: decide}, nil
+	},
+	"ofdm-csdf": func(params map[string]int64) (*Scenario, error) {
+		return &Scenario{Graph: apps.OFDMCSDF(ofdmParams(params))}, nil
+	},
+	"edge": func(params map[string]int64) (*Scenario, error) {
+		app := apps.EdgeDetection(paramOr(params, "deadline", 500), nil)
+		return &Scenario{Graph: app.Graph, Decide: app.DeadlineDecide()}, nil
+	},
+	"fmradio": func(params map[string]int64) (*Scenario, error) {
+		g := apps.FMRadioTPDF()
+		decide, err := apps.FMRadioSelectBand(g, int(paramOr(params, "band", 1)))
+		if err != nil {
+			return nil, err
+		}
+		return &Scenario{Graph: g, Decide: decide}, nil
+	},
+	"fmradio-csdf": plainBuiltin(apps.FMRadioCSDF),
+	"vc1":          plainBuiltin(apps.VC1Decoder),
+	"avc-me": func(params map[string]int64) (*Scenario, error) {
+		app := apps.MotionEstimation(
+			paramOr(params, "deadline", 500),
+			paramOr(params, "full", 60),
+			paramOr(params, "tss", 15))
+		return &Scenario{Graph: app.Graph, Decide: app.DeadlineDecide()}, nil
+	},
+}
+
+func plainBuiltin(build func() *Graph) func(map[string]int64) (*Scenario, error) {
+	return func(map[string]int64) (*Scenario, error) {
+		return &Scenario{Graph: build()}, nil
+	}
+}
+
+func paramOr(params map[string]int64, name string, def int64) int64 {
+	if v, ok := params[name]; ok {
+		return v
+	}
+	return def
+}
+
+func ofdmParams(params map[string]int64) apps.OFDMParams {
+	p := apps.DefaultOFDM()
+	p.Beta = paramOr(params, "beta", p.Beta)
+	p.M = paramOr(params, "M", p.M)
+	p.N = paramOr(params, "N", p.N)
+	p.L = paramOr(params, "L", p.L)
+	return p
+}
+
+// Builtin returns one of the repository's application graphs by name, with
+// its default parameters. BuiltinNames lists the legal names.
+func Builtin(name string) (*Graph, error) {
+	s, err := BuiltinScenario(name, nil)
+	if err != nil {
+		return nil, err
+	}
+	return s.Graph, nil
+}
+
+// BuiltinScenario returns a built-in graph together with its paper-default
+// control decisions, constructed under the given parameter overrides
+// (graph parameters like "beta", and scenario knobs like the edge
+// detector's "deadline" or the FM radio's "band").
+func BuiltinScenario(name string, params map[string]int64) (*Scenario, error) {
+	build, ok := builtins[name]
+	if !ok {
+		return nil, fmt.Errorf("tpdf: unknown builtin %q (try %s)", name, strings.Join(BuiltinNames(), ", "))
+	}
+	return build(params)
+}
+
+// BuiltinNames returns the sorted names of every built-in graph.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,91 @@
+package tpdf
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// cliNames are the graphs the CLI tools historically switch-cased; the
+// registry must serve every one of them, and gen-graphs ships exactly
+// BuiltinNames, so this doubles as the fixture-completeness check.
+var cliNames = []string{
+	"fig2", "fig4a", "fig4b", "ofdm", "ofdm-csdf",
+	"edge", "fmradio", "fmradio-csdf", "vc1", "avc-me",
+}
+
+func TestBuiltinServesEveryCLIName(t *testing.T) {
+	names := BuiltinNames()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("BuiltinNames not sorted: %v", names)
+	}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, n := range cliNames {
+		if !have[n] {
+			t.Errorf("registry missing CLI graph %q", n)
+		}
+	}
+	if len(names) != len(cliNames) {
+		t.Errorf("registry has %d graphs, CLIs expect %d: %v", len(names), len(cliNames), names)
+	}
+}
+
+func TestBuiltinGraphsValidateAndRoundTrip(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		g, err := Builtin(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: validate: %v", name, err)
+		}
+		back, err := Parse(Format(g))
+		if err != nil {
+			t.Errorf("%s: textual round-trip: %v", name, err)
+		} else if len(back.Nodes) != len(g.Nodes) || len(back.Edges) != len(g.Edges) {
+			t.Errorf("%s: round-trip changed shape", name)
+		}
+	}
+}
+
+func TestBuiltinUnknownName(t *testing.T) {
+	_, err := Builtin("nope")
+	if err == nil || !strings.Contains(err.Error(), "fig2") {
+		t.Errorf("unknown builtin should list the legal names, got %v", err)
+	}
+}
+
+func TestBuiltinScenarioParams(t *testing.T) {
+	// The edge scenario's deadline parameter must reach the Clock actor.
+	s, err := BuiltinScenario("edge", map[string]int64{"deadline": 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk, ok := s.Graph.NodeByName("Clock")
+	if !ok {
+		t.Fatal("edge graph has no Clock")
+	}
+	if p := s.Graph.Nodes[clk].ClockPeriod; p != 250 {
+		t.Errorf("deadline override lost: clock period %d", p)
+	}
+	if s.Decide == nil {
+		t.Error("edge scenario should carry its deadline decisions")
+	}
+
+	// The OFDM simulation under the scenario's own decisions reproduces
+	// the paper's buffer total at beta=10.
+	ofdm, err := BuiltinScenario("ofdm", map[string]int64{"beta": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(ofdm.Graph, WithParam("beta", 10), WithDecisions(ofdm.Decide))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBuffer() != 61453 {
+		t.Errorf("ofdm buffer %d, want 61453", res.TotalBuffer())
+	}
+}

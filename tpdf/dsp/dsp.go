@@ -1,0 +1,83 @@
+// Package dsp is the public face of the signal-processing substrate backing
+// the OFDM and FM-radio case studies: FFT/IFFT, cyclic prefixes, QPSK and
+// 16-QAM mapping, FIR filters, FM modulation and a deterministic PRNG.
+package dsp
+
+import "repro/internal/dsp"
+
+// Modulation schemes and the OFDM modulator/demodulator pair.
+type (
+	// Scheme is a constellation (QPSK or QAM16); its value is the bits per
+	// subcarrier symbol.
+	Scheme = dsp.Scheme
+	// Modulator assembles OFDM frames: N subcarriers, cyclic prefix L,
+	// scheme S.
+	Modulator = dsp.Modulator
+	// Demodulator inverts Modulator.
+	Demodulator = dsp.Demodulator
+	// FIR is a streaming finite-impulse-response filter.
+	FIR = dsp.FIR
+	// PRNG is the deterministic xorshift generator used by the examples.
+	PRNG = dsp.PRNG
+)
+
+// Constellations.
+const (
+	QPSK  = dsp.QPSK
+	QAM16 = dsp.QAM16
+)
+
+// FFT transforms x in place (length must be a power of two).
+func FFT(x []complex128) error { return dsp.FFT(x) }
+
+// IFFT inverse-transforms x in place.
+func IFFT(x []complex128) error { return dsp.IFFT(x) }
+
+// AddCyclicPrefix prepends the last l samples of the symbol.
+func AddCyclicPrefix(sym []complex128, l int) ([]complex128, error) {
+	return dsp.AddCyclicPrefix(sym, l)
+}
+
+// RemoveCyclicPrefix drops the l-sample prefix of a frame.
+func RemoveCyclicPrefix(frame []complex128, l int) ([]complex128, error) {
+	return dsp.RemoveCyclicPrefix(frame, l)
+}
+
+// QPSKMap and QPSKDemap convert between bits and QPSK symbols.
+func QPSKMap(bits []byte) ([]complex128, error) { return dsp.QPSKMap(bits) }
+
+// QPSKDemap recovers bits from QPSK symbols.
+func QPSKDemap(syms []complex128) []byte { return dsp.QPSKDemap(syms) }
+
+// QAM16Map and QAM16Demap convert between bits and Gray-coded 16-QAM.
+func QAM16Map(bits []byte) ([]complex128, error) { return dsp.QAM16Map(bits) }
+
+// QAM16Demap recovers bits from 16-QAM symbols.
+func QAM16Demap(syms []complex128) []byte { return dsp.QAM16Demap(syms) }
+
+// BitErrors counts differing bits between two equal-length bit slices.
+func BitErrors(a, b []byte) int { return dsp.BitErrors(a, b) }
+
+// NewPRNG seeds a deterministic generator.
+func NewPRNG(seed uint64) *PRNG { return dsp.NewPRNG(seed) }
+
+// NewFIR builds a filter with the given taps.
+func NewFIR(taps []float64) *FIR { return dsp.NewFIR(taps) }
+
+// LowPassTaps designs a windowed-sinc low-pass filter.
+func LowPassTaps(cutoff float64, ntaps int) ([]float64, error) {
+	return dsp.LowPassTaps(cutoff, ntaps)
+}
+
+// BandPassTaps designs a windowed-sinc band-pass filter.
+func BandPassTaps(low, high float64, ntaps int) ([]float64, error) {
+	return dsp.BandPassTaps(low, high, ntaps)
+}
+
+// FMModulate frequency-modulates a message onto a complex baseband carrier.
+func FMModulate(msg []float64, deviation float64) []complex128 {
+	return dsp.FMModulate(msg, deviation)
+}
+
+// FMDemod recovers the message from an FM baseband signal.
+func FMDemod(x []complex128) []float64 { return dsp.FMDemod(x) }

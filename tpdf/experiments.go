@@ -1,0 +1,76 @@
+package tpdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// experimentTable maps the experiment names tpdf-bench accepts to their
+// artifact generators. quick selects reduced image sizes and sweeps.
+var experimentTable = map[string]func(quick bool) (string, error){
+	"f1": ignoreQuick(experiments.F1),
+	"f2": ignoreQuick(experiments.F2),
+	"f3": ignoreQuick(experiments.F3),
+	"f4": ignoreQuick(experiments.F4),
+	"f5": ignoreQuick(experiments.F5),
+	"t6": func(quick bool) (string, error) {
+		size := 1024
+		if quick {
+			size = 256
+		}
+		return experiments.F6Table(size, true)
+	},
+	"f6": ignoreQuick(experiments.F6Deadline),
+	"f7": ignoreQuick(experiments.F7),
+	"f8": func(quick bool) (string, error) {
+		betas := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+		if quick {
+			betas = []int64{10, 30, 50, 100}
+		}
+		return experiments.F8(betas)
+	},
+	"a1": ignoreQuick(experiments.ScheduleAblation),
+	"a2": ignoreQuick(experiments.PlatformSweep),
+	"a3": ignoreQuick(experiments.FMRadioComparison),
+	"a4": ignoreQuick(experiments.ADFPruning),
+	"a5": ignoreQuick(experiments.AVCQualityThreshold),
+	"a6": ignoreQuick(experiments.ThroughputValidation),
+	"a7": ignoreQuick(experiments.PipelinedScheduling),
+	"a8": ignoreQuick(experiments.CapacityMinimization),
+}
+
+func ignoreQuick(f func() (string, error)) func(bool) (string, error) {
+	return func(bool) (string, error) { return f() }
+}
+
+// ExperimentNames returns the sorted names of every paper artifact the
+// experiment harness can regenerate (figures f1..f8, table t6, ablations
+// a1..a8).
+func ExperimentNames() []string {
+	names := make([]string, 0, len(experimentTable))
+	for n := range experimentTable {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunExperiment regenerates one named table or figure and returns its
+// rendering. quick trades fidelity for speed (smaller image, shorter
+// sweeps).
+func RunExperiment(name string, quick bool) (string, error) {
+	f, ok := experimentTable[name]
+	if !ok {
+		return "", fmt.Errorf("tpdf: unknown experiment %q (try %s)", name, strings.Join(ExperimentNames(), ", "))
+	}
+	return f(quick)
+}
+
+// RunAllExperiments regenerates every paper artifact in order; partial
+// output is returned even on error.
+func RunAllExperiments(quick bool) (string, error) {
+	return experiments.All(quick)
+}

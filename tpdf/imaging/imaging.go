@@ -1,0 +1,63 @@
+// Package imaging is the public face of the image substrate backing the
+// edge-detection and motion-estimation case studies: grayscale images, the
+// four real edge detectors of the Fig. 6 table, PGM I/O and block-matching
+// motion search.
+package imaging
+
+import (
+	"io"
+
+	"repro/internal/imaging"
+)
+
+type (
+	// Image is a grayscale raster.
+	Image = imaging.Image
+	// Detector is a named edge detector.
+	Detector = imaging.Detector
+	// MotionVector is one block's displacement with its matching cost.
+	MotionVector = imaging.MotionVector
+)
+
+// New allocates a w×h image.
+func New(w, h int) *Image { return imaging.New(w, h) }
+
+// Synthetic renders the deterministic test scene used by the benchmarks.
+func Synthetic(w, h int, seed uint64) *Image { return imaging.Synthetic(w, h, seed) }
+
+// Detectors returns the four detectors of the paper's Fig. 6 table
+// (QMask, Sobel, Prewitt, Canny).
+func Detectors() []Detector { return imaging.Detectors() }
+
+// QuickMask runs the fast quick-mask detector.
+func QuickMask(im *Image) *Image { return imaging.QuickMask(im) }
+
+// Sobel runs the Sobel gradient detector.
+func Sobel(im *Image) *Image { return imaging.Sobel(im) }
+
+// Prewitt runs the Prewitt gradient detector.
+func Prewitt(im *Image) *Image { return imaging.Prewitt(im) }
+
+// Canny runs the Canny detector with the given hysteresis thresholds.
+func Canny(im *Image, low, high int) *Image { return imaging.Canny(im, low, high) }
+
+// EdgeDensity is the fraction of pixels above the threshold.
+func EdgeDensity(im *Image, threshold uint8) float64 {
+	return imaging.EdgeDensity(im, threshold)
+}
+
+// WritePGM and ReadPGM serialize images in the portable graymap format.
+func WritePGM(w io.Writer, im *Image) error { return imaging.WritePGM(w, im) }
+
+// ReadPGM parses a portable graymap.
+func ReadPGM(r io.Reader) (*Image, error) { return imaging.ReadPGM(r) }
+
+// FullSearch exhaustively searches a block's best motion vector.
+func FullSearch(cur, ref *Image, bx, by, size, radius int) MotionVector {
+	return imaging.FullSearch(cur, ref, bx, by, size, radius)
+}
+
+// ThreeStepSearch runs the logarithmic three-step search heuristic.
+func ThreeStepSearch(cur, ref *Image, bx, by, size, radius int) MotionVector {
+	return imaging.ThreeStepSearch(cur, ref, bx, by, size, radius)
+}

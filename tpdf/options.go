@@ -1,0 +1,151 @@
+package tpdf
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/symb"
+)
+
+// Params is a repeatable "name=value" command-line flag collecting
+// parameter assignments: register it with flag.Var and hand the result to
+// WithParams (it is assignable to map[string]int64).
+type Params map[string]int64
+
+// String renders the collected assignments.
+func (p Params) String() string { return fmt.Sprint(map[string]int64(p)) }
+
+// Set parses one name=value assignment.
+func (p Params) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("expected name=value, got %q", s)
+	}
+	v, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return err
+	}
+	p[name] = v
+	return nil
+}
+
+// config collects every knob the entry points understand. Each entry point
+// reads the subset that applies to it and ignores the rest, so one option
+// list can configure an Analyze + Schedule + Simulate pipeline.
+type config struct {
+	ctx             context.Context
+	params          map[string]int64
+	iterations      int64
+	processors      int
+	decide          map[string]DecideFunc
+	record          bool
+	onFire          func(FireEvent)
+	maxEvents       int64
+	platform        *Platform
+	controlPriority bool
+	probeEnvs       []map[string]int64
+}
+
+// Option configures Analyze, Simulate, Execute, Schedule or GenerateCode.
+type Option func(*config)
+
+func buildConfig(opts []Option) config {
+	cfg := config{
+		iterations:      1,
+		controlPriority: true,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// env renders the accumulated parameter assignments for the internals;
+// nil (graph defaults) when none were given.
+func (c *config) env() symb.Env {
+	if len(c.params) == 0 {
+		return nil
+	}
+	return symb.Env(c.params)
+}
+
+// WithContext attaches a cancellation context: long Simulate runs poll it
+// between events and return its error once it is done.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) { c.ctx = ctx }
+}
+
+// WithParams merges parameter assignments (name -> value) used to
+// instantiate the graph's symbolic rates. Unset parameters keep their
+// declared defaults.
+func WithParams(params map[string]int64) Option {
+	return func(c *config) {
+		if c.params == nil {
+			c.params = map[string]int64{}
+		}
+		for k, v := range params {
+			c.params[k] = v
+		}
+	}
+}
+
+// WithParam assigns a single parameter.
+func WithParam(name string, value int64) Option {
+	return WithParams(map[string]int64{name: value})
+}
+
+// WithIterations bounds a run to n graph iterations (default 1): every node
+// fires at most n × q(node) times.
+func WithIterations(n int64) Option {
+	return func(c *config) { c.iterations = n }
+}
+
+// WithProcessors limits the processing elements available: concurrently
+// executing firings in Simulate, PEs used by Schedule. Zero (the default)
+// means unlimited in Simulate and every platform PE in Schedule.
+func WithProcessors(p int) Option {
+	return func(c *config) { c.processors = p }
+}
+
+// WithDecisions supplies mode decisions per control-actor name; control
+// actors without one emit wait-all tokens.
+func WithDecisions(decide map[string]DecideFunc) Option {
+	return func(c *config) { c.decide = decide }
+}
+
+// WithTrace streams every completed firing to fn during Simulate.
+func WithTrace(fn func(FireEvent)) Option {
+	return func(c *config) { c.onFire = fn }
+}
+
+// WithRecord stores the full firing trace in SimResult.Events.
+func WithRecord() Option {
+	return func(c *config) { c.record = true }
+}
+
+// WithMaxEvents guards Simulate against runaway graphs (default 50M
+// events).
+func WithMaxEvents(n int64) Option {
+	return func(c *config) { c.maxEvents = n }
+}
+
+// WithPlatform selects the many-core target for Schedule (default SMP with
+// the WithProcessors count, or 8 PEs).
+func WithPlatform(p *Platform) Option {
+	return func(c *config) { c.platform = p }
+}
+
+// WithoutControlPriority disables the §III-D rule that control actors win
+// PEs over kernels in Schedule.
+func WithoutControlPriority() Option {
+	return func(c *config) { c.controlPriority = false }
+}
+
+// WithProbeEnvs adds parameter valuations at which Analyze probes the
+// concrete checks (liveness), beyond the defaults and declared range
+// corners.
+func WithProbeEnvs(envs ...map[string]int64) Option {
+	return func(c *config) { c.probeEnvs = append(c.probeEnvs, envs...) }
+}

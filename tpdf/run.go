@@ -1,0 +1,199 @@
+package tpdf
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/runner"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Simulate executes the graph token-accurately in virtual time and reports
+// firings, completion time and per-channel buffer high-water marks.
+// Relevant options: WithParams, WithIterations, WithProcessors,
+// WithDecisions, WithContext, WithTrace, WithRecord, WithMaxEvents.
+func Simulate(g *Graph, opts ...Option) (*SimResult, error) {
+	cfg := buildConfig(opts)
+	return sim.Run(sim.Config{
+		Graph:      g,
+		Context:    cfg.ctx,
+		Env:        cfg.env(),
+		Iterations: cfg.iterations,
+		Processors: cfg.processors,
+		Decide:     cfg.decide,
+		OnFire:     cfg.onFire,
+		Record:     cfg.record,
+		MaxEvents:  cfg.maxEvents,
+	})
+}
+
+// Execute runs the graph at the payload level: behaviors map node names to
+// firing functions that consume and produce real values. Relevant options:
+// WithParams, WithIterations.
+func Execute(g *Graph, behaviors map[string]Behavior, opts ...Option) (*ExecResult, error) {
+	cfg := buildConfig(opts)
+	return runner.Run(runner.Config{
+		Graph:      g,
+		Env:        cfg.env(),
+		Behaviors:  behaviors,
+		Iterations: int(cfg.iterations),
+	})
+}
+
+// ScheduleItem is one scheduled firing of the canonical period.
+type ScheduleItem struct {
+	// Actor is the actor name; Firing its 1-based ordinal within the
+	// period (A1, A2, ... in the paper's notation).
+	Actor  string
+	Firing int64
+	PE     int
+	Start  int64
+	End    int64
+}
+
+// ScheduleResult is a verified static schedule of one canonical period.
+type ScheduleResult struct {
+	// Firings is the canonical period length; RepetitionVector the
+	// concrete q it expands.
+	Firings          int
+	RepetitionVector []int64
+	Items            []ScheduleItem
+	Makespan         int64
+	Utilization      float64
+	// CriticalPath is the precedence-graph lower bound on any schedule
+	// (0 when unavailable); MCR the steady-state period bound from the
+	// maximum cycle ratio (0 when unavailable).
+	CriticalPath int64
+	MCR          float64
+}
+
+// Gantt renders the schedule as an ASCII Gantt chart of the given width.
+func (r *ScheduleResult) Gantt(width int) string {
+	items := make([]trace.GanttItem, len(r.Items))
+	for i, it := range r.Items {
+		items[i] = trace.GanttItem{
+			Lane:  it.PE,
+			Label: fmt.Sprintf("%s%d", it.Actor, it.Firing),
+			Start: it.Start,
+			End:   it.End,
+		}
+	}
+	return trace.Gantt(items, width)
+}
+
+// Schedule builds the canonical period of the graph (§III-D) and
+// list-schedules it with the control-priority rule onto the target
+// platform, verifying the result against the precedence constraints.
+// Relevant options: WithParams, WithPlatform, WithProcessors,
+// WithoutControlPriority.
+func Schedule(g *Graph, opts ...Option) (*ScheduleResult, error) {
+	cfg := buildConfig(opts)
+	plat := cfg.platform
+	if plat == nil {
+		n := cfg.processors
+		if n <= 0 {
+			n = 8
+		}
+		plat = platform.Simple(n)
+	}
+
+	cg, low, err := g.Instantiate(cfg.env())
+	if err != nil {
+		return nil, err
+	}
+	sol, err := cg.RepetitionVector()
+	if err != nil {
+		return nil, err
+	}
+	prec, err := cg.BuildPrecedence(sol, true)
+	if err != nil {
+		return nil, err
+	}
+	isCtl := make([]bool, len(cg.Actors))
+	for id, n := range g.Nodes {
+		if n.Kind == core.KindControl {
+			isCtl[low.ActorOf[id]] = true
+		}
+	}
+	sopts := sched.Options{
+		Platform:        plat,
+		PEs:             cfg.processors,
+		ControlPriority: cfg.controlPriority,
+		IsControl:       isCtl,
+	}
+	res, err := sched.ListSchedule(cg, prec, sopts)
+	if err != nil {
+		return nil, err
+	}
+	if err := sched.Verify(cg, prec, sopts, res); err != nil {
+		return nil, fmt.Errorf("tpdf: schedule failed verification: %v", err)
+	}
+
+	out := &ScheduleResult{
+		Firings:          prec.N(),
+		RepetitionVector: sol.Q,
+		Makespan:         res.Makespan,
+		Utilization:      res.Utilization(),
+		Items:            make([]ScheduleItem, len(res.Items)),
+	}
+	for u := range res.Items {
+		f := prec.Firings[u]
+		out.Items[u] = ScheduleItem{
+			Actor:  cg.Actors[f.Actor].Name,
+			Firing: f.K + 1,
+			PE:     res.Items[u].PE,
+			Start:  res.Items[u].Start,
+			End:    res.Items[u].End,
+		}
+	}
+	if cp, _, err := prec.CriticalPath(cg); err == nil {
+		out.CriticalPath = cp
+	}
+	if mcr, err := cg.MaxCycleRatio(sol, 1e-6); err == nil {
+		out.MCR = mcr
+	}
+	return out, nil
+}
+
+// GenerateCode emits quasi-static Go scheduling code for the graph
+// (WithParams selects the instantiation).
+func GenerateCode(g *Graph, opts ...Option) (string, error) {
+	cfg := buildConfig(opts)
+	return codegen.Generate(g, codegen.Options{Env: cfg.env()})
+}
+
+// MinimalBuffers searches the smallest per-edge capacities under which the
+// configured run still completes (deadlock-free), a per-edge refinement of
+// Report.BufferBound. Options as for Simulate.
+func MinimalBuffers(g *Graph, opts ...Option) ([]int64, error) {
+	cfg := buildConfig(opts)
+	return sim.MinimalCapacities(sim.Config{
+		Graph:      g,
+		Context:    cfg.ctx,
+		Env:        cfg.env(),
+		Iterations: cfg.iterations,
+		Processors: cfg.processors,
+		Decide:     cfg.decide,
+		MaxEvents:  cfg.maxEvents,
+	})
+}
+
+// IterationPeriod measures the steady-state iteration period of the
+// configured run: iterations warm+span are simulated and the per-iteration
+// completion-time slope over the last span iterations returned. Options as
+// for Simulate.
+func IterationPeriod(g *Graph, warm, span int64, opts ...Option) (float64, error) {
+	cfg := buildConfig(opts)
+	return sim.IterationPeriod(sim.Config{
+		Graph:      g,
+		Context:    cfg.ctx,
+		Env:        cfg.env(),
+		Processors: cfg.processors,
+		Decide:     cfg.decide,
+		MaxEvents:  cfg.maxEvents,
+	}, warm, span)
+}

@@ -1,0 +1,159 @@
+// Package tpdf is the public API of the Transaction Parameterized Dataflow
+// reproduction (Do, Louise, Cohen — DATE 2016). It is the single supported
+// way to use the library: everything under internal/ is an implementation
+// detail.
+//
+// The API has four entry points:
+//
+//   - NewGraph returns a fluent GraphBuilder with error accumulation:
+//     declare kernels, control actors and special TPDF actors, wire them
+//     with textual edge specs ("A[p] -> B[1]"), and check a single error at
+//     Build. Graphs can also be loaded from the textual .tpdf format with
+//     Parse or LoadFile, or taken from the Builtin registry of the paper's
+//     application graphs ("fig2", "ofdm", "edge", ...).
+//
+//   - Analyze runs the complete §III static-analysis chain — rate
+//     consistency, per-control-actor rate safety, liveness by cycle
+//     clustering, the Theorem 2 boundedness verdict — plus the symbolic
+//     per-iteration buffer bound, and returns one consolidated Report.
+//
+//   - Simulate executes a graph token-accurately in virtual time;
+//     Execute runs it at the payload level with user Behaviors; Schedule
+//     list-schedules its canonical period onto a many-core platform. All
+//     three are configured with functional options: WithParams,
+//     WithIterations, WithProcessors, WithDecisions, WithContext (for
+//     cancellation of long runs), WithTrace, WithPlatform, ...
+//
+//   - The case-study constructors (OFDM, EdgeDetection, FMRadio, VC1,
+//     MotionEstimation) and the experiment registry (RunExperiment)
+//     reproduce the paper's graphs, tables and figures.
+package tpdf
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/graphio"
+	"repro/internal/platform"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Model types, re-exported from the implementation. A Graph is purely
+// structural; build one with NewGraph (the builder), Parse/LoadFile (the
+// textual format) or Builtin (the registry).
+type (
+	// Graph is a TPDF graph (Definition 2).
+	Graph = core.Graph
+	// Node is a kernel or control actor.
+	Node = core.Node
+	// Edge is a FIFO channel between two ports.
+	Edge = core.Edge
+	// Port is a typed connection point with a cyclo-static rate sequence.
+	Port = core.Port
+	// Param is a declared integer parameter with range and default.
+	Param = core.Param
+	// NodeID identifies a node within its graph.
+	NodeID = core.NodeID
+	// EdgeID identifies an edge within its graph.
+	EdgeID = core.EdgeID
+	// Mode is a kernel firing mode selected by a control token.
+	Mode = core.Mode
+	// NodeKind separates kernels from control actors.
+	NodeKind = core.NodeKind
+	// PortDir distinguishes data inputs, outputs and control ports.
+	PortDir = core.PortDir
+)
+
+// Firing modes (Definition 2) and node kinds.
+const (
+	ModeWaitAll         = core.ModeWaitAll
+	ModeSelectOne       = core.ModeSelectOne
+	ModeSelectMany      = core.ModeSelectMany
+	ModeHighestPriority = core.ModeHighestPriority
+
+	KindKernel  = core.KindKernel
+	KindControl = core.KindControl
+
+	In     = core.In
+	Out    = core.Out
+	CtlIn  = core.CtlIn
+	CtlOut = core.CtlOut
+)
+
+// Runtime types, re-exported from the simulator and the payload runner.
+type (
+	// ControlToken is the value carried by control channels: the mode the
+	// receiving kernel must fire in plus the enabled data ports.
+	ControlToken = sim.ControlToken
+	// DecideFunc lets a control actor choose the tokens it emits on its
+	// n-th firing, keyed by control-output port name.
+	DecideFunc = sim.DecideFunc
+	// FireEvent describes one completed firing for tracing.
+	FireEvent = sim.FireEvent
+	// SimResult reports a Simulate run: virtual completion time, firings,
+	// per-edge buffer high-water marks and the optional event trace.
+	SimResult = sim.Result
+	// Behavior is a payload-level firing function for Execute.
+	Behavior = runner.Behavior
+	// Firing is the payload-level firing context passed to a Behavior.
+	Firing = runner.Firing
+	// ExecResult reports an Execute run.
+	ExecResult = runner.Result
+	// Platform describes a many-core target for Schedule.
+	Platform = platform.Platform
+)
+
+// MPPA256 is the Kalray MPPA-256 platform model (16 clusters × 16 PEs).
+func MPPA256() *Platform { return platform.MPPA256() }
+
+// Epiphany64 is the Adapteva Epiphany-IV platform model.
+func Epiphany64() *Platform { return platform.Epiphany64() }
+
+// SMP is a flat shared-memory platform with n identical PEs and no
+// messaging cost.
+func SMP(n int) *Platform { return platform.Simple(n) }
+
+// Parse reads a graph from its textual .tpdf description.
+func Parse(src string) (*Graph, error) { return graphio.Parse(src) }
+
+// LoadFile reads and parses a .tpdf graph file.
+func LoadFile(path string) (*Graph, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return graphio.Parse(string(src))
+}
+
+// Format renders a graph in the textual .tpdf format; Parse(Format(g))
+// round-trips.
+func Format(g *Graph) string { return graphio.Format(g) }
+
+// DOT renders a graph in Graphviz DOT format.
+func DOT(g *Graph) string { return graphio.DOT(g) }
+
+// Table renders rows as an aligned ASCII table, as the CLI tools print it.
+func Table(headers []string, rows [][]string) string { return trace.Table(headers, rows) }
+
+// ControlOutPorts returns the control-output port names of the named
+// control actor, in port order. Mode decisions passed via WithDecisions are
+// keyed by these names.
+func ControlOutPorts(g *Graph, actor string) ([]string, error) {
+	id, ok := g.NodeByName(actor)
+	if !ok {
+		return nil, fmt.Errorf("tpdf: unknown node %q", actor)
+	}
+	var out []string
+	for _, p := range g.Nodes[id].Ports {
+		if p.Dir == core.CtlOut {
+			out = append(out, p.Name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("tpdf: node %q has no control-output ports", actor)
+	}
+	return out, nil
+}
