@@ -4,6 +4,7 @@ package repro
 // against the shipped graph files.
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -87,6 +88,48 @@ func TestCLIBenchSingleExperiment(t *testing.T) {
 	out := runTool(t, "tpdf-bench", "-exp", "f1")
 	if !strings.Contains(out, "(a3)^2 (a1)^3 (a2)^2") {
 		t.Errorf("bench f1 output wrong:\n%s", out)
+	}
+}
+
+func TestCLIBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI runs skipped in -short")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	runTool(t, "tpdf-bench", "-quick", "-json", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Experiments []struct {
+			Name    string `json:"name"`
+			NsPerOp int64  `json:"ns_per_op"`
+			Error   string `json:"error"`
+		} `json:"experiments"`
+		Engine struct {
+			SequentialNs int64   `json:"sequential_ns_per_op"`
+			StreamNs     int64   `json:"stream_ns_per_op"`
+			Speedup      float64 `json:"speedup"`
+		} `json:"engine"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bench JSON malformed: %v\n%s", err, data)
+	}
+	if len(rep.Experiments) == 0 {
+		t.Fatal("bench JSON has no experiments")
+	}
+	for _, e := range rep.Experiments {
+		if e.Error != "" {
+			t.Errorf("experiment %s failed: %s", e.Name, e.Error)
+		}
+		if e.NsPerOp <= 0 {
+			t.Errorf("experiment %s has no timing", e.Name)
+		}
+	}
+	if rep.Engine.Speedup <= 1 {
+		t.Errorf("engine speedup %.2f not > 1 (sequential %d ns, stream %d ns)",
+			rep.Engine.Speedup, rep.Engine.SequentialNs, rep.Engine.StreamNs)
 	}
 }
 

@@ -1,28 +1,168 @@
 // Command tpdf-bench regenerates the paper's tables and figures (see
 // DESIGN.md's experiment index and EXPERIMENTS.md for the recorded
-// outcomes).
+// outcomes) and benchmarks the concurrent streaming engine against the
+// sequential runner.
 //
 // Usage:
 //
-//	tpdf-bench            # run everything (1024×1024 image for the table)
-//	tpdf-bench -quick     # reduced image size, shorter sweeps
-//	tpdf-bench -exp f8    # a single experiment (see tpdf.ExperimentNames)
+//	tpdf-bench                            # run everything (1024×1024 image for the table)
+//	tpdf-bench -quick                     # reduced image size, shorter sweeps
+//	tpdf-bench -exp f8                    # a single experiment (see tpdf.ExperimentNames)
+//	tpdf-bench -json BENCH_engine.json    # machine-readable timings of every
+//	                                      # experiment + engine-vs-runner speedup
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/tpdf"
 )
 
+// experimentTiming records one artifact regeneration for the JSON report.
+type experimentTiming struct {
+	Name    string `json:"name"`
+	NsPerOp int64  `json:"ns_per_op"`
+	Error   string `json:"error,omitempty"`
+}
+
+// engineComparison reports the concurrent engine against the sequential
+// runner on the same payload pipeline and behaviors.
+type engineComparison struct {
+	Graph          string  `json:"graph"`
+	Stages         int     `json:"stages"`
+	Iterations     int64   `json:"iterations"`
+	StageLatencyNs int64   `json:"stage_latency_ns"`
+	SequentialNs   int64   `json:"sequential_ns_per_op"`
+	StreamNs       int64   `json:"stream_ns_per_op"`
+	Speedup        float64 `json:"speedup"`
+}
+
+type benchReport struct {
+	Quick       bool               `json:"quick"`
+	Experiments []experimentTiming `json:"experiments"`
+	Engine      engineComparison   `json:"engine"`
+}
+
+// latencyBehaviors builds an I/O-bound behavior for every node of g: each
+// firing waits d (a sensor read, a network hop) and forwards its token. A
+// concurrent pipeline overlaps those waits; the sequential runner
+// serializes them — the ratio is the engine speedup.
+func latencyBehaviors(g *tpdf.Graph, d time.Duration) map[string]tpdf.Behavior {
+	b := map[string]tpdf.Behavior{}
+	for _, n := range g.Nodes {
+		b[n.Name] = func(f *tpdf.Firing) error {
+			time.Sleep(d)
+			if in := f.In["i0"]; len(in) > 0 {
+				f.Produce("o0", in[0])
+			} else {
+				f.Produce("o0", int(f.K))
+			}
+			return nil
+		}
+	}
+	return b
+}
+
+// measureEngine times Execute versus Stream on the 5-stage payload
+// pipeline, taking the best of three rounds each.
+func measureEngine(quick bool) (engineComparison, error) {
+	cmp := engineComparison{
+		Graph:          "ofdm-payload-pipeline",
+		Stages:         5,
+		Iterations:     32,
+		StageLatencyNs: int64(500 * time.Microsecond),
+	}
+	if quick {
+		cmp.Iterations = 8
+	}
+	g := tpdf.OFDMPayloadGraph()
+	d := time.Duration(cmp.StageLatencyNs)
+
+	best := func(run func() error) (int64, error) {
+		bestNs := int64(0)
+		for round := 0; round < 3; round++ {
+			start := time.Now()
+			if err := run(); err != nil {
+				return 0, err
+			}
+			if ns := time.Since(start).Nanoseconds(); bestNs == 0 || ns < bestNs {
+				bestNs = ns
+			}
+		}
+		return bestNs, nil
+	}
+
+	var err error
+	cmp.SequentialNs, err = best(func() error {
+		_, err := tpdf.Execute(g, latencyBehaviors(g, d), tpdf.WithIterations(cmp.Iterations))
+		return err
+	})
+	if err != nil {
+		return cmp, fmt.Errorf("sequential run: %v", err)
+	}
+	cmp.StreamNs, err = best(func() error {
+		_, err := tpdf.Stream(g, latencyBehaviors(g, d), tpdf.WithIterations(cmp.Iterations))
+		return err
+	})
+	if err != nil {
+		return cmp, fmt.Errorf("stream run: %v", err)
+	}
+	if cmp.StreamNs > 0 {
+		cmp.Speedup = float64(cmp.SequentialNs) / float64(cmp.StreamNs)
+	}
+	return cmp, nil
+}
+
+// writeJSON times every experiment once, benchmarks engine vs runner, and
+// writes the machine-readable report.
+func writeJSON(path string, quick bool) error {
+	rep := benchReport{Quick: quick}
+	for _, name := range tpdf.ExperimentNames() {
+		start := time.Now()
+		_, err := tpdf.RunExperiment(name, quick)
+		timing := experimentTiming{Name: name, NsPerOp: time.Since(start).Nanoseconds()}
+		if err != nil {
+			timing.Error = err.Error()
+		}
+		rep.Experiments = append(rep.Experiments, timing)
+		fmt.Printf("%-4s %12d ns/op\n", name, timing.NsPerOp)
+	}
+	cmp, err := measureEngine(quick)
+	if err != nil {
+		return err
+	}
+	rep.Engine = cmp
+	fmt.Printf("engine vs runner on %s: sequential %d ns, stream %d ns, speedup %.2fx\n",
+		cmp.Graph, cmp.SequentialNs, cmp.StreamNs, cmp.Speedup)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
 func run() error {
 	quick := flag.Bool("quick", false, "smaller image and sweeps")
 	exp := flag.String("exp", "", "run one experiment: "+strings.Join(tpdf.ExperimentNames(), " "))
+	jsonPath := flag.String("json", "", "write machine-readable timings (experiment ns/op, engine-vs-runner speedup) to this file")
 	flag.Parse()
 
+	if *jsonPath != "" {
+		if *exp != "" {
+			return fmt.Errorf("-exp and -json are mutually exclusive (-json times every experiment)")
+		}
+		return writeJSON(*jsonPath, *quick)
+	}
 	if *exp != "" {
 		out, err := tpdf.RunExperiment(*exp, *quick)
 		if err != nil {

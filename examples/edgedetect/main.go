@@ -1,7 +1,9 @@
 // Edge detection under a deadline (paper §IV-A, Fig. 6): the four real
 // detectors run on a synthetic 1024×1024 image to measure this host's
 // execution times, then the TPDF graph — Transaction plus 500 ms Clock —
-// selects the best result available at the deadline.
+// selects the best result available at the deadline. A payload-level
+// fan-out runs all detectors on real frames through the sequential runner
+// and the concurrent streaming engine, measuring the speedup.
 package main
 
 import (
@@ -16,6 +18,52 @@ import (
 	"repro/tpdf"
 	"repro/tpdf/imaging"
 )
+
+// payloadFanOut pushes frames frames through SRC -> {four detectors} ->
+// SNK at the payload level, with run as the executor (tpdf.Execute or
+// tpdf.Stream), and reports the wall-clock time. The concurrent engine
+// runs the four detectors in their own goroutines; the sequential runner
+// fires them one at a time.
+func payloadFanOut(im *imaging.Image, frames int64,
+	run func(*tpdf.Graph, map[string]tpdf.Behavior, ...tpdf.Option) (*tpdf.ExecResult, error)) (time.Duration, error) {
+
+	detectors := imaging.Detectors()
+	b := tpdf.NewGraph("edgepayload").Kernel("SRC", 1)
+	for _, d := range detectors {
+		b = b.Kernel(d.Name, 1)
+	}
+	b = b.Kernel("SNK", 1)
+	for _, d := range detectors {
+		b = b.Connect(fmt.Sprintf("SRC[1] -> %s[1]", d.Name)).
+			Connect(fmt.Sprintf("%s[1] -> SNK[1]", d.Name))
+	}
+	g, err := b.Build()
+	if err != nil {
+		return 0, err
+	}
+
+	behaviors := map[string]tpdf.Behavior{
+		"SRC": func(f *tpdf.Firing) error {
+			for i := range detectors {
+				f.Produce(fmt.Sprintf("o%d", i), im)
+			}
+			return nil
+		},
+	}
+	for _, d := range detectors {
+		run := d.Run
+		behaviors[d.Name] = func(f *tpdf.Firing) error {
+			f.Produce("o0", run(f.In["i0"][0].(*imaging.Image)))
+			return nil
+		}
+	}
+
+	start := time.Now()
+	if _, err := run(g, behaviors, tpdf.WithIterations(frames)); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
 
 // writePGMFile saves an image under the given path, creating directories.
 func writePGMFile(path string, im *imaging.Image) error {
@@ -91,4 +139,20 @@ func main() {
 		}
 		fmt.Printf("deadline %d ms with %s: selected %s\n", *deadline, cfg.label, chosen)
 	}
+
+	// Payload-level fan-out: all four detectors on real frames, sequential
+	// runner versus concurrent engine (one goroutine per detector).
+	const frames = 4
+	frame := imaging.Synthetic(256, 256, 1)
+	seqTime, err := payloadFanOut(frame, frames, tpdf.Execute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	concTime, err := payloadFanOut(frame, frames, tpdf.Stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("payload fan-out (%d frames, 4 detectors): sequential %.1f ms, concurrent %.1f ms, speedup %.2fx\n",
+		frames, float64(seqTime.Microseconds())/1000, float64(concTime.Microseconds())/1000,
+		float64(seqTime)/float64(concTime))
 }

@@ -1,0 +1,473 @@
+// Package engine executes TPDF graphs concurrently at the payload level:
+// one goroutine per actor, edges wired as bounded Go channels, natural
+// backpressure from channel capacity, and the paper's transaction
+// semantics — parameter values change only at transaction (iteration)
+// boundaries, so no firing ever observes a mixed environment.
+//
+// It is the concurrent counterpart of internal/runner: behaviors, firing
+// contexts and results are shared with it, and for any graph the runner
+// completes, engine.Run produces the identical Result (same firing counts,
+// same leftover payloads in the same FIFO order). Determinism follows from
+// the model: every edge has exactly one producer and one consumer, each
+// actor fires sequentially in its own goroutine, and payload routing
+// depends only on firing indices — so the execution is a conflict-free
+// (hence confluent) system and every interleaving reaches the same final
+// state.
+//
+// Channel capacities default to the per-edge high-water marks of the
+// demand-driven sequential schedule (the same analysis-derived bounds
+// Analyze and internal/buffer report), corrected for per-iteration token
+// drift on non-returning edges. Capacities that admit one complete
+// schedule make the blocking execution deadlock-free; a progress watchdog
+// still guards user-overridden (possibly too small) capacities.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/csdf"
+	"repro/internal/runner"
+	"repro/internal/symb"
+)
+
+// Config configures a concurrent payload run.
+type Config struct {
+	Graph *core.Graph
+	// Env instantiates the graph's parameters (defaults used when nil).
+	Env symb.Env
+	// Behaviors maps node names to firing functions, exactly as in
+	// runner.Config: nodes without one forward nil payloads at the port
+	// rates.
+	Behaviors map[string]runner.Behavior
+	// Iterations repeats the graph iteration (default 1).
+	Iterations int64
+	// Context, when non-nil, cancels the run: every blocked channel
+	// operation also waits on it, so cancellation interrupts a stalled
+	// pipeline, not just the gaps between firings.
+	Context context.Context
+	// Workers bounds how many behaviors execute concurrently; 0 means one
+	// in-flight behavior per actor (full pipeline parallelism).
+	Workers int
+	// Capacity, when positive, overrides every channel's token capacity
+	// (clamped up to the edge's initial token count). Zero selects the
+	// analysis-derived per-edge bounds.
+	Capacity int64
+	// Reconfigure, when set, is called at every transaction boundary with
+	// the number of completed iterations (1, 2, ...) and may return new
+	// parameter values for the remaining iterations; nil or empty keeps
+	// the current environment. The engine drains the pipeline to a
+	// quiescent state before applying the change, so in-flight firings
+	// never observe a mix of old and new parameter values.
+	Reconfigure func(completed int64) map[string]int64
+	// StallTimeout tunes the deadlock watchdog: if no token moves and no
+	// behavior runs for two consecutive windows, the run fails with a
+	// diagnostic instead of hanging. Default 500ms.
+	StallTimeout time.Duration
+}
+
+// portEdge pairs a concrete edge index with the port name an actor sees it
+// under, mirroring internal/runner so In/Out maps are assembled in the
+// same order.
+type portEdge struct {
+	edge int
+	port string
+}
+
+// state is one instantiation of the graph: the concrete CSDF lowering, its
+// channels, and the per-node wiring. Reconfiguration replaces the state
+// wholesale at a transaction boundary.
+type state struct {
+	cg    *csdf.Graph
+	q     []int64
+	chans []chan any
+	ins   [][]portEdge
+	outs  [][]portEdge
+	// edgeOf maps graph-edge index to csdf-edge index (the Lowering), so
+	// leftover payloads can be re-attached across re-instantiations
+	// without assuming the lowering is index-preserving.
+	edgeOf []int
+	// base is each node's cumulative firing count when this state was
+	// installed: rate sequences index from the start of the environment,
+	// Firing.K stays global.
+	base []int64
+}
+
+type engine struct {
+	cfg Config
+
+	stop chan struct{}
+	once sync.Once
+	mu   sync.Mutex
+	err  error
+
+	// fired is each node's cumulative firing count, owned by the node's
+	// goroutine during an epoch and by Run between epochs.
+	fired []int64
+	// ops counts token transfers and completed firings; busy counts
+	// actors inside (or queued for) a behavior. Together they let the
+	// watchdog distinguish a stalled pipeline from a slow behavior.
+	ops  atomic.Int64
+	busy atomic.Int64
+	sem  chan struct{}
+}
+
+func (e *engine) fail(err error) {
+	e.once.Do(func() {
+		e.mu.Lock()
+		e.err = err
+		e.mu.Unlock()
+		close(e.stop)
+	})
+}
+
+func (e *engine) firstErr() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Run executes the configured number of iterations concurrently and
+// returns the same Result the sequential runner would.
+func Run(cfg Config) (*runner.Result, error) {
+	g := cfg.Graph
+	iters := cfg.Iterations
+	if iters <= 0 {
+		iters = 1
+	}
+	env := symb.Env{}
+	for k, v := range g.DefaultEnv() {
+		env[k] = v
+	}
+	for k, v := range cfg.Env {
+		env[k] = v
+	}
+
+	e := &engine{
+		cfg:   cfg,
+		stop:  make(chan struct{}),
+		fired: make([]int64, len(g.Nodes)),
+	}
+	if cfg.Workers > 0 {
+		e.sem = make(chan struct{}, cfg.Workers)
+	}
+	if ctx := cfg.Context; ctx != nil {
+		ctxDone := make(chan struct{})
+		defer close(ctxDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				e.fail(ctx.Err())
+			case <-ctxDone:
+			case <-e.stop:
+			}
+		}()
+	}
+
+	st, err := e.instantiate(env, nil, iters)
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.Reconfigure == nil {
+		if err := e.runEpoch(st, iters); err != nil {
+			return nil, err
+		}
+	} else {
+		for it := int64(0); it < iters; it++ {
+			if it > 0 {
+				if over := cfg.Reconfigure(it); len(over) > 0 {
+					changed := false
+					for k, v := range over {
+						if env[k] != v {
+							env[k] = v
+							changed = true
+						}
+					}
+					if changed {
+						st, err = e.instantiate(env, st.drainByGraphEdge(), iters-it)
+						if err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+			if err := e.runEpoch(st, 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	res := &runner.Result{Firings: map[string]int64{}, Remaining: map[string][]any{}}
+	for id, n := range g.Nodes {
+		if e.fired[id] > 0 {
+			res.Firings[n.Name] = e.fired[id]
+		}
+	}
+	for ei, q := range st.drain() {
+		if len(q) > 0 {
+			res.Remaining[st.cg.Edges[ei].Name] = q
+		}
+	}
+	return res, nil
+}
+
+// instantiate lowers the graph under env and builds channels sized for
+// `horizon` more iterations. leftover, when non-nil, is the payload
+// content of every edge — indexed by graph-edge index — at the preceding
+// transaction boundary; it replaces the declared initial tokens, which
+// are already part of it.
+func (e *engine) instantiate(env symb.Env, leftover [][]any, horizon int64) (*state, error) {
+	g := e.cfg.Graph
+	cg, low, err := g.Instantiate(env)
+	if err != nil {
+		return nil, err
+	}
+	if leftover != nil {
+		for gi := range g.Edges {
+			cg.Edges[low.EdgeOf[gi]].Initial = int64(len(leftover[gi]))
+		}
+	}
+	sol, err := cg.RepetitionVector()
+	if err != nil {
+		return nil, err
+	}
+	sch, err := cg.BuildSchedule(sol, csdf.Demand)
+	if err != nil {
+		return nil, fmt.Errorf("engine: no sequential schedule: %v", err)
+	}
+
+	st := &state{
+		cg:     cg,
+		q:      sol.Q,
+		chans:  make([]chan any, len(cg.Edges)),
+		ins:    make([][]portEdge, len(g.Nodes)),
+		outs:   make([][]portEdge, len(g.Nodes)),
+		edgeOf: low.EdgeOf,
+		base:   append([]int64(nil), e.fired...),
+	}
+	for ei := range cg.Edges {
+		capTok := sch.MaxTokens[ei]
+		// Edges that do not return to their initial state accumulate
+		// tokens every iteration; give the later iterations headroom.
+		if drift := sch.Final[ei] - cg.Edges[ei].Initial; drift > 0 && horizon > 1 {
+			capTok += (horizon - 1) * drift
+		}
+		if e.cfg.Capacity > 0 {
+			capTok = e.cfg.Capacity
+		}
+		if capTok < 1 {
+			capTok = 1
+		}
+		if capTok < cg.Edges[ei].Initial {
+			capTok = cg.Edges[ei].Initial
+		}
+		st.chans[ei] = make(chan any, capTok)
+		if leftover == nil {
+			for k := int64(0); k < cg.Edges[ei].Initial; k++ {
+				st.chans[ei] <- nil
+			}
+		}
+	}
+	if leftover != nil {
+		for gi := range g.Edges {
+			for _, v := range leftover[gi] {
+				st.chans[low.EdgeOf[gi]] <- v
+			}
+		}
+	}
+	for ei, ed := range g.Edges {
+		ci := low.EdgeOf[ei]
+		st.ins[ed.Dst] = append(st.ins[ed.Dst], portEdge{ci, g.Nodes[ed.Dst].Ports[ed.DstPort].Name})
+		st.outs[ed.Src] = append(st.outs[ed.Src], portEdge{ci, g.Nodes[ed.Src].Ports[ed.SrcPort].Name})
+	}
+	return st, nil
+}
+
+// drain empties every channel, returning the leftover payloads per
+// csdf-edge index in FIFO order. Only called when no actor goroutine is
+// running.
+func (st *state) drain() [][]any {
+	out := make([][]any, len(st.chans))
+	for i, ch := range st.chans {
+		for {
+			select {
+			case v := <-ch:
+				out[i] = append(out[i], v)
+				continue
+			default:
+			}
+			break
+		}
+	}
+	return out
+}
+
+// drainByGraphEdge is drain reindexed by graph-edge index, the form
+// instantiate takes leftovers in.
+func (st *state) drainByGraphEdge() [][]any {
+	drained := st.drain()
+	out := make([][]any, len(st.edgeOf))
+	for gi, ci := range st.edgeOf {
+		out[gi] = drained[ci]
+	}
+	return out
+}
+
+// runEpoch fires every node iters×q times concurrently and waits for the
+// pipeline to drain to the epoch boundary.
+func (e *engine) runEpoch(st *state, iters int64) error {
+	if e.firstErr() != nil {
+		return e.firstErr()
+	}
+	stopWatch := e.startWatchdog()
+	defer stopWatch()
+
+	var wg sync.WaitGroup
+	for id := range e.cfg.Graph.Nodes {
+		total := iters * st.q[id]
+		if total == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(id int, total int64) {
+			defer wg.Done()
+			e.runActor(st, id, total)
+		}(id, total)
+	}
+	wg.Wait()
+	return e.firstErr()
+}
+
+// runActor is one node's firing loop: consume the input rates, run the
+// behavior, produce the output rates — blocking on channel capacity for
+// backpressure.
+func (e *engine) runActor(st *state, id int, total int64) {
+	g := e.cfg.Graph
+	name := g.Nodes[id].Name
+	behavior := e.cfg.Behaviors[name]
+
+	for n := int64(0); n < total; n++ {
+		// Check for cancellation/failure at every firing boundary: an
+		// actor whose channel operations never block would otherwise only
+		// stop probabilistically (select picks among ready cases).
+		select {
+		case <-e.stop:
+			return
+		default:
+		}
+		kGlobal := e.fired[id]
+		kLocal := kGlobal - st.base[id]
+		f := &runner.Firing{Node: name, K: kGlobal, In: map[string][]any{}, Out: map[string][]any{}}
+
+		for _, pe := range st.ins[id] {
+			rate := st.cg.Edges[pe.edge].ConsAt(kLocal)
+			ch := st.chans[pe.edge]
+			buf := make([]any, 0, rate)
+			for j := int64(0); j < rate; j++ {
+				select {
+				case v := <-ch:
+					buf = append(buf, v)
+					e.ops.Add(1)
+				case <-e.stop:
+					return
+				}
+			}
+			// Assign even at rate 0 so the In map has the same keys the
+			// sequential runner produces.
+			f.In[pe.port] = append(f.In[pe.port], buf...)
+		}
+
+		if behavior != nil {
+			e.busy.Add(1)
+			if e.sem != nil {
+				select {
+				case e.sem <- struct{}{}:
+				case <-e.stop:
+					e.busy.Add(-1)
+					return
+				}
+			}
+			err := behavior(f)
+			if e.sem != nil {
+				<-e.sem
+			}
+			e.busy.Add(-1)
+			if err != nil {
+				e.fail(fmt.Errorf("engine: %s firing %d: %v", name, kGlobal, err))
+				return
+			}
+		}
+
+		for _, pe := range st.outs[id] {
+			rate := st.cg.Edges[pe.edge].ProdAt(kLocal)
+			vals := f.Out[pe.port]
+			switch {
+			case int64(len(vals)) == rate:
+			case len(vals) == 0:
+				// No behavior output: emit nil payloads to keep the token
+				// count right, as the sequential runner does.
+				vals = make([]any, rate)
+			default:
+				e.fail(fmt.Errorf("engine: %s firing %d: port %s produced %d payloads, rate is %d",
+					name, kGlobal, pe.port, len(vals), rate))
+				return
+			}
+			ch := st.chans[pe.edge]
+			for _, v := range vals {
+				select {
+				case ch <- v:
+					e.ops.Add(1)
+				case <-e.stop:
+					return
+				}
+			}
+		}
+
+		e.fired[id]++
+		e.ops.Add(1)
+	}
+}
+
+// startWatchdog returns a stopper for a goroutine that fails the run when
+// the epoch makes no progress: no token moved, no firing completed and no
+// behavior ran for two consecutive stall windows. With analysis-derived
+// capacities this cannot trigger (they admit a complete schedule, and the
+// execution is conflict-free); it turns a deadlock under a too-small
+// Capacity override into an error instead of a hang.
+func (e *engine) startWatchdog() func() {
+	stall := e.cfg.StallTimeout
+	if stall <= 0 {
+		stall = 500 * time.Millisecond
+	}
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(stall)
+		defer tick.Stop()
+		last := e.ops.Load()
+		idle := 0
+		for {
+			select {
+			case <-done:
+				return
+			case <-e.stop:
+				return
+			case <-tick.C:
+				cur := e.ops.Load()
+				if cur != last || e.busy.Load() > 0 {
+					last, idle = cur, 0
+					continue
+				}
+				if idle++; idle >= 2 {
+					e.fail(fmt.Errorf("engine: deadlock: no progress for %v (channel capacity override too small?)", 2*stall))
+					return
+				}
+			}
+		}
+	}()
+	return func() { close(done) }
+}

@@ -1,0 +1,369 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/symb"
+)
+
+// pipeline builds SRC -> A -> B -> SNK with unit rates.
+func pipeline(t *testing.T) *core.Graph {
+	t.Helper()
+	g := core.NewGraph("pipe")
+	src := g.AddKernel("SRC", 1)
+	a := g.AddKernel("A", 1)
+	b := g.AddKernel("B", 1)
+	snk := g.AddKernel("SNK", 1)
+	for _, pair := range [][2]core.NodeID{{src, a}, {a, b}, {b, snk}} {
+		if _, err := g.Connect(pair[0], "[1]", pair[1], "[1]", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// pipelineBehaviors threads an integer through the chain, each stage adding
+// its own offset, and captures the sink values.
+func pipelineBehaviors(captured *[]int) map[string]runner.Behavior {
+	return map[string]runner.Behavior{
+		"SRC": func(f *runner.Firing) error {
+			f.Produce("o0", int(f.K))
+			return nil
+		},
+		"A": func(f *runner.Firing) error {
+			f.Produce("o0", f.In["i0"][0].(int)*10)
+			return nil
+		},
+		"B": func(f *runner.Firing) error {
+			f.Produce("o0", f.In["i0"][0].(int)+1)
+			return nil
+		},
+		"SNK": func(f *runner.Firing) error {
+			*captured = append(*captured, f.In["i0"][0].(int))
+			return nil
+		},
+	}
+}
+
+func TestRunMatchesRunnerOnPayloadPipeline(t *testing.T) {
+	g := pipeline(t)
+
+	var seq []int
+	want, err := runner.Run(runner.Config{Graph: g, Behaviors: pipelineBehaviors(&seq), Iterations: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var conc []int
+	got, err := Run(Config{Graph: g, Behaviors: pipelineBehaviors(&conc), Iterations: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(want.Firings, got.Firings) {
+		t.Errorf("firings: runner %v, engine %v", want.Firings, got.Firings)
+	}
+	if !reflect.DeepEqual(want.Remaining, got.Remaining) {
+		t.Errorf("remaining: runner %v, engine %v", want.Remaining, got.Remaining)
+	}
+	if !reflect.DeepEqual(seq, conc) {
+		t.Errorf("payload streams differ:\nrunner %v\nengine %v", seq, conc)
+	}
+}
+
+func TestRunMatchesRunnerOnMultirateApps(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *core.Graph
+		env  symb.Env
+	}{
+		{"fig2", apps.Fig2(), symb.Env{"p": 3}},
+		{"ofdm", apps.OFDMTPDF(apps.DefaultOFDM()), nil},
+		{"fmradio", apps.FMRadioTPDF(), nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := runner.Run(runner.Config{Graph: tc.g, Env: tc.env, Iterations: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Run(Config{Graph: tc.g, Env: tc.env, Iterations: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want.Firings, got.Firings) {
+				t.Errorf("firings: runner %v, engine %v", want.Firings, got.Firings)
+			}
+			if !reflect.DeepEqual(want.Remaining, got.Remaining) {
+				t.Errorf("remaining: runner %v, engine %v", want.Remaining, got.Remaining)
+			}
+		})
+	}
+}
+
+// TestReconfigureAtTransactionBoundaries drives a graph whose two parallel
+// edges both carry p tokens per firing and reconfigures p between
+// iterations: every firing must observe the same p on both ports (no mixed
+// environment), following exactly the schedule of values the hook applied.
+func TestReconfigureAtTransactionBoundaries(t *testing.T) {
+	g := core.NewGraph("reconf")
+	g.AddParam("p", 2, 1, 8)
+	a := g.AddKernel("A", 1)
+	b := g.AddKernel("B", 1)
+	if _, err := g.Connect(a, "[p]", b, "[p]", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect(a, "[p]", b, "[p]", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	plan := []int64{2, 5, 5, 3} // p per iteration
+	var observed [][2]int
+	behaviors := map[string]runner.Behavior{
+		"B": func(f *runner.Firing) error {
+			observed = append(observed, [2]int{len(f.In["i0"]), len(f.In["i1"])})
+			return nil
+		},
+	}
+	res, err := Run(Config{
+		Graph:      g,
+		Env:        symb.Env{"p": plan[0]},
+		Behaviors:  behaviors,
+		Iterations: int64(len(plan)),
+		Reconfigure: func(completed int64) map[string]int64 {
+			return map[string]int64{"p": plan[completed]}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Firings["B"] != int64(len(plan)) {
+		t.Fatalf("B fired %d times, want %d", res.Firings["B"], len(plan))
+	}
+	for i, ob := range observed {
+		if ob[0] != ob[1] {
+			t.Errorf("firing %d observed mixed environment: %d vs %d tokens", i, ob[0], ob[1])
+		}
+		if int64(ob[0]) != plan[i] {
+			t.Errorf("firing %d observed p=%d, want %d", i, ob[0], plan[i])
+		}
+	}
+	if len(res.Remaining) != 0 {
+		t.Errorf("unexpected leftovers: %v", res.Remaining)
+	}
+}
+
+// TestReconfigureCarriesLeftoverTokens checks that payloads parked on an
+// edge across a reconfiguration boundary survive the channel rebuild in
+// FIFO order: three initial tokens keep a 3-deep backlog on e1, so values
+// produced in iteration i only reach B three iterations later, across the
+// parameter changes in between.
+func TestReconfigureCarriesLeftoverTokens(t *testing.T) {
+	g := core.NewGraph("carry")
+	g.AddParam("p", 1, 1, 8)
+	a := g.AddKernel("A", 1)
+	b := g.AddKernel("B", 1)
+	if _, err := g.Connect(a, "[1]", b, "[1]", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect(a, "[p]", b, "[p]", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []any
+	behaviors := map[string]runner.Behavior{
+		"A": func(f *runner.Firing) error {
+			f.Produce("o0", int(f.K))
+			return nil
+		},
+		"B": func(f *runner.Firing) error {
+			got = append(got, f.In["i0"][0])
+			return nil
+		},
+	}
+	res, err := Run(Config{
+		Graph:      g,
+		Behaviors:  behaviors,
+		Iterations: 5,
+		Reconfigure: func(completed int64) map[string]int64 {
+			return map[string]int64{"p": completed + 1}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B drains the FIFO: the three initial nils, then A's first values.
+	want := []any{nil, nil, nil, 0, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("payloads across boundaries: got %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(res.Remaining["e1"], []any{2, 3, 4}) {
+		t.Errorf("backlog: got %v, want [2 3 4]", res.Remaining["e1"])
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	g := pipeline(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var snkFirings int64
+	behaviors := map[string]runner.Behavior{
+		"B": func(f *runner.Firing) error {
+			if f.K == 0 {
+				cancel()
+			}
+			return nil
+		},
+		"SNK": func(f *runner.Firing) error {
+			snkFirings++
+			return nil
+		},
+	}
+	_, err := Run(Config{Graph: g, Context: ctx, Behaviors: behaviors, Iterations: 10000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if snkFirings == 10000 {
+		t.Error("cancellation did not stop the run early")
+	}
+}
+
+func TestBehaviorErrorAbortsRun(t *testing.T) {
+	g := pipeline(t)
+	boom := errors.New("boom")
+	behaviors := map[string]runner.Behavior{
+		"A": func(f *runner.Firing) error {
+			if f.K == 3 {
+				return boom
+			}
+			return nil
+		},
+	}
+	_, err := Run(Config{Graph: g, Behaviors: behaviors, Iterations: 50})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("got %v, want the behavior error", err)
+	}
+}
+
+// TestDeadlockDetected forces an artificial deadlock with a too-small
+// capacity override: A must push two tokens through a capacity-1 channel
+// that B will only drain after a token A has not yet sent. The watchdog
+// must turn the hang into an error.
+func TestDeadlockDetected(t *testing.T) {
+	g := core.NewGraph("dead")
+	a := g.AddKernel("A", 1)
+	m := g.AddKernel("M", 1)
+	b := g.AddKernel("B", 1)
+	// Declaration order fixes the blocking order: B reads M's edge before
+	// the direct edge, A writes the direct edge before M's.
+	if _, err := g.Connect(m, "[1]", b, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect(a, "[2]", b, "[2]", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect(a, "[1]", m, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := Run(Config{Graph: g, Iterations: 1, Capacity: 1, StallTimeout: 20 * time.Millisecond})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("got %v, want a deadlock diagnostic", err)
+	}
+
+	// The analysis-derived capacities run the same graph fine.
+	res, err := Run(Config{Graph: g, Iterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Firings["B"] != 4 {
+		t.Fatalf("B fired %d times, want 4", res.Firings["B"])
+	}
+}
+
+func TestWorkersBoundsConcurrency(t *testing.T) {
+	g := core.NewGraph("fan")
+	src := g.AddKernel("SRC", 1)
+	snk := g.AddKernel("SNK", 1)
+	workers := make([]core.NodeID, 4)
+	for i := range workers {
+		workers[i] = g.AddKernel(fmt.Sprintf("W%d", i), 1)
+		if _, err := g.Connect(src, "[1]", workers[i], "[1]", 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Connect(workers[i], "[1]", snk, "[1]", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	behaviors := map[string]runner.Behavior{}
+	for i := range workers {
+		behaviors[fmt.Sprintf("W%d", i)] = func(f *runner.Firing) error {
+			n := cur.Add(1)
+			mu.Lock()
+			if n > peak.Load() {
+				peak.Store(n)
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			f.Produce("o0", nil)
+			return nil
+		}
+	}
+	res, err := Run(Config{Graph: g, Behaviors: behaviors, Iterations: 8, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Firings["SNK"] != 8 {
+		t.Fatalf("SNK fired %d times, want 8", res.Firings["SNK"])
+	}
+	if p := peak.Load(); p > 2 {
+		t.Errorf("observed %d concurrent behaviors, want <= 2", p)
+	}
+}
+
+// TestPipelineOverlapsLatency checks the point of the engine: a pipeline of
+// latency-bound stages must finish in wall-clock time far below the
+// sequential sum of its stage latencies.
+func TestPipelineOverlapsLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test skipped in -short")
+	}
+	g := pipeline(t)
+	const delay = 2 * time.Millisecond
+	const iters = 40
+	behaviors := map[string]runner.Behavior{}
+	for _, name := range []string{"SRC", "A", "B", "SNK"} {
+		behaviors[name] = func(f *runner.Firing) error {
+			time.Sleep(delay)
+			if len(f.In) > 0 {
+				f.Produce("o0", f.In["i0"][0])
+			} else {
+				f.Produce("o0", nil)
+			}
+			return nil
+		}
+	}
+	start := time.Now()
+	if _, err := Run(Config{Graph: g, Behaviors: behaviors, Iterations: iters}); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	sequential := 4 * iters * delay
+	if elapsed > sequential*3/4 {
+		t.Errorf("pipeline took %v, not meaningfully below the sequential %v", elapsed, sequential)
+	}
+}

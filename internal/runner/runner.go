@@ -7,6 +7,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -38,12 +39,15 @@ type Behavior func(f *Firing) error
 type Config struct {
 	Graph *core.Graph
 	Env   symb.Env
+	// Context, when non-nil, cancels the run: it is polled between
+	// firings and its error returned once it is done.
+	Context context.Context
 	// Behaviors maps node names to their firing functions. Nodes without a
 	// behavior forward nothing (their produced tokens carry nil payloads),
 	// which is fine for sources/sinks that only exist for rate structure.
 	Behaviors map[string]Behavior
 	// Iterations repeats the schedule (default 1).
-	Iterations int
+	Iterations int64
 }
 
 // Result reports a payload run.
@@ -96,8 +100,15 @@ func Run(cfg Config) (*Result, error) {
 		iters = 1
 	}
 	fired := make([]int64, len(g.Nodes))
-	for it := 0; it < iters; it++ {
+	for it := int64(0); it < iters; it++ {
 		for _, actor := range sched.Order {
+			if cfg.Context != nil {
+				select {
+				case <-cfg.Context.Done():
+					return nil, cfg.Context.Err()
+				default:
+				}
+			}
 			node := actor // lowering is index-preserving; keep it explicit
 			name := g.Nodes[node].Name
 			k := fired[node]

@@ -46,6 +46,9 @@ type config struct {
 	platform        *Platform
 	controlPriority bool
 	probeEnvs       []map[string]int64
+	workers         int
+	channelCap      int64
+	reconfigure     func(completed int64) map[string]int64
 }
 
 // Option configures Analyze, Simulate, Execute, Schedule or GenerateCode.
@@ -141,6 +144,34 @@ func WithPlatform(p *Platform) Option {
 // PEs over kernels in Schedule.
 func WithoutControlPriority() Option {
 	return func(c *config) { c.controlPriority = false }
+}
+
+// WithWorkers bounds how many Stream behaviors execute concurrently; zero
+// (the default) runs one in-flight behavior per actor, i.e. full pipeline
+// parallelism.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithChannelCapacity overrides the per-edge channel capacity Stream uses
+// (in tokens, clamped up to each edge's initial token count). The default,
+// zero, sizes every channel from the analysis-derived buffer bounds — the
+// per-edge high-water marks of the demand-driven schedule — which are
+// guaranteed deadlock-free; smaller overrides trade throughput for memory
+// and are guarded by Stream's deadlock watchdog.
+func WithChannelCapacity(n int64) Option {
+	return func(c *config) { c.channelCap = n }
+}
+
+// WithReconfigure installs a Stream reconfiguration hook, the runtime half
+// of the paper's transaction semantics: after every completed graph
+// iteration the hook receives the number of iterations done so far and may
+// return new parameter values for the remaining ones (nil keeps the current
+// environment). Stream quiesces the pipeline at the boundary before
+// applying the change, so no firing ever observes a mix of old and new
+// parameter values.
+func WithReconfigure(fn func(completed int64) map[string]int64) Option {
+	return func(c *config) { c.reconfigure = fn }
 }
 
 // WithProbeEnvs adds parameter valuations at which Analyze probes the

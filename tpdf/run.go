@@ -32,15 +32,17 @@ func Simulate(g *Graph, opts ...Option) (*SimResult, error) {
 }
 
 // Execute runs the graph at the payload level: behaviors map node names to
-// firing functions that consume and produce real values. Relevant options:
-// WithParams, WithIterations.
+// firing functions that consume and produce real values, fired one at a
+// time down a sequential schedule. Relevant options: WithParams,
+// WithIterations, WithContext. See Stream for the concurrent counterpart.
 func Execute(g *Graph, behaviors map[string]Behavior, opts ...Option) (*ExecResult, error) {
 	cfg := buildConfig(opts)
 	return runner.Run(runner.Config{
 		Graph:      g,
 		Env:        cfg.env(),
+		Context:    cfg.ctx,
 		Behaviors:  behaviors,
-		Iterations: int(cfg.iterations),
+		Iterations: cfg.iterations,
 	})
 }
 

@@ -1,0 +1,30 @@
+package tpdf
+
+import (
+	"repro/internal/engine"
+)
+
+// Stream runs the graph at the payload level like Execute, but
+// concurrently: one goroutine per actor, edges wired as bounded Go
+// channels sized from the analysis buffer bounds, backpressure from
+// channel capacity, and parameter reconfiguration applied only at
+// transaction (iteration) boundaries. For any graph Execute completes,
+// Stream produces the identical result — same Firings, same Remaining
+// payloads in the same FIFO order — the pipeline just overlaps the
+// behaviors' latencies instead of serializing them.
+//
+// Relevant options: WithParams, WithIterations, WithContext, WithWorkers,
+// WithChannelCapacity, WithReconfigure.
+func Stream(g *Graph, behaviors map[string]Behavior, opts ...Option) (*ExecResult, error) {
+	cfg := buildConfig(opts)
+	return engine.Run(engine.Config{
+		Graph:       g,
+		Env:         cfg.env(),
+		Behaviors:   behaviors,
+		Iterations:  cfg.iterations,
+		Context:     cfg.ctx,
+		Workers:     cfg.workers,
+		Capacity:    cfg.channelCap,
+		Reconfigure: cfg.reconfigure,
+	})
+}

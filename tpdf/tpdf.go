@@ -17,12 +17,16 @@
 //     clustering, the Theorem 2 boundedness verdict — plus the symbolic
 //     per-iteration buffer bound, and returns one consolidated Report.
 //
-//   - Simulate executes a graph token-accurately in virtual time;
-//     Execute runs it at the payload level with user Behaviors; Schedule
-//     list-schedules its canonical period onto a many-core platform. All
-//     three are configured with functional options: WithParams,
-//     WithIterations, WithProcessors, WithDecisions, WithContext (for
-//     cancellation of long runs), WithTrace, WithPlatform, ...
+//   - Execution comes in three tiers: Simulate executes a graph
+//     token-accurately in virtual time; Execute runs it at the payload
+//     level with user Behaviors, one firing at a time; Stream runs the
+//     same behaviors concurrently — one goroutine per actor, bounded
+//     channels, reconfiguration at transaction boundaries — with results
+//     identical to Execute. Schedule list-schedules the canonical period
+//     onto a many-core platform. All are configured with functional
+//     options: WithParams, WithIterations, WithProcessors, WithDecisions,
+//     WithContext (for cancellation of long runs), WithTrace,
+//     WithPlatform, WithWorkers, WithReconfigure, ...
 //
 //   - The case-study constructors (OFDM, EdgeDetection, FMRadio, VC1,
 //     MotionEstimation) and the experiment registry (RunExperiment)
