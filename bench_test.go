@@ -20,6 +20,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/imaging"
 	"repro/internal/platform"
+	"repro/internal/rat"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/symb"
@@ -278,6 +279,77 @@ func BenchmarkSimulatorOFDM(b *testing.B) {
 		if _, err := sim.Run(sim.Config{Graph: g, Env: symb.Env(params.Env()), Decide: decide}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRatOps measures the rational arithmetic under every balance
+// equation and repetition vector: an add/mul/div mix over non-trivial
+// denominators. Must stay allocation-free (Rat is a value type).
+func BenchmarkRatOps(b *testing.B) {
+	b.ReportAllocs()
+	a := rat.New(7, 12)
+	c := rat.New(35, 9)
+	var acc rat.Rat
+	for i := 0; i < b.N; i++ {
+		acc = a.MustAdd(c).MustMul(a).MustSub(c.Inv()).MustDiv(c)
+	}
+	_ = acc
+}
+
+// BenchmarkPolyAddMul measures symbolic polynomial arithmetic, the core of
+// the symbolic consistency solver (Add and Mul dominate its profile).
+func BenchmarkPolyAddMul(b *testing.B) {
+	b.ReportAllocs()
+	p := symb.PolyVar("p").Scale(rat.New(2, 1)).Add(symb.PolyInt(3))
+	q := symb.PolyVar("q").Add(symb.PolyVar("p")).Add(symb.PolyInt(1))
+	var acc symb.Poly
+	for i := 0; i < b.N; i++ {
+		acc = p.Mul(q).Add(p).Sub(q)
+	}
+	_ = acc
+}
+
+// BenchmarkSimReset measures one steady-state Reset+run cycle of a pooled
+// simulator on the OFDM demodulator — the unit of work every sweep point
+// costs. The tracked invariant is 0 allocs/op: the grid sweeps stay
+// allocation-free after each worker's simulator has warmed up.
+func BenchmarkSimReset(b *testing.B) {
+	params := apps.OFDMParams{Beta: 10, M: 4, N: 64, L: 1}
+	g := apps.OFDMTPDF(params)
+	decide, err := apps.OFDMDecide(g, params.M)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sim.NewSimulator(sim.Config{Graph: g, Env: symb.Env(params.Env()), Decide: decide, BuffersOnly: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		b.Fatal(err) // warm the event queue and control rings
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOFDMSweepParallel measures the sharded Fig. 8 grid against the
+// sequential driver on the same grid (the speedup is the worker scaling on
+// this host).
+func BenchmarkOFDMSweepParallel(b *testing.B) {
+	betas := []int64{10, 30, 50}
+	for _, workers := range []int{1, 4} {
+		b.Run(map[bool]string{true: "sequential", false: "parallel4"}[workers == 1], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := buffer.OFDMSweepParallel(betas, []int64{512}, 4, 1, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,15 +1,20 @@
 // Command tpdf-bench regenerates the paper's tables and figures (see
 // DESIGN.md's experiment index and EXPERIMENTS.md for the recorded
-// outcomes) and benchmarks the concurrent streaming engine against the
-// sequential runner.
+// outcomes), benchmarks the concurrent streaming engine against the
+// sequential runner, and gates performance regressions of the analysis
+// fabric.
 //
 // Usage:
 //
-//	tpdf-bench                            # run everything (1024×1024 image for the table)
-//	tpdf-bench -quick                     # reduced image size, shorter sweeps
-//	tpdf-bench -exp f8                    # a single experiment (see tpdf.ExperimentNames)
-//	tpdf-bench -json BENCH_engine.json    # machine-readable timings of every
-//	                                      # experiment + engine-vs-runner speedup
+//	tpdf-bench                              # run everything (1024×1024 image for the table)
+//	tpdf-bench -quick                       # reduced image size, shorter sweeps
+//	tpdf-bench -exp f8                      # a single experiment (see tpdf.ExperimentNames)
+//	tpdf-bench -parallel 8                  # shard sweeps + fan out experiments over 8 workers
+//	tpdf-bench -json BENCH_analysis.json    # machine-readable timings + allocation counts
+//	                                        # of every experiment, engine-vs-runner speedup
+//	tpdf-bench -quick -json new.json -compare BENCH_analysis.json
+//	                                        # regression gate: fail when any experiment got
+//	                                        # >25% slower than the committed baseline
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -27,7 +33,10 @@ import (
 type experimentTiming struct {
 	Name    string `json:"name"`
 	NsPerOp int64  `json:"ns_per_op"`
-	Error   string `json:"error,omitempty"`
+	// AllocsPerOp counts heap allocations during the regeneration (all
+	// goroutines): the tracking metric for the simulator fast path.
+	AllocsPerOp uint64 `json:"allocs_per_op,omitempty"`
+	Error       string `json:"error,omitempty"`
 }
 
 // engineComparison reports the concurrent engine against the sequential
@@ -44,6 +53,7 @@ type engineComparison struct {
 
 type benchReport struct {
 	Quick       bool               `json:"quick"`
+	Parallel    int                `json:"parallel,omitempty"`
 	Experiments []experimentTiming `json:"experiments"`
 	Engine      engineComparison   `json:"engine"`
 }
@@ -118,28 +128,44 @@ func measureEngine(quick bool) (engineComparison, error) {
 	return cmp, nil
 }
 
-// writeJSON times every experiment once, benchmarks engine vs runner, and
-// writes the machine-readable report.
-func writeJSON(path string, quick bool) error {
-	rep := benchReport{Quick: quick}
+// mallocs reads the process-wide cumulative heap-allocation count.
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// measure times every experiment once (with allocation counts) and
+// benchmarks engine vs runner.
+func measure(quick bool, parallel int) (*benchReport, error) {
+	rep := &benchReport{Quick: quick, Parallel: parallel}
 	for _, name := range tpdf.ExperimentNames() {
+		before := mallocs()
 		start := time.Now()
-		_, err := tpdf.RunExperiment(name, quick)
-		timing := experimentTiming{Name: name, NsPerOp: time.Since(start).Nanoseconds()}
+		_, err := tpdf.RunExperiment(name, quick, tpdf.WithParallelism(parallel))
+		timing := experimentTiming{
+			Name:        name,
+			NsPerOp:     time.Since(start).Nanoseconds(),
+			AllocsPerOp: mallocs() - before,
+		}
 		if err != nil {
 			timing.Error = err.Error()
 		}
 		rep.Experiments = append(rep.Experiments, timing)
-		fmt.Printf("%-4s %12d ns/op\n", name, timing.NsPerOp)
+		fmt.Printf("%-4s %12d ns/op %12d allocs/op\n", name, timing.NsPerOp, timing.AllocsPerOp)
 	}
 	cmp, err := measureEngine(quick)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	rep.Engine = cmp
 	fmt.Printf("engine vs runner on %s: sequential %d ns, stream %d ns, speedup %.2fx\n",
 		cmp.Graph, cmp.SequentialNs, cmp.StreamNs, cmp.Speedup)
+	return rep, nil
+}
 
+// writeJSON stores the machine-readable report.
+func writeJSON(path string, rep *benchReport) error {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -151,27 +177,106 @@ func writeJSON(path string, quick bool) error {
 	return nil
 }
 
+// compareFloorNs exempts experiments faster than this from the regression
+// gate: sub-millisecond artifacts are dominated by scheduler and allocator
+// noise, not by the analysis code the gate protects.
+const compareFloorNs = 1_000_000
+
+// compare checks the measured report against a committed baseline and
+// returns an error when any sufficiently large experiment regressed beyond
+// the threshold (e.g. 0.25 = 25% slower).
+func compare(baselinePath string, rep *benchReport, threshold float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse %s: %v", baselinePath, err)
+	}
+	baseline := map[string]experimentTiming{}
+	for _, t := range base.Experiments {
+		baseline[t.Name] = t
+	}
+	var regressions []string
+	fmt.Printf("comparison vs %s (threshold %+.0f%%, floor %dms):\n",
+		baselinePath, threshold*100, compareFloorNs/1_000_000)
+	for _, t := range rep.Experiments {
+		// A failed experiment must never pass the gate — its near-zero
+		// wall time would otherwise read as a huge speedup.
+		if t.Error != "" {
+			regressions = append(regressions, fmt.Sprintf("%s: FAILED: %s", t.Name, t.Error))
+			fmt.Printf("  %-4s FAILED: %s\n", t.Name, t.Error)
+			continue
+		}
+		old, ok := baseline[t.Name]
+		if !ok || old.NsPerOp <= 0 {
+			continue
+		}
+		delta := float64(t.NsPerOp-old.NsPerOp) / float64(old.NsPerOp)
+		verdict := "ok"
+		switch {
+		case old.NsPerOp < compareFloorNs:
+			verdict = "skipped (below floor)"
+		case delta > threshold:
+			verdict = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d -> %d ns/op (%+.0f%%)", t.Name, old.NsPerOp, t.NsPerOp, delta*100))
+		}
+		fmt.Printf("  %-4s %12d -> %12d ns/op  %+6.1f%%  %s\n",
+			t.Name, old.NsPerOp, t.NsPerOp, delta*100, verdict)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d experiment(s) regressed >%.0f%% or failed:\n  %s",
+			len(regressions), threshold*100, strings.Join(regressions, "\n  "))
+	}
+	fmt.Println("no regressions")
+	return nil
+}
+
 func run() error {
 	quick := flag.Bool("quick", false, "smaller image and sweeps")
 	exp := flag.String("exp", "", "run one experiment: "+strings.Join(tpdf.ExperimentNames(), " "))
-	jsonPath := flag.String("json", "", "write machine-readable timings (experiment ns/op, engine-vs-runner speedup) to this file")
+	parallel := flag.Int("parallel", 1, "worker pool width: fan experiments out and shard their sweeps")
+	jsonPath := flag.String("json", "", "write machine-readable timings (experiment ns/op + allocs/op, engine-vs-runner speedup) to this file")
+	baseline := flag.String("compare", "", "baseline JSON to compare against; exits nonzero on regression")
+	threshold := flag.Float64("threshold", 0.25, "relative slowdown tolerated by -compare (0.25 = 25%)")
 	flag.Parse()
 
-	if *jsonPath != "" {
+	if *jsonPath != "" || *baseline != "" {
 		if *exp != "" {
-			return fmt.Errorf("-exp and -json are mutually exclusive (-json times every experiment)")
+			return fmt.Errorf("-exp is mutually exclusive with -json/-compare (they time every experiment)")
 		}
-		return writeJSON(*jsonPath, *quick)
+		if *baseline != "" {
+			// Fail on a missing/unreadable baseline before spending a full
+			// measurement pass.
+			if _, err := os.Stat(*baseline); err != nil {
+				return err
+			}
+		}
+		rep, err := measure(*quick, *parallel)
+		if err != nil {
+			return err
+		}
+		if *jsonPath != "" {
+			if err := writeJSON(*jsonPath, rep); err != nil {
+				return err
+			}
+		}
+		if *baseline != "" {
+			return compare(*baseline, rep, *threshold)
+		}
+		return nil
 	}
 	if *exp != "" {
-		out, err := tpdf.RunExperiment(*exp, *quick)
+		out, err := tpdf.RunExperiment(*exp, *quick, tpdf.WithParallelism(*parallel))
 		if err != nil {
 			return err
 		}
 		fmt.Print(out)
 		return nil
 	}
-	out, err := tpdf.RunAllExperiments(*quick)
+	out, err := tpdf.RunAllExperiments(*quick, tpdf.WithParallelism(*parallel))
 	fmt.Print(out)
 	return err
 }

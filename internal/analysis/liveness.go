@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/csdf"
+	"repro/internal/pool"
 	"repro/internal/symb"
 )
 
@@ -56,6 +57,14 @@ type LivenessReport struct {
 // inputs (each channel has a single consumer), so enabledness is monotone
 // and a stuck maximal simulation proves deadlock.
 func Liveness(g *core.Graph, sol *Solution, envs ...symb.Env) (*LivenessReport, error) {
+	return LivenessParallel(g, sol, 1, envs...)
+}
+
+// LivenessParallel is Liveness with the cycle × valuation probe grid
+// fanned out over up to parallel workers (each probe instantiates and
+// greedily simulates one sub-graph). Verdicts are reduced in probe order,
+// so the report is identical to the sequential one.
+func LivenessParallel(g *core.Graph, sol *Solution, parallel int, envs ...symb.Env) (*LivenessReport, error) {
 	if len(envs) == 0 {
 		envs = []symb.Env{g.DefaultEnv()}
 	}
@@ -75,16 +84,25 @@ func Liveness(g *core.Graph, sol *Solution, envs ...symb.Env) (*LivenessReport, 
 		if local, err := LocalSolution(sol, members); err == nil {
 			cyc.QG = local.QG
 		}
-		for i, env := range envs {
-			order, err := localSchedule(g, members, env)
-			if err != nil {
+		orders := make([][]core.NodeID, len(envs))
+		errs := make([]error, len(envs))
+		// Returning the probe error lets the sequential pool path keep the
+		// old early-exit on the first deadlocked valuation; the parallel
+		// path records per-index errors and the reduction below picks the
+		// lowest-indexed one either way.
+		pool.Run(len(envs), parallel, func(i int) error {
+			orders[i], errs[i] = localSchedule(g, members, envs[i])
+			return errs[i]
+		})
+		for i := range envs {
+			if errs[i] != nil {
 				cyc.Live = false
-				cyc.Err = err
+				cyc.Err = errs[i]
 				rep.Live = false
 				break
 			}
 			if i == 0 {
-				cyc.LocalOrder = order
+				cyc.LocalOrder = orders[i]
 			}
 		}
 		rep.Cycles = append(rep.Cycles, cyc)

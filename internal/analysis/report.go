@@ -29,6 +29,13 @@ type Report struct {
 // at the graph's representative parameter valuations plus any extra
 // environments supplied.
 func Analyze(g *core.Graph, extraEnvs ...symb.Env) *Report {
+	return AnalyzeParallel(g, 1, extraEnvs...)
+}
+
+// AnalyzeParallel is Analyze with the concrete liveness probes fanned out
+// over up to parallel workers; the symbolic passes (consistency, rate
+// safety) are inherently sequential and unchanged.
+func AnalyzeParallel(g *core.Graph, parallel int, extraEnvs ...symb.Env) *Report {
 	rep := &Report{Graph: g}
 	sol, err := Consistency(g)
 	if err != nil {
@@ -47,7 +54,7 @@ func Analyze(g *core.Graph, extraEnvs ...symb.Env) *Report {
 	}
 
 	envs := append(probeEnvs(g), extraEnvs...)
-	lr, err := Liveness(g, sol, envs...)
+	lr, err := LivenessParallel(g, sol, parallel, envs...)
 	if err != nil {
 		rep.Err = err
 		return rep

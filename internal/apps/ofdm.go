@@ -154,13 +154,15 @@ func OFDMDecide(g *core.Graph, m int64) (map[string]sim.DecideFunc, error) {
 	if dupOut == "" || tranIn == "" || dupPort == "" || tranPort == "" {
 		return nil, fmt.Errorf("apps: OFDM graph wiring incomplete (ports %v)", conPorts)
 	}
+	// The decision is the same every firing; build it once and return the
+	// shared map so simulation sweeps stay allocation-free (the engine
+	// never mutates decision maps).
+	decision := map[string]sim.ControlToken{
+		dupPort:  {Mode: core.ModeSelectOne, Selected: []string{dupOut}},
+		tranPort: {Mode: core.ModeSelectOne, Selected: []string{tranIn}},
+	}
 	return map[string]sim.DecideFunc{
-		"CON": func(firing int64) map[string]sim.ControlToken {
-			return map[string]sim.ControlToken{
-				dupPort:  {Mode: core.ModeSelectOne, Selected: []string{dupOut}},
-				tranPort: {Mode: core.ModeSelectOne, Selected: []string{tranIn}},
-			}
-		},
+		"CON": func(firing int64) map[string]sim.ControlToken { return decision },
 	}, nil
 }
 

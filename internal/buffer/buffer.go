@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/csdf"
+	"repro/internal/pool"
 	"repro/internal/sim"
 	"repro/internal/symb"
 )
@@ -40,7 +41,11 @@ func (p Point) Improvement() float64 {
 	return float64(p.CSDF-p.TPDF) / float64(p.CSDF)
 }
 
-// OFDMPoint measures one parameter combination.
+// OFDMPoint measures one parameter combination. Three token-accurate runs
+// back one point: TPDF with branch selection, the CSDF baseline, and the
+// forced-wait-all ablation. The two TPDF runs share one simulator (the
+// ablation is the same graph with the decisions removed), and all three
+// use the buffers-only fast path since only high-water totals matter.
 func OFDMPoint(params apps.OFDMParams) (Point, error) {
 	pt := Point{
 		Beta:      params.Beta,
@@ -54,14 +59,18 @@ func OFDMPoint(params apps.OFDMParams) (Point, error) {
 	if err != nil {
 		return pt, err
 	}
-	tres, err := sim.Run(sim.Config{Graph: tg, Env: symb.Env(params.Env()), Decide: decide})
+	ts, err := sim.NewSimulator(sim.Config{Graph: tg, Env: symb.Env(params.Env()), Decide: decide, BuffersOnly: true})
+	if err != nil {
+		return pt, fmt.Errorf("buffer: TPDF setup: %v", err)
+	}
+	tres, err := ts.Run()
 	if err != nil {
 		return pt, fmt.Errorf("buffer: TPDF run: %v", err)
 	}
 	pt.TPDF = tres.TotalBuffer()
 
 	cg := apps.OFDMCSDF(params)
-	cres, err := sim.Run(sim.Config{Graph: cg, Env: symb.Env(params.Env())})
+	cres, err := sim.Run(sim.Config{Graph: cg, Env: symb.Env(params.Env()), BuffersOnly: true})
 	if err != nil {
 		return pt, fmt.Errorf("buffer: CSDF run: %v", err)
 	}
@@ -70,7 +79,9 @@ func OFDMPoint(params apps.OFDMParams) (Point, error) {
 	// Ablation: same TPDF graph, no selection — every mode defaults to
 	// wait-all, so both demapping branches execute and the transaction
 	// needs both inputs buffered.
-	fres, err := sim.Run(sim.Config{Graph: tg, Env: symb.Env(params.Env())})
+	ts.SetDecide(nil)
+	ts.Reset()
+	fres, err := ts.Run()
 	if err != nil {
 		return pt, fmt.Errorf("buffer: forced run: %v", err)
 	}
@@ -81,15 +92,26 @@ func OFDMPoint(params apps.OFDMParams) (Point, error) {
 // OFDMSweep reproduces the Fig. 8 series: buffer size as a function of the
 // vectorization degree β for each symbol length N.
 func OFDMSweep(betas []int64, ns []int64, m, l int64) ([]Point, error) {
-	var out []Point
-	for _, n := range ns {
-		for _, beta := range betas {
-			pt, err := OFDMPoint(apps.OFDMParams{Beta: beta, M: m, N: n, L: l})
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, pt)
+	return OFDMSweepParallel(betas, ns, m, l, 1)
+}
+
+// OFDMSweepParallel shards the β×N grid across up to parallel workers.
+// Points are written by grid index, so the result order — N-major, β-minor,
+// exactly OFDMSweep's — is independent of the worker count and a parallel
+// sweep is byte-identical to a sequential one.
+func OFDMSweepParallel(betas []int64, ns []int64, m, l int64, parallel int) ([]Point, error) {
+	out := make([]Point, len(ns)*len(betas))
+	err := pool.Run(len(out), parallel, func(i int) error {
+		n, beta := ns[i/len(betas)], betas[i%len(betas)]
+		pt, err := OFDMPoint(apps.OFDMParams{Beta: beta, M: m, N: n, L: l})
+		if err != nil {
+			return err
 		}
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

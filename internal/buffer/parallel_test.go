@@ -1,0 +1,36 @@
+package buffer_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/buffer"
+)
+
+// TestOFDMSweepParallelIdentical verifies the sharded Fig. 8 sweep yields
+// exactly the sequential points — same values, same N-major/β-minor order
+// — across several worker counts and grid shapes.
+func TestOFDMSweepParallelIdentical(t *testing.T) {
+	grids := []struct {
+		betas []int64
+		ns    []int64
+	}{
+		{[]int64{2, 5, 9}, []int64{16, 32}},
+		{[]int64{1, 3, 4, 7, 8}, []int64{64}},
+	}
+	for _, grid := range grids {
+		want, err := buffer.OFDMSweep(grid.betas, grid.ns, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			got, err := buffer.OFDMSweepParallel(grid.betas, grid.ns, 4, 1, workers)
+			if err != nil {
+				t.Fatalf("parallel=%d: %v", workers, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("parallel=%d: sweep diverged from sequential", workers)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -17,11 +18,34 @@ import (
 	"repro/internal/csdf"
 	"repro/internal/imaging"
 	"repro/internal/platform"
+	"repro/internal/pool"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/symb"
 	"repro/internal/trace"
 )
+
+// Options configures the experiment harness.
+type Options struct {
+	// Quick selects reduced image sizes and shorter sweeps.
+	Quick bool
+	// Measure times the real edge detectors in the T6 table. Disable it to
+	// make every experiment's output deterministic (the differential
+	// parallel-vs-sequential tests rely on this).
+	Measure bool
+	// Parallel is the worker budget for the parameter-grid sweeps and the
+	// cross-experiment fan-out; values below 2 run everything sequentially.
+	// Output is byte-identical whatever the value: every sweep writes its
+	// results by grid index and joins them in sequential order.
+	Parallel int
+}
+
+// itoa renders an int64 for table rows without fmt's reflection overhead
+// (these show up in the a2/a5/t6 sweep profiles).
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }
+
+// ftoa renders a float with 2 decimals, the tables' standard precision.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
 
 // F1 reproduces Fig. 1: the CSDF example's repetition vector and schedule.
 func F1() (string, error) {
@@ -190,12 +214,12 @@ func F5() (string, error) {
 	var b strings.Builder
 	b.WriteString("EXP-F5 (Fig. 5): canonical period at p=1\n")
 	fmt.Fprintf(&b, "  firings: %d (paper shows A1 A2 B1 B2 C1 D1 E1 E2 F1 F2 + sink)\n", prec.N())
-	var items []trace.GanttItem
+	items := make([]trace.GanttItem, 0, len(res.Items))
 	for u := range res.Items {
 		f := prec.Firings[u]
 		items = append(items, trace.GanttItem{
 			Lane:  res.Items[u].PE,
-			Label: fmt.Sprintf("%s%d", cg.Actors[f.Actor].Name, f.K+1),
+			Label: cg.Actors[f.Actor].Name + itoa(f.K+1),
 			Start: res.Items[u].Start,
 			End:   res.Items[u].End,
 		})
@@ -206,8 +230,10 @@ func F5() (string, error) {
 }
 
 // F6Table reproduces the Fig. 6 table: edge-detector execution times. With
-// measure=true the four real detectors run on a size×size synthetic scene;
-// the paper's published times are printed alongside.
+// measure=true the four real detectors run on a size×size synthetic scene —
+// each internally row-sharded across imaging.Parallelism workers, so the
+// measured wall-clock times reflect the parallel pixel kernels; the paper's
+// published times are printed alongside.
 func F6Table(size int, measure bool) (string, error) {
 	var rows [][]string
 	im := imaging.Synthetic(size, size, 1)
@@ -216,11 +242,11 @@ func F6Table(size int, measure bool) (string, error) {
 		if measure {
 			start := time.Now()
 			d.Run(im)
-			measured = fmt.Sprintf("%.1f", float64(time.Since(start).Microseconds())/1000.0)
+			measured = strconv.FormatFloat(float64(time.Since(start).Microseconds())/1000.0, 'f', 1, 64)
 		}
 		rows = append(rows, []string{
 			d.Name,
-			fmt.Sprint(apps.PaperDetectorTimes[d.Name]),
+			itoa(apps.PaperDetectorTimes[d.Name]),
 			measured,
 		})
 	}
@@ -248,7 +274,7 @@ func F6Deadline() (string, error) {
 				chosen = app.DetectorFor(ev.Selected[0])
 			}
 		}
-		rows = append(rows, []string{fmt.Sprint(deadline), chosen})
+		rows = append(rows, []string{itoa(deadline), chosen})
 	}
 	var b strings.Builder
 	b.WriteString("EXP-F6 (Fig. 6): deadline-driven selection (clock + transaction)\n")
@@ -273,7 +299,11 @@ func F7() (string, error) {
 // F8 reproduces Fig. 8: minimum buffer size versus vectorization degree for
 // N in {512, 1024}, TPDF against the CSDF baseline, with the paper's
 // analytic formulas for comparison.
-func F8(betas []int64) (string, error) {
+func F8(betas []int64) (string, error) { return F8Parallel(betas, 1) }
+
+// F8Parallel is F8 with the β×N simulation grid sharded across up to
+// parallel workers; the rendered series are byte-identical to F8's.
+func F8Parallel(betas []int64, parallel int) (string, error) {
 	if len(betas) == 0 {
 		betas = []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
 	}
@@ -281,7 +311,7 @@ func F8(betas []int64) (string, error) {
 	b.WriteString("EXP-F8 (Fig. 8): buffer size vs vectorization degree (M=4, L=1)\n")
 	var all []buffer.Point
 	for _, n := range []int64{512, 1024} {
-		points, err := buffer.OFDMSweep(betas, []int64{n}, 4, 1)
+		points, err := buffer.OFDMSweepParallel(betas, []int64{n}, 4, 1, parallel)
 		if err != nil {
 			return "", err
 		}
@@ -306,25 +336,61 @@ func F8(betas []int64) (string, error) {
 // All runs every experiment in paper order. quickImage shrinks the Fig. 6
 // measurement image so the full suite stays fast.
 func All(quickImage bool) (string, error) {
+	return AllOpts(Options{Quick: quickImage, Measure: true, Parallel: 1})
+}
+
+// Steps returns every experiment as a (name, generator) list in paper
+// order, configured by opts. The harness drives this both sequentially and
+// fanned out across a worker pool.
+func Steps(opts Options) []struct {
+	Name string
+	Run  func() (string, error)
+} {
 	size := 1024
-	if quickImage {
+	if opts.Quick {
 		size = 256
 	}
-	var b strings.Builder
-	steps := []func() (string, error){
-		F1, F2, F3, F4, F5,
-		func() (string, error) { return F6Table(size, true) },
-		F6Deadline, F7,
-		func() (string, error) { return F8([]int64{10, 30, 50, 70, 100}) },
-		ScheduleAblation, PlatformSweep, FMRadioComparison,
-		ADFPruning, AVCQualityThreshold, ThroughputValidation, PipelinedScheduling, CapacityMinimization,
+	p := opts.Parallel
+	return []struct {
+		Name string
+		Run  func() (string, error)
+	}{
+		{"f1", F1}, {"f2", F2}, {"f3", F3}, {"f4", F4}, {"f5", F5},
+		{"t6", func() (string, error) { return F6Table(size, opts.Measure) }},
+		{"f6", F6Deadline}, {"f7", F7},
+		{"f8", func() (string, error) { return F8Parallel([]int64{10, 30, 50, 70, 100}, p) }},
+		{"a1", func() (string, error) { return ScheduleAblationParallel(p) }},
+		{"a2", func() (string, error) { return PlatformSweepParallel(p) }},
+		{"a3", func() (string, error) { return FMRadioComparisonParallel(p) }},
+		{"a4", ADFPruning},
+		{"a5", func() (string, error) { return AVCQualityThresholdParallel(p) }},
+		{"a6", func() (string, error) { return ThroughputValidationParallel(p) }},
+		{"a7", func() (string, error) { return PipelinedSchedulingParallel(p) }},
+		{"a8", func() (string, error) { return CapacityMinimizationParallel(p) }},
 	}
-	for _, step := range steps {
-		s, err := step()
-		if err != nil {
-			return b.String(), err
+}
+
+// AllOpts runs every experiment in paper order under the given options.
+// With Parallel > 1 the experiments execute concurrently on a bounded
+// worker pool (each sweep additionally sharding its own parameter grid)
+// and the outputs are joined in paper order, so the rendering matches a
+// sequential run byte for byte as long as Measure is off. On error the
+// outputs of the experiments preceding the failed one are returned.
+func AllOpts(opts Options) (string, error) {
+	imaging.SetParallelism(opts.Parallel)
+	steps := Steps(opts)
+	outs := make([]string, len(steps))
+	errs := make([]error, len(steps))
+	pool.Run(len(steps), opts.Parallel, func(i int) error {
+		outs[i], errs[i] = steps[i].Run()
+		return nil
+	})
+	var b strings.Builder
+	for i := range steps {
+		if errs[i] != nil {
+			return b.String(), errs[i]
 		}
-		b.WriteString(s)
+		b.WriteString(outs[i])
 		b.WriteByte('\n')
 	}
 	return b.String(), nil

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/apps"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/csdf"
 	"repro/internal/imaging"
 	"repro/internal/platform"
+	"repro/internal/pool"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/symb"
@@ -42,31 +44,41 @@ func fig2Instance(p int64) (*csdf.Graph, *csdf.Precedence, []bool, error) {
 
 // ScheduleAblation measures the §III-D control-priority rule: makespan of
 // the Fig. 2 canonical period with and without the rule, across PE counts.
-func ScheduleAblation() (string, error) {
+func ScheduleAblation() (string, error) { return ScheduleAblationParallel(1) }
+
+// ScheduleAblationParallel shards the PE-count × rule grid over up to
+// parallel workers (each cell is an independent list-scheduling run).
+func ScheduleAblationParallel(parallel int) (string, error) {
 	cg, prec, isCtl, err := fig2Instance(16)
 	if err != nil {
 		return "", err
 	}
-	var rows [][]string
-	for _, pes := range []int{2, 4, 8} {
-		var spans [2]int64
-		for i, rule := range []bool{true, false} {
-			opts := sched.Options{
-				Platform:        platform.Simple(pes),
-				ControlPriority: rule,
-				IsControl:       isCtl,
-			}
-			res, err := sched.ListSchedule(cg, prec, opts)
-			if err != nil {
-				return "", err
-			}
-			if err := sched.Verify(cg, prec, opts, res); err != nil {
-				return "", err
-			}
-			spans[i] = res.Makespan
+	pes := []int{2, 4, 8}
+	rules := []bool{true, false}
+	spans := make([]int64, len(pes)*len(rules))
+	err = pool.Run(len(spans), parallel, func(i int) error {
+		opts := sched.Options{
+			Platform:        platform.Simple(pes[i/len(rules)]),
+			ControlPriority: rules[i%len(rules)],
+			IsControl:       isCtl,
 		}
+		res, err := sched.ListSchedule(cg, prec, opts)
+		if err != nil {
+			return err
+		}
+		if err := sched.Verify(cg, prec, opts, res); err != nil {
+			return err
+		}
+		spans[i] = res.Makespan
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	var rows [][]string
+	for i, pe := range pes {
 		rows = append(rows, []string{
-			fmt.Sprint(pes), fmt.Sprint(spans[0]), fmt.Sprint(spans[1]),
+			strconv.Itoa(pe), itoa(spans[2*i]), itoa(spans[2*i+1]),
 		})
 	}
 	var b strings.Builder
@@ -78,34 +90,51 @@ func ScheduleAblation() (string, error) {
 // PlatformSweep schedules the Fig. 2 canonical period over growing slices
 // of the MPPA-256 and reports the makespan curve — the §III-D scalability
 // story on the paper's target machine.
-func PlatformSweep() (string, error) {
+func PlatformSweep() (string, error) { return PlatformSweepParallel(1) }
+
+// PlatformSweepParallel shards the PE-count sweep (each point one
+// list-scheduling run of the ~450-firing canonical period) over up to
+// parallel workers; the speedup column is derived after the joins, so the
+// table matches the sequential rendering.
+func PlatformSweepParallel(parallel int) (string, error) {
 	cg, prec, isCtl, err := fig2Instance(64)
 	if err != nil {
 		return "", err
 	}
 	mppa := platform.MPPA256()
-	var rows [][]string
-	var prev int64
-	for _, pes := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+	peCounts := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	type point struct {
+		makespan    int64
+		utilization float64
+	}
+	points := make([]point, len(peCounts))
+	err = pool.Run(len(peCounts), parallel, func(i int) error {
 		opts := sched.Options{
 			Platform:        mppa,
-			PEs:             pes,
+			PEs:             peCounts[i],
 			ControlPriority: true,
 			IsControl:       isCtl,
 		}
 		res, err := sched.ListSchedule(cg, prec, opts)
 		if err != nil {
-			return "", err
+			return err
 		}
+		points[i] = point{res.Makespan, res.Utilization()}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	var rows [][]string
+	base := points[0].makespan
+	for i, pes := range peCounts {
 		speedup := "-"
-		if prev > 0 {
-			speedup = fmt.Sprintf("%.2f", float64(prev)/float64(res.Makespan))
-		} else {
-			prev = res.Makespan
+		if i > 0 && points[i].makespan > 0 {
+			speedup = ftoa(float64(base) / float64(points[i].makespan))
 		}
 		rows = append(rows, []string{
-			fmt.Sprint(pes), fmt.Sprint(res.Makespan),
-			fmt.Sprintf("%.2f", res.Utilization()), speedup,
+			strconv.Itoa(pes), itoa(points[i].makespan),
+			ftoa(points[i].utilization), speedup,
 		})
 	}
 	var b strings.Builder
@@ -170,8 +199,8 @@ func ADFPruning() (string, error) {
 	b.WriteString(trace.Table(
 		[]string{"period", "firings", "makespan"},
 		[][]string{
-			{"full graph", fmt.Sprint(prec.N()), fmt.Sprint(fullRes.Makespan)},
-			{"ADF-pruned", fmt.Sprint(pruned.N()), fmt.Sprint(prunedRes.Makespan)},
+			{"full graph", strconv.Itoa(prec.N()), itoa(fullRes.Makespan)},
+			{"ADF-pruned", strconv.Itoa(pruned.N()), itoa(prunedRes.Makespan)},
 		}))
 	fmt.Fprintf(&b, "  firings cancelled: %d (the QPSK branch)\n", prec.N()-pruned.N())
 	return b.String(), nil
@@ -180,15 +209,27 @@ func ADFPruning() (string, error) {
 // AVCQualityThreshold reproduces the §V AVC-encoder improvement: two real
 // motion searches (exhaustive vs three-step, from internal/imaging) race
 // under frame deadlines; the transaction commits the best finished result.
-func AVCQualityThreshold() (string, error) {
+func AVCQualityThreshold() (string, error) { return AVCQualityThresholdParallel(1) }
+
+// AVCQualityThresholdParallel races the two ground-truth motion searches
+// on separate workers (each additionally sharding its block rows across
+// imaging.Parallelism) and runs the deadline simulations concurrently —
+// the exhaustive full search dominates this experiment's runtime.
+func AVCQualityThresholdParallel(parallel int) (string, error) {
 	// Quality ground truth from the real searches on a known shift.
 	ref := imaging.Synthetic(128, 128, 7)
 	cur := imaging.Shift(ref, 3, 2)
-	fullSAD := imaging.EstimateFrame(cur, ref, 16, 7, imaging.FullSearch)
-	tssSAD := imaging.EstimateFrame(cur, ref, 16, 7, imaging.ThreeStepSearch)
+	var fullSAD, tssSAD int
+	searches := []func(){
+		func() { fullSAD = imaging.EstimateFrame(cur, ref, 16, 7, imaging.FullSearch) },
+		func() { tssSAD = imaging.EstimateFrame(cur, ref, 16, 7, imaging.ThreeStepSearch) },
+	}
+	pool.Run(len(searches), parallel, func(i int) error { searches[i](); return nil })
 
-	var rows [][]string
-	for _, deadline := range []int64{30, 80} {
+	deadlines := []int64{30, 80}
+	rows := make([][]string, len(deadlines))
+	err := pool.Run(len(deadlines), parallel, func(i int) error {
+		deadline := deadlines[i]
 		app := apps.MotionEstimation(deadline, 60 /*full*/, 15 /*tss*/)
 		res, err := sim.Run(sim.Config{
 			Graph:  app.Graph,
@@ -196,7 +237,7 @@ func AVCQualityThreshold() (string, error) {
 			Record: true,
 		})
 		if err != nil {
-			return "", err
+			return err
 		}
 		chosen := "(none)"
 		for _, ev := range res.Events {
@@ -204,11 +245,15 @@ func AVCQualityThreshold() (string, error) {
 				chosen = app.SearchFor(ev.Selected[0])
 			}
 		}
-		quality := fmt.Sprint(tssSAD)
+		quality := strconv.Itoa(tssSAD)
 		if chosen == "ME_FULL" {
-			quality = fmt.Sprint(fullSAD)
+			quality = strconv.Itoa(fullSAD)
 		}
-		rows = append(rows, []string{fmt.Sprint(deadline), chosen, quality})
+		rows[i] = []string{itoa(deadline), chosen, quality}
+		return nil
+	})
+	if err != nil {
+		return "", err
 	}
 	var b strings.Builder
 	b.WriteString("EXT-A5: AVC motion-vector quality threshold (§V)\n")
@@ -222,7 +267,11 @@ func AVCQualityThreshold() (string, error) {
 // period bound against the steady-state iteration period measured by the
 // discrete-event simulator, for pipelines and feedback graphs. Unbounded
 // self-timed execution must converge to the MCR.
-func ThroughputValidation() (string, error) {
+func ThroughputValidation() (string, error) { return ThroughputValidationParallel(1) }
+
+// ThroughputValidationParallel runs the validation cases (each an MCR
+// computation plus two warm simulator runs) on separate workers.
+func ThroughputValidationParallel(parallel int) (string, error) {
 	type tcase struct {
 		name  string
 		graph *core.Graph
@@ -250,27 +299,31 @@ func ThroughputValidation() (string, error) {
 			return "", err
 		}
 	}
-	var rows [][]string
-	for _, tc := range []tcase{{"3-stage pipeline", pipe}, {"feedback loop", loop}, {"Fig. 2 (p=2)", apps.Fig2()}} {
+	cases := []tcase{{"3-stage pipeline", pipe}, {"feedback loop", loop}, {"Fig. 2 (p=2)", apps.Fig2()}}
+	rows := make([][]string, len(cases))
+	err := pool.Run(len(cases), parallel, func(i int) error {
+		tc := cases[i]
 		cg, _, err := tc.graph.Instantiate(symb.Env{"p": 2})
 		if err != nil {
-			return "", err
+			return err
 		}
 		sol, err := cg.RepetitionVector()
 		if err != nil {
-			return "", err
+			return err
 		}
 		mcr, err := cg.MaxCycleRatio(sol, 1e-6)
 		if err != nil {
-			return "", err
+			return err
 		}
 		measured, err := sim.IterationPeriod(sim.Config{Graph: tc.graph, Env: symb.Env{"p": 2}}, 8, 16)
 		if err != nil {
-			return "", err
+			return err
 		}
-		rows = append(rows, []string{
-			tc.name, fmt.Sprintf("%.2f", mcr), fmt.Sprintf("%.2f", measured),
-		})
+		rows[i] = []string{tc.name, ftoa(mcr), ftoa(measured)}
+		return nil
+	})
+	if err != nil {
+		return "", err
 	}
 	var b strings.Builder
 	b.WriteString("EXT-A6: analytical period bound (max cycle ratio) vs simulation\n")
@@ -282,7 +335,12 @@ func ThroughputValidation() (string, error) {
 // (cross-period dependences included) and reports makespan per iteration:
 // software pipelining across canonical periods approaches the analytical
 // MCR bound.
-func PipelinedScheduling() (string, error) {
+func PipelinedScheduling() (string, error) { return PipelinedSchedulingParallel(1) }
+
+// PipelinedSchedulingParallel shards the unfold-degree sweep over up to
+// parallel workers (the k=8 unfolding dominates, so the win saturates
+// early, but smaller unfoldings no longer wait behind it).
+func PipelinedSchedulingParallel(parallel int) (string, error) {
 	g := apps.Fig2()
 	cg, low, err := g.Instantiate(symb.Env{"p": 4})
 	if err != nil {
@@ -302,25 +360,31 @@ func PipelinedScheduling() (string, error) {
 			isCtl[low.ActorOf[id]] = true
 		}
 	}
-	var rows [][]string
-	for _, k := range []int64{1, 2, 4, 8} {
+	unfolds := []int64{1, 2, 4, 8}
+	rows := make([][]string, len(unfolds))
+	err = pool.Run(len(unfolds), parallel, func(i int) error {
+		k := unfolds[i]
 		prec, err := cg.UnfoldPrecedence(sol, k)
 		if err != nil {
-			return "", err
+			return err
 		}
 		opts := sched.Options{Platform: platform.Simple(8), ControlPriority: true, IsControl: isCtl}
 		res, err := sched.ListSchedule(cg, prec, opts)
 		if err != nil {
-			return "", err
+			return err
 		}
 		if err := sched.Verify(cg, prec, opts, res); err != nil {
-			return "", err
+			return err
 		}
-		rows = append(rows, []string{
-			fmt.Sprint(k),
-			fmt.Sprint(res.Makespan),
-			fmt.Sprintf("%.2f", float64(res.Makespan)/float64(k)),
-		})
+		rows[i] = []string{
+			itoa(k),
+			itoa(res.Makespan),
+			ftoa(float64(res.Makespan) / float64(k)),
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
 	}
 	var b strings.Builder
 	b.WriteString("EXT-A7: pipelined scheduling across canonical periods (Fig. 2, p=4, 8 PEs)\n")
@@ -333,7 +397,12 @@ func PipelinedScheduling() (string, error) {
 // search under back-pressured bounded-buffer execution finds the smallest
 // capacities that still complete the iteration, and their sum equals the
 // paper's analytic 3 + β(12N+L).
-func CapacityMinimization() (string, error) {
+func CapacityMinimization() (string, error) { return CapacityMinimizationParallel(1) }
+
+// CapacityMinimizationParallel fans the feasibility probes of the binary
+// search out over up to parallel pooled simulators (speculative bisection:
+// identical capacities whatever the worker count).
+func CapacityMinimizationParallel(parallel int) (string, error) {
 	params := apps.OFDMParams{Beta: 4, M: 4, N: 64, L: 1}
 	g := apps.OFDMTPDF(params)
 	decide, err := apps.OFDMDecide(g, params.M)
@@ -341,7 +410,7 @@ func CapacityMinimization() (string, error) {
 		return "", err
 	}
 	cfg := sim.Config{Graph: g, Env: symb.Env(params.Env()), Decide: decide}
-	caps, err := sim.MinimalCapacities(cfg)
+	caps, err := sim.MinimalCapacitiesParallel(cfg, parallel)
 	if err != nil {
 		return "", err
 	}
@@ -355,7 +424,7 @@ func CapacityMinimization() (string, error) {
 		src, dst := g.Nodes[e.Src].Name, g.Nodes[e.Dst].Name
 		rows = append(rows, []string{
 			e.Name, src + "->" + dst,
-			fmt.Sprint(ref.HighWater[ei]), fmt.Sprint(caps[ei]),
+			itoa(ref.HighWater[ei]), itoa(caps[ei]),
 		})
 		total += caps[ei]
 	}
@@ -370,19 +439,29 @@ func CapacityMinimization() (string, error) {
 // FMRadioComparison is the §V StreamIt observation made concrete: the
 // FM-radio pipeline with TPDF band selection against the CSDF version that
 // must compute every band.
-func FMRadioComparison() (string, error) {
-	cg := apps.FMRadioCSDF()
-	cres, err := sim.Run(sim.Config{Graph: cg})
-	if err != nil {
-		return "", err
+func FMRadioComparison() (string, error) { return FMRadioComparisonParallel(1) }
+
+// FMRadioComparisonParallel runs the CSDF baseline and the TPDF band
+// selection on separate workers.
+func FMRadioComparisonParallel(parallel int) (string, error) {
+	var cres, tres *sim.Result
+	runs := []func() error{
+		func() error {
+			var err error
+			cres, err = sim.Run(sim.Config{Graph: apps.FMRadioCSDF()})
+			return err
+		},
+		func() error {
+			tg := apps.FMRadioTPDF()
+			decide, err := apps.FMRadioSelectBand(tg, 1)
+			if err != nil {
+				return err
+			}
+			tres, err = sim.Run(sim.Config{Graph: tg, Decide: decide})
+			return err
+		},
 	}
-	tg := apps.FMRadioTPDF()
-	decide, err := apps.FMRadioSelectBand(tg, 1)
-	if err != nil {
-		return "", err
-	}
-	tres, err := sim.Run(sim.Config{Graph: tg, Decide: decide})
-	if err != nil {
+	if err := pool.Run(len(runs), parallel, func(i int) error { return runs[i]() }); err != nil {
 		return "", err
 	}
 	var totalFiringsCSDF, totalFiringsTPDF int64
@@ -397,8 +476,8 @@ func FMRadioComparison() (string, error) {
 	b.WriteString(trace.Table(
 		[]string{"model", "total buffer", "total firings", "completion time"},
 		[][]string{
-			{"CSDF (all bands)", fmt.Sprint(cres.TotalBuffer()), fmt.Sprint(totalFiringsCSDF), fmt.Sprint(cres.Time)},
-			{"TPDF (1 band)", fmt.Sprint(tres.TotalBuffer()), fmt.Sprint(totalFiringsTPDF), fmt.Sprint(tres.Time)},
+			{"CSDF (all bands)", itoa(cres.TotalBuffer()), itoa(totalFiringsCSDF), itoa(cres.Time)},
+			{"TPDF (1 band)", itoa(tres.TotalBuffer()), itoa(totalFiringsTPDF), itoa(tres.Time)},
 		}))
 	fmt.Fprintf(&b, "  redundant work removed: %d firings, %d buffer slots\n",
 		totalFiringsCSDF-totalFiringsTPDF, cres.TotalBuffer()-tres.TotalBuffer())

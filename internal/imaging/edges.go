@@ -13,17 +13,23 @@ import "math"
 // method "quick" relative to the full gradient operators.
 func QuickMask(im *Image) *Image {
 	out := New(im.W, im.H)
-	for y := 0; y < im.H; y++ {
-		for x := 0; x < im.W; x++ {
-			acc := 4*int(im.At(x, y)) -
-				int(im.At(x-1, y-1)) - int(im.At(x+1, y-1)) -
-				int(im.At(x-1, y+1)) - int(im.At(x+1, y+1))
-			if acc < 0 {
-				acc = -acc
+	w := im.W
+	shardRows(im.H, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			rm, _, rp := im.clampedRows3(y)
+			orow := out.Pix[y*w : y*w+w]
+			for x := 0; x < w; x++ {
+				xm, xp := clampX(x, w)
+				acc := 4*int(im.Pix[y*w+x]) -
+					int(rm[xm]) - int(rm[xp]) -
+					int(rp[xm]) - int(rp[xp])
+				if acc < 0 {
+					acc = -acc
+				}
+				orow[x] = clamp255(acc)
 			}
-			out.Pix[y*im.W+x] = clamp255(acc)
 		}
-	}
+	})
 	return out
 }
 
@@ -31,27 +37,32 @@ func QuickMask(im *Image) *Image {
 // L1 gradient magnitude image.
 func gradient(im *Image, kx, ky [9]int) *Image {
 	out := New(im.W, im.H)
-	for y := 0; y < im.H; y++ {
-		for x := 0; x < im.W; x++ {
-			gx, gy := 0, 0
-			idx := 0
-			for dy := -1; dy <= 1; dy++ {
-				for dx := -1; dx <= 1; dx++ {
-					v := int(im.At(x+dx, y+dy))
-					gx += kx[idx] * v
-					gy += ky[idx] * v
-					idx++
+	w := im.W
+	shardRows(im.H, func(y0, y1 int) {
+		var p [9]int
+		for y := y0; y < y1; y++ {
+			rm, r0, rp := im.clampedRows3(y)
+			orow := out.Pix[y*w : y*w+w]
+			for x := 0; x < w; x++ {
+				xm, xp := clampX(x, w)
+				p[0], p[1], p[2] = int(rm[xm]), int(rm[x]), int(rm[xp])
+				p[3], p[4], p[5] = int(r0[xm]), int(r0[x]), int(r0[xp])
+				p[6], p[7], p[8] = int(rp[xm]), int(rp[x]), int(rp[xp])
+				gx, gy := 0, 0
+				for i, v := range p {
+					gx += kx[i] * v
+					gy += ky[i] * v
 				}
+				if gx < 0 {
+					gx = -gx
+				}
+				if gy < 0 {
+					gy = -gy
+				}
+				orow[x] = clamp255(gx + gy)
 			}
-			if gx < 0 {
-				gx = -gx
-			}
-			if gy < 0 {
-				gy = -gy
-			}
-			out.Pix[y*im.W+x] = clamp255(gx + gy)
 		}
-	}
+	})
 	return out
 }
 
@@ -84,28 +95,34 @@ var kirschMasks = [8][9]int{
 // Kirsch applies the 8-direction Kirsch compass detector (max response).
 func Kirsch(im *Image) *Image {
 	out := New(im.W, im.H)
-	for y := 0; y < im.H; y++ {
-		for x := 0; x < im.W; x++ {
-			best := 0
-			for m := range kirschMasks {
-				acc := 0
-				idx := 0
-				for dy := -1; dy <= 1; dy++ {
-					for dx := -1; dx <= 1; dx++ {
-						acc += kirschMasks[m][idx] * int(im.At(x+dx, y+dy))
-						idx++
+	w := im.W
+	shardRows(im.H, func(y0, y1 int) {
+		var p [9]int
+		for y := y0; y < y1; y++ {
+			rm, r0, rp := im.clampedRows3(y)
+			orow := out.Pix[y*w : y*w+w]
+			for x := 0; x < w; x++ {
+				xm, xp := clampX(x, w)
+				p[0], p[1], p[2] = int(rm[xm]), int(rm[x]), int(rm[xp])
+				p[3], p[4], p[5] = int(r0[xm]), int(r0[x]), int(r0[xp])
+				p[6], p[7], p[8] = int(rp[xm]), int(rp[x]), int(rp[xp])
+				best := 0
+				for m := range kirschMasks {
+					acc := 0
+					for i, v := range p {
+						acc += kirschMasks[m][i] * v
+					}
+					if acc < 0 {
+						acc = -acc
+					}
+					if acc > best {
+						best = acc
 					}
 				}
-				if acc < 0 {
-					acc = -acc
-				}
-				if acc > best {
-					best = acc
-				}
+				orow[x] = clamp255(best / 8)
 			}
-			out.Pix[y*im.W+x] = clamp255(best / 8)
 		}
-	}
+	})
 	return out
 }
 
@@ -121,19 +138,38 @@ var gauss5 = [25]int{
 
 func gaussianBlur(im *Image) *Image {
 	out := New(im.W, im.H)
-	for y := 0; y < im.H; y++ {
-		for x := 0; x < im.W; x++ {
-			acc := 0
-			idx := 0
+	w := im.W
+	shardRows(im.H, func(y0, y1 int) {
+		var rows [5][]uint8
+		var xs [5]int
+		for y := y0; y < y1; y++ {
 			for dy := -2; dy <= 2; dy++ {
-				for dx := -2; dx <= 2; dx++ {
-					acc += gauss5[idx] * int(im.At(x+dx, y+dy))
-					idx++
-				}
+				rows[dy+2] = im.clampedRow(y + dy)
 			}
-			out.Pix[y*im.W+x] = uint8(acc / 159)
+			orow := out.Pix[y*w : y*w+w]
+			for x := 0; x < w; x++ {
+				for dx := -2; dx <= 2; dx++ {
+					c := x + dx
+					if c < 0 {
+						c = 0
+					}
+					if c >= w {
+						c = w - 1
+					}
+					xs[dx+2] = c
+				}
+				acc := 0
+				idx := 0
+				for _, row := range rows {
+					for _, c := range xs {
+						acc += gauss5[idx] * int(row[c])
+						idx++
+					}
+				}
+				orow[x] = uint8(acc / 159)
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -145,36 +181,39 @@ func Canny(im *Image, low, high int) *Image {
 	w, h := im.W, im.H
 	mag := make([]int, w*h)
 	dir := make([]uint8, w*h) // 0: E-W, 1: NE-SW, 2: N-S, 3: NW-SE
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			gx, gy := 0, 0
-			idx := 0
-			for dy := -1; dy <= 1; dy++ {
-				for dx := -1; dx <= 1; dx++ {
-					v := int(blurred.At(x+dx, y+dy))
-					gx += sobelX[idx] * v
-					gy += sobelY[idx] * v
-					idx++
+	shardRows(h, func(y0, y1 int) {
+		var p [9]int
+		for y := y0; y < y1; y++ {
+			rm, r0, rp := blurred.clampedRows3(y)
+			for x := 0; x < w; x++ {
+				xm, xp := clampX(x, w)
+				p[0], p[1], p[2] = int(rm[xm]), int(rm[x]), int(rm[xp])
+				p[3], p[4], p[5] = int(r0[xm]), int(r0[x]), int(r0[xp])
+				p[6], p[7], p[8] = int(rp[xm]), int(rp[x]), int(rp[xp])
+				gx, gy := 0, 0
+				for i, v := range p {
+					gx += sobelX[i] * v
+					gy += sobelY[i] * v
+				}
+				m := int(math.Hypot(float64(gx), float64(gy)))
+				mag[y*w+x] = m
+				ang := math.Atan2(float64(gy), float64(gx)) * 180 / math.Pi
+				if ang < 0 {
+					ang += 180
+				}
+				switch {
+				case ang < 22.5 || ang >= 157.5:
+					dir[y*w+x] = 0
+				case ang < 67.5:
+					dir[y*w+x] = 1
+				case ang < 112.5:
+					dir[y*w+x] = 2
+				default:
+					dir[y*w+x] = 3
 				}
 			}
-			m := int(math.Hypot(float64(gx), float64(gy)))
-			mag[y*w+x] = m
-			ang := math.Atan2(float64(gy), float64(gx)) * 180 / math.Pi
-			if ang < 0 {
-				ang += 180
-			}
-			switch {
-			case ang < 22.5 || ang >= 157.5:
-				dir[y*w+x] = 0
-			case ang < 67.5:
-				dir[y*w+x] = 1
-			case ang < 112.5:
-				dir[y*w+x] = 2
-			default:
-				dir[y*w+x] = 3
-			}
 		}
-	}
+	})
 	// Non-maximum suppression.
 	nms := make([]int, w*h)
 	offset := [4][2][2]int{
@@ -189,17 +228,19 @@ func Canny(im *Image, low, high int) *Image {
 		}
 		return mag[y*w+x]
 	}
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			d := dir[y*w+x]
-			m := mag[y*w+x]
-			a := atMag(x+offset[d][0][0], y+offset[d][0][1])
-			b := atMag(x+offset[d][1][0], y+offset[d][1][1])
-			if m >= a && m >= b {
-				nms[y*w+x] = m
+	shardRows(h, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < w; x++ {
+				d := dir[y*w+x]
+				m := mag[y*w+x]
+				a := atMag(x+offset[d][0][0], y+offset[d][0][1])
+				b := atMag(x+offset[d][1][0], y+offset[d][1][1])
+				if m >= a && m >= b {
+					nms[y*w+x] = m
+				}
 			}
 		}
-	}
+	})
 	// Double threshold + hysteresis.
 	const weak, strong = 1, 2
 	mark := make([]uint8, w*h)

@@ -43,6 +43,46 @@ func (im *Image) At(x, y int) uint8 {
 	return im.Pix[y*im.W+x]
 }
 
+// clampedRows3 returns the pixel rows y-1, y, y+1 with replicate padding
+// at the vertical borders — the row pointers of a 3×3 stencil. The
+// convolution kernels walk these directly instead of paying At's four
+// clamp comparisons per tap.
+func (im *Image) clampedRows3(y int) (rm, r0, rp []uint8) {
+	ym, yp := y-1, y+1
+	if ym < 0 {
+		ym = 0
+	}
+	if yp >= im.H {
+		yp = im.H - 1
+	}
+	w := im.W
+	return im.Pix[ym*w : ym*w+w], im.Pix[y*w : y*w+w], im.Pix[yp*w : yp*w+w]
+}
+
+// clampedRow returns pixel row y clamped into the image.
+func (im *Image) clampedRow(y int) []uint8 {
+	if y < 0 {
+		y = 0
+	}
+	if y >= im.H {
+		y = im.H - 1
+	}
+	return im.Pix[y*im.W : y*im.W+im.W]
+}
+
+// clampX returns x-1 and x+1 with replicate padding at the horizontal
+// borders.
+func clampX(x, w int) (xm, xp int) {
+	xm, xp = x-1, x+1
+	if xm < 0 {
+		xm = 0
+	}
+	if xp >= w {
+		xp = w - 1
+	}
+	return xm, xp
+}
+
 // Set writes a pixel; out-of-range coordinates are ignored.
 func (im *Image) Set(x, y int, v uint8) {
 	if x < 0 || x >= im.W || y < 0 || y >= im.H {

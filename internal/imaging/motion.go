@@ -1,5 +1,7 @@
 package imaging
 
+import "repro/internal/pool"
+
 // Block motion estimation, the §V AVC-encoder workload: the paper improves
 // the encoder by racing motion-vector searches of different quality under a
 // Transaction kernel with a quality threshold. Two real search strategies
@@ -17,6 +19,28 @@ type MotionVector struct {
 // vector therefore points from the current block to its reference position:
 // a frame translated by (+3, -2) yields vectors of (-3, +2).
 func SAD(cur, ref *Image, bx, by, size, dx, dy int) int {
+	// Fast path: both windows fully inside their frames — walk the pixel
+	// rows directly instead of clamping every access. This is the inner
+	// loop of the motion searches (size² work per candidate displacement),
+	// and interior blocks, the overwhelming majority, all take it.
+	if bx >= 0 && by >= 0 && bx+size <= cur.W && by+size <= cur.H &&
+		bx+dx >= 0 && by+dy >= 0 && bx+dx+size <= ref.W && by+dy+size <= ref.H {
+		acc := 0
+		for y := 0; y < size; y++ {
+			co := (by+y)*cur.W + bx
+			ro := (by+dy+y)*ref.W + bx + dx
+			c := cur.Pix[co : co+size]
+			r := ref.Pix[ro : ro+size : ro+size]
+			for i, cv := range c {
+				d := int(cv) - int(r[i])
+				if d < 0 {
+					d = -d
+				}
+				acc += d
+			}
+		}
+		return acc
+	}
 	acc := 0
 	for y := 0; y < size; y++ {
 		for x := 0; x < size; x++ {
@@ -93,14 +117,31 @@ func Shift(im *Image, dx, dy int) *Image {
 
 // EstimateFrame runs a motion search over every size×size block of the
 // frame pair and returns the total SAD (residual energy: lower is better
-// quality) — the quality metric the §V transaction thresholds on.
+// quality) — the quality metric the §V transaction thresholds on. Block
+// rows are sharded across the package parallelism; per-band partial sums
+// are reduced in band order, so the total is exact and deterministic.
 func EstimateFrame(cur, ref *Image, size, radius int,
 	search func(cur, ref *Image, bx, by, size, radius int) MotionVector) int {
-	total := 0
-	for by := 0; by+size <= cur.H; by += size {
+	if size <= 0 {
+		return 0
+	}
+	blockRows := cur.H / size
+	partial := make([]int, blockRows)
+	// One pool item per block row (not shardRows: a frame has few block
+	// rows, but each one is a full strip of motion searches — plenty of
+	// work per goroutine).
+	pool.Run(blockRows, Parallelism(), func(r int) error {
+		by := r * size
+		sum := 0
 		for bx := 0; bx+size <= cur.W; bx += size {
-			total += search(cur, ref, bx, by, size, radius).SAD
+			sum += search(cur, ref, bx, by, size, radius).SAD
 		}
+		partial[r] = sum
+		return nil
+	})
+	total := 0
+	for _, s := range partial {
+		total += s
 	}
 	return total
 }

@@ -1,0 +1,50 @@
+package imaging
+
+import (
+	"sync/atomic"
+
+	"repro/internal/pool"
+)
+
+// parallelism is the package-wide worker budget for the pixel kernels
+// (detectors, blur, motion search). It is a process-level knob rather than
+// a per-call parameter because detector functions flow through the
+// Detector.Run interface and the simulator behaviors, whose signatures are
+// part of the experiment plumbing.
+var parallelism atomic.Int32
+
+// SetParallelism sets how many workers the pixel kernels may use; values
+// below 2 restore sequential execution. Every kernel shards by disjoint
+// row (or block-row) bands, so results are identical whatever the setting.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism reports the current worker budget (minimum 1).
+func Parallelism() int {
+	if p := int(parallelism.Load()); p > 1 {
+		return p
+	}
+	return 1
+}
+
+// shardRows splits [0, h) into contiguous bands and runs fn on each, using
+// the package parallelism. Bands are disjoint, so kernels that write only
+// rows y0 <= y < y1 need no synchronization and stay deterministic.
+func shardRows(h int, fn func(y0, y1 int)) {
+	p := Parallelism()
+	if p > h {
+		p = h
+	}
+	if p <= 1 || h < 32 {
+		fn(0, h)
+		return
+	}
+	pool.Run(p, p, func(i int) error {
+		fn(i*h/p, (i+1)*h/p)
+		return nil
+	})
+}

@@ -1,0 +1,81 @@
+package imaging
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestKernelsParallelDeterministic verifies every pixel kernel produces
+// identical output whatever the row-band parallelism: the bands are
+// disjoint, so any divergence is a sharding bug.
+func TestKernelsParallelDeterministic(t *testing.T) {
+	defer SetParallelism(1)
+	im := Synthetic(129, 97, 5) // odd sizes exercise uneven bands
+	SetParallelism(1)
+	var seq []*Image
+	for _, d := range Detectors() {
+		seq = append(seq, d.Run(im))
+	}
+	seqKirsch := Kirsch(im)
+	for _, workers := range []int{2, 3, 8} {
+		SetParallelism(workers)
+		for i, d := range Detectors() {
+			got := d.Run(im)
+			if !bytes.Equal(got.Pix, seq[i].Pix) {
+				t.Fatalf("%s: parallel=%d output diverged", d.Name, workers)
+			}
+		}
+		if got := Kirsch(im); !bytes.Equal(got.Pix, seqKirsch.Pix) {
+			t.Fatalf("Kirsch: parallel=%d output diverged", workers)
+		}
+	}
+}
+
+// TestEstimateFrameParallelDeterministic verifies the sharded motion
+// search total matches the sequential one for both search strategies.
+func TestEstimateFrameParallelDeterministic(t *testing.T) {
+	defer SetParallelism(1)
+	ref := Synthetic(96, 96, 11)
+	cur := Shift(ref, 2, -3)
+	SetParallelism(1)
+	wantFull := EstimateFrame(cur, ref, 16, 7, FullSearch)
+	wantTSS := EstimateFrame(cur, ref, 16, 7, ThreeStepSearch)
+	for _, workers := range []int{2, 4, 8} {
+		SetParallelism(workers)
+		if got := EstimateFrame(cur, ref, 16, 7, FullSearch); got != wantFull {
+			t.Fatalf("FullSearch: parallel=%d total %d, want %d", workers, got, wantFull)
+		}
+		if got := EstimateFrame(cur, ref, 16, 7, ThreeStepSearch); got != wantTSS {
+			t.Fatalf("ThreeStepSearch: parallel=%d total %d, want %d", workers, got, wantTSS)
+		}
+	}
+}
+
+// TestSADFastPathMatchesClamped pins the interior fast path of SAD to the
+// replicate-padded reference on windows that straddle the border.
+func TestSADFastPathMatchesClamped(t *testing.T) {
+	cur := Synthetic(40, 40, 3)
+	ref := Shift(cur, 1, 1)
+	naive := func(bx, by, size, dx, dy int) int {
+		acc := 0
+		for y := 0; y < size; y++ {
+			for x := 0; x < size; x++ {
+				d := int(cur.At(bx+x, by+y)) - int(ref.At(bx+x+dx, by+y+dy))
+				if d < 0 {
+					d = -d
+				}
+				acc += d
+			}
+		}
+		return acc
+	}
+	for _, c := range [][4]int{
+		{0, 0, -3, -3}, {0, 0, 0, 0}, {8, 8, 2, 1},
+		{24, 24, 7, 7}, {24, 8, -7, 5}, {8, 24, 3, -6},
+	} {
+		bx, by, dx, dy := c[0], c[1], c[2], c[3]
+		if got, want := SAD(cur, ref, bx, by, 16, dx, dy), naive(bx, by, 16, dx, dy); got != want {
+			t.Fatalf("SAD(%d,%d,%d,%d) = %d, want %d", bx, by, dx, dy, got, want)
+		}
+	}
+}

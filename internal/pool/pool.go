@@ -1,0 +1,76 @@
+// Package pool is the bounded worker pool behind every parallel analysis
+// driver (sweep sharding, capacity search, image kernels). Work items are
+// identified by index and results are written by index, so output order —
+// and therefore every rendered table and series — is identical whatever
+// the parallelism, and a parallel run is byte-for-byte comparable with a
+// sequential one.
+package pool
+
+import "sync"
+
+// Workers clamps the requested parallelism to the number of items:
+// anything below 2 means sequential.
+func Workers(n, parallel int) int {
+	if parallel > n {
+		parallel = n
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	return parallel
+}
+
+// Run invokes fn(i) for every i in [0, n), using up to parallel concurrent
+// workers. parallel <= 1 degenerates to a plain loop on the caller's
+// goroutine. All items run even when some fail; the returned error is the
+// lowest-indexed one, matching what a sequential loop that collects errors
+// would report.
+func Run(n, parallel int, fn func(i int) error) error {
+	return RunWorkers(n, parallel, func(_, i int) error { return fn(i) })
+}
+
+// RunWorkers is Run with the worker identity exposed: fn(w, i) runs item i
+// on worker w in [0, Workers(n, parallel)). Workers process disjoint items,
+// so per-worker state (a pooled simulator, a scratch buffer) needs no
+// locking.
+func RunWorkers(n, parallel int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Workers(n, parallel)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				errs[i] = fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

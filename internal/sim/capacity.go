@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/pool"
 	"repro/internal/symb"
 )
 
@@ -18,15 +19,14 @@ import (
 // deadlock) under the given capacities, so callers can check a proposed
 // buffer allocation for admissibility.
 func RunBounded(cfg Config, capacities []int64) (*Result, bool, error) {
-	eng, err := newEngine(cfg)
+	s, err := NewSimulator(cfg)
 	if err != nil {
 		return nil, false, err
 	}
-	if len(capacities) != len(eng.edges) {
-		return nil, false, fmt.Errorf("sim: %d capacities for %d edges", len(capacities), len(eng.edges))
+	if err := s.SetCapacities(capacities); err != nil {
+		return nil, false, err
 	}
-	eng.caps = capacities
-	res, err := eng.run()
+	res, err := s.Run()
 	if err != nil {
 		return nil, false, err
 	}
@@ -61,15 +61,87 @@ func RunBounded(cfg Config, capacities []int64) (*Result, bool, error) {
 // bound on the joint optimum, which matches how the paper sizes one buffer
 // per channel.
 func MinimalCapacities(cfg Config) ([]int64, error) {
+	return MinimalCapacitiesParallel(cfg, 1)
+}
+
+// speculationDepth is how many bisection levels are evaluated at once: the
+// 2^d - 1 capacities the next d sequential probes could visit, all checked
+// concurrently. Capped so the speculative waste stays below the win.
+func speculationDepth(parallel int) int {
+	d := 1
+	for d < 4 && (1<<(d+1))-1 <= parallel {
+		d++
+	}
+	return d
+}
+
+// speculativePivots appends every capacity the sequential bisection of
+// [lo, hi) could probe within the next depth steps, mirroring the walk in
+// MinimalCapacitiesParallel exactly.
+func speculativePivots(lo, hi int64, depth int, out []int64) []int64 {
+	if lo >= hi || depth == 0 {
+		return out
+	}
+	mid := lo + (hi-lo)/2
+	out = append(out, mid)
+	out = speculativePivots(lo, mid, depth-1, out)
+	return speculativePivots(mid+1, hi, depth-1, out)
+}
+
+// MinimalCapacitiesParallel is MinimalCapacities with the feasibility
+// probes fanned out over up to parallel workers, each owning a pooled
+// Simulator that is Reset between probes. Parallelism is speculative —
+// the capacities the sequential bisection *could* probe next are evaluated
+// concurrently and the walk then follows the sequential decision path —
+// so the result is identical to MinimalCapacities whatever the worker
+// count, even if feasibility were non-monotone.
+func MinimalCapacitiesParallel(cfg Config, parallel int) ([]int64, error) {
 	ref, err := Run(cfg)
 	if err != nil {
 		return nil, err
 	}
+	refFirings := append([]int64(nil), ref.Firings...)
 	caps := append([]int64(nil), ref.HighWater...)
-	feasible := func(c []int64) (bool, error) {
-		_, ok, err := RunBounded(cfg, c)
-		return ok, err
+
+	// Pooled probe simulators: trace callbacks and busy-time accounting are
+	// irrelevant during feasibility probes, only firing counts matter.
+	probeCfg := cfg
+	probeCfg.Record = false
+	probeCfg.OnFire = nil
+	probeCfg.BuffersOnly = true
+	if parallel < 1 {
+		parallel = 1
 	}
+	sims := make([]*Simulator, parallel)
+	for w := range sims {
+		if sims[w], err = NewSimulator(probeCfg); err != nil {
+			return nil, err
+		}
+	}
+
+	// feasible(w, trial) runs the bounded configuration on worker w's
+	// simulator and compares per-node firing counts with the unbounded
+	// reference.
+	feasible := func(w int, trial []int64) (bool, error) {
+		s := sims[w]
+		if err := s.SetCapacities(trial); err != nil {
+			return false, err
+		}
+		s.Reset()
+		res, err := s.Run()
+		if err != nil {
+			return false, err
+		}
+		for i := range res.Firings {
+			if res.Firings[i] != refFirings[i] {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	depth := speculationDepth(parallel)
+	var pivots []int64
 	for ei := range caps {
 		lo, hi := int64(0), caps[ei] // hi is known-feasible
 		// Initial tokens can never be evicted; they are a hard floor.
@@ -77,17 +149,33 @@ func MinimalCapacities(cfg Config) ([]int64, error) {
 			lo = init
 		}
 		for lo < hi {
-			mid := lo + (hi-lo)/2
-			trial := append([]int64(nil), caps...)
-			trial[ei] = mid
-			ok, err := feasible(trial)
+			pivots = speculativePivots(lo, hi, depth, pivots[:0])
+			verdicts := make([]bool, len(pivots))
+			err := pool.RunWorkers(len(pivots), parallel, func(w, k int) error {
+				trial := append([]int64(nil), caps...)
+				trial[ei] = pivots[k]
+				ok, err := feasible(w, trial)
+				verdicts[k] = ok
+				return err
+			})
 			if err != nil {
 				return nil, err
 			}
-			if ok {
-				hi = mid
-			} else {
-				lo = mid + 1
+			lookup := func(c int64) bool {
+				for k, p := range pivots {
+					if p == c {
+						return verdicts[k]
+					}
+				}
+				panic("sim: speculative pivot set missed a probe")
+			}
+			for step := 0; step < depth && lo < hi; step++ {
+				mid := lo + (hi-lo)/2
+				if lookup(mid) {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
 			}
 		}
 		caps[ei] = hi
@@ -97,26 +185,26 @@ func MinimalCapacities(cfg Config) ([]int64, error) {
 
 // edgeHasRoom reports whether producing n tokens on edge ei respects its
 // capacity (debt-consumed tokens never occupy buffer space).
-func (e *engine) edgeHasRoom(ei int, n int64) bool {
-	if e.caps == nil || ei >= len(e.caps) || e.caps[ei] < 0 {
+func (s *Simulator) edgeHasRoom(ei int, n int64) bool {
+	if s.caps == nil || ei >= len(s.caps) || s.caps[ei] < 0 {
 		return true
 	}
-	es := &e.edges[ei]
+	es := &s.edges[ei]
 	arriving := n - es.debt
 	if arriving < 0 {
 		arriving = 0
 	}
-	return es.tokens+arriving <= e.caps[ei]
+	return es.tokens+arriving <= s.caps[ei]
 }
 
 // outputsHaveRoom checks all channels node i would produce on at firing n.
 // Output selection cannot be known before the firing commits for
 // select-duplicate kernels, so the check is conservative: every potentially
 // produced-on channel needs room.
-func (e *engine) outputsHaveRoom(i int, firing int64) bool {
-	for _, ei := range e.nodes[i].outEdges {
-		es := &e.edges[ei]
-		if !e.edgeHasRoom(ei, es.prodAt(firing)) {
+func (s *Simulator) outputsHaveRoom(i int, firing int64) bool {
+	for _, ei := range s.nodes[i].outEdges {
+		es := &s.edges[ei]
+		if !s.edgeHasRoom(ei, es.prod.rate(firing)) {
 			return false
 		}
 	}
@@ -133,17 +221,22 @@ func IterationPeriod(cfg Config, warm, span int64) (float64, error) {
 	}
 	c1 := cfg
 	c1.Iterations = warm
-	r1, err := Run(c1)
+	s, err := NewSimulator(c1)
 	if err != nil {
 		return 0, err
 	}
-	c2 := cfg
-	c2.Iterations = warm + span
-	r2, err := Run(c2)
+	r1, err := s.Run()
 	if err != nil {
 		return 0, err
 	}
-	return float64(r2.Time-r1.Time) / float64(span), nil
+	t1 := r1.Time
+	s.SetIterations(warm + span)
+	s.Reset()
+	r2, err := s.Run()
+	if err != nil {
+		return 0, err
+	}
+	return float64(r2.Time-t1) / float64(span), nil
 }
 
 // BoundedFromEnv is a convenience wrapper evaluating a capacity expression

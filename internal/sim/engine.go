@@ -1,40 +1,53 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/core"
 )
 
-// Run executes the configuration and returns the metrics.
+// Run executes the configuration once and returns the metrics. It builds a
+// fresh Simulator per call; sweep drivers that execute one configuration
+// (or one graph) many times should construct a Simulator and Reset it
+// between runs instead, which keeps the event loop allocation-free.
 func Run(cfg Config) (*Result, error) {
-	eng, err := newEngine(cfg)
+	s, err := NewSimulator(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return eng.run()
+	return s.Run()
 }
 
-type engine struct {
+// Simulator is a reusable simulation engine: all per-run state (node and
+// edge state, the event queue, result vectors) is preallocated at
+// construction and restored by Reset, so repeated runs of one
+// configuration do not allocate. A Simulator is not safe for concurrent
+// use; sweep drivers give each worker its own.
+type Simulator struct {
 	cfg   Config
 	g     *core.Graph
+	q     []int64 // concrete repetition vector per node
 	nodes []nodeState
 	edges []edgeState
 	exec  [][]int64 // per node, cyclic execution times (nil = zero)
+	// ctlOrder lists node indices control actors first (§III-D), the fixed
+	// scan order of startAllEnabled.
+	ctlOrder []int
 
-	events       eventHeap
-	pendingModes []pendingFiring
-	caps         []int64 // per-edge capacities; nil or <=0 entries unbounded
-	seq          int64
-	now          int64
-	inFlight     int
-	total        int64 // completed firings
-	res          *Result
+	events   eventQueue
+	caps     []int64 // per-edge capacities; nil or <0 entries unbounded
+	seq      int64
+	now      int64
+	inFlight int
+	total    int64 // completed firings
+	res      Result
 }
 
-func newEngine(cfg Config) (*engine, error) {
+// NewSimulator instantiates the configured graph and preallocates every
+// piece of run state.
+func NewSimulator(cfg Config) (*Simulator, error) {
 	g := cfg.Graph
 	cg, low, err := g.Instantiate(cfg.Env)
 	if err != nil {
@@ -48,124 +61,207 @@ func newEngine(cfg Config) (*engine, error) {
 	if iters <= 0 {
 		iters = 1
 	}
-	eng := &engine{cfg: cfg, g: g}
-	eng.nodes = make([]nodeState, len(g.Nodes))
-	eng.exec = make([][]int64, len(g.Nodes))
+	s := &Simulator{cfg: cfg, g: g}
+	s.nodes = make([]nodeState, len(g.Nodes))
+	s.exec = make([][]int64, len(g.Nodes))
+	s.q = make([]int64, len(g.Nodes))
 	for i, n := range g.Nodes {
-		ns := &eng.nodes[i]
+		ns := &s.nodes[i]
 		ns.id = core.NodeID(i)
 		ns.ctlEdge = -1
-		ns.limit = iters * sol.Q[low.ActorOf[i]]
+		s.q[i] = sol.Q[low.ActorOf[i]]
+		ns.limit = iters * s.q[i]
 		ns.isCtl = n.Kind == core.KindControl
 		ns.isClock = n.Kind == core.KindControl && n.ClockPeriod > 0
 		ns.lastTok = ControlToken{Mode: core.ModeWaitAll}
-		eng.exec[i] = n.Exec
+		s.exec[i] = n.Exec
 	}
-	eng.edges = make([]edgeState, len(g.Edges))
+	s.edges = make([]edgeState, len(g.Edges))
 	for ei, e := range g.Edges {
 		ce := cg.Edges[low.EdgeOf[ei]]
 		dst := g.Nodes[e.Dst]
 		dp := dst.Ports[e.DstPort]
-		es := &eng.edges[ei]
-		es.prod = ce.Prod
-		es.cons = ce.Cons
-		es.tokens = ce.Initial
-		es.high = ce.Initial
+		es := &s.edges[ei]
+		es.prod.init(ce.Prod)
+		es.cons.init(ce.Cons)
+		es.init = ce.Initial
 		es.isCtl = dp.Dir == core.CtlIn
 		es.dstPrio = dp.Priority
 		es.dstName = dp.Name
 		if es.isCtl {
-			eng.nodes[e.Dst].ctlEdge = ei
-			// Pre-existing control tokens default to wait-all.
-			for k := int64(0); k < ce.Initial; k++ {
-				es.ctl = append(es.ctl, ControlToken{Mode: core.ModeWaitAll})
-			}
+			s.nodes[e.Dst].ctlEdge = ei
 		} else {
-			eng.nodes[e.Dst].inEdges = append(eng.nodes[e.Dst].inEdges, ei)
+			s.nodes[e.Dst].inEdges = append(s.nodes[e.Dst].inEdges, ei)
 		}
-		eng.nodes[e.Src].outEdges = append(eng.nodes[e.Src].outEdges, ei)
+		s.nodes[e.Src].outEdges = append(s.nodes[e.Src].outEdges, ei)
 	}
-	eng.res = &Result{
+	for i := range s.nodes {
+		s.nodes[i].activeBuf = make([]int, 0, len(s.nodes[i].inEdges))
+	}
+	s.ctlOrder = make([]int, 0, len(s.nodes))
+	for i := range s.nodes {
+		if s.nodes[i].isCtl {
+			s.ctlOrder = append(s.ctlOrder, i)
+		}
+	}
+	for i := range s.nodes {
+		if !s.nodes[i].isCtl {
+			s.ctlOrder = append(s.ctlOrder, i)
+		}
+	}
+	s.res = Result{
 		Firings:   make([]int64, len(g.Nodes)),
 		Busy:      make([]int64, len(g.Nodes)),
 		HighWater: make([]int64, len(g.Edges)),
 		Final:     make([]int64, len(g.Edges)),
 	}
-	// Clock initial ticks.
-	for i, n := range g.Nodes {
-		if eng.nodes[i].isClock {
-			eng.nodes[i].nextTick = n.ClockPeriod
-			eng.push(event{time: n.ClockPeriod, kind: 1, node: i})
+	// Serialized firings bound the queue: at most one completion in flight
+	// plus one scheduled tick per node.
+	s.events.a = make([]event, 0, 2*len(g.Nodes))
+	s.start()
+	return s, nil
+}
+
+// start restores the pre-run state: initial tokens, initial wait-all
+// control tokens, clock ticks. Shared by NewSimulator and Reset.
+func (s *Simulator) start() {
+	for ei := range s.edges {
+		es := &s.edges[ei]
+		es.tokens = es.init
+		es.high = es.init
+		es.debt = 0
+		es.prod.reset()
+		es.cons.reset()
+		es.ctl.reset()
+		if es.isCtl {
+			// Pre-existing control tokens default to wait-all.
+			for k := int64(0); k < es.init; k++ {
+				es.ctl.push(ControlToken{Mode: core.ModeWaitAll})
+			}
 		}
 	}
-	return eng, nil
+	for i := range s.nodes {
+		ns := &s.nodes[i]
+		ns.fired, ns.started = 0, 0
+		ns.busy = false
+		ns.lastTok = ControlToken{Mode: core.ModeWaitAll}
+		ns.nextTick = 0
+		ns.pf = pendingFiring{}
+		ns.activeBuf = ns.activeBuf[:0]
+	}
+	s.events.reset()
+	s.seq, s.now, s.inFlight, s.total = 0, 0, 0, 0
+	for i := range s.res.Firings {
+		s.res.Firings[i] = 0
+		s.res.Busy[i] = 0
+	}
+	for ei := range s.res.HighWater {
+		s.res.HighWater[ei] = 0
+		s.res.Final[ei] = 0
+	}
+	s.res.Time = 0
+	s.res.Quiescent = false
+	s.res.Events = s.res.Events[:0]
+	// Clock initial ticks.
+	for i, n := range s.g.Nodes {
+		if s.nodes[i].isClock {
+			s.nodes[i].nextTick = n.ClockPeriod
+			s.push(event{time: n.ClockPeriod, kind: 1, node: i})
+		}
+	}
 }
 
-func (e *engine) push(ev event) {
-	ev.seq = e.seq
-	e.seq++
-	heap.Push(&e.events, ev)
+// Reset restores the simulator to its initial state so Run can execute the
+// configuration again. Results returned by previous Run calls alias the
+// simulator's internal vectors and are invalidated.
+func (s *Simulator) Reset() { s.start() }
+
+// SetCapacities installs per-edge channel capacities for subsequent runs
+// (nil restores unbounded execution; a negative entry means unbounded,
+// zero means the channel can never hold a token). The slice is retained,
+// not copied.
+func (s *Simulator) SetCapacities(caps []int64) error {
+	if caps != nil && len(caps) != len(s.edges) {
+		return fmt.Errorf("sim: %d capacities for %d edges", len(caps), len(s.edges))
+	}
+	s.caps = caps
+	return nil
 }
 
-func (e *engine) maxEvents() int64 {
-	if e.cfg.MaxEvents > 0 {
-		return e.cfg.MaxEvents
+// SetDecide replaces the control-decision table for subsequent runs.
+func (s *Simulator) SetDecide(decide map[string]DecideFunc) {
+	s.cfg.Decide = decide
+}
+
+// SetIterations rebounds the run to n graph iterations (effective after
+// the next Reset for an engine that already ran).
+func (s *Simulator) SetIterations(n int64) {
+	if n <= 0 {
+		n = 1
+	}
+	s.cfg.Iterations = n
+	for i := range s.nodes {
+		s.nodes[i].limit = n * s.q[i]
+	}
+}
+
+func (s *Simulator) push(ev event) {
+	ev.seq = s.seq
+	s.seq++
+	s.events.push(ev)
+}
+
+func (s *Simulator) maxEvents() int64 {
+	if s.cfg.MaxEvents > 0 {
+		return s.cfg.MaxEvents
 	}
 	return 50_000_000
 }
 
-func (e *engine) run() (*Result, error) {
-	e.startAllEnabled()
+// Run executes until quiescence and returns the metrics. The Result points
+// into the simulator's preallocated state: it remains valid until the next
+// Reset. Callers that keep results across runs must copy what they need.
+func (s *Simulator) Run() (*Result, error) {
+	s.startAllEnabled()
 	var processed int64
-	for e.events.Len() > 0 {
-		if processed++; processed > e.maxEvents() {
-			return nil, fmt.Errorf("sim: exceeded %d events at t=%d", e.maxEvents(), e.now)
+	for s.events.len() > 0 {
+		if processed++; processed > s.maxEvents() {
+			return nil, fmt.Errorf("sim: exceeded %d events at t=%d", s.maxEvents(), s.now)
 		}
-		if e.cfg.Context != nil {
-			if err := e.cfg.Context.Err(); err != nil {
-				return nil, fmt.Errorf("sim: cancelled at t=%d: %w", e.now, err)
+		if s.cfg.Context != nil {
+			if err := s.cfg.Context.Err(); err != nil {
+				return nil, fmt.Errorf("sim: cancelled at t=%d: %w", s.now, err)
 			}
 		}
-		ev := heap.Pop(&e.events).(event)
-		e.now = ev.time
+		ev := s.events.pop()
+		s.now = ev.time
 		switch ev.kind {
 		case 0:
-			e.complete(ev.node)
+			s.complete(ev.node)
 		case 1:
-			e.clockTick(ev.node)
+			s.clockTick(ev.node)
 		}
-		e.startAllEnabled()
+		s.startAllEnabled()
 	}
-	e.res.Time = e.now
-	e.res.Quiescent = true
-	for ei := range e.edges {
-		e.res.Final[ei] = e.edges[ei].tokens
-		e.res.HighWater[ei] = e.edges[ei].high
+	s.res.Time = s.now
+	s.res.Quiescent = true
+	for ei := range s.edges {
+		s.res.Final[ei] = s.edges[ei].tokens
+		s.res.HighWater[ei] = s.edges[ei].high
 	}
-	return e.res, nil
+	return &s.res, nil
 }
 
 // startAllEnabled starts every enabled firing, control actors first
 // (§III-D), respecting the PE pool.
-func (e *engine) startAllEnabled() {
-	order := make([]int, 0, len(e.nodes))
-	for i := range e.nodes {
-		if e.nodes[i].isCtl {
-			order = append(order, i)
-		}
-	}
-	for i := range e.nodes {
-		if !e.nodes[i].isCtl {
-			order = append(order, i)
-		}
-	}
+func (s *Simulator) startAllEnabled() {
 	for {
 		progressed := false
-		for _, i := range order {
-			if e.cfg.Processors > 0 && e.inFlight >= e.cfg.Processors {
+		for _, i := range s.ctlOrder {
+			if s.cfg.Processors > 0 && s.inFlight >= s.cfg.Processors {
 				return
 			}
-			if e.tryStart(i) {
+			if s.tryStart(i) {
 				progressed = true
 			}
 		}
@@ -176,30 +272,30 @@ func (e *engine) startAllEnabled() {
 }
 
 // tryStart begins one firing of node i if it is enabled.
-func (e *engine) tryStart(i int) bool {
-	ns := &e.nodes[i]
+func (s *Simulator) tryStart(i int) bool {
+	ns := &s.nodes[i]
 	if ns.busy || ns.started >= ns.limit || ns.isClock {
 		return false
 	}
 	firing := ns.started
-	if !e.outputsHaveRoom(i, firing) {
+	if !s.outputsHaveRoom(i, firing) {
 		return false // bounded-buffer back-pressure
 	}
 
 	tok := ns.lastTok
 	needsCtl := false
 	if ns.ctlEdge >= 0 {
-		ce := &e.edges[ns.ctlEdge]
-		if ce.consAt(firing) > 0 {
+		ce := &s.edges[ns.ctlEdge]
+		if ce.cons.rate(firing) > 0 {
 			needsCtl = true
-			if ce.tokens < 1 || len(ce.ctl) == 0 {
+			if ce.tokens < 1 || ce.ctl.len() == 0 {
 				return false // §II-B: wait until the control port is available
 			}
-			tok = ce.ctl[0]
+			tok = ce.ctl.front()
 		}
 	}
 
-	active, ok := e.activeInputs(i, firing, tok)
+	active, ok := s.activeInputs(i, firing, tok)
 	if !ok {
 		return false
 	}
@@ -207,16 +303,14 @@ func (e *engine) tryStart(i int) bool {
 	// Commit: consume control token, consume active inputs, register
 	// discard debt on rejected inputs.
 	if needsCtl {
-		ce := &e.edges[ns.ctlEdge]
+		ce := &s.edges[ns.ctlEdge]
 		ce.tokens--
-		ce.ctl = ce.ctl[1:]
+		ce.ctl.pop()
 		ns.lastTok = tok
 	}
-	activeSet := map[int]bool{}
 	for _, ei := range active {
-		activeSet[ei] = true
-		es := &e.edges[ei]
-		es.tokens -= es.consAt(firing)
+		es := &s.edges[ei]
+		es.tokens -= es.cons.rate(firing)
 	}
 	// Rejected-input handling depends on the mode's semantics:
 	//
@@ -231,11 +325,11 @@ func (e *engine) tryStart(i int) bool {
 	//     re-enables the branch.
 	if tok.Mode == core.ModeHighestPriority && ns.ctlEdge >= 0 {
 		for _, ei := range ns.inEdges {
-			if activeSet[ei] {
+			if slices.Contains(active, ei) {
 				continue
 			}
-			es := &e.edges[ei]
-			rate := es.consAt(firing)
+			es := &s.edges[ei]
+			rate := es.cons.rate(firing)
 			if rate == 0 {
 				continue
 			}
@@ -251,61 +345,49 @@ func (e *engine) tryStart(i int) bool {
 
 	ns.busy = true
 	ns.started++
-	e.inFlight++
+	s.inFlight++
 	dur := int64(0)
-	if len(e.exec[i]) > 0 {
-		dur = e.exec[i][int(firing%int64(len(e.exec[i])))]
+	if len(s.exec[i]) > 0 {
+		dur = s.exec[i][int(firing%int64(len(s.exec[i])))]
 	}
-	e.pendingModes = append(e.pendingModes, pendingFiring{node: i, firing: firing, tok: tok, active: activeSet, start: e.now})
-	e.push(event{time: e.now + dur, kind: 0, node: i})
+	ns.pf = pendingFiring{firing: firing, tok: tok, active: active, start: s.now}
+	s.push(event{time: s.now + dur, kind: 0, node: i})
 	return true
 }
 
-type pendingFiring struct {
-	node   int
-	firing int64
-	tok    ControlToken
-	active map[int]bool
-	start  int64
-}
-
 // activeInputs decides which data input edges participate in this firing
-// under the mode, and whether the firing is enabled now.
-func (e *engine) activeInputs(i int, firing int64, tok ControlToken) ([]int, bool) {
-	ns := &e.nodes[i]
+// under the mode, and whether the firing is enabled now. The returned
+// slice aliases the node's reusable active buffer (firings are serialized
+// per node, so at most one is live at a time).
+func (s *Simulator) activeInputs(i int, firing int64, tok ControlToken) ([]int, bool) {
+	ns := &s.nodes[i]
 	mode := tok.Mode
 	if ns.ctlEdge < 0 {
 		mode = core.ModeWaitAll // kernels without control ports are dataflow
 	}
-	needed := func(ei int) bool { return e.edges[ei].consAt(firing) > 0 }
-	avail := func(ei int) bool {
-		es := &e.edges[ei]
-		return es.tokens >= es.consAt(firing)
-	}
+	act := ns.activeBuf[:0]
 	switch mode {
 	case core.ModeWaitAll:
-		var act []int
 		for _, ei := range ns.inEdges {
-			if !needed(ei) {
+			es := &s.edges[ei]
+			rate := es.cons.rate(firing)
+			if rate == 0 {
 				continue
 			}
-			if !avail(ei) {
+			if es.tokens < rate {
 				return nil, false
 			}
 			act = append(act, ei)
 		}
 		return act, true
 	case core.ModeSelectOne, core.ModeSelectMany:
-		sel := map[string]bool{}
-		for _, s := range tok.Selected {
-			sel[s] = true
-		}
-		var act []int
 		for _, ei := range ns.inEdges {
-			if !needed(ei) || !sel[e.edges[ei].dstName] {
+			es := &s.edges[ei]
+			rate := es.cons.rate(firing)
+			if rate == 0 || !slices.Contains(tok.Selected, es.dstName) {
 				continue
 			}
-			if !avail(ei) {
+			if es.tokens < rate {
 				return nil, false
 			}
 			act = append(act, ei)
@@ -314,10 +396,12 @@ func (e *engine) activeInputs(i int, firing int64, tok ControlToken) ([]int, boo
 			// Selection names no input port: for a Select-duplicate the
 			// choice concerns outputs; inputs behave wait-all.
 			for _, ei := range ns.inEdges {
-				if !needed(ei) {
+				es := &s.edges[ei]
+				rate := es.cons.rate(firing)
+				if rate == 0 {
 					continue
 				}
-				if !avail(ei) {
+				if es.tokens < rate {
 					return nil, false
 				}
 				act = append(act, ei)
@@ -327,69 +411,56 @@ func (e *engine) activeInputs(i int, firing int64, tok ControlToken) ([]int, boo
 	case core.ModeHighestPriority:
 		best := -1
 		for _, ei := range ns.inEdges {
-			if !needed(ei) || !avail(ei) {
+			es := &s.edges[ei]
+			rate := es.cons.rate(firing)
+			if rate == 0 || es.tokens < rate {
 				continue
 			}
-			if best < 0 || e.edges[ei].dstPrio > e.edges[best].dstPrio {
+			if best < 0 || es.dstPrio > s.edges[best].dstPrio {
 				best = ei
 			}
 		}
 		if best < 0 {
 			return nil, false // wait until any input becomes available
 		}
-		return []int{best}, true
+		return append(act, best), true
 	default:
 		return nil, false
 	}
 }
 
-// complete finishes the oldest pending firing of node i: produce outputs,
-// emit control tokens, free the PE.
-func (e *engine) complete(i int) {
-	ns := &e.nodes[i]
-	// Find the pending firing for this node (serialized: exactly one).
-	idx := -1
-	for k := range e.pendingModes {
-		if e.pendingModes[k].node == i {
-			idx = k
-			break
-		}
-	}
-	if idx < 0 {
+// complete finishes the pending firing of node i: produce outputs, emit
+// control tokens, free the PE.
+func (s *Simulator) complete(i int) {
+	ns := &s.nodes[i]
+	if !ns.busy {
 		return
 	}
-	pf := e.pendingModes[idx]
-	e.pendingModes = append(e.pendingModes[:idx], e.pendingModes[idx+1:]...)
+	pf := ns.pf
 
-	n := e.g.Nodes[i]
+	n := s.g.Nodes[i]
 	firing := pf.firing
 
 	// Output selection: select modes on a Select-duplicate choose outputs.
-	outSel := map[string]bool{}
 	selectingOutputs := n.Special == core.SpecialSelectDup &&
 		(pf.tok.Mode == core.ModeSelectOne || pf.tok.Mode == core.ModeSelectMany) &&
 		len(pf.tok.Selected) > 0
-	if selectingOutputs {
-		for _, s := range pf.tok.Selected {
-			outSel[s] = true
-		}
-	}
 
 	var decision map[string]ControlToken
 	if ns.isCtl {
-		if d, ok := e.cfg.Decide[n.Name]; ok {
+		if d, ok := s.cfg.Decide[n.Name]; ok {
 			decision = d(firing)
 		}
 	}
 
 	for _, ei := range ns.outEdges {
-		es := &e.edges[ei]
-		rate := es.prodAt(firing)
+		es := &s.edges[ei]
+		rate := es.prod.rate(firing)
 		if rate == 0 {
 			continue
 		}
-		srcPort := e.g.Nodes[i].Ports[e.g.Edges[ei].SrcPort].Name
-		if selectingOutputs && !es.isCtl && !outSel[srcPort] {
+		srcPort := s.g.Nodes[i].Ports[s.g.Edges[ei].SrcPort].Name
+		if selectingOutputs && !es.isCtl && !slices.Contains(pf.tok.Selected, srcPort) {
 			continue // unchosen output: tokens are never produced
 		}
 		if es.isCtl {
@@ -400,7 +471,7 @@ func (e *engine) complete(i int) {
 				}
 			}
 			for k := int64(0); k < rate; k++ {
-				es.ctl = append(es.ctl, tok)
+				es.ctl.push(tok)
 			}
 		}
 		es.arrive(rate)
@@ -408,35 +479,40 @@ func (e *engine) complete(i int) {
 
 	ns.busy = false
 	ns.fired++
-	e.inFlight--
-	e.total++
-	if e.res.Time < e.now {
-		e.res.Time = e.now
+	s.inFlight--
+	s.total++
+	s.res.Firings[i]++
+	if s.cfg.BuffersOnly {
+		return
 	}
-	e.res.Firings[i]++
-	e.res.Busy[i] += e.now - pf.start
+	if s.res.Time < s.now {
+		s.res.Time = s.now
+	}
+	s.res.Busy[i] += s.now - pf.start
 
-	ev := FireEvent{
-		Node: n.Name, Firing: firing, Start: pf.start, End: e.now,
-		Mode: pf.tok.Mode, Selected: e.selectedNames(pf),
-	}
-	if e.cfg.Record {
-		e.res.Events = append(e.res.Events, ev)
-	}
-	if e.cfg.OnFire != nil {
-		e.cfg.OnFire(ev)
+	if s.cfg.Record || s.cfg.OnFire != nil {
+		ev := FireEvent{
+			Node: n.Name, Firing: firing, Start: pf.start, End: s.now,
+			Mode: pf.tok.Mode, Selected: s.selectedNames(pf),
+		}
+		if s.cfg.Record {
+			s.res.Events = append(s.res.Events, ev)
+		}
+		if s.cfg.OnFire != nil {
+			s.cfg.OnFire(ev)
+		}
 	}
 }
 
 // selectedNames reports the destination port names that actually
 // participated in a firing (for tracing the transaction's choice).
-func (e *engine) selectedNames(pf pendingFiring) []string {
+func (s *Simulator) selectedNames(pf pendingFiring) []string {
 	if len(pf.active) == 0 {
 		return nil
 	}
-	var names []string
-	for ei := range pf.active {
-		names = append(names, e.edges[ei].dstName)
+	names := make([]string, 0, len(pf.active))
+	for _, ei := range pf.active {
+		names = append(names, s.edges[ei].dstName)
 	}
 	sort.Strings(names)
 	return names
@@ -444,29 +520,29 @@ func (e *engine) selectedNames(pf pendingFiring) []string {
 
 // clockTick fires a clock control actor: no consumption, immediate
 // production of its control tokens after its execution time.
-func (e *engine) clockTick(i int) {
-	ns := &e.nodes[i]
+func (s *Simulator) clockTick(i int) {
+	ns := &s.nodes[i]
 	if ns.started >= ns.limit {
 		return // clock exhausted its iteration budget; stop ticking
 	}
-	if ns.busy || !e.outputsHaveRoom(i, ns.started) {
+	if ns.busy || !s.outputsHaveRoom(i, ns.started) {
 		// Busy (long Exec) or back-pressured at tick time: skip to the
 		// next period, as a watchdog would.
-		ns.nextTick += e.g.Nodes[i].ClockPeriod
-		e.push(event{time: ns.nextTick, kind: 1, node: i})
+		ns.nextTick += s.g.Nodes[i].ClockPeriod
+		s.push(event{time: ns.nextTick, kind: 1, node: i})
 		return
 	}
 	ns.busy = true
 	ns.started++
-	e.inFlight++
-	e.pendingModes = append(e.pendingModes, pendingFiring{node: i, firing: ns.started - 1, tok: ControlToken{Mode: core.ModeWaitAll}, start: e.now})
+	s.inFlight++
+	ns.pf = pendingFiring{firing: ns.started - 1, tok: ControlToken{Mode: core.ModeWaitAll}, start: s.now}
 	dur := int64(0)
-	if len(e.exec[i]) > 0 {
-		dur = e.exec[i][int((ns.started-1)%int64(len(e.exec[i])))]
+	if len(s.exec[i]) > 0 {
+		dur = s.exec[i][int((ns.started-1)%int64(len(s.exec[i])))]
 	}
-	e.push(event{time: e.now + dur, kind: 0, node: i})
+	s.push(event{time: s.now + dur, kind: 0, node: i})
 	if ns.started < ns.limit {
-		ns.nextTick += e.g.Nodes[i].ClockPeriod
-		e.push(event{time: ns.nextTick, kind: 1, node: i})
+		ns.nextTick += s.g.Nodes[i].ClockPeriod
+		s.push(event{time: ns.nextTick, kind: 1, node: i})
 	}
 }

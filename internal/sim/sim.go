@@ -26,6 +26,13 @@
 // inputs when they start and produce at completion after the actor's
 // execution time; events at equal times are processed in a fixed order, so
 // every run of a configuration is reproducible.
+//
+// Two entry styles exist. Run builds a fresh engine per call, which is
+// convenient but pays graph instantiation and state allocation every time.
+// The analysis sweeps (Fig. 8 buffer grids, capacity minimization) instead
+// construct one Simulator per worker and call Reset between runs: after the
+// first run the event loop is allocation-free, which is what makes the
+// β×N parameter grids cheap enough to shard across cores.
 package sim
 
 import (
@@ -45,7 +52,8 @@ type ControlToken struct {
 
 // DecideFunc lets a control actor choose the tokens it emits on its n-th
 // firing, keyed by its control-output port name. Missing entries default to
-// wait-all.
+// wait-all. The engine never mutates the returned map, so implementations
+// may return a shared precomputed map to keep the hot path allocation-free.
 type DecideFunc func(firing int64) map[string]ControlToken
 
 // FireEvent describes one completed firing for tracing.
@@ -79,6 +87,11 @@ type Config struct {
 	Record bool
 	// MaxEvents guards against runaway simulations (default 50M).
 	MaxEvents int64
+	// BuffersOnly skips per-node busy-time accounting and trace
+	// bookkeeping: callers that only need buffer totals (high-water marks,
+	// final token counts, firing counts) get a leaner event loop. Record
+	// and OnFire are ignored when set.
+	BuffersOnly bool
 }
 
 // Result reports the outcome of a run.
@@ -96,7 +109,7 @@ type Result struct {
 	// more (as opposed to hitting MaxEvents).
 	Quiescent bool
 	// Busy accumulates execution time per node (firing durations), the
-	// basis for utilization accounting.
+	// basis for utilization accounting. Zero when BuffersOnly was set.
 	Busy []int64
 	// Events holds the trace when Config.Record was set.
 	Events []FireEvent
@@ -111,21 +124,96 @@ func (r *Result) TotalBuffer() int64 {
 	return t
 }
 
+// rateTable holds one direction of an edge's concrete cyclic rates with an
+// incremental cursor: firings of the adjacent node are queried in
+// non-decreasing order (the engine serializes firings per node), so the
+// common case advances the phase by at most one step instead of doing a
+// 64-bit modulo per probe. Arbitrary (out-of-order) queries still work via
+// the modulo fallback.
+type rateTable struct {
+	rates []int64
+	n     int64 // len(rates), cached to avoid len/int conversions
+	idx   int   // rates index corresponding to firing `at`
+	at    int64 // firing number the cursor points to
+}
+
+func (t *rateTable) init(rates []int64) {
+	t.rates = rates
+	t.n = int64(len(rates))
+	t.idx, t.at = 0, 0
+}
+
+func (t *rateTable) reset() { t.idx, t.at = 0, 0 }
+
+// rate returns the rate at firing f.
+func (t *rateTable) rate(f int64) int64 {
+	if t.n == 1 {
+		return t.rates[0]
+	}
+	switch {
+	case f == t.at:
+	case f == t.at+1:
+		t.idx++
+		if int64(t.idx) == t.n {
+			t.idx = 0
+		}
+		t.at = f
+	default:
+		t.idx = int(f % t.n)
+		t.at = f
+	}
+	return t.rates[t.idx]
+}
+
+// ctlQueue is a growable ring buffer of control tokens. Reset keeps the
+// backing array, so steady-state operation never allocates.
+type ctlQueue struct {
+	buf  []ControlToken
+	head int
+	n    int
+}
+
+func (q *ctlQueue) len() int { return q.n }
+
+func (q *ctlQueue) reset() { q.head, q.n = 0, 0 }
+
+func (q *ctlQueue) push(t ControlToken) {
+	if q.n == len(q.buf) {
+		grown := make([]ControlToken, max(4, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head = grown, 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = t
+	q.n++
+}
+
+func (q *ctlQueue) front() ControlToken { return q.buf[q.head] }
+
+func (q *ctlQueue) pop() ControlToken {
+	t := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.n--
+	return t
+}
+
 // edgeState is the runtime state of one channel.
 type edgeState struct {
 	tokens  int64
-	ctl     []ControlToken // queue, parallel to tokens for control edges
-	debt    int64          // tokens to discard on arrival (rejected ports)
+	ctl     ctlQueue // parallel to tokens for control edges
+	debt    int64    // tokens to discard on arrival (rejected ports)
 	high    int64
-	prod    []int64 // concrete production rates
-	cons    []int64 // concrete consumption rates
+	init    int64 // initial tokens, restored by Reset
+	prod    rateTable
+	cons    rateTable
 	isCtl   bool
 	dstPrio int
 	dstName string // destination port name (for Selected matching)
 }
-
-func (e *edgeState) prodAt(n int64) int64 { return e.prod[int(n%int64(len(e.prod)))] }
-func (e *edgeState) consAt(n int64) int64 { return e.cons[int(n%int64(len(e.cons)))] }
 
 // arrive adds produced tokens, paying any discard debt first.
 func (e *edgeState) arrive(n int64) {
@@ -143,6 +231,15 @@ func (e *edgeState) arrive(n int64) {
 	}
 }
 
+// pendingFiring is the in-flight firing of one node (firings are serialized
+// per node, so each node has at most one).
+type pendingFiring struct {
+	firing int64
+	tok    ControlToken
+	active []int // participating data-input edges, aliases nodeState.activeBuf
+	start  int64
+}
+
 type nodeState struct {
 	id      core.NodeID
 	fired   int64 // completed firings
@@ -158,6 +255,10 @@ type nodeState struct {
 	ctlEdge  int   // edge index feeding the control port, -1 if none
 	outEdges []int // edge indices with Src == id (data and control)
 	nextTick int64 // clocks: next tick time
+	pf       pendingFiring
+	// activeBuf is the reusable backing array for pf.active; its capacity
+	// is len(inEdges), the most edges a firing can involve.
+	activeBuf []int
 }
 
 type event struct {
@@ -167,15 +268,58 @@ type event struct {
 	node int
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
+// eventQueue is a typed binary min-heap ordered by (time, seq). Unlike
+// container/heap it moves events without boxing them through interface
+// values, so pushes and pops never allocate once the backing array has
+// grown to the run's high-water mark (bounded by one in-flight completion
+// plus one scheduled tick per node).
+type eventQueue struct {
+	a []event
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (q *eventQueue) len() int { return len(q.a) }
+
+func (q *eventQueue) reset() { q.a = q.a[:0] }
+
+func (q *eventQueue) less(i, j int) bool {
+	if q.a[i].time != q.a[j].time {
+		return q.a[i].time < q.a[j].time
+	}
+	return q.a[i].seq < q.a[j].seq
+}
+
+func (q *eventQueue) push(ev event) {
+	q.a = append(q.a, ev)
+	i := len(q.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.a[i], q.a[parent] = q.a[parent], q.a[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	top := q.a[0]
+	n := len(q.a) - 1
+	q.a[0] = q.a[n]
+	q.a = q.a[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		q.a[i], q.a[smallest] = q.a[smallest], q.a[i]
+		i = smallest
+	}
+}

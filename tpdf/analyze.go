@@ -75,7 +75,7 @@ func Analyze(g *Graph, opts ...Option) *Report {
 	for _, e := range cfg.probeEnvs {
 		extra = append(extra, symb.Env(e))
 	}
-	in := analysis.Analyze(g, extra...)
+	in := analysis.AnalyzeParallel(g, cfg.parallel, extra...)
 
 	rep := &Report{
 		GraphName:  g.Name,

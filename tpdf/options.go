@@ -49,6 +49,7 @@ type config struct {
 	workers         int
 	channelCap      int64
 	reconfigure     func(completed int64) map[string]int64
+	parallel        int
 }
 
 // Option configures Analyze, Simulate, Execute, Schedule or GenerateCode.
@@ -179,4 +180,16 @@ func WithReconfigure(fn func(completed int64) map[string]int64) Option {
 // corners.
 func WithProbeEnvs(envs ...map[string]int64) Option {
 	return func(c *config) { c.probeEnvs = append(c.probeEnvs, envs...) }
+}
+
+// WithParallelism bounds the worker pool the analysis fabric may use:
+// Sweep shards its parameter grid, Analyze its liveness probes,
+// MinimalBuffers its feasibility probes, and the experiment harness both
+// fans out across experiments and shards within each sweep. The default
+// (and any value below 2) runs everything sequentially on the calling
+// goroutine. Results are deterministic — byte-identical to a sequential
+// run — whatever the value: every parallel driver writes results by index
+// and joins them in sequential order.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.parallel = n }
 }

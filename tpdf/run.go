@@ -170,10 +170,12 @@ func GenerateCode(g *Graph, opts ...Option) (string, error) {
 
 // MinimalBuffers searches the smallest per-edge capacities under which the
 // configured run still completes (deadlock-free), a per-edge refinement of
-// Report.BufferBound. Options as for Simulate.
+// Report.BufferBound. WithParallelism fans the feasibility probes of the
+// per-edge binary search out over pooled simulators (the result is
+// identical whatever the worker count). Other options as for Simulate.
 func MinimalBuffers(g *Graph, opts ...Option) ([]int64, error) {
 	cfg := buildConfig(opts)
-	return sim.MinimalCapacities(sim.Config{
+	return sim.MinimalCapacitiesParallel(sim.Config{
 		Graph:      g,
 		Context:    cfg.ctx,
 		Env:        cfg.env(),
@@ -181,7 +183,7 @@ func MinimalBuffers(g *Graph, opts ...Option) ([]int64, error) {
 		Processors: cfg.processors,
 		Decide:     cfg.decide,
 		MaxEvents:  cfg.maxEvents,
-	})
+	}, cfg.parallel)
 }
 
 // IterationPeriod measures the steady-state iteration period of the

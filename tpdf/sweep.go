@@ -1,0 +1,119 @@
+package tpdf
+
+import (
+	"sort"
+
+	"repro/internal/pool"
+	"repro/internal/sim"
+	"repro/internal/symb"
+)
+
+// SweepPoint is the token-accurate simulation outcome at one parameter
+// valuation of a Sweep.
+type SweepPoint struct {
+	// Params is the valuation this point was simulated at (the grid entry,
+	// merged over any WithParams baseline).
+	Params map[string]int64
+	// Time is the virtual completion time.
+	Time int64
+	// TotalBuffer sums the per-edge high-water marks — the buffer metric
+	// of the paper's Fig. 8.
+	TotalBuffer int64
+	// HighWater and Final are the per-edge buffer high-water marks and
+	// end-of-run token counts; Firings the per-node firing counts.
+	HighWater []int64
+	Final     []int64
+	Firings   []int64
+}
+
+// Grid builds the cartesian product of parameter axes as Sweep input.
+// Axis names are iterated in sorted order with the last axis varying
+// fastest, so the point order is deterministic.
+func Grid(axes map[string][]int64) []map[string]int64 {
+	names := make([]string, 0, len(axes))
+	total := 1
+	for n := range axes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		total *= len(axes[n])
+	}
+	if len(names) == 0 || total == 0 {
+		return nil
+	}
+	grid := make([]map[string]int64, 0, total)
+	idx := make([]int, len(names))
+	for {
+		point := make(map[string]int64, len(names))
+		for k, n := range names {
+			point[n] = axes[n][idx[k]]
+		}
+		grid = append(grid, point)
+		k := len(names) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < len(axes[names[k]]) {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			return grid
+		}
+	}
+}
+
+// Sweep simulates the graph at every parameter valuation of the grid and
+// returns one point per valuation, in grid order. WithParallelism shards
+// the grid across a bounded worker pool; results are written by grid
+// index, so the output is identical whatever the worker count. Each
+// valuation is merged over the WithParams baseline (grid entries win).
+// Other options as for Simulate.
+//
+// This is the programmatic face of the paper's evaluation loops: the
+// Fig. 8 buffer sweep is Sweep over a β×N grid of the OFDM graph, reading
+// TotalBuffer off each point.
+func Sweep(g *Graph, grid []map[string]int64, opts ...Option) ([]SweepPoint, error) {
+	cfg := buildConfig(opts)
+	out := make([]SweepPoint, len(grid))
+	err := pool.Run(len(grid), cfg.parallel, func(i int) error {
+		env := symb.Env{}
+		params := make(map[string]int64, len(cfg.params)+len(grid[i]))
+		for k, v := range cfg.params {
+			env[k] = v
+			params[k] = v
+		}
+		for k, v := range grid[i] {
+			env[k] = v
+			params[k] = v
+		}
+		res, err := sim.Run(sim.Config{
+			Graph:       g,
+			Context:     cfg.ctx,
+			Env:         env,
+			Iterations:  cfg.iterations,
+			Processors:  cfg.processors,
+			Decide:      cfg.decide,
+			MaxEvents:   cfg.maxEvents,
+			BuffersOnly: true,
+		})
+		if err != nil {
+			return err
+		}
+		out[i] = SweepPoint{
+			Params:      params,
+			Time:        res.Time,
+			TotalBuffer: res.TotalBuffer(),
+			HighWater:   res.HighWater,
+			Final:       res.Final,
+			Firings:     res.Firings,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

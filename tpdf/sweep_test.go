@@ -1,0 +1,93 @@
+package tpdf_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/tpdf"
+)
+
+func TestGridOrderAndSize(t *testing.T) {
+	grid := tpdf.Grid(map[string][]int64{
+		"beta": {1, 2, 3},
+		"N":    {16, 32},
+	})
+	if len(grid) != 6 {
+		t.Fatalf("grid has %d points, want 6", len(grid))
+	}
+	// Sorted axis names (N before beta), last axis fastest.
+	want := []map[string]int64{
+		{"N": 16, "beta": 1}, {"N": 16, "beta": 2}, {"N": 16, "beta": 3},
+		{"N": 32, "beta": 1}, {"N": 32, "beta": 2}, {"N": 32, "beta": 3},
+	}
+	if !reflect.DeepEqual(grid, want) {
+		t.Fatalf("grid order %v, want %v", grid, want)
+	}
+	if pts := tpdf.Grid(map[string][]int64{"beta": {}}); pts != nil {
+		t.Fatalf("empty axis must yield nil grid, got %v", pts)
+	}
+}
+
+// TestSweepParallelIdentical runs the OFDM buffer sweep through the public
+// Sweep API and checks the parallel results equal the sequential ones in
+// value and order.
+func TestSweepParallelIdentical(t *testing.T) {
+	g, err := tpdf.Builtin("ofdm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := tpdf.Grid(map[string][]int64{"beta": {1, 2, 4}, "N": {8, 16}})
+	seq, err := tpdf.Sweep(g, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(grid) {
+		t.Fatalf("%d points for %d grid entries", len(seq), len(grid))
+	}
+	for i, pt := range seq {
+		if pt.TotalBuffer <= 0 || pt.Params["beta"] != grid[i]["beta"] {
+			t.Fatalf("point %d malformed: %+v", i, pt)
+		}
+	}
+	par, err := tpdf.Sweep(g, grid, tpdf.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("parallel sweep diverged from sequential")
+	}
+}
+
+// TestAnalyzeParallelIdentical checks WithParallelism leaves the analysis
+// report unchanged (probes are fanned out, verdicts reduced in order).
+func TestAnalyzeParallelIdentical(t *testing.T) {
+	g, err := tpdf.Builtin("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := tpdf.Analyze(g)
+	par := tpdf.Analyze(g, tpdf.WithParallelism(8))
+	if seq.String() != par.String() {
+		t.Fatalf("parallel analysis diverged:\n--- sequential\n%s\n--- parallel\n%s", seq, par)
+	}
+}
+
+// TestMinimalBuffersParallelIdentical checks the parallel feasibility
+// probes leave MinimalBuffers' result unchanged.
+func TestMinimalBuffersParallelIdentical(t *testing.T) {
+	g, err := tpdf.Builtin("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := tpdf.MinimalBuffers(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := tpdf.MinimalBuffers(g, tpdf.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel MinimalBuffers %v, want %v", par, seq)
+	}
+}
