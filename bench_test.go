@@ -16,6 +16,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/apps"
 	"repro/internal/buffer"
+	"repro/internal/core"
 	"repro/internal/csdf"
 	"repro/internal/experiments"
 	"repro/internal/imaging"
@@ -331,6 +332,87 @@ func BenchmarkSimReset(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Reset()
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepInstantiate measures one OFDM sweep point through the
+// one-shot path a sweep driver used before the compile layer: a fresh
+// graph instantiation, repetition-vector solve and simulator per
+// valuation. Compare with BenchmarkSweepRebind.
+func BenchmarkSweepInstantiate(b *testing.B) {
+	params := apps.OFDMParams{Beta: 10, M: 4, N: 64, L: 1}
+	g := apps.OFDMTPDF(params)
+	decide, err := apps.OFDMDecide(g, params.M)
+	if err != nil {
+		b.Fatal(err)
+	}
+	envs := []symb.Env{
+		{"beta": 10, "M": 4, "N": 64, "L": 1},
+		{"beta": 4, "M": 4, "N": 32, "L": 1},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := sim.NewSimulator(sim.Config{Graph: g, Env: envs[i%2], Decide: decide, BuffersOnly: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepRebind measures the same alternating sweep points through
+// the compile-once fast path: one Program+Simulator pair, rebound in place
+// per point. The delta against BenchmarkSweepInstantiate is the per-point
+// saving every sweep worker banks; the tracked invariant is 0 allocs/op
+// (gated by sim's TestSweepSteadyStateAllocs).
+func BenchmarkSweepRebind(b *testing.B) {
+	params := apps.OFDMParams{Beta: 10, M: 4, N: 64, L: 1}
+	g := apps.OFDMTPDF(params)
+	decide, err := apps.OFDMDecide(g, params.M)
+	if err != nil {
+		b.Fatal(err)
+	}
+	envs := []symb.Env{
+		{"beta": 10, "M": 4, "N": 64, "L": 1},
+		{"beta": 4, "M": 4, "N": 32, "L": 1},
+	}
+	prog, err := core.Compile(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := prog.Rebind(envs[0]); err != nil {
+		b.Fatal(err)
+	}
+	s, err := sim.NewSimulatorFromProgram(prog, sim.Config{Decide: decide, BuffersOnly: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, env := range envs { // warm both valuations
+		if err := prog.Rebind(env); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.BindProgram(prog); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := prog.Rebind(envs[i%2]); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.BindProgram(prog); err != nil {
+			b.Fatal(err)
+		}
 		if _, err := s.Run(); err != nil {
 			b.Fatal(err)
 		}

@@ -61,9 +61,11 @@ func Liveness(g *core.Graph, sol *Solution, envs ...symb.Env) (*LivenessReport, 
 }
 
 // LivenessParallel is Liveness with the cycle × valuation probe grid
-// fanned out over up to parallel workers (each probe instantiates and
-// greedily simulates one sub-graph). Verdicts are reduced in probe order,
-// so the report is identical to the sequential one.
+// fanned out over up to parallel workers. The graph is compiled once per
+// worker — each probe rebinds the worker's Program at its valuation
+// instead of re-instantiating the graph — and programs are reused across
+// cycles. Verdicts are reduced in probe order, so the report is identical
+// to the sequential one.
 func LivenessParallel(g *core.Graph, sol *Solution, parallel int, envs ...symb.Env) (*LivenessReport, error) {
 	if len(envs) == 0 {
 		envs = []symb.Env{g.DefaultEnv()}
@@ -71,6 +73,7 @@ func LivenessParallel(g *core.Graph, sol *Solution, parallel int, envs ...symb.E
 	cond := dataDigraph(g).Condense()
 	rep := &LivenessReport{Live: true}
 	d := dataDigraph(g)
+	progs := make([]*core.Program, pool.Workers(len(envs), parallel))
 	for _, comp := range cond.Comps {
 		if len(comp) == 1 && !d.HasSelfLoop(comp[0]) {
 			continue
@@ -90,8 +93,13 @@ func LivenessParallel(g *core.Graph, sol *Solution, parallel int, envs ...symb.E
 		// old early-exit on the first deadlocked valuation; the parallel
 		// path records per-index errors and the reduction below picks the
 		// lowest-indexed one either way.
-		pool.Run(len(envs), parallel, func(i int) error {
-			orders[i], errs[i] = localSchedule(g, members, envs[i])
+		pool.RunWorkers(len(envs), parallel, func(w, i int) error {
+			if progs[w] == nil {
+				if progs[w], errs[i] = core.Compile(g); errs[i] != nil {
+					return errs[i]
+				}
+			}
+			orders[i], errs[i] = localScheduleProgram(progs[w], members, envs[i])
 			return errs[i]
 		})
 		for i := range envs {
@@ -118,19 +126,18 @@ func sortNodeIDs(s []core.NodeID) {
 	}
 }
 
-// localSchedule builds the sub-CSDF graph induced by the members (internal
-// edges only), computes the concrete local repetition counts
-// qL = q / gcd(r) and returns a valid firing order, or an error when the
-// cycle deadlocks.
-func localSchedule(g *core.Graph, members []core.NodeID, env symb.Env) ([]core.NodeID, error) {
-	cg, low, err := g.Instantiate(env)
-	if err != nil {
+// localScheduleProgram rebinds the compiled graph at env, builds the
+// sub-CSDF graph induced by the members (internal edges only), computes the
+// concrete local repetition counts qL = q / gcd(r) and returns a valid
+// firing order, or an error when the cycle deadlocks.
+func localScheduleProgram(prog *core.Program, members []core.NodeID, env symb.Env) ([]core.NodeID, error) {
+	if err := prog.Rebind(env); err != nil {
 		return nil, err
 	}
-	csol, err := cg.RepetitionVector()
-	if err != nil {
-		return nil, err
-	}
+	g := prog.Source()
+	cg := prog.Concrete()
+	low := prog.Lowering()
+	csol := prog.Solution()
 	inSet := map[core.NodeID]int{} // node -> local index
 	for i, m := range members {
 		inSet[m] = i

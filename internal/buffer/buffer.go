@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/apps"
+	"repro/internal/core"
 	"repro/internal/csdf"
 	"repro/internal/pool"
 	"repro/internal/sim"
@@ -46,47 +47,19 @@ func (p Point) Improvement() float64 {
 // forced-wait-all ablation. The two TPDF runs share one simulator (the
 // ablation is the same graph with the decisions removed), and all three
 // use the buffers-only fast path since only high-water totals matter.
+// One-shot convenience over a fresh ofdmSweepWorker; sweeps reuse the
+// worker across points instead.
 func OFDMPoint(params apps.OFDMParams) (Point, error) {
-	pt := Point{
-		Beta:      params.Beta,
-		N:         params.N,
-		PaperTPDF: apps.PaperTPDFBuffer(params),
-		PaperCSDF: apps.PaperCSDFBuffer(params),
-	}
-
-	tg := apps.OFDMTPDF(params)
-	decide, err := apps.OFDMDecide(tg, params.M)
+	w, err := newOFDMSweepWorker(params)
 	if err != nil {
-		return pt, err
+		return Point{
+			Beta:      params.Beta,
+			N:         params.N,
+			PaperTPDF: apps.PaperTPDFBuffer(params),
+			PaperCSDF: apps.PaperCSDFBuffer(params),
+		}, err
 	}
-	ts, err := sim.NewSimulator(sim.Config{Graph: tg, Env: symb.Env(params.Env()), Decide: decide, BuffersOnly: true})
-	if err != nil {
-		return pt, fmt.Errorf("buffer: TPDF setup: %v", err)
-	}
-	tres, err := ts.Run()
-	if err != nil {
-		return pt, fmt.Errorf("buffer: TPDF run: %v", err)
-	}
-	pt.TPDF = tres.TotalBuffer()
-
-	cg := apps.OFDMCSDF(params)
-	cres, err := sim.Run(sim.Config{Graph: cg, Env: symb.Env(params.Env()), BuffersOnly: true})
-	if err != nil {
-		return pt, fmt.Errorf("buffer: CSDF run: %v", err)
-	}
-	pt.CSDF = cres.TotalBuffer()
-
-	// Ablation: same TPDF graph, no selection — every mode defaults to
-	// wait-all, so both demapping branches execute and the transaction
-	// needs both inputs buffered.
-	ts.SetDecide(nil)
-	ts.Reset()
-	fres, err := ts.Run()
-	if err != nil {
-		return pt, fmt.Errorf("buffer: forced run: %v", err)
-	}
-	pt.Forced = fres.TotalBuffer()
-	return pt, nil
+	return w.point(params)
 }
 
 // OFDMSweep reproduces the Fig. 8 series: buffer size as a function of the
@@ -95,15 +68,125 @@ func OFDMSweep(betas []int64, ns []int64, m, l int64) ([]Point, error) {
 	return OFDMSweepParallel(betas, ns, m, l, 1)
 }
 
+// ofdmSweepWorker is the per-worker state of the sharded Fig. 8 grid: the
+// TPDF and CSDF graphs compiled once, one pooled simulator per graph, and
+// the shared branch decision. Every point the worker shards is a
+// Rebind+Reset+Run cycle — no graph construction, no instantiation, no
+// allocation once the simulators are warm.
+type ofdmSweepWorker struct {
+	tprog, cprog *core.Program
+	tsim, csim   *sim.Simulator
+	decide       map[string]sim.DecideFunc
+}
+
+func newOFDMSweepWorker(params apps.OFDMParams) (*ofdmSweepWorker, error) {
+	w := &ofdmSweepWorker{}
+	tg := apps.OFDMTPDF(params)
+	decide, err := apps.OFDMDecide(tg, params.M)
+	if err != nil {
+		return nil, err
+	}
+	w.decide = decide
+	if w.tprog, err = core.Compile(tg); err != nil {
+		return nil, fmt.Errorf("buffer: TPDF compile: %v", err)
+	}
+	if w.cprog, err = core.Compile(apps.OFDMCSDF(params)); err != nil {
+		return nil, fmt.Errorf("buffer: CSDF compile: %v", err)
+	}
+	return w, nil
+}
+
+// point measures one parameter combination, exactly as OFDMPoint does —
+// TPDF with branch selection, the CSDF baseline, the forced-wait-all
+// ablation — but through the worker's compiled programs.
+func (w *ofdmSweepWorker) point(params apps.OFDMParams) (Point, error) {
+	pt := Point{
+		Beta:      params.Beta,
+		N:         params.N,
+		PaperTPDF: apps.PaperTPDFBuffer(params),
+		PaperCSDF: apps.PaperCSDFBuffer(params),
+	}
+	env := symb.Env(params.Env())
+
+	if err := w.tprog.Rebind(env); err != nil {
+		return pt, fmt.Errorf("buffer: TPDF rebind: %v", err)
+	}
+	if w.tsim == nil {
+		ts, err := sim.NewSimulatorFromProgram(w.tprog, sim.Config{Decide: w.decide, BuffersOnly: true})
+		if err != nil {
+			return pt, fmt.Errorf("buffer: TPDF setup: %v", err)
+		}
+		w.tsim = ts
+	} else {
+		w.tsim.SetDecide(w.decide)
+		if err := w.tsim.BindProgram(w.tprog); err != nil {
+			return pt, err
+		}
+	}
+	tres, err := w.tsim.Run()
+	if err != nil {
+		return pt, fmt.Errorf("buffer: TPDF run: %v", err)
+	}
+	pt.TPDF = tres.TotalBuffer()
+
+	if err := w.cprog.Rebind(env); err != nil {
+		return pt, fmt.Errorf("buffer: CSDF rebind: %v", err)
+	}
+	if w.csim == nil {
+		cs, err := sim.NewSimulatorFromProgram(w.cprog, sim.Config{BuffersOnly: true})
+		if err != nil {
+			return pt, fmt.Errorf("buffer: CSDF setup: %v", err)
+		}
+		w.csim = cs
+	} else if err := w.csim.BindProgram(w.cprog); err != nil {
+		return pt, err
+	}
+	cres, err := w.csim.Run()
+	if err != nil {
+		return pt, fmt.Errorf("buffer: CSDF run: %v", err)
+	}
+	pt.CSDF = cres.TotalBuffer()
+
+	// Ablation: same TPDF graph, no selection — every mode defaults to
+	// wait-all, so both demapping branches execute and the transaction
+	// needs both inputs buffered.
+	w.tsim.SetDecide(nil)
+	w.tsim.Reset()
+	fres, err := w.tsim.Run()
+	if err != nil {
+		return pt, fmt.Errorf("buffer: forced run: %v", err)
+	}
+	pt.Forced = fres.TotalBuffer()
+	return pt, nil
+}
+
 // OFDMSweepParallel shards the β×N grid across up to parallel workers.
 // Points are written by grid index, so the result order — N-major, β-minor,
 // exactly OFDMSweep's — is independent of the worker count and a parallel
-// sweep is byte-identical to a sequential one.
+// sweep is byte-identical to a sequential one. Each worker owns one
+// compiled Program + Simulator pair per graph, reused across every point
+// it shards: a point costs a rebind and three simulator runs, never a
+// fresh instantiation.
 func OFDMSweepParallel(betas []int64, ns []int64, m, l int64, parallel int) ([]Point, error) {
 	out := make([]Point, len(ns)*len(betas))
-	err := pool.Run(len(out), parallel, func(i int) error {
+	if len(out) == 0 {
+		return out, nil
+	}
+	// A worker's setup compiles two graphs; insist on ≥2 points per worker
+	// so the compile-once cost amortizes even on small grids.
+	parallel = pool.WorkersAmortized(len(out), parallel, 2)
+	workers := make([]*ofdmSweepWorker, parallel)
+	err := pool.RunWorkers(len(out), parallel, func(w, i int) error {
 		n, beta := ns[i/len(betas)], betas[i%len(betas)]
-		pt, err := OFDMPoint(apps.OFDMParams{Beta: beta, M: m, N: n, L: l})
+		params := apps.OFDMParams{Beta: beta, M: m, N: n, L: l}
+		if workers[w] == nil {
+			st, err := newOFDMSweepWorker(params)
+			if err != nil {
+				return err
+			}
+			workers[w] = st
+		}
+		pt, err := workers[w].point(params)
 		if err != nil {
 			return err
 		}

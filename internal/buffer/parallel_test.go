@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/apps"
 	"repro/internal/buffer"
 )
 
@@ -31,6 +32,29 @@ func TestOFDMSweepParallelIdentical(t *testing.T) {
 			if !reflect.DeepEqual(got, want) {
 				t.Fatalf("parallel=%d: sweep diverged from sequential", workers)
 			}
+		}
+	}
+}
+
+// TestOFDMSweepMatchesOneShotPoints verifies the worker-reusing sweep —
+// one compiled program rebound across all the points a worker shards —
+// yields exactly the points OFDMPoint produces with a fresh worker (fresh
+// graphs, programs and simulators) per point.
+func TestOFDMSweepMatchesOneShotPoints(t *testing.T) {
+	betas := []int64{1, 4, 9}
+	ns := []int64{16, 32}
+	got, err := buffer.OFDMSweepParallel(betas, ns, 4, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range got {
+		n, beta := ns[i/len(betas)], betas[i%len(betas)]
+		want, err := buffer.OFDMPoint(apps.OFDMParams{Beta: beta, M: 4, N: n, L: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(pt, want) {
+			t.Fatalf("point %d (beta=%d N=%d): sweep %+v, one-shot %+v", i, beta, n, pt, want)
 		}
 	}
 }

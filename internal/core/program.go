@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/csdf"
+	"repro/internal/symb"
+)
+
+// Program is the compile-once form of a parametric TPDF graph: the concrete
+// CSDF skeleton is built a single time, every symbolic rate is lowered to a
+// compiled expression over a fixed parameter index, and Rebind re-evaluates
+// the whole graph at a new valuation by overwriting the existing rate
+// tables and repetition vector in place — no maps, no fresh csdf.Graph, no
+// allocations on the warm path.
+//
+// This is the engine behind the parameter sweeps: Instantiate answers "what
+// is this graph at one valuation", Compile+Rebind answers the same question
+// thousands of times for the price of one instantiation plus cheap
+// re-evaluations. A Program is not safe for concurrent mutation: Rebind
+// must never run while anything (a Simulator, another goroutine) is reading
+// the program's concrete graph or solution. Sweep drivers give each worker
+// its own Program.
+type Program struct {
+	src *Graph
+	cg  *csdf.Graph
+	low *Lowering
+
+	pi       *symb.ParamIndex
+	defaults []int64 // per index slot
+	vals     []int64 // current valuation, per index slot
+
+	prodC [][]*symb.CompiledExpr // per edge, per phase
+	consC [][]*symb.CompiledExpr
+
+	// Repetition-vector solver scratch, preallocated at compile time and
+	// reused by every Rebind (its structural half — phase counts,
+	// adjacency — does not change under rebinding).
+	scratch *csdf.SolverScratch
+	sol     csdf.Solution
+
+	bound bool
+}
+
+// Compile validates the graph, builds the reusable concrete skeleton and
+// lowers every rate expression. The returned program is unbound: call
+// Rebind before reading the concrete graph or solution.
+func Compile(g *Graph) (*Program, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	// The csdf-level validation Instantiate runs on its result also rejects
+	// negative execution times — the one rule core.Validate leaves to the
+	// lowering. Check it here so Compile-based paths refuse exactly the
+	// graphs Instantiate-based paths refuse.
+	for _, n := range g.Nodes {
+		for _, t := range n.Exec {
+			if t < 0 {
+				return nil, fmt.Errorf("core: instantiated graph invalid: csdf: actor %q has negative execution time", n.Name)
+			}
+		}
+	}
+
+	// Parameter index: the declared parameters in declaration order.
+	// Validate has already rejected any rate referencing an undeclared
+	// name, so the declared set covers every expression we compile.
+	names := make([]string, 0, len(g.Params))
+	for _, p := range g.Params {
+		names = append(names, p.Name)
+	}
+	pi := symb.NewParamIndex(names)
+
+	p := &Program{
+		src:      g,
+		pi:       pi,
+		defaults: make([]int64, pi.Len()),
+		vals:     make([]int64, pi.Len()),
+	}
+	for i := range p.defaults {
+		p.defaults[i] = 1
+	}
+	for _, par := range g.Params {
+		slot, _ := pi.Index(par.Name)
+		d := par.Default
+		if d == 0 {
+			d = 1
+		}
+		p.defaults[slot] = d
+	}
+
+	// Concrete skeleton: actors and edges with rate slices of the right
+	// shape (values are placeholders until the first Rebind).
+	cg := csdf.NewGraph()
+	low := &Lowering{Env: symb.Env{}}
+	for _, n := range g.Nodes {
+		low.ActorOf = append(low.ActorOf, cg.AddActor(n.Name, n.Exec...))
+	}
+	p.prodC = make([][]*symb.CompiledExpr, len(g.Edges))
+	p.consC = make([][]*symb.CompiledExpr, len(g.Edges))
+	for ei, e := range g.Edges {
+		src, dst := g.Nodes[e.Src], g.Nodes[e.Dst]
+		pc, err := compileSeq(src.Ports[e.SrcPort].Rates, pi)
+		if err != nil {
+			return nil, fmt.Errorf("core: edge %q production: %v", e.Name, err)
+		}
+		cc, err := compileSeq(dst.Ports[e.DstPort].Rates, pi)
+		if err != nil {
+			return nil, fmt.Errorf("core: edge %q consumption: %v", e.Name, err)
+		}
+		p.prodC[ei], p.consC[ei] = pc, cc
+		ci := cg.ConnectNamed(e.Name, low.ActorOf[e.Src],
+			make([]int64, len(pc)), low.ActorOf[e.Dst],
+			make([]int64, len(cc)), e.Initial)
+		low.EdgeOf = append(low.EdgeOf, ci)
+		low.ControlEdges = append(low.ControlEdges, g.IsControlEdge(e))
+	}
+	p.cg, p.low = cg, low
+
+	n := len(cg.Actors)
+	p.scratch = cg.NewSolverScratch()
+	p.sol = csdf.Solution{R: make([]int64, n), Q: make([]int64, n)}
+	return p, nil
+}
+
+func compileSeq(rates []symb.Expr, pi *symb.ParamIndex) ([]*symb.CompiledExpr, error) {
+	out := make([]*symb.CompiledExpr, len(rates))
+	for i, r := range rates {
+		c, err := r.Compile(pi)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// Rebind re-evaluates the program at the valuation (parameters missing from
+// env keep their declared defaults): rate tables are overwritten in place —
+// the backing arrays never move, so simulators aliasing them observe the
+// new rates — and the repetition vector is re-solved into the program's
+// reusable Solution. After the first successful Rebind the warm path
+// performs zero heap allocations.
+//
+// A failed Rebind leaves the program unbound (the rate tables may hold a
+// mix of the old and the rejected valuation); rebind again with a valid
+// valuation before reading Concrete or Solution.
+func (p *Program) Rebind(env symb.Env) error {
+	p.bound = false
+	copy(p.vals, p.defaults)
+	for name, v := range env {
+		if slot, ok := p.pi.Index(name); ok {
+			p.vals[slot] = v
+		}
+	}
+	// Lowering.Env mirrors the indexed parameters only (defaults overlaid
+	// with env); env keys no rate references are not recorded, so rebinding
+	// can never leave stale extras behind.
+	for i, name := range p.pi.Names() {
+		p.low.Env[name] = p.vals[i]
+	}
+	for _, par := range p.src.Params {
+		slot, _ := p.pi.Index(par.Name)
+		v := p.vals[slot]
+		if v < 1 {
+			return fmt.Errorf("core: parameter %s = %d; parameters must be >= 1", par.Name, v)
+		}
+		if par.Min > 0 && v < par.Min {
+			return fmt.Errorf("core: parameter %s = %d below declared minimum %d", par.Name, v, par.Min)
+		}
+		if par.Max > 0 && v > par.Max {
+			return fmt.Errorf("core: parameter %s = %d above declared maximum %d", par.Name, v, par.Max)
+		}
+	}
+
+	for ei := range p.cg.Edges {
+		ce := &p.cg.Edges[ei]
+		name := p.src.Edges[ei].Name
+		if err := p.rebindSeq(p.prodC[ei], ce.Prod, name, "production"); err != nil {
+			return err
+		}
+		if err := p.rebindSeq(p.consC[ei], ce.Cons, name, "consumption"); err != nil {
+			return err
+		}
+	}
+	if err := p.cg.SolveInto(p.scratch, &p.sol); err != nil {
+		return err
+	}
+	p.bound = true
+	return nil
+}
+
+// rebindSeq evaluates one compiled rate sequence into its existing slice,
+// enforcing the same validity rules Instantiate and csdf.Validate apply:
+// no negative rates, at least one positive rate per sequence.
+func (p *Program) rebindSeq(compiled []*symb.CompiledExpr, dst []int64, edge, kind string) error {
+	pos := false
+	for k, c := range compiled {
+		if err := c.EvalIntInto(&dst[k], p.vals); err != nil {
+			return fmt.Errorf("core: edge %q %s: %v", edge, kind, err)
+		}
+		if dst[k] < 0 {
+			return fmt.Errorf("core: edge %q %s: rate evaluates to negative %d", edge, kind, dst[k])
+		}
+		if dst[k] > 0 {
+			pos = true
+		}
+	}
+	if !pos {
+		return fmt.Errorf("core: edge %q has all-zero %s sequence", edge, kind)
+	}
+	return nil
+}
+
+// Bound reports whether the program has a valuation (a successful Rebind).
+func (p *Program) Bound() bool { return p.bound }
+
+// Source returns the TPDF graph the program was compiled from.
+func (p *Program) Source() *Graph { return p.src }
+
+// Concrete returns the program's concrete CSDF graph. Its rate slices are
+// overwritten by Rebind; callers that need a snapshot must copy.
+func (p *Program) Concrete() *csdf.Graph { return p.cg }
+
+// Lowering returns the TPDF→CSDF correspondence. Its Env reflects the
+// current valuation.
+func (p *Program) Lowering() *Lowering { return p.low }
+
+// Solution returns the repetition vector at the current valuation. The
+// slices are reused by Rebind; callers that keep them across rebinds must
+// copy.
+func (p *Program) Solution() *csdf.Solution { return &p.sol }

@@ -1,0 +1,190 @@
+package core_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/symb"
+)
+
+// randomValuations draws n valuations of the graph's declared parameters,
+// uniformly within each parameter's declared (capped) range, from a
+// deterministic source.
+func randomValuations(g *core.Graph, n int, seed int64) []symb.Env {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]symb.Env, 0, n)
+	for i := 0; i < n; i++ {
+		env := symb.Env{}
+		for _, p := range g.Params {
+			lo := p.Min
+			if lo < 1 {
+				lo = 1
+			}
+			hi := p.Max
+			if hi <= 0 || hi > lo+16 {
+				hi = lo + 16
+			}
+			env[p.Name] = lo + rng.Int63n(hi-lo+1)
+		}
+		out = append(out, env)
+	}
+	return out
+}
+
+// assertRebindMatchesInstantiate checks that rebinding the program at env
+// reproduces a fresh Instantiate byte for byte: every rate table, the
+// initial tokens, and the repetition vector.
+func assertRebindMatchesInstantiate(t *testing.T, g *core.Graph, p *core.Program, env symb.Env) {
+	t.Helper()
+	want, _, err := g.Instantiate(env)
+	if err != nil {
+		t.Fatalf("instantiate at %v: %v", env, err)
+	}
+	wsol, err := want.RepetitionVector()
+	if err != nil {
+		t.Fatalf("repetition vector at %v: %v", env, err)
+	}
+	if err := p.Rebind(env); err != nil {
+		t.Fatalf("rebind at %v: %v", env, err)
+	}
+	got := p.Concrete()
+	for ei := range want.Edges {
+		we, ge := &want.Edges[ei], &got.Edges[ei]
+		if !reflect.DeepEqual(we.Prod, ge.Prod) || !reflect.DeepEqual(we.Cons, ge.Cons) || we.Initial != ge.Initial {
+			t.Fatalf("edge %q at %v: rebind %v %v init=%d, instantiate %v %v init=%d",
+				we.Name, env, ge.Prod, ge.Cons, ge.Initial, we.Prod, we.Cons, we.Initial)
+		}
+	}
+	if !reflect.DeepEqual(p.Solution().Q, wsol.Q) || !reflect.DeepEqual(p.Solution().R, wsol.R) {
+		t.Fatalf("at %v: rebind solution Q=%v R=%v, instantiate Q=%v R=%v",
+			env, p.Solution().Q, p.Solution().R, wsol.Q, wsol.R)
+	}
+}
+
+// TestProgramRebindMatchesInstantiate sweeps randomized valuations through
+// one compiled program per application graph and demands byte-identical
+// concrete graphs and repetition vectors versus fresh instantiation.
+func TestProgramRebindMatchesInstantiate(t *testing.T) {
+	graphs := map[string]*core.Graph{
+		"fig2":      apps.Fig2(),
+		"fig4a":     apps.Fig4a(),
+		"fig4b":     apps.Fig4b(),
+		"ofdm":      apps.OFDMTPDF(apps.DefaultOFDM()),
+		"ofdm-csdf": apps.OFDMCSDF(apps.DefaultOFDM()),
+	}
+	for name, g := range graphs {
+		p, err := core.Compile(g)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", name, err)
+		}
+		for _, env := range randomValuations(g, 8, 11) {
+			assertRebindMatchesInstantiate(t, g, p, env)
+		}
+		// Defaults too (nil env).
+		assertRebindMatchesInstantiate(t, g, p, nil)
+	}
+}
+
+// TestProgramRebindAllocationFree gates the warm rebind path at zero heap
+// allocations: after the first Rebind, re-evaluating the whole graph at a
+// new valuation must not allocate.
+func TestProgramRebindAllocationFree(t *testing.T) {
+	g := apps.OFDMTPDF(apps.DefaultOFDM())
+	p, err := core.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envA := symb.Env{"beta": 3, "M": 2, "N": 16, "L": 1}
+	envB := symb.Env{"beta": 7, "M": 4, "N": 64, "L": 2}
+	if err := p.Rebind(envA); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Rebind(envB); err != nil {
+		t.Fatal(err)
+	}
+	flip := false
+	allocs := testing.AllocsPerRun(50, func() {
+		flip = !flip
+		env := envA
+		if flip {
+			env = envB
+		}
+		if err := p.Rebind(env); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Rebind allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestProgramRebindRejectsBadValuations mirrors Instantiate's parameter
+// validation: out-of-range valuations must fail on both paths.
+func TestProgramRebindRejectsBadValuations(t *testing.T) {
+	g := apps.OFDMTPDF(apps.DefaultOFDM()) // declares beta in [1,100]
+	p, err := core.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, env := range []symb.Env{
+		{"beta": 0},
+		{"beta": 101},
+		{"N": 5000},
+	} {
+		if _, _, err := g.Instantiate(env); err == nil {
+			t.Fatalf("instantiate at %v must fail", env)
+		}
+		if err := p.Rebind(env); err == nil {
+			t.Fatalf("rebind at %v must fail", env)
+		}
+		// A failed rebind may leave mixed rate tables behind; the program
+		// must report itself unbound until a valuation succeeds.
+		if p.Bound() {
+			t.Fatalf("program still bound after failed rebind at %v", env)
+		}
+	}
+	// A failed rebind must not poison the program: a good valuation after a
+	// bad one still matches fresh instantiation.
+	assertRebindMatchesInstantiate(t, g, p, symb.Env{"beta": 2, "M": 2, "N": 8, "L": 1})
+	if !p.Bound() {
+		t.Fatal("program must be bound again after a successful rebind")
+	}
+}
+
+// TestProgramUnboundRejected verifies the unbound state is explicit.
+func TestProgramUnboundRejected(t *testing.T) {
+	p, err := core.Compile(apps.Fig2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bound() {
+		t.Fatal("freshly compiled program must be unbound")
+	}
+	if err := p.Rebind(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Bound() {
+		t.Fatal("program must be bound after Rebind")
+	}
+}
+
+// TestCompileRejectsNegativeExec verifies Compile refuses exactly what
+// Instantiate refuses: the csdf-level negative-execution-time rule that
+// core.Validate leaves to the lowering.
+func TestCompileRejectsNegativeExec(t *testing.T) {
+	g := core.NewGraph("bad-exec")
+	a := g.AddKernel("A", -5)
+	b := g.AddKernel("B", 1)
+	if _, err := g.Connect(a, "[1]", b, "[1]", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.Instantiate(nil); err == nil {
+		t.Fatal("Instantiate must reject a negative execution time")
+	}
+	if _, err := core.Compile(g); err == nil {
+		t.Fatal("Compile must reject a negative execution time")
+	}
+}

@@ -410,11 +410,7 @@ func CapacityMinimizationParallel(parallel int) (string, error) {
 		return "", err
 	}
 	cfg := sim.Config{Graph: g, Env: symb.Env(params.Env()), Decide: decide}
-	caps, err := sim.MinimalCapacitiesParallel(cfg, parallel)
-	if err != nil {
-		return "", err
-	}
-	ref, err := sim.Run(cfg)
+	caps, ref, err := sim.MinimalCapacitiesRef(cfg, parallel)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,31 @@
+package platform
+
+import "testing"
+
+// TestLatencyTableMatchesMessageLatency proves the precomputed table the
+// list scheduler indexes is exactly the closed-form MessageLatency for
+// every PE pair of every modelled platform (same-PE pairs are the caller's
+// special case and must remain 0 in the closed form).
+func TestLatencyTableMatchesMessageLatency(t *testing.T) {
+	for _, p := range []*Platform{MPPA256(), Epiphany64(), Simple(1), Simple(7)} {
+		nc := p.Clusters
+		if nc < 1 {
+			nc = 1
+		}
+		lat := p.LatencyTable()
+		pes := p.NumPEs()
+		clusters := p.PEClusters(pes)
+		for src := 0; src < pes; src++ {
+			for dst := 0; dst < pes; dst++ {
+				want := p.MessageLatency(src, dst)
+				var got int64
+				if src != dst {
+					got = lat[clusters[src]*nc+clusters[dst]]
+				}
+				if got != want {
+					t.Fatalf("%s: PE %d->%d: table %d, MessageLatency %d", p.Name, src, dst, got, want)
+				}
+			}
+		}
+	}
+}

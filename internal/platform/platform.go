@@ -65,6 +65,20 @@ func (p *Platform) gridSide() int {
 	return s
 }
 
+// clusterLatency returns the message cost between two *distinct* PEs
+// living in clusters cs and cd: IntraLatency within one cluster, plus
+// HopLatency times the Manhattan distance on the cluster grid otherwise.
+// Shared by MessageLatency and LatencyTable so the closed form and the
+// precomputed table cannot drift apart.
+func (p *Platform) clusterLatency(cs, cd, side int) int64 {
+	if cs == cd {
+		return p.IntraLatency
+	}
+	dx := abs(cs%side - cd%side)
+	dy := abs(cs/side - cd/side)
+	return p.IntraLatency + p.HopLatency*int64(dx+dy)
+}
+
 // MessageLatency returns the cost of sending a token notification from
 // srcPE to dstPE: zero on the same PE, IntraLatency within a cluster, and
 // HopLatency times the Manhattan distance on the cluster grid otherwise.
@@ -72,14 +86,7 @@ func (p *Platform) MessageLatency(srcPE, dstPE int) int64 {
 	if srcPE == dstPE {
 		return 0
 	}
-	cs, cd := p.ClusterOf(srcPE), p.ClusterOf(dstPE)
-	if cs == cd {
-		return p.IntraLatency
-	}
-	side := p.gridSide()
-	dx := abs(cs%side - cd%side)
-	dy := abs(cs/side - cd/side)
-	return p.IntraLatency + p.HopLatency*int64(dx+dy)
+	return p.clusterLatency(p.ClusterOf(srcPE), p.ClusterOf(dstPE), p.gridSide())
 }
 
 func abs(x int) int {
@@ -87,6 +94,39 @@ func abs(x int) int {
 		return -x
 	}
 	return x
+}
+
+// LatencyTable precomputes the cluster-to-cluster message latencies as a
+// flat row-major Clusters×Clusters matrix: entry [cs*Clusters+cd] equals
+// MessageLatency between any two *distinct* PEs living in clusters cs and
+// cd (the diagonal holds IntraLatency). Same-PE messages cost 0; callers
+// on hot paths special-case that, which is exactly what the list scheduler
+// does — its inner loop evaluates one latency per (dependency, candidate
+// PE) pair and the closed-form grid walk in MessageLatency dominated the
+// platform-sweep profile before this table existed.
+func (p *Platform) LatencyTable() []int64 {
+	nc := p.Clusters
+	if nc < 1 {
+		nc = 1
+	}
+	side := p.gridSide()
+	t := make([]int64, nc*nc)
+	for cs := 0; cs < nc; cs++ {
+		for cd := 0; cd < nc; cd++ {
+			t[cs*nc+cd] = p.clusterLatency(cs, cd, side)
+		}
+	}
+	return t
+}
+
+// PEClusters returns the cluster index of each of the first n PEs, the
+// companion lookup for LatencyTable.
+func (p *Platform) PEClusters(n int) []int {
+	out := make([]int, n)
+	for pe := range out {
+		out[pe] = p.ClusterOf(pe)
+	}
+	return out
 }
 
 // String describes the platform.

@@ -20,6 +20,20 @@ func Workers(n, parallel int) int {
 	return parallel
 }
 
+// WorkersAmortized clamps like Workers but additionally guarantees every
+// worker at least minPerWorker items. Drivers whose workers pay a fixed
+// setup cost (a compiled Program + pooled Simulator pair) use it so the
+// setup amortizes: fanning 5 items over 4 workers would build 4 worker
+// states to save 1 item of latency.
+func WorkersAmortized(n, parallel, minPerWorker int) int {
+	if minPerWorker > 1 && parallel > 1 {
+		if maxW := n / minPerWorker; parallel > maxW {
+			parallel = maxW
+		}
+	}
+	return Workers(n, parallel)
+}
+
 // Run invokes fn(i) for every i in [0, n), using up to parallel concurrent
 // workers. parallel <= 1 degenerates to a plain loop on the caller's
 // goroutine. All items run even when some fail; the returned error is the

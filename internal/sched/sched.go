@@ -15,7 +15,6 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -75,10 +74,15 @@ type readyTask struct {
 	ready   int64 // earliest data-ready time
 }
 
+// readyHeap is a typed binary min-heap under the priority order below.
+// Hand-rolled rather than container/heap so pushes and pops move readyTask
+// values without boxing them through interface{} — the ready queue churns
+// once per firing and the platform sweep schedules hundreds of firings at
+// every PE count.
 type readyHeap []readyTask
 
 func (h readyHeap) Len() int { return len(h) }
-func (h readyHeap) Less(i, j int) bool {
+func (h readyHeap) less(i, j int) bool {
 	if h[i].control != h[j].control {
 		return h[i].control // control actors first (§III-D)
 	}
@@ -90,9 +94,45 @@ func (h readyHeap) Less(i, j int) bool {
 	}
 	return h[i].node < h[j].node
 }
-func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *readyHeap) Push(x any)   { *h = append(*h, x.(readyTask)) }
-func (h *readyHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h *readyHeap) push(t readyTask) {
+	*h = append(*h, t)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !a.less(i, parent) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+}
+
+func (h *readyHeap) pop() readyTask {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a = a[:n]
+	*h = a
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && a.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && a.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		a[i], a[smallest] = a[smallest], a[i]
+		i = smallest
+	}
+}
 
 // ListSchedule maps the canonical period onto the platform. The priority
 // rank is the longest path to a sink weighted by execution times (HLFET);
@@ -157,24 +197,48 @@ func ListSchedule(g *csdf.Graph, prec *csdf.Precedence, opts Options) (*Result, 
 	done := make([]bool, n)
 	finish := make([]int64, n)
 
+	// Latency lookups are the inner-loop cost: one per (dependency,
+	// candidate PE) pair. Precompute the cluster-to-cluster table and each
+	// PE's cluster so a lookup is one indexed load; same-PE messages cost 0
+	// and are special-cased below, exactly as MessageLatency defines them.
+	nc := opts.Platform.Clusters
+	if nc < 1 {
+		nc = 1
+	}
+	lat := opts.Platform.LatencyTable()
+	peCluster := opts.Platform.PEClusters(pes)
+	var depFinish []int64 // per dependency of the current node: finish time,
+	var depPE []int       // assigned PE,
+	var depRow []int64    // and its cluster's row offset into lat
+
 	var ready readyHeap
 	for u := 0; u < n; u++ {
 		if indeg[u] == 0 {
-			heap.Push(&ready, readyTask{node: u, control: opts.ControlPriority && isCtl(u), rank: rank[u]})
+			ready.push(readyTask{node: u, control: opts.ControlPriority && isCtl(u), rank: rank[u]})
 		}
 	}
 
 	scheduled := 0
 	for ready.Len() > 0 {
-		t := heap.Pop(&ready).(readyTask)
+		t := ready.pop()
 		u := t.node
+		depFinish, depPE, depRow = depFinish[:0], depPE[:0], depRow[:0]
+		for _, dep := range prec.Deps[u] {
+			depFinish = append(depFinish, finish[dep])
+			depPE = append(depPE, res.PEOf[dep])
+			depRow = append(depRow, int64(peCluster[res.PEOf[dep]]*nc))
+		}
 		// Choose the PE minimizing start time; break ties toward the PE of
 		// the heaviest dependency (locality), then lowest index.
 		bestPE, bestStart := -1, int64(0)
 		for pe := 0; pe < pes; pe++ {
 			start := peFree[pe]
-			for _, dep := range prec.Deps[u] {
-				arr := finish[dep] + opts.Platform.MessageLatency(res.PEOf[dep], pe)
+			cpe := peCluster[pe]
+			for k, f := range depFinish {
+				arr := f
+				if depPE[k] != pe {
+					arr += lat[depRow[k]+int64(cpe)]
+				}
 				if arr > start {
 					start = arr
 				}
@@ -197,7 +261,7 @@ func ListSchedule(g *csdf.Graph, prec *csdf.Precedence, opts Options) (*Result, 
 		for _, v := range d.Succ(u) {
 			indeg[v]--
 			if indeg[v] == 0 {
-				heap.Push(&ready, readyTask{
+				ready.push(readyTask{
 					node: v, control: opts.ControlPriority && isCtl(v), rank: rank[v],
 				})
 			}

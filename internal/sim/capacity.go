@@ -96,11 +96,47 @@ func speculativePivots(lo, hi int64, depth int, out []int64) []int64 {
 // so the result is identical to MinimalCapacities whatever the worker
 // count, even if feasibility were non-monotone.
 func MinimalCapacitiesParallel(cfg Config, parallel int) ([]int64, error) {
-	ref, err := Run(cfg)
+	caps, _, err := MinimalCapacitiesRef(cfg, parallel)
+	return caps, err
+}
+
+// MinimalCapacitiesRef is MinimalCapacitiesParallel returning also a copy
+// of the unbounded reference run the search seeds from — callers that
+// report observed high-water marks next to the minimized capacities (the
+// a8 experiment) get them without paying another instantiate-and-run.
+//
+// The graph is compiled once: the reference run and every probe simulator
+// share one Program's concrete graph (read-only during the search), so
+// adding workers costs per-run state, not repeated instantiations; and
+// each worker owns a reusable capacity-trial buffer, so a probe allocates
+// nothing once its simulator is warm.
+func MinimalCapacitiesRef(cfg Config, parallel int) ([]int64, *Result, error) {
+	prog, err := core.Compile(cfg.Graph)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	refFirings := append([]int64(nil), ref.Firings...)
+	if err := prog.Rebind(cfg.Env); err != nil {
+		return nil, nil, err
+	}
+	refSim, err := NewSimulatorFromProgram(prog, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	refRun, err := refSim.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	// The run aliases the pooled simulator; copy what outlives the search.
+	ref := &Result{
+		Time:      refRun.Time,
+		Firings:   append([]int64(nil), refRun.Firings...),
+		HighWater: append([]int64(nil), refRun.HighWater...),
+		Final:     append([]int64(nil), refRun.Final...),
+		Quiescent: refRun.Quiescent,
+		Busy:      append([]int64(nil), refRun.Busy...),
+		Events:    append([]FireEvent(nil), refRun.Events...),
+	}
+	refFirings := ref.Firings
 	caps := append([]int64(nil), ref.HighWater...)
 
 	// Pooled probe simulators: trace callbacks and busy-time accounting are
@@ -113,20 +149,25 @@ func MinimalCapacitiesParallel(cfg Config, parallel int) ([]int64, error) {
 		parallel = 1
 	}
 	sims := make([]*Simulator, parallel)
+	trials := make([][]int64, parallel)
 	for w := range sims {
-		if sims[w], err = NewSimulator(probeCfg); err != nil {
-			return nil, err
+		if sims[w], err = NewSimulatorFromProgram(prog, probeCfg); err != nil {
+			return nil, nil, err
+		}
+		trials[w] = make([]int64, len(caps))
+		if err := sims[w].SetCapacities(trials[w]); err != nil {
+			return nil, nil, err
 		}
 	}
 
-	// feasible(w, trial) runs the bounded configuration on worker w's
-	// simulator and compares per-node firing counts with the unbounded
-	// reference.
-	feasible := func(w int, trial []int64) (bool, error) {
+	// feasible(w, ei, c) runs the bounded configuration — current caps with
+	// edge ei tried at c — on worker w's simulator and compares per-node
+	// firing counts with the unbounded reference.
+	feasible := func(w int, ei int, c int64) (bool, error) {
 		s := sims[w]
-		if err := s.SetCapacities(trial); err != nil {
-			return false, err
-		}
+		trial := trials[w]
+		copy(trial, caps)
+		trial[ei] = c
 		s.Reset()
 		res, err := s.Run()
 		if err != nil {
@@ -142,6 +183,7 @@ func MinimalCapacitiesParallel(cfg Config, parallel int) ([]int64, error) {
 
 	depth := speculationDepth(parallel)
 	var pivots []int64
+	verdicts := make([]bool, 0, 1<<4)
 	for ei := range caps {
 		lo, hi := int64(0), caps[ei] // hi is known-feasible
 		// Initial tokens can never be evicted; they are a hard floor.
@@ -150,16 +192,17 @@ func MinimalCapacitiesParallel(cfg Config, parallel int) ([]int64, error) {
 		}
 		for lo < hi {
 			pivots = speculativePivots(lo, hi, depth, pivots[:0])
-			verdicts := make([]bool, len(pivots))
+			verdicts = verdicts[:0]
+			for range pivots {
+				verdicts = append(verdicts, false)
+			}
 			err := pool.RunWorkers(len(pivots), parallel, func(w, k int) error {
-				trial := append([]int64(nil), caps...)
-				trial[ei] = pivots[k]
-				ok, err := feasible(w, trial)
+				ok, err := feasible(w, ei, pivots[k])
 				verdicts[k] = ok
 				return err
 			})
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			lookup := func(c int64) bool {
 				for k, p := range pivots {
@@ -180,7 +223,7 @@ func MinimalCapacitiesParallel(cfg Config, parallel int) ([]int64, error) {
 		}
 		caps[ei] = hi
 	}
-	return caps, nil
+	return caps, ref, nil
 }
 
 // edgeHasRoom reports whether producing n tokens on edge ei respects its

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/csdf"
 )
 
 // Run executes the configuration once and returns the metrics. It builds a
@@ -28,7 +29,9 @@ func Run(cfg Config) (*Result, error) {
 type Simulator struct {
 	cfg   Config
 	g     *core.Graph
-	q     []int64 // concrete repetition vector per node
+	cg    *csdf.Graph    // concrete graph whose rate slices the tables alias
+	low   *core.Lowering // node/edge correspondence into cg
+	q     []int64        // concrete repetition vector per node
 	nodes []nodeState
 	edges []edgeState
 	exec  [][]int64 // per node, cyclic execution times (nil = zero)
@@ -57,11 +60,35 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: %v", err)
 	}
+	return newSimulator(cfg, cg, low, sol.Q)
+}
+
+// NewSimulatorFromProgram builds a simulator over a compiled program's
+// current valuation, skipping graph instantiation and the repetition-vector
+// solve (the program already holds both). cfg.Graph and cfg.Env are
+// ignored; the program supplies them. The simulator's rate tables alias
+// the program's concrete graph: after prog.Rebind, call BindProgram to
+// refresh the firing limits and reset the run state. Several simulators
+// may share one program concurrently as long as nobody calls Rebind while
+// any of them is running.
+func NewSimulatorFromProgram(prog *core.Program, cfg Config) (*Simulator, error) {
+	if !prog.Bound() {
+		return nil, fmt.Errorf("sim: program is unbound; call Rebind before building a simulator")
+	}
+	cfg.Graph = prog.Source()
+	cfg.Env = nil
+	return newSimulator(cfg, prog.Concrete(), prog.Lowering(), prog.Solution().Q)
+}
+
+// newSimulator preallocates every piece of run state for the concrete
+// graph. q is the repetition vector indexed by csdf actor.
+func newSimulator(cfg Config, cg *csdf.Graph, low *core.Lowering, q []int64) (*Simulator, error) {
+	g := cfg.Graph
 	iters := cfg.Iterations
 	if iters <= 0 {
 		iters = 1
 	}
-	s := &Simulator{cfg: cfg, g: g}
+	s := &Simulator{cfg: cfg, g: g, cg: cg, low: low}
 	s.nodes = make([]nodeState, len(g.Nodes))
 	s.exec = make([][]int64, len(g.Nodes))
 	s.q = make([]int64, len(g.Nodes))
@@ -69,7 +96,7 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 		ns := &s.nodes[i]
 		ns.id = core.NodeID(i)
 		ns.ctlEdge = -1
-		s.q[i] = sol.Q[low.ActorOf[i]]
+		s.q[i] = q[low.ActorOf[i]]
 		ns.limit = iters * s.q[i]
 		ns.isCtl = n.Kind == core.KindControl
 		ns.isClock = n.Kind == core.KindControl && n.ClockPeriod > 0
@@ -203,6 +230,47 @@ func (s *Simulator) SetIterations(n int64) {
 	for i := range s.nodes {
 		s.nodes[i].limit = n * s.q[i]
 	}
+}
+
+// SetRates installs a new repetition vector (indexed by csdf actor, as a
+// Solution.Q is) after the underlying rate tables were overwritten in
+// place, recomputing every node's firing limit. The rate slices themselves
+// are aliased, not copied, so callers that mutate them (core.Program.Rebind
+// does) need only this call plus Reset to run the new valuation.
+func (s *Simulator) SetRates(q []int64) error {
+	if len(q) != len(s.cg.Actors) {
+		return fmt.Errorf("sim: %d repetition entries for %d actors", len(q), len(s.cg.Actors))
+	}
+	iters := s.cfg.Iterations
+	if iters <= 0 {
+		iters = 1
+	}
+	for i := range s.nodes {
+		s.q[i] = q[s.low.ActorOf[i]]
+		s.nodes[i].limit = iters * s.q[i]
+	}
+	return nil
+}
+
+// BindProgram refreshes the simulator after prog.Rebind moved the bound
+// program to a new valuation: the rate tables already alias the program's
+// concrete graph, so only the repetition vector (firing limits) needs
+// re-reading, followed by a Reset. The simulator must have been built by
+// NewSimulatorFromProgram over the same program. On the warm path — after
+// the first run has grown every queue to its high-water mark —
+// Rebind+BindProgram+Run performs zero heap allocations.
+func (s *Simulator) BindProgram(prog *core.Program) error {
+	if prog.Concrete() != s.cg {
+		return fmt.Errorf("sim: simulator is not bound to this program")
+	}
+	if !prog.Bound() {
+		return fmt.Errorf("sim: program is unbound (its last Rebind failed); rebind before running")
+	}
+	if err := s.SetRates(prog.Solution().Q); err != nil {
+		return err
+	}
+	s.Reset()
+	return nil
 }
 
 func (s *Simulator) push(ev event) {

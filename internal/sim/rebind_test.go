@@ -1,0 +1,234 @@
+package sim_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/symb"
+)
+
+// ofdmEnvs is a small grid of valuations the rebind tests cycle through:
+// different vectorization degrees and symbol lengths, so every rebind
+// really changes the rate tables and the repetition vector.
+func ofdmEnvs() []symb.Env {
+	return []symb.Env{
+		{"beta": 2, "M": 4, "N": 8, "L": 1},
+		{"beta": 6, "M": 4, "N": 32, "L": 1},
+		{"beta": 3, "M": 4, "N": 16, "L": 2},
+		{"beta": 1, "M": 4, "N": 64, "L": 1},
+	}
+}
+
+// freshResult runs one valuation through the one-shot path: fresh
+// Instantiate + NewSimulator, as the sweeps did before the compiled layer.
+func freshResult(t *testing.T, g *core.Graph, decide map[string]sim.DecideFunc, env symb.Env) *sim.Result {
+	t.Helper()
+	res, err := sim.Run(sim.Config{Graph: g, Env: env, Decide: decide, BuffersOnly: true})
+	if err != nil {
+		t.Fatalf("fresh run at %v: %v", env, err)
+	}
+	return res
+}
+
+func sameResult(a, b *sim.Result) bool {
+	return a.Time == b.Time &&
+		reflect.DeepEqual(a.Firings, b.Firings) &&
+		reflect.DeepEqual(a.HighWater, b.HighWater) &&
+		reflect.DeepEqual(a.Final, b.Final)
+}
+
+// TestRebindMatchesFreshSimulator drives one Program+Simulator pair across
+// valuations and demands results identical to a fresh Instantiate +
+// NewSimulator per valuation — the correctness contract of the sweep
+// rebind fast path.
+func TestRebindMatchesFreshSimulator(t *testing.T) {
+	params := apps.DefaultOFDM()
+	g := apps.OFDMTPDF(params)
+	decide, err := apps.OFDMDecide(g, params.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := core.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envs := ofdmEnvs()
+	if err := prog.Rebind(envs[0]); err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.NewSimulatorFromProgram(prog, sim.Config{Decide: decide, BuffersOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ { // revisit valuations: rebind back and forth
+		for _, env := range envs {
+			if err := prog.Rebind(env); err != nil {
+				t.Fatalf("rebind %v: %v", env, err)
+			}
+			if err := s.BindProgram(prog); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Run()
+			if err != nil {
+				t.Fatalf("rebind run at %v: %v", env, err)
+			}
+			if want := freshResult(t, g, decide, env); !sameResult(got, want) {
+				t.Fatalf("round %d: rebind result at %v diverged from fresh simulator", round, env)
+			}
+		}
+	}
+}
+
+// TestRebindParallelWorkers shards valuations across workers, each owning
+// one Program+Simulator pair (the sweep-driver topology), and checks every
+// result against the one-shot path. Run under -race this also proves the
+// pairs share nothing.
+func TestRebindParallelWorkers(t *testing.T) {
+	params := apps.DefaultOFDM()
+	g := apps.OFDMTPDF(params)
+	decide, err := apps.OFDMDecide(g, params.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envs := ofdmEnvs()
+	want := make([]*sim.Result, len(envs))
+	for i, env := range envs {
+		want[i] = freshResult(t, g, decide, env)
+	}
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			prog, err := core.Compile(g)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			var s *sim.Simulator
+			for i := w; i < len(envs); i += workers {
+				if err := prog.Rebind(envs[i]); err != nil {
+					errs[w] = err
+					return
+				}
+				if s == nil {
+					if s, err = sim.NewSimulatorFromProgram(prog, sim.Config{Decide: decide, BuffersOnly: true}); err != nil {
+						errs[w] = err
+						return
+					}
+				} else if err := s.BindProgram(prog); err != nil {
+					errs[w] = err
+					return
+				}
+				got, err := s.Run()
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if !sameResult(got, want[i]) {
+					t.Errorf("worker %d: valuation %v diverged from fresh simulator", w, envs[i])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+}
+
+// TestSweepSteadyStateAllocs gates the rebind fast path at zero heap
+// allocations per warm sweep point: once both valuations have been run
+// once (growing every queue to its high-water mark), a full
+// Rebind+BindProgram+Run cycle — the per-point work of a sweep worker —
+// must not allocate. The mirror of TestSimulatorSteadyStateAllocs one
+// layer up.
+func TestSweepSteadyStateAllocs(t *testing.T) {
+	params := apps.DefaultOFDM()
+	g := apps.OFDMTPDF(params)
+	decide, err := apps.OFDMDecide(g, params.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := core.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envA := symb.Env{"beta": 2, "M": 4, "N": 16, "L": 1}
+	envB := symb.Env{"beta": 5, "M": 4, "N": 32, "L": 1}
+	if err := prog.Rebind(envA); err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.NewSimulatorFromProgram(prog, sim.Config{Decide: decide, BuffersOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, env := range []symb.Env{envA, envB} { // warm both valuations
+		if err := prog.Rebind(env); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.BindProgram(prog); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flip := false
+	allocs := testing.AllocsPerRun(20, func() {
+		flip = !flip
+		env := envA
+		if flip {
+			env = envB
+		}
+		if err := prog.Rebind(env); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.BindProgram(prog); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm sweep point (Rebind+BindProgram+Run) allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestBindProgramRejectsForeignProgram verifies the binding identity check.
+func TestBindProgramRejectsForeignProgram(t *testing.T) {
+	g := apps.OFDMTPDF(apps.DefaultOFDM())
+	p1, err := core.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := core.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Rebind(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Rebind(nil); err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.NewSimulatorFromProgram(p1, sim.Config{BuffersOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BindProgram(p2); err == nil {
+		t.Fatal("binding a simulator to a foreign program must fail")
+	}
+	if _, err := sim.NewSimulatorFromProgram(p1, sim.Config{}); err != nil {
+		t.Fatal(err)
+	}
+}

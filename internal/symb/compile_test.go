@@ -1,0 +1,150 @@
+package symb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rat"
+)
+
+// compileEnvVals builds the valuation slice an Env corresponds to, with
+// missing parameters at the analyses' default of 1 (mirroring how
+// core.Program overlays an Env onto its defaults slice).
+func compileEnvVals(t *testing.T, pi *ParamIndex, env Env) []int64 {
+	t.Helper()
+	vals := make([]int64, pi.Len())
+	for i := range vals {
+		vals[i] = 1
+	}
+	for name, v := range env {
+		if slot, ok := pi.Index(name); ok {
+			vals[slot] = v
+		}
+	}
+	return vals
+}
+
+// TestCompiledPolyMatchesEval cross-checks compiled evaluation against the
+// map-based Poly.Eval on randomized polynomials and valuations.
+func TestCompiledPolyMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	names := []string{"p", "q", "beta", "N"}
+	pi := NewParamIndex(names)
+	for trial := 0; trial < 200; trial++ {
+		p := ZeroPoly()
+		for term := 0; term < rng.Intn(5); term++ {
+			m := UnitMono
+			for _, n := range names {
+				if rng.Intn(2) == 1 {
+					m = m.Mul(MonoPow(n, rng.Intn(3)))
+				}
+			}
+			p = p.Add(PolyTerm(rat.New(int64(rng.Intn(21)-10), int64(rng.Intn(4)+1)), m))
+		}
+		c, err := p.Compile(pi)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v", trial, err)
+		}
+		env := Env{}
+		for _, n := range names {
+			if rng.Intn(4) > 0 { // leave some at the default
+				env[n] = int64(rng.Intn(9) + 1)
+			}
+		}
+		want, werr := p.Eval(env, 1)
+		got, gerr := c.Eval(compileEnvVals(t, pi, env))
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v", trial, werr, gerr)
+		}
+		if werr == nil && !want.Equal(got) {
+			t.Fatalf("trial %d: %s at %v: compiled %s, want %s", trial, p, env, got, want)
+		}
+	}
+}
+
+// TestCompiledExprMatchesEvalInt cross-checks compiled rational functions
+// against Expr.EvalInt on rate-shaped expressions.
+func TestCompiledExprMatchesEvalInt(t *testing.T) {
+	pi := NewParamIndex([]string{"beta", "M", "N", "L", "p"})
+	exprs := []string{"1", "p", "2*p", "beta*(N+L)", "beta*M*N", "4*beta*N", "p/1", "(2*p)/2"}
+	envs := []Env{
+		{"p": 1, "beta": 1, "M": 2, "N": 1, "L": 1},
+		{"p": 64, "beta": 10, "M": 4, "N": 512, "L": 1},
+		{"p": 7, "beta": 3, "M": 2, "N": 33, "L": 5},
+	}
+	for _, src := range exprs {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := e.Compile(pi)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", src, err)
+		}
+		for _, env := range envs {
+			want, werr := e.EvalInt(env, 1)
+			got, gerr := c.EvalInt(compileEnvVals(t, pi, env))
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("%s at %v: error mismatch: %v vs %v", src, env, werr, gerr)
+			}
+			if werr == nil && got != want {
+				t.Fatalf("%s at %v: compiled %d, want %d", src, env, got, want)
+			}
+		}
+	}
+}
+
+// TestCompileRejectsUnindexedParam verifies compilation fails loudly when a
+// polynomial references a parameter the index does not cover.
+func TestCompileRejectsUnindexedParam(t *testing.T) {
+	pi := NewParamIndex([]string{"p"})
+	if _, err := PolyVar("q").Compile(pi); err == nil {
+		t.Fatal("compiling q over index {p} must fail")
+	}
+}
+
+// TestCompiledEvalAllocationFree gates the hot-path property the sweep
+// rebind layer is built on: evaluating a compiled expression allocates
+// nothing.
+func TestCompiledEvalAllocationFree(t *testing.T) {
+	pi := NewParamIndex([]string{"beta", "N", "L"})
+	e, err := ParseExpr("beta*(N+L)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := e.Compile(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []int64{10, 512, 1}
+	var out int64
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := c.EvalIntInto(&out, vals); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("compiled eval allocates %.1f times per call, want 0", allocs)
+	}
+	if out != 10*513 {
+		t.Fatalf("beta*(N+L) = %d, want %d", out, 10*513)
+	}
+}
+
+// TestCompiledOverflowMatches verifies the compiled path reports overflow
+// exactly where the map-based path does.
+func TestCompiledOverflowMatches(t *testing.T) {
+	pi := NewParamIndex([]string{"p"})
+	p := PolyVar("p").Mul(PolyVar("p")) // p^2
+	c, err := p.Compile(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := int64(1) << 40
+	if _, err := p.Eval(Env{"p": huge}, 1); err == nil {
+		t.Fatal("map eval of p^2 at 2^40 must overflow")
+	}
+	if _, err := c.Eval([]int64{huge}); err == nil {
+		t.Fatal("compiled eval of p^2 at 2^40 must overflow")
+	}
+}
