@@ -18,10 +18,12 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/csdf"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/imaging"
 	"repro/internal/platform"
 	"repro/internal/rat"
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/symb"
@@ -452,6 +454,76 @@ func BenchmarkPASSConstruction(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := g.BuildSchedule(sol, csdf.Eager); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// streamThroughputGraph is the engine transport benchmark chain: a
+// consistent multirate pipeline (q = [1, 2, 1, 3]) with a cyclo-static
+// phase, matching the stream/multirate workload of tpdf-bench -engine.
+func streamThroughputGraph(b *testing.B) *core.Graph {
+	b.Helper()
+	g := core.NewGraph("throughput")
+	src := g.AddKernel("SRC", 1)
+	a := g.AddKernel("A", 1)
+	bb := g.AddKernel("B", 1)
+	snk := g.AddKernel("SNK", 1)
+	for _, c := range []struct {
+		from core.NodeID
+		p    string
+		to   core.NodeID
+		q    string
+	}{
+		{src, "[4]", a, "[3,1]"},
+		{a, "[2]", bb, "[4]"},
+		{bb, "[3]", snk, "[1]"},
+	} {
+		if _, err := g.Connect(c.from, c.p, c.to, c.q, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return g
+}
+
+// BenchmarkStreamThroughput measures the concurrent engine's transport-
+// bound hot path: behaviors only move pre-boxed tokens, so ns/op is ring
+// synchronization plus scheduling, and allocs/op must stay flat at the
+// per-run setup cost (the warm firing path allocates nothing).
+func BenchmarkStreamThroughput(b *testing.B) {
+	g := streamThroughputGraph(b)
+	behaviors := map[string]runner.Behavior{
+		"SRC": func(f *runner.Firing) error {
+			f.Out["o0"] = append(f.Out["o0"], 1, 2, 3, 4)
+			return nil
+		},
+		"A": func(f *runner.Firing) error {
+			f.Out["o0"] = append(f.Out["o0"], 5, 6)
+			return nil
+		},
+		"B": func(f *runner.Firing) error {
+			f.Out["o0"] = append(f.Out["o0"], 7, 8, 9)
+			return nil
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(engine.Config{Graph: g, Behaviors: behaviors, Iterations: 256}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamTokenOnly is the same chain with no behaviors at all:
+// pure token movement (discard + nil emission), the floor the transport
+// can reach.
+func BenchmarkStreamTokenOnly(b *testing.B) {
+	g := streamThroughputGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(engine.Config{Graph: g, Iterations: 256}); err != nil {
 			b.Fatal(err)
 		}
 	}

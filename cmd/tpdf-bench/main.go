@@ -16,6 +16,11 @@
 //	                                        # regression gate: fail when any experiment got
 //	                                        # >25% slower (-threshold) or allocated >50% more
 //	                                        # (-alloc-threshold) than the committed baseline
+//	tpdf-bench -engine -json BENCH_engine.json
+//	                                        # streaming-engine mode: per-graph Stream ns/op +
+//	                                        # allocs/op (transport-bound workloads) instead of
+//	                                        # the analysis experiments; -compare gates it the
+//	                                        # same way against the committed BENCH_engine.json
 package main
 
 import (
@@ -53,7 +58,10 @@ type engineComparison struct {
 }
 
 type benchReport struct {
-	Quick       bool               `json:"quick"`
+	Quick bool `json:"quick"`
+	// EngineMode marks a report produced by -engine: Experiments then
+	// holds per-graph streaming timings instead of analysis artifacts.
+	EngineMode  bool               `json:"engine_mode,omitempty"`
 	Parallel    int                `json:"parallel,omitempty"`
 	Experiments []experimentTiming `json:"experiments"`
 	Engine      engineComparison   `json:"engine"`
@@ -129,6 +137,140 @@ func measureEngine(quick bool) (engineComparison, error) {
 	return cmp, nil
 }
 
+// streamWorkload is one graph the -engine mode pushes through tpdf.Stream
+// with throughput-bound behaviors: no sleeps, so ns/op is dominated by the
+// transport and synchronization the ring-buffer engine optimizes, and
+// allocs/op by the warm firing path, which is allocation-free by
+// construction.
+type streamWorkload struct {
+	name  string
+	iters int64
+	build func() (*tpdf.Graph, map[string]tpdf.Behavior, []tpdf.Option, error)
+}
+
+// passthrough forwards one payload without allocating (direct append into
+// the reused scratch slice; no variadic box).
+func passthrough(f *tpdf.Firing) error {
+	f.Out["o0"] = append(f.Out["o0"], f.In["i0"][0])
+	return nil
+}
+
+// engineWorkloads builds the -engine benchmark set: a unit-rate pipeline,
+// a cyclo-static multirate chain, a fan-out, and a graph that rebinds a
+// parameter at every transaction boundary.
+func engineWorkloads(quick bool) []streamWorkload {
+	scale := int64(1)
+	if quick {
+		scale = 4
+	}
+	return []streamWorkload{
+		{name: "stream/pipe", iters: 16384 / scale, build: func() (*tpdf.Graph, map[string]tpdf.Behavior, []tpdf.Option, error) {
+			g := tpdf.OFDMPayloadGraph()
+			behaviors := map[string]tpdf.Behavior{
+				"SRC": func(f *tpdf.Firing) error {
+					f.Out["o0"] = append(f.Out["o0"], 7)
+					return nil
+				},
+				"RCP": passthrough, "FFT": passthrough, "QAM": passthrough,
+				"SNK": func(f *tpdf.Firing) error { return nil },
+			}
+			return g, behaviors, nil, nil
+		}},
+		{name: "stream/multirate", iters: 8192 / scale, build: func() (*tpdf.Graph, map[string]tpdf.Behavior, []tpdf.Option, error) {
+			g, err := tpdf.NewGraph("multirate").
+				Kernel("SRC", 1).Kernel("A", 1).Kernel("B", 1).Kernel("SNK", 1).
+				Connect("SRC[4] -> A[3,1]").
+				Connect("A[2] -> B[4]").
+				Connect("B[3] -> SNK[1]").
+				Build()
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			behaviors := map[string]tpdf.Behavior{
+				"SRC": func(f *tpdf.Firing) error {
+					f.Out["o0"] = append(f.Out["o0"], 1, 2, 3, 4)
+					return nil
+				},
+				"A": func(f *tpdf.Firing) error {
+					f.Out["o0"] = append(f.Out["o0"], 5, 6)
+					return nil
+				},
+				"B": func(f *tpdf.Firing) error {
+					f.Out["o0"] = append(f.Out["o0"], 7, 8, 9)
+					return nil
+				},
+			}
+			return g, behaviors, nil, nil
+		}},
+		{name: "stream/fanout", iters: 8192 / scale, build: func() (*tpdf.Graph, map[string]tpdf.Behavior, []tpdf.Option, error) {
+			b := tpdf.NewGraph("fanout").Kernel("SRC", 1)
+			for i := 0; i < 4; i++ {
+				b = b.Kernel(fmt.Sprintf("W%d", i), 1)
+			}
+			b = b.Kernel("SNK", 1)
+			for i := 0; i < 4; i++ {
+				b = b.Connect(fmt.Sprintf("SRC[1] -> W%d[1]", i)).
+					Connect(fmt.Sprintf("W%d[1] -> SNK[1]", i))
+			}
+			g, err := b.Build()
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			behaviors := map[string]tpdf.Behavior{
+				"SRC": func(f *tpdf.Firing) error {
+					for i := 0; i < 4; i++ {
+						port := [4]string{"o0", "o1", "o2", "o3"}[i]
+						f.Out[port] = append(f.Out[port], 1)
+					}
+					return nil
+				},
+			}
+			for i := 0; i < 4; i++ {
+				behaviors[fmt.Sprintf("W%d", i)] = passthrough
+			}
+			return g, behaviors, nil, nil
+		}},
+		{name: "stream/reconfigure", iters: 2048 / scale, build: func() (*tpdf.Graph, map[string]tpdf.Behavior, []tpdf.Option, error) {
+			g, err := tpdf.NewGraph("reconf").
+				Param("p", 2, 1, 8).
+				Kernel("A", 1).Kernel("B", 1).
+				Connect("A[p] -> B[p]").
+				Build()
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			opts := []tpdf.Option{tpdf.WithReconfigure(func(completed int64) map[string]int64 {
+				return map[string]int64{"p": 2 + completed%3}
+			})}
+			return g, nil, opts, nil
+		}},
+	}
+}
+
+// measureEngineMode times every streaming workload (best of measureRounds,
+// with allocation counts) plus the engine-vs-runner latency comparison:
+// the regression gate for the execution hot path, the counterpart of the
+// analysis gate in the default mode.
+func measureEngineMode(quick bool) (*benchReport, error) {
+	rep := &benchReport{Quick: quick, EngineMode: true}
+	for _, w := range engineWorkloads(quick) {
+		w := w
+		timing := measureTiming(w.name, func() (func() error, error) {
+			g, behaviors, opts, err := w.build()
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, tpdf.WithIterations(w.iters))
+			return func() error {
+				_, err := tpdf.Stream(g, behaviors, opts...)
+				return err
+			}, nil
+		})
+		rep.Experiments = append(rep.Experiments, timing)
+	}
+	return rep, finishReport(rep, quick)
+}
+
 // mallocs reads the process-wide cumulative heap-allocation count.
 func mallocs() uint64 {
 	var ms runtime.MemStats
@@ -143,40 +285,64 @@ func mallocs() uint64 {
 // preceding experiments.
 const measureRounds = 3
 
+// measureTiming runs one experiment best-of-measureRounds: prepare builds
+// a fresh run closure per round (its cost stays outside the measured
+// window), and the reported ns/op + allocs/op pair is the one the single
+// fastest round actually produced.
+func measureTiming(name string, prepare func() (func() error, error)) experimentTiming {
+	timing := experimentTiming{Name: name}
+	for round := 0; round < measureRounds; round++ {
+		run, err := prepare()
+		if err != nil {
+			timing.Error = err.Error()
+			break
+		}
+		before := mallocs()
+		start := time.Now()
+		err = run()
+		ns := time.Since(start).Nanoseconds()
+		allocs := mallocs() - before
+		if err != nil {
+			timing.Error = err.Error()
+			break
+		}
+		if round == 0 || ns < timing.NsPerOp {
+			timing.NsPerOp = ns
+			timing.AllocsPerOp = allocs
+		}
+	}
+	fmt.Printf("%-18s %12d ns/op %12d allocs/op\n", timing.Name, timing.NsPerOp, timing.AllocsPerOp)
+	return timing
+}
+
+// finishReport appends the engine-vs-runner latency comparison shared by
+// both modes.
+func finishReport(rep *benchReport, quick bool) error {
+	cmp, err := measureEngine(quick)
+	if err != nil {
+		return err
+	}
+	rep.Engine = cmp
+	fmt.Printf("engine vs runner on %s: sequential %d ns, stream %d ns, speedup %.2fx\n",
+		cmp.Graph, cmp.SequentialNs, cmp.StreamNs, cmp.Speedup)
+	return nil
+}
+
 // measure times every experiment (best of measureRounds, with allocation
 // counts) and benchmarks engine vs runner.
 func measure(quick bool, parallel int) (*benchReport, error) {
 	rep := &benchReport{Quick: quick, Parallel: parallel}
 	for _, name := range tpdf.ExperimentNames() {
-		timing := experimentTiming{Name: name}
-		for round := 0; round < measureRounds; round++ {
-			before := mallocs()
-			start := time.Now()
-			_, err := tpdf.RunExperiment(name, quick, tpdf.WithParallelism(parallel))
-			ns := time.Since(start).Nanoseconds()
-			allocs := mallocs() - before
-			if err != nil {
-				timing.Error = err.Error()
-				break
-			}
-			// Keep both metrics of the single fastest round, so the
-			// reported pair is one a real run actually produced.
-			if round == 0 || ns < timing.NsPerOp {
-				timing.NsPerOp = ns
-				timing.AllocsPerOp = allocs
-			}
-		}
+		name := name
+		timing := measureTiming(name, func() (func() error, error) {
+			return func() error {
+				_, err := tpdf.RunExperiment(name, quick, tpdf.WithParallelism(parallel))
+				return err
+			}, nil
+		})
 		rep.Experiments = append(rep.Experiments, timing)
-		fmt.Printf("%-4s %12d ns/op %12d allocs/op\n", name, timing.NsPerOp, timing.AllocsPerOp)
 	}
-	cmp, err := measureEngine(quick)
-	if err != nil {
-		return nil, err
-	}
-	rep.Engine = cmp
-	fmt.Printf("engine vs runner on %s: sequential %d ns, stream %d ns, speedup %.2fx\n",
-		cmp.Graph, cmp.SequentialNs, cmp.StreamNs, cmp.Speedup)
-	return rep, nil
+	return rep, finishReport(rep, quick)
 }
 
 // writeJSON stores the machine-readable report.
@@ -218,11 +384,18 @@ func compare(baselinePath string, rep *benchReport, threshold, allocThreshold fl
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("parse %s: %v", baselinePath, err)
 	}
+	// A baseline from the other mode would share no experiment names and
+	// silently gate nothing; refuse it outright.
+	if base.EngineMode != rep.EngineMode {
+		return fmt.Errorf("%s is a %s baseline but this run measured %s (wrong -compare file?)",
+			baselinePath, modeName(base.EngineMode), modeName(rep.EngineMode))
+	}
 	baseline := map[string]experimentTiming{}
 	for _, t := range base.Experiments {
 		baseline[t.Name] = t
 	}
 	var regressions []string
+	matched := 0
 	fmt.Printf("comparison vs %s (time threshold %+.0f%% above %dms, alloc threshold %+.0f%% above %d allocs):\n",
 		baselinePath, threshold*100, compareFloorNs/1_000_000, allocThreshold*100, compareFloorAllocs)
 	for _, t := range rep.Experiments {
@@ -237,6 +410,7 @@ func compare(baselinePath string, rep *benchReport, threshold, allocThreshold fl
 		if !ok || old.NsPerOp <= 0 {
 			continue
 		}
+		matched++
 		delta := float64(t.NsPerOp-old.NsPerOp) / float64(old.NsPerOp)
 		verdict := "ok"
 		switch {
@@ -267,19 +441,56 @@ func compare(baselinePath string, rep *benchReport, threshold, allocThreshold fl
 		return fmt.Errorf("%d experiment(s) regressed (time >%.0f%%, allocs >%.0f%%) or failed:\n  %s",
 			len(regressions), threshold*100, allocThreshold*100, strings.Join(regressions, "\n  "))
 	}
+	// A gate that matched nothing is a disabled gate, not a pass: the
+	// baseline is stale (workload set renamed) or simply the wrong file.
+	if matched == 0 {
+		return fmt.Errorf("no experiment in this run matched the %s baseline; regenerate it", baselinePath)
+	}
 	fmt.Println("no regressions")
 	return nil
+}
+
+func modeName(engineMode bool) string {
+	if engineMode {
+		return "engine"
+	}
+	return "analysis"
 }
 
 func run() error {
 	quick := flag.Bool("quick", false, "smaller image and sweeps")
 	exp := flag.String("exp", "", "run one experiment: "+strings.Join(tpdf.ExperimentNames(), " "))
+	engineMode := flag.Bool("engine", false, "benchmark the streaming engine per graph (stream ns/op + allocs/op) instead of the analysis experiments")
 	parallel := flag.Int("parallel", 1, "worker pool width: fan experiments out and shard their sweeps")
 	jsonPath := flag.String("json", "", "write machine-readable timings (experiment ns/op + allocs/op, engine-vs-runner speedup) to this file")
 	baseline := flag.String("compare", "", "baseline JSON to compare against; exits nonzero on regression")
 	threshold := flag.Float64("threshold", 0.25, "relative slowdown tolerated by -compare (0.25 = 25%)")
 	allocThreshold := flag.Float64("alloc-threshold", 0.5, "relative allocs_per_op growth tolerated by -compare (0.5 = 50%)")
 	flag.Parse()
+
+	if *engineMode {
+		if *exp != "" {
+			return fmt.Errorf("-exp is mutually exclusive with -engine")
+		}
+		if *baseline != "" {
+			if _, err := os.Stat(*baseline); err != nil {
+				return err
+			}
+		}
+		rep, err := measureEngineMode(*quick)
+		if err != nil {
+			return err
+		}
+		if *jsonPath != "" {
+			if err := writeJSON(*jsonPath, rep); err != nil {
+				return err
+			}
+		}
+		if *baseline != "" {
+			return compare(*baseline, rep, *threshold, *allocThreshold)
+		}
+		return nil
+	}
 
 	if *jsonPath != "" || *baseline != "" {
 		if *exp != "" {

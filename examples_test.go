@@ -74,7 +74,7 @@ func TestExampleFMRadio(t *testing.T) {
 		t.Skip("example runs skipped in -short")
 	}
 	out := runExample(t, "fmradio")
-	for _, frag := range []string{"tone recovered: true", "concurrent engine: same output: true", "TPDF radio"} {
+	for _, frag := range []string{"tone recovered: true", "concurrent engine: same output: true", "tokens/s", "TPDF radio"} {
 		if !strings.Contains(out, frag) {
 			t.Errorf("fmradio output missing %q:\n%s", frag, out)
 		}
@@ -89,7 +89,7 @@ func TestExampleEdgeDetectSmall(t *testing.T) {
 	if !strings.Contains(out, "selected Sobel") {
 		t.Errorf("edgedetect output missing paper-times selection:\n%s", out)
 	}
-	if !strings.Contains(out, "payload fan-out (4 frames, 4 detectors)") {
-		t.Errorf("edgedetect output missing engine-vs-runner measurement:\n%s", out)
+	if !strings.Contains(out, "payload fan-out (4 frames, 4 detectors)") || !strings.Contains(out, "tokens/s") {
+		t.Errorf("edgedetect output missing engine-vs-runner tokens/s measurement:\n%s", out)
 	}
 }

@@ -1,8 +1,9 @@
 // Package engine executes TPDF graphs concurrently at the payload level:
-// one goroutine per actor, edges wired as bounded Go channels, natural
-// backpressure from channel capacity, and the paper's transaction
-// semantics — parameter values change only at transaction (iteration)
-// boundaries, so no firing ever observes a mixed environment.
+// one persistent goroutine per actor, edges wired as single-producer/
+// single-consumer ring buffers that move a whole firing's token batch per
+// synchronization, natural backpressure from ring capacity, and the paper's
+// transaction semantics — parameter values change only at transaction
+// (iteration) boundaries, so no firing ever observes a mixed environment.
 //
 // It is the concurrent counterpart of internal/runner: behaviors, firing
 // contexts and results are shared with it, and for any graph the runner
@@ -14,7 +15,18 @@
 // (hence confluent) system and every interleaving reaches the same final
 // state.
 //
-// Channel capacities default to the per-edge high-water marks of the
+// The hot path is allocation-free: actors are spawned once per Run and
+// parked at transaction barriers, each actor reuses a runner.Scratch firing
+// context (maps materialized once, payload slices truncated in place), and
+// the ring transport copies interface values without boxing. The graph is
+// compiled once (core.Compile); a transaction boundary that changes
+// parameters is a Program.Rebind — rate tables and the repetition vector
+// overwritten in place — plus in-place ring growth, never a fresh
+// instantiation or channel rebuild. The engine is the Program's single
+// writer: rebinding happens only while every actor is parked at the
+// barrier.
+//
+// Ring capacities default to the per-edge high-water marks of the
 // demand-driven sequential schedule (the same analysis-derived bounds
 // Analyze and internal/buffer report), corrected for per-iteration token
 // drift on non-returning edges. Capacities that admit one complete
@@ -46,15 +58,16 @@ type Config struct {
 	Behaviors map[string]runner.Behavior
 	// Iterations repeats the graph iteration (default 1).
 	Iterations int64
-	// Context, when non-nil, cancels the run: every blocked channel
+	// Context, when non-nil, cancels the run: every blocked ring
 	// operation also waits on it, so cancellation interrupts a stalled
 	// pipeline, not just the gaps between firings.
 	Context context.Context
 	// Workers bounds how many behaviors execute concurrently; 0 means one
 	// in-flight behavior per actor (full pipeline parallelism).
 	Workers int
-	// Capacity, when positive, overrides every channel's token capacity
-	// (clamped up to the edge's initial token count). Zero selects the
+	// Capacity, when positive, overrides every ring's token capacity
+	// (clamped up to the edge's initial token count and its largest
+	// per-firing rate — a whole batch must fit). Zero selects the
 	// analysis-derived per-edge bounds.
 	Capacity int64
 	// Reconfigure, when set, is called at every transaction boundary with
@@ -62,10 +75,13 @@ type Config struct {
 	// parameter values for the remaining iterations; nil or empty keeps
 	// the current environment. The engine drains the pipeline to a
 	// quiescent state before applying the change, so in-flight firings
-	// never observe a mix of old and new parameter values.
+	// never observe a mix of old and new parameter values. Boundaries
+	// whose hook keeps the environment unchanged stay in the same engine
+	// state: no rebind, no schedule rebuild, no ring resize — just the
+	// barrier itself (two channel hops per actor).
 	Reconfigure func(completed int64) map[string]int64
-	// StallTimeout tunes the deadlock watchdog: if no token moves and no
-	// behavior runs for two consecutive windows, the run fails with a
+	// StallTimeout tunes the deadlock watchdog: if no firing completes and
+	// no behavior runs for two consecutive windows, the run fails with a
 	// diagnostic instead of hanging. Default 500ms.
 	StallTimeout time.Duration
 }
@@ -78,39 +94,49 @@ type portEdge struct {
 	port string
 }
 
-// state is one instantiation of the graph: the concrete CSDF lowering, its
-// channels, and the per-node wiring. Reconfiguration replaces the state
-// wholesale at a transaction boundary.
-type state struct {
-	cg    *csdf.Graph
-	q     []int64
-	chans []chan any
+// engine is one Run's execution state. The concrete CSDF graph and the
+// repetition vector live in the compiled Program and are rewritten in
+// place at transaction boundaries; everything else (rings, wiring,
+// scratches) is built once and reused for the whole run.
+type engine struct {
+	cfg  Config
+	prog *core.Program
+	cg   *csdf.Graph
+
+	stop    chan struct{} // closed on first error/cancellation
+	stopped atomic.Bool   // mirrors stop for branch-cheap per-firing checks
+	quit    chan struct{} // closed when Run returns: actors exit
+	once    sync.Once
+	mu      sync.Mutex
+	err     error
+
+	rings []*ring
 	ins   [][]portEdge
 	outs  [][]portEdge
-	// edgeOf maps graph-edge index to csdf-edge index (the Lowering), so
-	// leftover payloads can be re-attached across re-instantiations
-	// without assuming the lowering is index-preserving.
-	edgeOf []int
-	// base is each node's cumulative firing count when this state was
-	// installed: rate sequences index from the start of the environment,
-	// Firing.K stays global.
-	base []int64
-}
-
-type engine struct {
-	cfg Config
-
-	stop chan struct{}
-	once sync.Once
-	mu   sync.Mutex
-	err  error
+	// behaviors and scratches are indexed by node; scratch is nil for
+	// token-only nodes (no behavior), which never materialize a Firing.
+	behaviors []runner.Behavior
+	scratches []*runner.Scratch
+	// inBuf holds, per node and input-edge position, the reusable payload
+	// slice the ring batch is copied into; it backs the Firing's In map.
+	inBuf [][][]any
 
 	// fired is each node's cumulative firing count, owned by the node's
-	// goroutine during an epoch and by Run between epochs.
+	// goroutine during an epoch and by Run between epochs. base is the
+	// count at the last environment change: rate sequences index from
+	// there, Firing.K stays global.
 	fired []int64
-	// ops counts token transfers and completed firings; busy counts
-	// actors inside (or queued for) a behavior. Together they let the
-	// watchdog distinguish a stalled pipeline from a slow behavior.
+	base  []int64
+
+	// work dispatches one epoch's firing total to each actor; wg is the
+	// epoch barrier.
+	work []chan int64
+	wg   sync.WaitGroup
+
+	// ops counts completed firings; busy counts actors inside (or queued
+	// for) a behavior plus the main goroutine while it is doing boundary
+	// work. Together they let the watchdog distinguish a stalled pipeline
+	// from a slow behavior or a slow reconfiguration hook.
 	ops  atomic.Int64
 	busy atomic.Int64
 	sem  chan struct{}
@@ -121,6 +147,7 @@ func (e *engine) fail(err error) {
 		e.mu.Lock()
 		e.err = err
 		e.mu.Unlock()
+		e.stopped.Store(true)
 		close(e.stop)
 	})
 }
@@ -147,14 +174,41 @@ func Run(cfg Config) (*runner.Result, error) {
 		env[k] = v
 	}
 
+	prog, err := core.Compile(g)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Rebind(env); err != nil {
+		return nil, err
+	}
+
 	e := &engine{
 		cfg:   cfg,
+		prog:  prog,
+		cg:    prog.Concrete(),
 		stop:  make(chan struct{}),
+		quit:  make(chan struct{}),
 		fired: make([]int64, len(g.Nodes)),
+		base:  make([]int64, len(g.Nodes)),
 	}
 	if cfg.Workers > 0 {
 		e.sem = make(chan struct{}, cfg.Workers)
 	}
+	// Main counts as busy whenever it is not parked waiting for an epoch:
+	// boundary work (rebinds, user hooks) must not trip the watchdog.
+	e.busy.Add(1)
+
+	if err := e.wire(iters); err != nil {
+		return nil, err
+	}
+
+	defer close(e.quit)
+	for id := range g.Nodes {
+		go e.actorLoop(id)
+	}
+	stopWatch := e.startWatchdog()
+	defer stopWatch()
+
 	if ctx := cfg.Context; ctx != nil {
 		ctxDone := make(chan struct{})
 		defer close(ctxDone)
@@ -168,13 +222,8 @@ func Run(cfg Config) (*runner.Result, error) {
 		}()
 	}
 
-	st, err := e.instantiate(env, nil, iters)
-	if err != nil {
-		return nil, err
-	}
-
 	if cfg.Reconfigure == nil {
-		if err := e.runEpoch(st, iters); err != nil {
+		if err := e.runEpoch(iters); err != nil {
 			return nil, err
 		}
 	} else {
@@ -189,14 +238,13 @@ func Run(cfg Config) (*runner.Result, error) {
 						}
 					}
 					if changed {
-						st, err = e.instantiate(env, st.drainByGraphEdge(), iters-it)
-						if err != nil {
+						if err := e.reconfigure(env, iters-it); err != nil {
 							return nil, err
 						}
 					}
 				}
 			}
-			if err := e.runEpoch(st, 1); err != nil {
+			if err := e.runEpoch(1); err != nil {
 				return nil, err
 			}
 		}
@@ -208,237 +256,278 @@ func Run(cfg Config) (*runner.Result, error) {
 			res.Firings[n.Name] = e.fired[id]
 		}
 	}
-	for ei, q := range st.drain() {
-		if len(q) > 0 {
-			res.Remaining[st.cg.Edges[ei].Name] = q
+	for ci := range e.cg.Edges {
+		if vals := e.rings[ci].drain(); len(vals) > 0 {
+			res.Remaining[e.cg.Edges[ci].Name] = vals
 		}
 	}
 	return res, nil
 }
 
-// instantiate lowers the graph under env and builds channels sized for
-// `horizon` more iterations. leftover, when non-nil, is the payload
-// content of every edge — indexed by graph-edge index — at the preceding
-// transaction boundary; it replaces the declared initial tokens, which
-// are already part of it.
-func (e *engine) instantiate(env symb.Env, leftover [][]any, horizon int64) (*state, error) {
-	g := e.cfg.Graph
-	cg, low, err := g.Instantiate(env)
-	if err != nil {
-		return nil, err
+// capacityFor sizes one ring from the schedule's high-water mark, with
+// drift headroom for edges that accumulate tokens across the remaining
+// iterations, the user override, and the floor of the current content.
+// Because the transport is batched — a firing's whole batch must fit in
+// (or be available from) the ring at once, where the old per-token
+// channels could trickle — every capacity is also clamped up to the
+// edge's largest per-firing rate.
+func (e *engine) capacityFor(sch *csdf.Schedule, ci int, horizon int64) int64 {
+	capTok := sch.MaxTokens[ci]
+	if drift := sch.Final[ci] - e.cg.Edges[ci].Initial; drift > 0 && horizon > 1 {
+		capTok += (horizon - 1) * drift
 	}
-	if leftover != nil {
-		for gi := range g.Edges {
-			cg.Edges[low.EdgeOf[gi]].Initial = int64(len(leftover[gi]))
+	if e.cfg.Capacity > 0 {
+		capTok = e.cfg.Capacity
+	}
+	if capTok < 1 {
+		capTok = 1
+	}
+	if capTok < e.cg.Edges[ci].Initial {
+		capTok = e.cg.Edges[ci].Initial
+	}
+	for _, r := range e.cg.Edges[ci].Prod {
+		if capTok < r {
+			capTok = r
 		}
 	}
-	sol, err := cg.RepetitionVector()
-	if err != nil {
-		return nil, err
+	for _, r := range e.cg.Edges[ci].Cons {
+		if capTok < r {
+			capTok = r
+		}
 	}
-	sch, err := cg.BuildSchedule(sol, csdf.Demand)
+	return capTok
+}
+
+// wire builds the run-once state: rings sized for `horizon` iterations
+// (seeded with the declared initial tokens), per-node port wiring, and the
+// reusable firing scratches of every node that has a behavior.
+func (e *engine) wire(horizon int64) error {
+	g := e.cfg.Graph
+	sch, err := e.cg.BuildSchedule(e.prog.Solution(), csdf.Demand)
 	if err != nil {
-		return nil, fmt.Errorf("engine: no sequential schedule: %v", err)
+		return fmt.Errorf("engine: no sequential schedule: %v", err)
 	}
 
-	st := &state{
-		cg:     cg,
-		q:      sol.Q,
-		chans:  make([]chan any, len(cg.Edges)),
-		ins:    make([][]portEdge, len(g.Nodes)),
-		outs:   make([][]portEdge, len(g.Nodes)),
-		edgeOf: low.EdgeOf,
-		base:   append([]int64(nil), e.fired...),
+	e.rings = make([]*ring, len(e.cg.Edges))
+	for ci := range e.cg.Edges {
+		e.rings[ci] = newRing(e.capacityFor(sch, ci, horizon))
+		e.rings[ci].writeNil(e.cg.Edges[ci].Initial, e.stop)
 	}
-	for ei := range cg.Edges {
-		capTok := sch.MaxTokens[ei]
-		// Edges that do not return to their initial state accumulate
-		// tokens every iteration; give the later iterations headroom.
-		if drift := sch.Final[ei] - cg.Edges[ei].Initial; drift > 0 && horizon > 1 {
-			capTok += (horizon - 1) * drift
-		}
-		if e.cfg.Capacity > 0 {
-			capTok = e.cfg.Capacity
-		}
-		if capTok < 1 {
-			capTok = 1
-		}
-		if capTok < cg.Edges[ei].Initial {
-			capTok = cg.Edges[ei].Initial
-		}
-		st.chans[ei] = make(chan any, capTok)
-		if leftover == nil {
-			for k := int64(0); k < cg.Edges[ei].Initial; k++ {
-				st.chans[ei] <- nil
-			}
-		}
-	}
-	if leftover != nil {
-		for gi := range g.Edges {
-			for _, v := range leftover[gi] {
-				st.chans[low.EdgeOf[gi]] <- v
-			}
-		}
-	}
+
+	low := e.prog.Lowering()
+	e.ins = make([][]portEdge, len(g.Nodes))
+	e.outs = make([][]portEdge, len(g.Nodes))
 	for ei, ed := range g.Edges {
 		ci := low.EdgeOf[ei]
-		st.ins[ed.Dst] = append(st.ins[ed.Dst], portEdge{ci, g.Nodes[ed.Dst].Ports[ed.DstPort].Name})
-		st.outs[ed.Src] = append(st.outs[ed.Src], portEdge{ci, g.Nodes[ed.Src].Ports[ed.SrcPort].Name})
+		e.ins[ed.Dst] = append(e.ins[ed.Dst], portEdge{ci, g.Nodes[ed.Dst].Ports[ed.DstPort].Name})
+		e.outs[ed.Src] = append(e.outs[ed.Src], portEdge{ci, g.Nodes[ed.Src].Ports[ed.SrcPort].Name})
 	}
-	return st, nil
-}
 
-// drain empties every channel, returning the leftover payloads per
-// csdf-edge index in FIFO order. Only called when no actor goroutine is
-// running.
-func (st *state) drain() [][]any {
-	out := make([][]any, len(st.chans))
-	for i, ch := range st.chans {
-		for {
-			select {
-			case v := <-ch:
-				out[i] = append(out[i], v)
-				continue
-			default:
-			}
-			break
-		}
-	}
-	return out
-}
-
-// drainByGraphEdge is drain reindexed by graph-edge index, the form
-// instantiate takes leftovers in.
-func (st *state) drainByGraphEdge() [][]any {
-	drained := st.drain()
-	out := make([][]any, len(st.edgeOf))
-	for gi, ci := range st.edgeOf {
-		out[gi] = drained[ci]
-	}
-	return out
-}
-
-// runEpoch fires every node iters×q times concurrently and waits for the
-// pipeline to drain to the epoch boundary.
-func (e *engine) runEpoch(st *state, iters int64) error {
-	if e.firstErr() != nil {
-		return e.firstErr()
-	}
-	stopWatch := e.startWatchdog()
-	defer stopWatch()
-
-	var wg sync.WaitGroup
-	for id := range e.cfg.Graph.Nodes {
-		total := iters * st.q[id]
-		if total == 0 {
+	e.behaviors = make([]runner.Behavior, len(g.Nodes))
+	e.scratches = make([]*runner.Scratch, len(g.Nodes))
+	e.inBuf = make([][][]any, len(g.Nodes))
+	e.work = make([]chan int64, len(g.Nodes))
+	for id, n := range g.Nodes {
+		e.work[id] = make(chan int64, 1)
+		b := e.cfg.Behaviors[n.Name]
+		if b == nil {
 			continue
 		}
-		wg.Add(1)
-		go func(id int, total int64) {
-			defer wg.Done()
-			e.runActor(st, id, total)
-		}(id, total)
+		e.behaviors[id] = b
+		inPorts := make([]string, len(e.ins[id]))
+		for i, pe := range e.ins[id] {
+			inPorts[i] = pe.port
+		}
+		outPorts := make([]string, len(e.outs[id]))
+		for i, pe := range e.outs[id] {
+			outPorts[i] = pe.port
+		}
+		e.scratches[id] = runner.NewScratch(n.Name, inPorts, outPorts)
+		e.inBuf[id] = make([][]any, len(e.ins[id]))
 	}
-	wg.Wait()
+	return nil
+}
+
+// reconfigure applies a changed environment at a quiescent transaction
+// boundary: the compiled program is rebound in place (rate tables and
+// repetition vector overwritten, no fresh graph), ring capacities are grown
+// to the new schedule's bounds, and rate-phase indexing restarts. The
+// rings keep their content — leftover payloads cross the boundary in FIFO
+// order without being drained and re-queued.
+func (e *engine) reconfigure(env symb.Env, horizon int64) error {
+	if err := e.prog.Rebind(env); err != nil {
+		return err
+	}
+	// The schedule (and therefore the capacity bounds and the liveness
+	// check) starts from the tokens actually on the edges now, not the
+	// declared initial state. The engine owns the Program, so overwriting
+	// the skeleton's Initial fields at the barrier is safe.
+	for ci := range e.cg.Edges {
+		e.cg.Edges[ci].Initial = e.rings[ci].len()
+	}
+	sch, err := e.cg.BuildSchedule(e.prog.Solution(), csdf.Demand)
+	if err != nil {
+		return fmt.Errorf("engine: no sequential schedule: %v", err)
+	}
+	for ci := range e.cg.Edges {
+		e.rings[ci].grow(e.capacityFor(sch, ci, horizon))
+	}
+	copy(e.base, e.fired)
+	return nil
+}
+
+// runEpoch dispatches iters graph iterations to the parked actors and
+// waits for the pipeline to drain to the barrier.
+func (e *engine) runEpoch(iters int64) error {
+	if err := e.firstErr(); err != nil {
+		return err
+	}
+	sol := e.prog.Solution()
+	e.wg.Add(len(e.work))
+	for id := range e.work {
+		e.work[id] <- iters * sol.Q[id]
+	}
+	e.busy.Add(-1)
+	e.wg.Wait()
+	e.busy.Add(1)
 	return e.firstErr()
 }
 
-// runActor is one node's firing loop: consume the input rates, run the
-// behavior, produce the output rates — blocking on channel capacity for
-// backpressure.
-func (e *engine) runActor(st *state, id int, total int64) {
-	g := e.cfg.Graph
-	name := g.Nodes[id].Name
-	behavior := e.cfg.Behaviors[name]
-
-	for n := int64(0); n < total; n++ {
-		// Check for cancellation/failure at every firing boundary: an
-		// actor whose channel operations never block would otherwise only
-		// stop probabilistically (select picks among ready cases).
+// actorLoop is one node's persistent goroutine: spawned once per Run, it
+// parks on its work channel between epochs and exits when the run is over.
+func (e *engine) actorLoop(id int) {
+	for {
 		select {
-		case <-e.stop:
+		case total := <-e.work[id]:
+			if total > 0 {
+				e.runActor(id, total)
+			}
+			e.wg.Done()
+		case <-e.quit:
 			return
-		default:
 		}
-		kGlobal := e.fired[id]
-		kLocal := kGlobal - st.base[id]
-		f := &runner.Firing{Node: name, K: kGlobal, In: map[string][]any{}, Out: map[string][]any{}}
+	}
+}
 
-		for _, pe := range st.ins[id] {
-			rate := st.cg.Edges[pe.edge].ConsAt(kLocal)
-			ch := st.chans[pe.edge]
-			buf := make([]any, 0, rate)
-			for j := int64(0); j < rate; j++ {
-				select {
-				case v := <-ch:
-					buf = append(buf, v)
-					e.ops.Add(1)
-				case <-e.stop:
+// runActor fires the node total times: consume the input rates, run the
+// behavior, produce the output rates — blocking on ring capacity for
+// backpressure. Rates and solution are read from the compiled program,
+// which is only rewritten while the actor is parked.
+func (e *engine) runActor(id int, total int64) {
+	edges := e.cg.Edges
+	ins, outs := e.ins[id], e.outs[id]
+	behavior := e.behaviors[id]
+	stop := e.stop
+	fired := e.fired[id]
+	base := e.base[id]
+	defer func() { e.fired[id] = fired }()
+
+	if behavior == nil {
+		// Token-only node: no Firing is materialized at all — payloads
+		// are consumed unobserved and nil placeholders emitted at the
+		// output rates, exactly as the sequential runner does.
+		for n := int64(0); n < total; n++ {
+			// Check for cancellation/failure at every firing boundary: an
+			// actor whose ring operations never block would otherwise run
+			// the epoch to completion.
+			if e.stopped.Load() {
+				return
+			}
+			kLocal := fired - base
+			for _, pe := range ins {
+				if !e.rings[pe.edge].discard(edges[pe.edge].ConsAt(kLocal), stop) {
 					return
 				}
 			}
-			// Assign even at rate 0 so the In map has the same keys the
+			for _, pe := range outs {
+				if !e.rings[pe.edge].writeNil(edges[pe.edge].ProdAt(kLocal), stop) {
+					return
+				}
+			}
+			fired++
+			e.ops.Add(1)
+		}
+		return
+	}
+
+	scr := e.scratches[id]
+	bufs := e.inBuf[id]
+	name := e.cfg.Graph.Nodes[id].Name
+	for n := int64(0); n < total; n++ {
+		if e.stopped.Load() {
+			return
+		}
+		kLocal := fired - base
+		f := scr.Begin(fired)
+
+		for i, pe := range ins {
+			rate := edges[pe.edge].ConsAt(kLocal)
+			buf := bufs[i]
+			if int64(cap(buf)) < rate {
+				buf = make([]any, rate)
+				bufs[i] = buf
+			} else {
+				buf = buf[:rate]
+			}
+			if !e.rings[pe.edge].read(buf, rate, stop) {
+				return
+			}
+			// Install even at rate 0 so the In map has the same keys the
 			// sequential runner produces.
-			f.In[pe.port] = append(f.In[pe.port], buf...)
+			scr.SetIn(pe.port, buf)
 		}
 
-		if behavior != nil {
-			e.busy.Add(1)
-			if e.sem != nil {
-				select {
-				case e.sem <- struct{}{}:
-				case <-e.stop:
-					e.busy.Add(-1)
-					return
-				}
-			}
-			err := behavior(f)
-			if e.sem != nil {
-				<-e.sem
-			}
-			e.busy.Add(-1)
-			if err != nil {
-				e.fail(fmt.Errorf("engine: %s firing %d: %v", name, kGlobal, err))
+		e.busy.Add(1)
+		if e.sem != nil {
+			select {
+			case e.sem <- struct{}{}:
+			case <-stop:
+				e.busy.Add(-1)
 				return
 			}
 		}
+		err := behavior(f)
+		if e.sem != nil {
+			<-e.sem
+		}
+		e.busy.Add(-1)
+		if err != nil {
+			e.fail(fmt.Errorf("engine: %s firing %d: %v", name, fired, err))
+			return
+		}
 
-		for _, pe := range st.outs[id] {
-			rate := st.cg.Edges[pe.edge].ProdAt(kLocal)
+		for _, pe := range outs {
+			rate := edges[pe.edge].ProdAt(kLocal)
 			vals := f.Out[pe.port]
 			switch {
 			case int64(len(vals)) == rate:
+				if !e.rings[pe.edge].write(vals, stop) {
+					return
+				}
 			case len(vals) == 0:
 				// No behavior output: emit nil payloads to keep the token
 				// count right, as the sequential runner does.
-				vals = make([]any, rate)
-			default:
-				e.fail(fmt.Errorf("engine: %s firing %d: port %s produced %d payloads, rate is %d",
-					name, kGlobal, pe.port, len(vals), rate))
-				return
-			}
-			ch := st.chans[pe.edge]
-			for _, v := range vals {
-				select {
-				case ch <- v:
-					e.ops.Add(1)
-				case <-e.stop:
+				if !e.rings[pe.edge].writeNil(rate, stop) {
 					return
 				}
+			default:
+				e.fail(fmt.Errorf("engine: %s firing %d: port %s produced %d payloads, rate is %d",
+					name, fired, pe.port, len(vals), rate))
+				return
 			}
 		}
 
-		e.fired[id]++
+		fired++
 		e.ops.Add(1)
 	}
 }
 
 // startWatchdog returns a stopper for a goroutine that fails the run when
-// the epoch makes no progress: no token moved, no firing completed and no
-// behavior ran for two consecutive stall windows. With analysis-derived
-// capacities this cannot trigger (they admit a complete schedule, and the
-// execution is conflict-free); it turns a deadlock under a too-small
-// Capacity override into an error instead of a hang.
+// it makes no progress: no firing completed, no behavior ran and no
+// boundary work happened for two consecutive stall windows. With
+// analysis-derived capacities this cannot trigger (they admit a complete
+// schedule, and the execution is conflict-free); it turns a deadlock under
+// a too-small Capacity override into an error instead of a hang.
 func (e *engine) startWatchdog() func() {
 	stall := e.cfg.StallTimeout
 	if stall <= 0 {

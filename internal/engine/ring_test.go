@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestRingFIFOAcrossWrap pushes batches through a small ring from a
+// producer goroutine while a consumer drains mismatched batch sizes, so
+// every wraparound alignment is exercised; the consumer must see the exact
+// FIFO sequence.
+func TestRingFIFOAcrossWrap(t *testing.T) {
+	const total = 10_000
+	r := newRing(7)
+	stop := make(chan struct{})
+	var got []any
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		batch := make([]any, 0, 5)
+		next := 0
+		for next < total {
+			batch = batch[:0]
+			for b := 0; b < 1+next%5 && next < total; b++ {
+				batch = append(batch, next)
+				next++
+			}
+			if !r.write(batch, stop) {
+				t.Error("write aborted")
+				return
+			}
+		}
+	}()
+
+	buf := make([]any, 7)
+	for len(got) < total {
+		n := int64(1 + len(got)%3)
+		if int64(total-len(got)) < n {
+			n = int64(total - len(got))
+		}
+		if !r.read(buf, n, stop) {
+			t.Fatal("read aborted")
+		}
+		got = append(got, buf[:n]...)
+	}
+	wg.Wait()
+
+	for i, v := range got {
+		if v.(int) != i {
+			t.Fatalf("position %d: got %v, want %d", i, v, i)
+		}
+	}
+}
+
+// TestRingStopUnblocks parks a consumer on an empty ring and a producer on
+// a full one; closing stop must release both with a false return.
+func TestRingStopUnblocks(t *testing.T) {
+	stop := make(chan struct{})
+	empty := newRing(4)
+	full := newRing(2)
+	if !full.writeNil(2, stop) {
+		t.Fatal("seeding the full ring blocked")
+	}
+
+	res := make(chan bool, 2)
+	go func() { res <- empty.read(make([]any, 1), 1, stop) }()
+	go func() { res <- full.write([]any{nil}, stop) }()
+	close(stop)
+	if <-res || <-res {
+		t.Fatal("a blocked ring op returned true after stop")
+	}
+}
+
+// TestRingGrowPreservesContent fills a ring across its wrap point, grows
+// it, and checks the drained content is the untouched FIFO prefix.
+func TestRingGrowPreservesContent(t *testing.T) {
+	stop := make(chan struct{})
+	r := newRing(4)
+	if !r.write([]any{0, 1, 2}, stop) {
+		t.Fatal("write blocked")
+	}
+	if !r.discard(2, stop) { // head now mid-buffer
+		t.Fatal("discard blocked")
+	}
+	if !r.write([]any{3, 4, 5}, stop) { // wraps
+		t.Fatal("write blocked")
+	}
+	r.grow(16)
+	if r.cap() != 16 {
+		t.Fatalf("cap after grow: %d, want 16", r.cap())
+	}
+	if got, want := r.drain(), []any{2, 3, 4, 5}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("content after grow: %v, want %v", got, want)
+	}
+	// Growing never shrinks.
+	r.grow(2)
+	if r.cap() != 16 {
+		t.Fatalf("grow(2) shrank the ring to %d", r.cap())
+	}
+}
+
+// TestRingWriteNilAndDiscard checks the token-only paths used by
+// behavior-less nodes.
+func TestRingWriteNilAndDiscard(t *testing.T) {
+	stop := make(chan struct{})
+	r := newRing(8)
+	if !r.writeNil(5, stop) {
+		t.Fatal("writeNil blocked")
+	}
+	if r.len() != 5 {
+		t.Fatalf("len after writeNil(5): %d", r.len())
+	}
+	if !r.discard(3, stop) {
+		t.Fatal("discard blocked")
+	}
+	if r.len() != 2 {
+		t.Fatalf("len after discard(3): %d", r.len())
+	}
+	if got := r.drain(); len(got) != 2 || got[0] != nil || got[1] != nil {
+		t.Fatalf("drain: %v, want two nils", got)
+	}
+}

@@ -15,7 +15,11 @@ import (
 	"repro/internal/symb"
 )
 
-// Firing gives a behavior access to one firing's tokens.
+// Firing gives a behavior access to one firing's tokens. Both executors
+// (the sequential runner and the concurrent engine) reuse the Firing and
+// its payload slices across firings of the same node: behaviors may keep
+// the payload values, but must not retain f, f.In, f.Out or the slices in
+// them past the firing.
 type Firing struct {
 	// Node is the firing node's name; K is the 0-based firing index.
 	Node string
@@ -94,6 +98,28 @@ func Run(cfg Config) (*Result, error) {
 		outs[e.Src] = append(outs[e.Src], portEdge{ci, g.Nodes[e.Src].Ports[e.SrcPort].Name})
 	}
 
+	// Reusable firing contexts, materialized only for nodes that have a
+	// behavior: token-only nodes consume unobserved and emit nil
+	// placeholders without ever building a Firing.
+	behaviors := make([]Behavior, len(g.Nodes))
+	scratches := make([]*Scratch, len(g.Nodes))
+	for id, n := range g.Nodes {
+		b := cfg.Behaviors[n.Name]
+		if b == nil {
+			continue
+		}
+		behaviors[id] = b
+		inPorts := make([]string, len(ins[id]))
+		for i, pe := range ins[id] {
+			inPorts[i] = pe.port
+		}
+		outPorts := make([]string, len(outs[id]))
+		for i, pe := range outs[id] {
+			outPorts[i] = pe.port
+		}
+		scratches[id] = NewScratch(n.Name, inPorts, outPorts)
+	}
+
 	res := &Result{Firings: map[string]int64{}, Remaining: map[string][]any{}}
 	iters := cfg.Iterations
 	if iters <= 0 {
@@ -112,7 +138,29 @@ func Run(cfg Config) (*Result, error) {
 			node := actor // lowering is index-preserving; keep it explicit
 			name := g.Nodes[node].Name
 			k := fired[node]
-			f := &Firing{Node: name, K: k, In: map[string][]any{}, Out: map[string][]any{}}
+			b := behaviors[node]
+			if b == nil {
+				// Token-only node: consume the input rates, produce nil
+				// payloads at the output rates.
+				for _, pe := range ins[node] {
+					rate := cg.Edges[pe.edge].ConsAt(k)
+					if int64(len(queues[pe.edge])) < rate {
+						return nil, fmt.Errorf("runner: %s firing %d: edge %s underflow (%d < %d)",
+							name, k, cg.Edges[pe.edge].Name, len(queues[pe.edge]), rate)
+					}
+					queues[pe.edge] = queues[pe.edge][rate:]
+				}
+				for _, pe := range outs[node] {
+					rate := cg.Edges[pe.edge].ProdAt(k)
+					for j := int64(0); j < rate; j++ {
+						queues[pe.edge] = append(queues[pe.edge], nil)
+					}
+				}
+				fired[node]++
+				res.Firings[name]++
+				continue
+			}
+			f := scratches[node].Begin(k)
 			// Consume.
 			for _, pe := range ins[node] {
 				rate := cg.Edges[pe.edge].ConsAt(k)
@@ -124,10 +172,8 @@ func Run(cfg Config) (*Result, error) {
 				queues[pe.edge] = queues[pe.edge][rate:]
 			}
 			// Compute.
-			if b, ok := cfg.Behaviors[name]; ok {
-				if err := b(f); err != nil {
-					return nil, fmt.Errorf("runner: %s firing %d: %v", name, k, err)
-				}
+			if err := b(f); err != nil {
+				return nil, fmt.Errorf("runner: %s firing %d: %v", name, k, err)
 			}
 			// Produce, checking counts.
 			for _, pe := range outs[node] {

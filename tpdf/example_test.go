@@ -84,3 +84,44 @@ func ExampleStream() {
 	// fired: SRC 3, FWD 3, SNK 3
 	// tokens delivered: 14
 }
+
+// ExampleStream_reconfigure changes a parameter mid-stream: the hook runs
+// at every transaction boundary once the pipeline is quiescent, and the
+// engine rebinds the compiled graph in place — rate tables, repetition
+// vector and ring capacities — so the sink observes the old block size up
+// to the boundary and the new one after it, never a mixture. The hook
+// fires between iterations 2 and 3, switching p from 2 to 5.
+func ExampleStream_reconfigure() {
+	g, err := tpdf.NewGraph("midstream").
+		Param("p", 2, 1, 8).
+		Kernel("SRC", 1).
+		Kernel("SNK", 1).
+		Connect("SRC[p] -> SNK[p]").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	behaviors := map[string]tpdf.Behavior{
+		"SNK": func(f *tpdf.Firing) error {
+			fmt.Printf("iteration %d consumed a block of %d\n", f.K+1, len(f.In["i0"]))
+			return nil
+		},
+	}
+	_, err = tpdf.Stream(g, behaviors,
+		tpdf.WithIterations(4),
+		tpdf.WithReconfigure(func(completed int64) map[string]int64 {
+			if completed == 2 {
+				return map[string]int64{"p": 5}
+			}
+			return nil // keep the current environment
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// iteration 1 consumed a block of 2
+	// iteration 2 consumed a block of 2
+	// iteration 3 consumed a block of 5
+	// iteration 4 consumed a block of 5
+}

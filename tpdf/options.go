@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/symb"
 )
@@ -49,6 +50,7 @@ type config struct {
 	workers         int
 	channelCap      int64
 	reconfigure     func(completed int64) map[string]int64
+	stallTimeout    time.Duration
 	parallel        int
 }
 
@@ -155,11 +157,13 @@ func WithWorkers(n int) Option {
 }
 
 // WithChannelCapacity overrides the per-edge channel capacity Stream uses
-// (in tokens, clamped up to each edge's initial token count). The default,
-// zero, sizes every channel from the analysis-derived buffer bounds — the
-// per-edge high-water marks of the demand-driven schedule — which are
-// guaranteed deadlock-free; smaller overrides trade throughput for memory
-// and are guarded by Stream's deadlock watchdog.
+// (in tokens, clamped up to each edge's initial token count and its
+// largest per-firing rate — the ring transport moves whole firing batches,
+// so a batch must always fit). The default, zero, sizes every channel from
+// the analysis-derived buffer bounds — the per-edge high-water marks of
+// the demand-driven schedule — which are guaranteed deadlock-free; smaller
+// overrides trade throughput for memory and are guarded by Stream's
+// deadlock watchdog.
 func WithChannelCapacity(n int64) Option {
 	return func(c *config) { c.channelCap = n }
 }
@@ -173,6 +177,17 @@ func WithChannelCapacity(n int64) Option {
 // parameter values.
 func WithReconfigure(fn func(completed int64) map[string]int64) Option {
 	return func(c *config) { c.reconfigure = fn }
+}
+
+// WithStallTimeout tunes Stream's deadlock watchdog window (default
+// 500ms): when no firing completes and no behavior runs for two
+// consecutive windows, the run fails with a diagnostic instead of hanging.
+// Lower it to fail fast when probing undersized WithChannelCapacity
+// settings; raise it when behaviors legitimately pause longer than a
+// second (a slow sensor, a network hop under retry) so the watchdog does
+// not misread the pause as a deadlock. Zero or negative keeps the default.
+func WithStallTimeout(d time.Duration) Option {
+	return func(c *config) { c.stallTimeout = d }
 }
 
 // WithProbeEnvs adds parameter valuations at which Analyze probes the

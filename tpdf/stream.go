@@ -5,26 +5,31 @@ import (
 )
 
 // Stream runs the graph at the payload level like Execute, but
-// concurrently: one goroutine per actor, edges wired as bounded Go
-// channels sized from the analysis buffer bounds, backpressure from
-// channel capacity, and parameter reconfiguration applied only at
-// transaction (iteration) boundaries. For any graph Execute completes,
-// Stream produces the identical result — same Firings, same Remaining
-// payloads in the same FIFO order — the pipeline just overlaps the
-// behaviors' latencies instead of serializing them.
+// concurrently: one persistent goroutine per actor, edges wired as
+// single-producer/single-consumer ring buffers sized from the analysis
+// buffer bounds (a whole firing's token batch moves per synchronization),
+// backpressure from ring capacity, and parameter reconfiguration applied
+// only at transaction (iteration) boundaries via an in-place rebind of the
+// compiled graph. For any graph Execute completes, Stream produces the
+// identical result — same Firings, same Remaining payloads in the same
+// FIFO order — the pipeline just overlaps the behaviors' latencies instead
+// of serializing them. The warm firing path performs no heap allocations;
+// in exchange, payload slices handed to behaviors are valid only for the
+// duration of the firing (keep the values, not the slices).
 //
 // Relevant options: WithParams, WithIterations, WithContext, WithWorkers,
-// WithChannelCapacity, WithReconfigure.
+// WithChannelCapacity, WithReconfigure, WithStallTimeout.
 func Stream(g *Graph, behaviors map[string]Behavior, opts ...Option) (*ExecResult, error) {
 	cfg := buildConfig(opts)
 	return engine.Run(engine.Config{
-		Graph:       g,
-		Env:         cfg.env(),
-		Behaviors:   behaviors,
-		Iterations:  cfg.iterations,
-		Context:     cfg.ctx,
-		Workers:     cfg.workers,
-		Capacity:    cfg.channelCap,
-		Reconfigure: cfg.reconfigure,
+		Graph:        g,
+		Env:          cfg.env(),
+		Behaviors:    behaviors,
+		Iterations:   cfg.iterations,
+		Context:      cfg.ctx,
+		Workers:      cfg.workers,
+		Capacity:     cfg.channelCap,
+		Reconfigure:  cfg.reconfigure,
+		StallTimeout: cfg.stallTimeout,
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -184,6 +185,63 @@ func TestStreamChannelCapacityOverride(t *testing.T) {
 	}
 	if res.Firings["SNK"] != 16 || len(conc) != 16 {
 		t.Fatalf("capacity-1 run incomplete: firings %v, captured %d", res.Firings, len(conc))
+	}
+}
+
+// TestStreamStallTimeout covers the WithStallTimeout option: an undersized
+// channel capacity deadlocks this diamond (B waits for M's token before
+// draining the direct edge, but A only feeds M on its second phase, after
+// a second direct-edge write the full capacity-1 ring refuses), and the
+// watchdog must surface the deadlock diagnostic within the configured
+// window instead of the 1s default.
+func TestStreamStallTimeout(t *testing.T) {
+	g, err := tpdf.NewGraph("stall").
+		Kernel("A", 1).Kernel("M", 1).Kernel("B", 1).
+		Connect("M[1] -> B[1,0]").
+		Connect("A[1] -> B[1]").
+		Connect("A[0,1] -> M[1]").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 25 * time.Millisecond
+	start := time.Now()
+	_, err = tpdf.Stream(g, nil,
+		tpdf.WithChannelCapacity(1),
+		tpdf.WithStallTimeout(window))
+	elapsed := time.Since(start)
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("got %v, want a deadlock diagnostic", err)
+	}
+	// Two idle windows trip the watchdog; anything near the 1s default
+	// means the option was not plumbed through.
+	if elapsed > 20*window {
+		t.Errorf("watchdog took %v with a %v window", elapsed, window)
+	}
+}
+
+// TestStreamUnchangedReconfigureMatchesPlain is the facade half of the
+// reconfigure-churn fix: a hook that never changes anything must yield
+// exactly the plain Stream payload sequence and accounting.
+func TestStreamUnchangedReconfigureMatchesPlain(t *testing.T) {
+	var plain, hooked []int
+	g, behaviors := payloadPipeline(&plain)
+	want, err := tpdf.Stream(g, behaviors, tpdf.WithIterations(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, behaviors2 := payloadPipeline(&hooked)
+	got, err := tpdf.Stream(g2, behaviors2, tpdf.WithIterations(64),
+		tpdf.WithReconfigure(func(completed int64) map[string]int64 { return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Firings, got.Firings) || !reflect.DeepEqual(want.Remaining, got.Remaining) {
+		t.Errorf("unchanged-reconfigure accounting diverged: %v/%v vs %v/%v",
+			want.Firings, want.Remaining, got.Firings, got.Remaining)
+	}
+	if !reflect.DeepEqual(plain, hooked) {
+		t.Errorf("unchanged-reconfigure payload stream diverged:\nplain  %v\nhooked %v", plain, hooked)
 	}
 }
 
