@@ -21,9 +21,15 @@
 //	                                        # allocs/op (transport-bound workloads) instead of
 //	                                        # the analysis experiments; -compare gates it the
 //	                                        # same way against the committed BENCH_engine.json
+//	tpdf-bench -serve -json BENCH_serve.json
+//	                                        # service-tier mode: an in-process tpdf-serve is
+//	                                        # soaked by the loadgen library; per-endpoint
+//	                                        # median ns/op + p99 (open/pump/close/session,
+//	                                        # analyze/sweep) gated against BENCH_serve.json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,6 +39,7 @@ import (
 	"time"
 
 	"repro/tpdf"
+	"repro/tpdf/serve"
 )
 
 // experimentTiming records one artifact regeneration for the JSON report.
@@ -42,7 +49,10 @@ type experimentTiming struct {
 	// AllocsPerOp counts heap allocations during the regeneration (all
 	// goroutines): the tracking metric for the simulator fast path.
 	AllocsPerOp uint64 `json:"allocs_per_op,omitempty"`
-	Error       string `json:"error,omitempty"`
+	// P99 is the tail latency of the endpoint (serve mode only: NsPerOp is
+	// the median over many requests there, so the tail is worth keeping).
+	P99   int64  `json:"p99_ns,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 // engineComparison reports the concurrent engine against the sequential
@@ -61,10 +71,14 @@ type benchReport struct {
 	Quick bool `json:"quick"`
 	// EngineMode marks a report produced by -engine: Experiments then
 	// holds per-graph streaming timings instead of analysis artifacts.
-	EngineMode  bool               `json:"engine_mode,omitempty"`
+	EngineMode bool `json:"engine_mode,omitempty"`
+	// ServeMode marks a report produced by -serve: Experiments holds
+	// per-endpoint service latencies and Serve the full soak report.
+	ServeMode   bool               `json:"serve_mode,omitempty"`
 	Parallel    int                `json:"parallel,omitempty"`
 	Experiments []experimentTiming `json:"experiments"`
 	Engine      engineComparison   `json:"engine"`
+	Serve       *serve.LoadReport  `json:"serve,omitempty"`
 }
 
 // latencyBehaviors builds an I/O-bound behavior for every node of g: each
@@ -271,6 +285,68 @@ func measureEngineMode(quick bool) (*benchReport, error) {
 	return rep, finishReport(rep, quick)
 }
 
+// measureServeMode boots an in-process tpdf-serve, soaks it with the
+// loadgen library, and reports per-endpoint service latency: the median as
+// ns/op (stable enough to gate) plus the p99 tail. The run itself asserts
+// the soak invariants — zero failed and zero leaked sessions — before any
+// numbers are reported.
+func measureServeMode(quick bool) (*benchReport, error) {
+	rep := &benchReport{Quick: quick, ServeMode: true}
+	srv := serve.New(serve.Config{MaxSessions: 64, AdmitWait: 5 * time.Second})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // bench teardown
+	}()
+
+	cfg := serve.LoadConfig{
+		BaseURL:     "http://" + addr,
+		Sessions:    128,
+		Concurrency: 32,
+		Pumps:       8,
+		Iterations:  16,
+	}
+	batch := serve.BatchLoad{BaseURL: "http://" + addr, Analyzes: 40, Sweeps: 8}
+	if quick {
+		cfg.Sessions, cfg.Concurrency, cfg.Pumps, cfg.Iterations = 48, 16, 4, 8
+		batch.Analyzes, batch.Sweeps = 20, 4
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	lr, err := serve.RunLoad(ctx, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("serve soak: %v", err)
+	}
+	if lr.Failed > 0 || lr.Leaked > 0 {
+		return nil, fmt.Errorf("serve soak: %d failed, %d leaked sessions", lr.Failed, lr.Leaked)
+	}
+	br, err := serve.RunBatchLoad(ctx, batch)
+	if err != nil {
+		return nil, fmt.Errorf("serve batch: %v", err)
+	}
+	rep.Serve = lr
+
+	add := func(name string, p serve.Percentiles) {
+		rep.Experiments = append(rep.Experiments,
+			experimentTiming{Name: name, NsPerOp: p.P50, P99: p.P99})
+		fmt.Printf("%-18s %12d ns/op %12d p99\n", name, p.P50, p.P99)
+	}
+	add("serve/open", lr.Open)
+	add("serve/pump", lr.Pump)
+	add("serve/close", lr.Close)
+	add("serve/session", lr.Session)
+	add("serve/analyze", br.Analyze)
+	add("serve/sweep", br.Sweep)
+	fmt.Printf("serve soak: %d sessions at %d concurrent, %.1f sessions/sec, 0 failed, 0 leaked\n",
+		lr.Sessions, lr.Concurrency, lr.SessionsPerSec)
+	return rep, nil
+}
+
 // mallocs reads the process-wide cumulative heap-allocation count.
 func mallocs() uint64 {
 	var ms runtime.MemStats
@@ -384,11 +460,11 @@ func compare(baselinePath string, rep *benchReport, threshold, allocThreshold fl
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("parse %s: %v", baselinePath, err)
 	}
-	// A baseline from the other mode would share no experiment names and
+	// A baseline from another mode would share no experiment names and
 	// silently gate nothing; refuse it outright.
-	if base.EngineMode != rep.EngineMode {
+	if base.EngineMode != rep.EngineMode || base.ServeMode != rep.ServeMode {
 		return fmt.Errorf("%s is a %s baseline but this run measured %s (wrong -compare file?)",
-			baselinePath, modeName(base.EngineMode), modeName(rep.EngineMode))
+			baselinePath, modeName(&base), modeName(rep))
 	}
 	baseline := map[string]experimentTiming{}
 	for _, t := range base.Experiments {
@@ -450,17 +526,22 @@ func compare(baselinePath string, rep *benchReport, threshold, allocThreshold fl
 	return nil
 }
 
-func modeName(engineMode bool) string {
-	if engineMode {
+func modeName(rep *benchReport) string {
+	switch {
+	case rep.ServeMode:
+		return "serve"
+	case rep.EngineMode:
 		return "engine"
+	default:
+		return "analysis"
 	}
-	return "analysis"
 }
 
 func run() error {
 	quick := flag.Bool("quick", false, "smaller image and sweeps")
 	exp := flag.String("exp", "", "run one experiment: "+strings.Join(tpdf.ExperimentNames(), " "))
 	engineMode := flag.Bool("engine", false, "benchmark the streaming engine per graph (stream ns/op + allocs/op) instead of the analysis experiments")
+	serveMode := flag.Bool("serve", false, "benchmark the service tier: soak an in-process tpdf-serve and report per-endpoint median ns/op + p99")
 	parallel := flag.Int("parallel", 1, "worker pool width: fan experiments out and shard their sweeps")
 	jsonPath := flag.String("json", "", "write machine-readable timings (experiment ns/op + allocs/op, engine-vs-runner speedup) to this file")
 	baseline := flag.String("compare", "", "baseline JSON to compare against; exits nonzero on regression")
@@ -468,16 +549,23 @@ func run() error {
 	allocThreshold := flag.Float64("alloc-threshold", 0.5, "relative allocs_per_op growth tolerated by -compare (0.5 = 50%)")
 	flag.Parse()
 
-	if *engineMode {
+	if *engineMode || *serveMode {
 		if *exp != "" {
-			return fmt.Errorf("-exp is mutually exclusive with -engine")
+			return fmt.Errorf("-exp is mutually exclusive with -engine/-serve")
+		}
+		if *engineMode && *serveMode {
+			return fmt.Errorf("-engine and -serve are mutually exclusive")
 		}
 		if *baseline != "" {
 			if _, err := os.Stat(*baseline); err != nil {
 				return err
 			}
 		}
-		rep, err := measureEngineMode(*quick)
+		measureMode := measureEngineMode
+		if *serveMode {
+			measureMode = measureServeMode
+		}
+		rep, err := measureMode(*quick)
 		if err != nil {
 			return err
 		}

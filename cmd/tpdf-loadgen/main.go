@@ -1,0 +1,97 @@
+// Command tpdf-loadgen soaks a running tpdf-serve instance: it runs many
+// session lifecycles (open → pump×N → close) at a configured concurrency,
+// retries admission pushback (429/503) as backpressure, and reports
+// per-endpoint latency percentiles plus throughput as JSON — the numbers
+// the BENCH_serve.json CI gate tracks.
+//
+// Usage:
+//
+//	tpdf-loadgen -url http://127.0.0.1:8080 \
+//	             [-sessions 100] [-concurrency 32] [-tenants 4] \
+//	             [-pumps 8] [-iterations 16] [-builtin fig2 | -graph file.tpdf] \
+//	             [-json out.json]
+//
+// Exit status is non-zero if any session failed or leaked.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/tpdf/serve"
+)
+
+func run() error {
+	url := flag.String("url", "http://127.0.0.1:8080", "server base URL")
+	sessions := flag.Int("sessions", 100, "total session lifecycles to run")
+	concurrency := flag.Int("concurrency", 32, "sessions in flight at once")
+	tenants := flag.Int("tenants", 4, "tenant names to spread sessions over")
+	pumps := flag.Int("pumps", 8, "pump requests per session")
+	iterations := flag.Int64("iterations", 16, "graph iterations per pump")
+	builtin := flag.String("builtin", "fig2", "built-in graph every session opens")
+	graphFile := flag.String("graph", "", "open a .tpdf file instead of a builtin")
+	jsonOut := flag.String("json", "", "write the report as JSON to this file (default stdout)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	flag.Parse()
+
+	spec := serve.GraphSpec{Builtin: *builtin}
+	if *graphFile != "" {
+		src, err := os.ReadFile(*graphFile)
+		if err != nil {
+			return err
+		}
+		spec = serve.GraphSpec{Source: string(src)}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	rep, err := serve.RunLoad(ctx, serve.LoadConfig{
+		BaseURL:     *url,
+		Sessions:    *sessions,
+		Concurrency: *concurrency,
+		Tenants:     *tenants,
+		Pumps:       *pumps,
+		Iterations:  *iterations,
+		Graph:       spec,
+		Timeout:     *timeout,
+	})
+	if rep != nil {
+		out, merr := json.MarshalIndent(rep, "", "  ")
+		if merr != nil {
+			return merr
+		}
+		out = append(out, '\n')
+		if *jsonOut != "" {
+			if werr := os.WriteFile(*jsonOut, out, 0o644); werr != nil {
+				return werr
+			}
+		} else {
+			os.Stdout.Write(out)
+		}
+		fmt.Fprintf(os.Stderr,
+			"tpdf-loadgen: %d sessions (%.1f/sec), %d failed, %d leaked, pump p50=%s p99=%s\n",
+			rep.Sessions, rep.SessionsPerSec, rep.Failed, rep.Leaked,
+			time.Duration(rep.Pump.P50), time.Duration(rep.Pump.P99))
+	}
+	if err != nil {
+		return err
+	}
+	if rep.Failed > 0 || rep.Leaked > 0 {
+		return fmt.Errorf("%d failed sessions, %d leaked sessions", rep.Failed, rep.Leaked)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tpdf-loadgen:", err)
+		os.Exit(1)
+	}
+}

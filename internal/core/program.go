@@ -7,12 +7,37 @@ import (
 	"repro/internal/symb"
 )
 
-// Program is the compile-once form of a parametric TPDF graph: the concrete
-// CSDF skeleton is built a single time, every symbolic rate is lowered to a
-// compiled expression over a fixed parameter index, and Rebind re-evaluates
-// the whole graph at a new valuation by overwriting the existing rate
-// tables and repetition vector in place — no maps, no fresh csdf.Graph, no
-// allocations on the warm path.
+// Skeleton is the immutable half of the compile-once form of a parametric
+// TPDF graph: the validated source graph, the fixed parameter index, the
+// declared defaults and every rate expression lowered to a compiled
+// coefficient/exponent table. A Skeleton holds no valuation and no concrete
+// rate tables — after CompileSkeleton it is never written again, so any
+// number of goroutines may share one Skeleton and stamp Programs from it
+// concurrently (NewProgram). This is what lets a server host thousands of
+// sessions of the same graph for the price of a single compilation: the
+// expensive work (validation, symbolic lowering) lives here, the cheap
+// per-engine mutable state (rate tables, repetition vector, solver scratch)
+// lives in the Program each session stamps for itself.
+type Skeleton struct {
+	src      *Graph
+	pi       *symb.ParamIndex
+	defaults []int64 // per index slot
+
+	prodC [][]*symb.CompiledExpr // per edge, per phase
+	consC [][]*symb.CompiledExpr
+
+	// actorOf/edgeOf/ctrl are the structural lowering maps, identical for
+	// every stamped Program and shared read-only by their Lowerings.
+	actorOf []int
+	edgeOf  []int
+	ctrl    []bool
+}
+
+// Program is the per-holder mutable half: the concrete CSDF rate tables,
+// the current valuation, the repetition vector and the solver scratch.
+// Rebind re-evaluates the whole graph at a new valuation by overwriting
+// the existing rate tables and repetition vector in place — no maps, no
+// fresh csdf.Graph, no allocations on the warm path.
 //
 // This is the engine behind the parameter sweeps: Instantiate answers "what
 // is this graph at one valuation", Compile+Rebind answers the same question
@@ -20,20 +45,16 @@ import (
 // re-evaluations. A Program is not safe for concurrent mutation: Rebind
 // must never run while anything (a Simulator, another goroutine) is reading
 // the program's concrete graph or solution. Sweep drivers give each worker
-// its own Program.
+// its own Program; a server gives each session its own Program stamped from
+// the shared Skeleton (single-writer per session, compile-once per graph).
 type Program struct {
-	src *Graph
+	sk  *Skeleton
 	cg  *csdf.Graph
 	low *Lowering
 
-	pi       *symb.ParamIndex
-	defaults []int64 // per index slot
-	vals     []int64 // current valuation, per index slot
+	vals []int64 // current valuation, per index slot
 
-	prodC [][]*symb.CompiledExpr // per edge, per phase
-	consC [][]*symb.CompiledExpr
-
-	// Repetition-vector solver scratch, preallocated at compile time and
+	// Repetition-vector solver scratch, preallocated at stamp time and
 	// reused by every Rebind (its structural half — phase counts,
 	// adjacency — does not change under rebinding).
 	scratch *csdf.SolverScratch
@@ -42,10 +63,11 @@ type Program struct {
 	bound bool
 }
 
-// Compile validates the graph, builds the reusable concrete skeleton and
-// lowers every rate expression. The returned program is unbound: call
-// Rebind before reading the concrete graph or solution.
-func Compile(g *Graph) (*Program, error) {
+// CompileSkeleton validates the graph and lowers every rate expression into
+// an immutable, freely shareable compile product. It performs all the work
+// of Compile except the per-holder state: stamp that with NewProgram, as
+// many times as there are concurrent holders.
+func CompileSkeleton(g *Graph) (*Skeleton, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -70,14 +92,13 @@ func Compile(g *Graph) (*Program, error) {
 	}
 	pi := symb.NewParamIndex(names)
 
-	p := &Program{
+	sk := &Skeleton{
 		src:      g,
 		pi:       pi,
 		defaults: make([]int64, pi.Len()),
-		vals:     make([]int64, pi.Len()),
 	}
-	for i := range p.defaults {
-		p.defaults[i] = 1
+	for i := range sk.defaults {
+		sk.defaults[i] = 1
 	}
 	for _, par := range g.Params {
 		slot, _ := pi.Index(par.Name)
@@ -85,18 +106,20 @@ func Compile(g *Graph) (*Program, error) {
 		if d == 0 {
 			d = 1
 		}
-		p.defaults[slot] = d
+		sk.defaults[slot] = d
 	}
 
-	// Concrete skeleton: actors and edges with rate slices of the right
-	// shape (values are placeholders until the first Rebind).
-	cg := csdf.NewGraph()
-	low := &Lowering{Env: symb.Env{}}
-	for _, n := range g.Nodes {
-		low.ActorOf = append(low.ActorOf, cg.AddActor(n.Name, n.Exec...))
+	sk.prodC = make([][]*symb.CompiledExpr, len(g.Edges))
+	sk.consC = make([][]*symb.CompiledExpr, len(g.Edges))
+	sk.actorOf = make([]int, len(g.Nodes))
+	sk.edgeOf = make([]int, len(g.Edges))
+	sk.ctrl = make([]bool, len(g.Edges))
+	for i := range g.Nodes {
+		// The lowering is index-preserving (AddActor below returns indices
+		// in insertion order); keep the map explicit so no caller assumes
+		// it.
+		sk.actorOf[i] = i
 	}
-	p.prodC = make([][]*symb.CompiledExpr, len(g.Edges))
-	p.consC = make([][]*symb.CompiledExpr, len(g.Edges))
 	for ei, e := range g.Edges {
 		src, dst := g.Nodes[e.Src], g.Nodes[e.Dst]
 		pc, err := compileSeq(src.Ports[e.SrcPort].Rates, pi)
@@ -107,19 +130,65 @@ func Compile(g *Graph) (*Program, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: edge %q consumption: %v", e.Name, err)
 		}
-		p.prodC[ei], p.consC[ei] = pc, cc
-		ci := cg.ConnectNamed(e.Name, low.ActorOf[e.Src],
-			make([]int64, len(pc)), low.ActorOf[e.Dst],
-			make([]int64, len(cc)), e.Initial)
-		low.EdgeOf = append(low.EdgeOf, ci)
-		low.ControlEdges = append(low.ControlEdges, g.IsControlEdge(e))
+		sk.prodC[ei], sk.consC[ei] = pc, cc
+		sk.edgeOf[ei] = ei
+		sk.ctrl[ei] = g.IsControlEdge(e)
 	}
-	p.cg, p.low = cg, low
+	return sk, nil
+}
+
+// Source returns the TPDF graph the skeleton was compiled from.
+func (sk *Skeleton) Source() *Graph { return sk.src }
+
+// Params returns the number of indexed parameter slots.
+func (sk *Skeleton) Params() int { return sk.pi.Len() }
+
+// NewProgram stamps a fresh per-holder Program from the shared skeleton:
+// a concrete CSDF graph with rate slices of the right shape (values are
+// placeholders until the first Rebind), preallocated solver scratch and
+// solution. The stamp is pure allocation — no validation, no expression
+// compilation — so it is cheap enough to run per session/connection, and
+// it never writes the skeleton, so concurrent stamps need no locking.
+func (sk *Skeleton) NewProgram() *Program {
+	g := sk.src
+	cg := csdf.NewGraph()
+	low := &Lowering{
+		Env:          symb.Env{},
+		ActorOf:      sk.actorOf,
+		EdgeOf:       sk.edgeOf,
+		ControlEdges: sk.ctrl,
+	}
+	for _, n := range g.Nodes {
+		cg.AddActor(n.Name, n.Exec...)
+	}
+	for ei, e := range g.Edges {
+		cg.ConnectNamed(e.Name, sk.actorOf[e.Src],
+			make([]int64, len(sk.prodC[ei])), sk.actorOf[e.Dst],
+			make([]int64, len(sk.consC[ei])), e.Initial)
+	}
 
 	n := len(cg.Actors)
-	p.scratch = cg.NewSolverScratch()
-	p.sol = csdf.Solution{R: make([]int64, n), Q: make([]int64, n)}
-	return p, nil
+	return &Program{
+		sk:      sk,
+		cg:      cg,
+		low:     low,
+		vals:    make([]int64, sk.pi.Len()),
+		scratch: cg.NewSolverScratch(),
+		sol:     csdf.Solution{R: make([]int64, n), Q: make([]int64, n)},
+	}
+}
+
+// Compile validates the graph, builds the reusable concrete skeleton and
+// lowers every rate expression. The returned program is unbound: call
+// Rebind before reading the concrete graph or solution. Callers that will
+// hold many Programs of the same graph (a session fleet) should
+// CompileSkeleton once and stamp with NewProgram instead.
+func Compile(g *Graph) (*Program, error) {
+	sk, err := CompileSkeleton(g)
+	if err != nil {
+		return nil, err
+	}
+	return sk.NewProgram(), nil
 }
 
 func compileSeq(rates []symb.Expr, pi *symb.ParamIndex) ([]*symb.CompiledExpr, error) {
@@ -146,20 +215,20 @@ func compileSeq(rates []symb.Expr, pi *symb.ParamIndex) ([]*symb.CompiledExpr, e
 // valuation before reading Concrete or Solution.
 func (p *Program) Rebind(env symb.Env) error {
 	p.bound = false
-	copy(p.vals, p.defaults)
+	copy(p.vals, p.sk.defaults)
 	for name, v := range env {
-		if slot, ok := p.pi.Index(name); ok {
+		if slot, ok := p.sk.pi.Index(name); ok {
 			p.vals[slot] = v
 		}
 	}
 	// Lowering.Env mirrors the indexed parameters only (defaults overlaid
 	// with env); env keys no rate references are not recorded, so rebinding
 	// can never leave stale extras behind.
-	for i, name := range p.pi.Names() {
+	for i, name := range p.sk.pi.Names() {
 		p.low.Env[name] = p.vals[i]
 	}
-	for _, par := range p.src.Params {
-		slot, _ := p.pi.Index(par.Name)
+	for _, par := range p.sk.src.Params {
+		slot, _ := p.sk.pi.Index(par.Name)
 		v := p.vals[slot]
 		if v < 1 {
 			return fmt.Errorf("core: parameter %s = %d; parameters must be >= 1", par.Name, v)
@@ -174,11 +243,11 @@ func (p *Program) Rebind(env symb.Env) error {
 
 	for ei := range p.cg.Edges {
 		ce := &p.cg.Edges[ei]
-		name := p.src.Edges[ei].Name
-		if err := p.rebindSeq(p.prodC[ei], ce.Prod, name, "production"); err != nil {
+		name := p.sk.src.Edges[ei].Name
+		if err := p.rebindSeq(p.sk.prodC[ei], ce.Prod, name, "production"); err != nil {
 			return err
 		}
-		if err := p.rebindSeq(p.consC[ei], ce.Cons, name, "consumption"); err != nil {
+		if err := p.rebindSeq(p.sk.consC[ei], ce.Cons, name, "consumption"); err != nil {
 			return err
 		}
 	}
@@ -215,7 +284,12 @@ func (p *Program) rebindSeq(compiled []*symb.CompiledExpr, dst []int64, edge, ki
 func (p *Program) Bound() bool { return p.bound }
 
 // Source returns the TPDF graph the program was compiled from.
-func (p *Program) Source() *Graph { return p.src }
+func (p *Program) Source() *Graph { return p.sk.src }
+
+// Skeleton returns the immutable compile product the program was stamped
+// from. Programs stamped from the same skeleton share it by pointer, which
+// is what program caches key on to prove compile-once sharing.
+func (p *Program) Skeleton() *Skeleton { return p.sk }
 
 // Concrete returns the program's concrete CSDF graph. Its rate slices are
 // overwritten by Rebind; callers that need a snapshot must copy.

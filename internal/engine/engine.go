@@ -50,6 +50,14 @@ import (
 // Config configures a concurrent payload run.
 type Config struct {
 	Graph *core.Graph
+	// Skeleton, when non-nil, is the shared compile product to stamp this
+	// run's Program from instead of compiling Graph: the skeleton is
+	// read-only and may be shared by any number of concurrent runs (a
+	// server's program cache compiles each graph once and every session
+	// stamps its own Program, preserving the single-writer rule per run).
+	// It must have been compiled from Graph; Graph may be nil, in which
+	// case the skeleton's source graph is used.
+	Skeleton *core.Skeleton
 	// Env instantiates the graph's parameters (defaults used when nil).
 	Env symb.Env
 	// Behaviors maps node names to firing functions, exactly as in
@@ -80,6 +88,21 @@ type Config struct {
 	// state: no rebind, no schedule rebuild, no ring resize — just the
 	// barrier itself (two channel hops per actor).
 	Reconfigure func(completed int64) map[string]int64
+	// Barrier is the server-grade generalization of Reconfigure: when set,
+	// it is consulted at every transaction boundary *including before the
+	// first iteration* (completed = 0, 1, 2, ...) and its verdict drives
+	// the run. Returning stop = true ends the run cleanly at the boundary:
+	// the epoch loop exits, the Result reports the firings and leftover
+	// ring contents accumulated so far, and no error is raised — this is
+	// how a long-running session drains at a quiescent barrier instead of
+	// being cancelled mid-iteration. Returned parameters are applied
+	// exactly like Reconfigure's. The hook may block (a session parked
+	// between client requests blocks here waiting for the next command);
+	// the engine counts boundary work as busy, so a parked session never
+	// trips the stall watchdog. A blocking hook must watch the run's
+	// Context itself and return stop when it is cancelled — the engine
+	// cannot interrupt user code. Mutually exclusive with Reconfigure.
+	Barrier func(completed int64) (params map[string]int64, stop bool)
 	// StallTimeout tunes the deadlock watchdog: if no firing completes and
 	// no behavior runs for two consecutive windows, the run fails with a
 	// diagnostic instead of hanging. Default 500ms.
@@ -161,7 +184,19 @@ func (e *engine) firstErr() error {
 // Run executes the configured number of iterations concurrently and
 // returns the same Result the sequential runner would.
 func Run(cfg Config) (*runner.Result, error) {
+	if cfg.Reconfigure != nil && cfg.Barrier != nil {
+		return nil, fmt.Errorf("engine: Reconfigure and Barrier are mutually exclusive")
+	}
 	g := cfg.Graph
+	var prog *core.Program
+	if sk := cfg.Skeleton; sk != nil {
+		if g == nil {
+			g = sk.Source()
+		} else if g != sk.Source() {
+			return nil, fmt.Errorf("engine: Skeleton was compiled from a different graph than Config.Graph")
+		}
+		prog = sk.NewProgram()
+	}
 	iters := cfg.Iterations
 	if iters <= 0 {
 		iters = 1
@@ -174,14 +209,18 @@ func Run(cfg Config) (*runner.Result, error) {
 		env[k] = v
 	}
 
-	prog, err := core.Compile(g)
-	if err != nil {
-		return nil, err
+	if prog == nil {
+		var err error
+		prog, err = core.Compile(g)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if err := prog.Rebind(env); err != nil {
 		return nil, err
 	}
 
+	cfg.Graph = g // wire/runActor read node metadata through cfg.Graph
 	e := &engine{
 		cfg:   cfg,
 		prog:  prog,
@@ -222,25 +261,48 @@ func Run(cfg Config) (*runner.Result, error) {
 		}()
 	}
 
-	if cfg.Reconfigure == nil {
+	barrier := cfg.Barrier
+	if barrier == nil && cfg.Reconfigure != nil {
+		// Reconfigure keeps its documented contract — consulted only at
+		// boundaries with at least one completed iteration, never stopping
+		// the run — expressed as a Barrier.
+		barrier = func(completed int64) (map[string]int64, bool) {
+			if completed == 0 {
+				return nil, false
+			}
+			return cfg.Reconfigure(completed), false
+		}
+	}
+	if barrier == nil {
 		if err := e.runEpoch(iters); err != nil {
 			return nil, err
 		}
 	} else {
 		for it := int64(0); it < iters; it++ {
-			if it > 0 {
-				if over := cfg.Reconfigure(it); len(over) > 0 {
-					changed := false
-					for k, v := range over {
-						if env[k] != v {
-							env[k] = v
-							changed = true
-						}
+			over, stopNow := barrier(it)
+			if stopNow {
+				// Clean drain at the quiescent boundary: actors are parked,
+				// leftover tokens stay on their edges and are reported in
+				// Result.Remaining below.
+				break
+			}
+			// A hook may have blocked across a cancellation; don't start
+			// another epoch on a dead run (runEpoch would catch it, but the
+			// rebind below must not run either).
+			if err := e.firstErr(); err != nil {
+				return nil, err
+			}
+			if len(over) > 0 {
+				changed := false
+				for k, v := range over {
+					if env[k] != v {
+						env[k] = v
+						changed = true
 					}
-					if changed {
-						if err := e.reconfigure(env, iters-it); err != nil {
-							return nil, err
-						}
+				}
+				if changed {
+					if err := e.reconfigure(env, iters-it); err != nil {
+						return nil, err
 					}
 				}
 			}

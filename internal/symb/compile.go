@@ -188,4 +188,3 @@ func (c *CompiledExpr) EvalInt(vals []int64) (int64, error) {
 	err := c.EvalIntInto(&out, vals)
 	return out, err
 }
-

@@ -1,0 +1,98 @@
+package tpdf_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/tpdf"
+)
+
+// TestStreamCancelUnparksRingWait pins the cancellation latency of actors
+// parked inside the ring transport: with a capacity-1 channel and a slow
+// consumer, the producer spends nearly all its time blocked in a ring
+// write wait — cancelling the run context must unpark it and return
+// promptly, not after the consumer drains the backlog.
+func TestStreamCancelUnparksRingWait(t *testing.T) {
+	g, err := tpdf.NewGraph("cancel").
+		Kernel("A", 1).Kernel("B", 1).
+		Connect("A[1] -> B[1]").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	behaviors := map[string]tpdf.Behavior{
+		"A": func(f *tpdf.Firing) error {
+			f.Produce("o0", 1)
+			return nil
+		},
+		"B": func(f *tpdf.Firing) error {
+			time.Sleep(5 * time.Millisecond)
+			return nil
+		},
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = tpdf.Stream(g, behaviors,
+		tpdf.WithIterations(100_000),
+		tpdf.WithChannelCapacity(1),
+		tpdf.WithContext(ctx))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Stream returned %v, want context.Canceled", err)
+	}
+	// 100k iterations at 5ms each is ~8 minutes of backlog; a prompt
+	// unpark returns within the current firing plus scheduling noise. The
+	// bound is generous for loaded CI runners while still catching a
+	// drain-the-backlog regression by orders of magnitude.
+	if elapsed > 2*time.Second {
+		t.Fatalf("Stream took %v to honor cancellation (ring-wait unpark regressed)", elapsed)
+	}
+}
+
+// TestStreamCancelUnparksBarrierHook covers the service tier's park point:
+// an engine blocked inside a Barrier hook (a parked session waiting for
+// its next command) must still shut down promptly when the hook honors the
+// run context — the engine re-checks for cancellation as soon as the hook
+// returns.
+func TestStreamCancelUnparksBarrierHook(t *testing.T) {
+	g, err := tpdf.NewGraph("park").
+		Kernel("A", 1).Kernel("B", 1).
+		Connect("A[1] -> B[1]").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = tpdf.Stream(g, nil,
+		tpdf.WithIterations(100_000),
+		tpdf.WithContext(ctx),
+		tpdf.WithBarrier(func(completed int64) (map[string]int64, bool) {
+			if completed < 3 {
+				return nil, false // a short pump, then park
+			}
+			<-ctx.Done() // parked: zero CPU until cancelled
+			return nil, true
+		}))
+	elapsed := time.Since(start)
+	// A hook that stops after observing cancellation yields a clean drain
+	// (nil error); an engine that notices ctx first reports Canceled. Both
+	// are prompt shutdowns — what must not happen is a hang or a late exit.
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("Stream returned %v, want nil or context.Canceled", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("Stream took %v to exit a parked barrier hook", elapsed)
+	}
+}

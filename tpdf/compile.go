@@ -1,0 +1,58 @@
+package tpdf
+
+import (
+	"repro/internal/core"
+)
+
+// CompiledGraph is the immutable, shareable compile product of a graph:
+// validation done, every symbolic rate lowered to compiled expression
+// tables over a fixed parameter index. It holds no valuation and is never
+// written after Compile returns, so one CompiledGraph may back any number
+// of concurrent Stream sessions (pass it with WithCompiled): each run
+// stamps its own cheap mutable rate state from the shared skeleton, paying
+// the compilation cost once per graph instead of once per connection. This
+// is the facade of the server tier's program cache.
+type CompiledGraph struct {
+	sk *core.Skeleton
+}
+
+// Compile validates the graph and lowers its rate expressions into a
+// read-only CompiledGraph that Stream runs can share via WithCompiled.
+// One-shot callers don't need it — Stream compiles internally — but a
+// caller about to run many sessions of the same graph should compile once
+// and share.
+func Compile(g *Graph) (*CompiledGraph, error) {
+	sk, err := core.CompileSkeleton(g)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledGraph{sk: sk}, nil
+}
+
+// Graph returns the source graph the compile product was built from.
+func (c *CompiledGraph) Graph() *Graph { return c.sk.Source() }
+
+// WithCompiled makes Stream stamp its per-run mutable program state from
+// the shared compile product instead of compiling the graph itself. The
+// graph passed to Stream must be the one the CompiledGraph was compiled
+// from (or nil to use c.Graph()). Results are byte-identical to a run
+// that compiled freshly; only the setup cost changes. Other entry points
+// ignore this option.
+func WithCompiled(c *CompiledGraph) Option {
+	return func(cfg *config) { cfg.compiled = c }
+}
+
+// WithBarrier installs a transaction-boundary hook on Stream, the
+// server-grade generalization of WithReconfigure: the hook runs at every
+// boundary including before the first iteration (completed = 0, 1, 2, ...)
+// and returns the parameter values to apply plus a stop verdict. Returning
+// stop = true drains the run cleanly at the quiescent boundary — parked
+// actors, leftover tokens reported in the Result, no error — which is how
+// a long-running session ends at a barrier instead of being cancelled
+// mid-iteration. The hook may block (a parked session waits here for its
+// next command) without tripping the stall watchdog, but a blocking hook
+// must watch its own cancellation signal and return stop: the engine
+// cannot interrupt user code. Mutually exclusive with WithReconfigure.
+func WithBarrier(fn func(completed int64) (params map[string]int64, stop bool)) Option {
+	return func(cfg *config) { cfg.barrier = fn }
+}

@@ -1,0 +1,150 @@
+package tpdf_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/tpdf"
+)
+
+// TestCompiledSharingMatchesFreshCompile is the program-cache correctness
+// contract: for every built-in application graph, a Stream run on a shared
+// CompiledGraph (the skeleton stamped per engine, compilation paid once) is
+// byte-identical — same firing counts, same leftover channel contents in
+// the same FIFO order — to a run that compiles privately, including when
+// many engines stamp from the same skeleton concurrently (run under -race
+// in CI).
+func TestCompiledSharingMatchesFreshCompile(t *testing.T) {
+	const engines = 4
+	for _, name := range tpdf.BuiltinNames() {
+		t.Run(name, func(t *testing.T) {
+			g, err := tpdf.Builtin(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compiled, err := tpdf.Compile(g)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			// The fresh path: Stream compiles internally, nothing shared.
+			want, err := tpdf.Stream(compiled.Graph(), nil, tpdf.WithIterations(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The shared path: engines racing to stamp one skeleton.
+			var wg sync.WaitGroup
+			results := make([]*tpdf.ExecResult, engines)
+			errs := make([]error, engines)
+			for i := 0; i < engines; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					results[i], errs[i] = tpdf.Stream(compiled.Graph(), nil,
+						tpdf.WithCompiled(compiled), tpdf.WithIterations(3))
+				}(i)
+			}
+			wg.Wait()
+			for i := 0; i < engines; i++ {
+				if errs[i] != nil {
+					t.Fatalf("shared engine %d: %v", i, errs[i])
+				}
+				if !reflect.DeepEqual(want.Firings, results[i].Firings) {
+					t.Errorf("engine %d firings: fresh %v, shared %v", i, want.Firings, results[i].Firings)
+				}
+				if !reflect.DeepEqual(want.Remaining, results[i].Remaining) {
+					t.Errorf("engine %d remaining: fresh %v, shared %v", i, want.Remaining, results[i].Remaining)
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledSharingReconfigure extends the contract to reconfiguration:
+// a parameter schedule applied at transaction boundaries must land
+// identically whether the engine compiled privately or stamped from a
+// shared skeleton — rebinding one engine's rates must never show through
+// to its siblings.
+func TestCompiledSharingReconfigure(t *testing.T) {
+	g, err := tpdf.Builtin("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := tpdf.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule := func(completed int64) map[string]int64 {
+		return map[string]int64{"p": 1 + completed%3}
+	}
+
+	want, err := tpdf.Stream(compiled.Graph(), nil,
+		tpdf.WithIterations(9), tpdf.WithReconfigure(schedule))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent shared engines on *different* schedules: the one under
+	// test plus an interferer rebinding other values against the same
+	// skeleton the whole time.
+	const engines = 3
+	var wg sync.WaitGroup
+	results := make([]*tpdf.ExecResult, engines)
+	errs := make([]error, engines)
+	for i := 0; i < engines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = tpdf.Stream(compiled.Graph(), nil,
+				tpdf.WithCompiled(compiled), tpdf.WithIterations(9),
+				tpdf.WithReconfigure(schedule))
+		}(i)
+	}
+	interfere := make(chan struct{})
+	go func() {
+		defer close(interfere)
+		_, _ = tpdf.Stream(compiled.Graph(), nil,
+			tpdf.WithCompiled(compiled), tpdf.WithIterations(9),
+			tpdf.WithReconfigure(func(completed int64) map[string]int64 {
+				return map[string]int64{"p": 8 - completed%4}
+			}))
+	}()
+	wg.Wait()
+	<-interfere
+
+	for i := 0; i < engines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("shared engine %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(want.Firings, results[i].Firings) {
+			t.Errorf("engine %d firings diverged under sharing: fresh %v, shared %v",
+				i, want.Firings, results[i].Firings)
+		}
+		if !reflect.DeepEqual(want.Remaining, results[i].Remaining) {
+			t.Errorf("engine %d remaining diverged under sharing", i)
+		}
+	}
+}
+
+// TestCompiledGraphRejectsForeignGraph pins the pointer-identity rule: a
+// CompiledGraph may only drive runs of the exact graph value it was
+// compiled from — a structurally identical duplicate must be refused, not
+// silently mis-lowered.
+func TestCompiledGraphRejectsForeignGraph(t *testing.T) {
+	g1, err := tpdf.Builtin("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := tpdf.Builtin("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := tpdf.Compile(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tpdf.Stream(g2, nil, tpdf.WithCompiled(compiled), tpdf.WithIterations(1)); err == nil {
+		t.Fatalf("Stream accepted a compiled program from a different graph value")
+	}
+}

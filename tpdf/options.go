@@ -50,6 +50,8 @@ type config struct {
 	workers         int
 	channelCap      int64
 	reconfigure     func(completed int64) map[string]int64
+	barrier         func(completed int64) (map[string]int64, bool)
+	compiled        *CompiledGraph
 	stallTimeout    time.Duration
 	parallel        int
 }

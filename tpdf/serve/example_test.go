@@ -1,0 +1,79 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/tpdf/serve"
+)
+
+// Example_sessionLifecycle is the tpdf-serve usage in miniature: boot a
+// server, open a session of the built-in Fig. 2 graph over HTTP, pump it
+// across two requests with a parameter change at a transaction boundary,
+// and close it — the same request sequence the cmd/tpdf-serve doc comment
+// shows with curl.
+func Example_sessionLifecycle() {
+	srv := serve.New(serve.Config{MaxSessions: 4})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		fmt.Println("start:", err)
+		return
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // example teardown
+	}()
+	base := "http://" + addr
+
+	post := func(path string, body string, out any) {
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		defer resp.Body.Close()
+		json.NewDecoder(resp.Body).Decode(out) //nolint:errcheck // example
+	}
+
+	var opened struct {
+		ID     string `json:"id"`
+		Tenant string `json:"tenant"`
+	}
+	post("/v1/sessions", `{"tenant":"acme","graph":{"builtin":"fig2"}}`, &opened)
+	fmt.Printf("opened %s for %s\n", opened.ID, opened.Tenant)
+
+	var pumped struct {
+		Completed int64 `json:"completed"`
+	}
+	post("/v1/sessions/"+opened.ID+"/pump", `{"iterations":3}`, &pumped)
+	fmt.Printf("pumped to %d iterations\n", pumped.Completed)
+
+	// Raise p at the boundary opening the next iteration — the TPDF
+	// transaction rule, over HTTP.
+	post("/v1/sessions/"+opened.ID+"/pump", `{"iterations":2,"params":{"p":4}}`, &pumped)
+	fmt.Printf("reconfigured and pumped to %d iterations\n", pumped.Completed)
+
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+opened.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer resp.Body.Close()
+	var closed struct {
+		Completed int64 `json:"completed"`
+	}
+	json.NewDecoder(resp.Body).Decode(&closed) //nolint:errcheck // example
+	fmt.Printf("closed after %d iterations\n", closed.Completed)
+
+	// Output:
+	// opened s1 for acme
+	// pumped to 3 iterations
+	// reconfigured and pumped to 5 iterations
+	// closed after 5 iterations
+}

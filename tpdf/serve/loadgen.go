@@ -1,0 +1,396 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadConfig drives RunLoad against a running tpdf-serve instance.
+type LoadConfig struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Sessions is the total number of sessions to run (default 100).
+	Sessions int
+	// Concurrency is how many sessions are alive at once (default 32;
+	// capped to Sessions).
+	Concurrency int
+	// Tenants spreads sessions round-robin over this many tenant names
+	// (default 4).
+	Tenants int
+	// Pumps is the number of pump requests per session (default 8).
+	Pumps int
+	// Iterations is the number of graph iterations per pump (default 16).
+	Iterations int64
+	// Graph is the graph spec every session opens (default: builtin fig2).
+	Graph GraphSpec
+	// Timeout bounds each individual HTTP request (default 30s).
+	Timeout time.Duration
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Sessions <= 0 {
+		c.Sessions = 100
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 32
+	}
+	if c.Concurrency > c.Sessions {
+		c.Concurrency = c.Sessions
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if c.Pumps <= 0 {
+		c.Pumps = 8
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 16
+	}
+	if c.Graph.Builtin == "" && c.Graph.Source == "" {
+		c.Graph = GraphSpec{Builtin: "fig2"}
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// Percentiles summarizes one endpoint's request latencies.
+type Percentiles struct {
+	Count int     `json:"count"`
+	P50   int64   `json:"p50_ns"`
+	P95   int64   `json:"p95_ns"`
+	P99   int64   `json:"p99_ns"`
+	Max   int64   `json:"max_ns"`
+	Mean  float64 `json:"mean_ns"`
+}
+
+func summarize(ns []int64) Percentiles {
+	if len(ns) == 0 {
+		return Percentiles{}
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	at := func(q float64) int64 {
+		i := int(q * float64(len(ns)-1))
+		return ns[i]
+	}
+	var sum int64
+	for _, v := range ns {
+		sum += v
+	}
+	return Percentiles{
+		Count: len(ns),
+		P50:   at(0.50),
+		P95:   at(0.95),
+		P99:   at(0.99),
+		Max:   ns[len(ns)-1],
+		Mean:  float64(sum) / float64(len(ns)),
+	}
+}
+
+// LoadReport is what a soak run measured: per-endpoint latency
+// percentiles, throughput, and the failure/leak accounting the CI gate
+// asserts on (both must be zero on a healthy server).
+type LoadReport struct {
+	Sessions        int   `json:"sessions"`
+	Concurrency     int   `json:"concurrency"`
+	Tenants         int   `json:"tenants"`
+	TotalIterations int64 `json:"total_iterations"`
+	// Failed counts sessions that hit any error on open, pump, or close.
+	Failed int `json:"failed"`
+	// Rejected counts 429/503 admission pushbacks (expected under
+	// overload; they are backpressure, not failures, and are retried).
+	Rejected int64 `json:"rejected"`
+	// Leaked counts sessions still reported by /v1/stats after the run.
+	Leaked int64 `json:"leaked"`
+
+	ElapsedMs      int64   `json:"elapsed_ms"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+
+	Open  Percentiles `json:"open"`
+	Pump  Percentiles `json:"pump"`
+	Close Percentiles `json:"close"`
+	// Session is the whole open→pumps→close lifecycle latency.
+	Session Percentiles `json:"session"`
+}
+
+type loadClient struct {
+	base string
+	hc   *http.Client
+}
+
+type httpError struct {
+	status int
+	body   string
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("http %d: %s", e.status, e.body)
+}
+
+func (c *loadClient) do(ctx context.Context, method, path string, req, resp any) error {
+	var body io.Reader
+	if req != nil {
+		b, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	hr, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if req != nil {
+		hr.Header.Set("Content-Type", "application/json")
+	}
+	res, err := c.hc.Do(hr)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(res.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if res.StatusCode >= 300 {
+		return &httpError{status: res.StatusCode, body: string(bytes.TrimSpace(data))}
+	}
+	if resp != nil {
+		return json.Unmarshal(data, resp)
+	}
+	return nil
+}
+
+// RunLoad soaks the server: Sessions session lifecycles at Concurrency in
+// flight, each open → Pumps×pump → close, with admission pushback
+// (429/503) retried after a short backoff. It returns the measured
+// percentiles; it does not judge them (the caller / CI gate does).
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	cfg = cfg.withDefaults()
+	cl := &loadClient{
+		base: cfg.BaseURL,
+		hc: &http.Client{
+			Timeout: cfg.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: cfg.Concurrency,
+			},
+		},
+	}
+
+	var (
+		mu       sync.Mutex
+		openNs   []int64
+		pumpNs   []int64
+		closeNs  []int64
+		sessNs   []int64
+		failed   int
+		rejected atomic.Int64
+		iters    atomic.Int64
+	)
+	record := func(dst *[]int64, d time.Duration) {
+		mu.Lock()
+		*dst = append(*dst, int64(d))
+		mu.Unlock()
+	}
+
+	// timedDo retries admission pushback (the server saying "not now")
+	// but fails fast on everything else; only the successful attempt's
+	// latency is recorded.
+	timedDo := func(dst *[]int64, method, path string, req, resp any) error {
+		for {
+			start := time.Now()
+			err := cl.do(ctx, method, path, req, resp)
+			if err == nil {
+				record(dst, time.Since(start))
+				return nil
+			}
+			var he *httpError
+			if ok := asHTTPError(err, &he); ok &&
+				(he.status == http.StatusTooManyRequests || he.status == http.StatusServiceUnavailable) {
+				rejected.Add(1)
+				select {
+				case <-time.After(2 * time.Millisecond):
+					continue
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			return err
+		}
+	}
+
+	runSession := func(i int) error {
+		tenant := fmt.Sprintf("tenant-%d", i%cfg.Tenants)
+		start := time.Now()
+		var opened openResponse
+		if err := timedDo(&openNs, http.MethodPost, "/v1/sessions",
+			openRequest{Tenant: tenant, Graph: cfg.Graph}, &opened); err != nil {
+			return fmt.Errorf("open: %w", err)
+		}
+		for p := 0; p < cfg.Pumps; p++ {
+			var pr pumpResponse
+			if err := timedDo(&pumpNs, http.MethodPost, "/v1/sessions/"+opened.ID+"/pump",
+				pumpRequest{Iterations: cfg.Iterations}, &pr); err != nil {
+				return fmt.Errorf("pump: %w", err)
+			}
+		}
+		var cr closeResponse
+		if err := timedDo(&closeNs, http.MethodDelete, "/v1/sessions/"+opened.ID, nil, &cr); err != nil {
+			return fmt.Errorf("close: %w", err)
+		}
+		iters.Add(cr.Completed)
+		record(&sessNs, time.Since(start))
+		return nil
+	}
+
+	startAll := time.Now()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Concurrency)
+	var firstErr atomic.Value
+	for i := 0; i < cfg.Sessions; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := runSession(i); err != nil {
+				mu.Lock()
+				failed++
+				mu.Unlock()
+				firstErr.CompareAndSwap(nil, fmt.Errorf("session %d: %w", i, err))
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(startAll)
+
+	rep := &LoadReport{
+		Sessions:        cfg.Sessions,
+		Concurrency:     cfg.Concurrency,
+		Tenants:         cfg.Tenants,
+		TotalIterations: iters.Load(),
+		Failed:          failed,
+		Rejected:        rejected.Load(),
+		ElapsedMs:       elapsed.Milliseconds(),
+		SessionsPerSec:  float64(cfg.Sessions-failed) / elapsed.Seconds(),
+		Open:            summarize(openNs),
+		Pump:            summarize(pumpNs),
+		Close:           summarize(closeNs),
+		Session:         summarize(sessNs),
+	}
+
+	// Leak check: after every session closed, the server must report an
+	// empty fleet.
+	var st Stats
+	if err := cl.do(ctx, http.MethodGet, "/v1/stats", nil, &st); err == nil {
+		rep.Leaked = int64(st.Sessions)
+	}
+
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// BatchLoad drives RunBatchLoad: sequential analyze and sweep requests
+// against the batch endpoints, measured individually.
+type BatchLoad struct {
+	BaseURL string
+	// Analyzes and Sweeps are request counts (defaults 20 and 5).
+	Analyzes int
+	Sweeps   int
+	// Graph is the spec every request names (default builtin fig2).
+	Graph GraphSpec
+	// Axes is the sweep grid (default {"p": 1..4}).
+	Axes map[string][]int64
+	// Timeout bounds each request (default 30s).
+	Timeout time.Duration
+}
+
+// BatchReport holds the measured batch-endpoint latencies.
+type BatchReport struct {
+	Analyze Percentiles `json:"analyze"`
+	Sweep   Percentiles `json:"sweep"`
+}
+
+// RunBatchLoad measures the analyze and sweep endpoints request by request
+// (the batch tier is about bounded concurrency, not throughput, so the
+// interesting number is per-request service latency).
+func RunBatchLoad(ctx context.Context, cfg BatchLoad) (*BatchReport, error) {
+	if cfg.Analyzes <= 0 {
+		cfg.Analyzes = 20
+	}
+	if cfg.Sweeps <= 0 {
+		cfg.Sweeps = 5
+	}
+	if cfg.Graph.Builtin == "" && cfg.Graph.Source == "" {
+		cfg.Graph = GraphSpec{Builtin: "fig2"}
+	}
+	if cfg.Axes == nil {
+		cfg.Axes = map[string][]int64{"p": {1, 2, 3, 4}}
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	cl := &loadClient{base: cfg.BaseURL, hc: &http.Client{Timeout: cfg.Timeout}}
+
+	measure := func(n int, do func() error) ([]int64, error) {
+		ns := make([]int64, 0, n)
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if err := do(); err != nil {
+				return nil, err
+			}
+			ns = append(ns, int64(time.Since(start)))
+		}
+		return ns, nil
+	}
+
+	analyzeNs, err := measure(cfg.Analyzes, func() error {
+		var resp analyzeResponse
+		return cl.do(ctx, http.MethodPost, "/v1/analyze", analyzeRequest{Graph: cfg.Graph}, &resp)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
+	}
+	sweepNs, err := measure(cfg.Sweeps, func() error {
+		var resp sweepResponse
+		return cl.do(ctx, http.MethodPost, "/v1/sweep",
+			sweepRequest{Graph: cfg.Graph, Axes: cfg.Axes}, &resp)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	return &BatchReport{Analyze: summarize(analyzeNs), Sweep: summarize(sweepNs)}, nil
+}
+
+// asHTTPError unwraps err (possibly wrapped by url.Error) to an httpError.
+func asHTTPError(err error, out **httpError) bool {
+	for err != nil {
+		if he, ok := err.(*httpError); ok {
+			*out = he
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

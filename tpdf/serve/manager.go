@@ -1,0 +1,374 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/tpdf"
+)
+
+// Sentinel errors; the HTTP layer maps them to status codes.
+var (
+	// ErrBusy: the server is saturated (no session slot or batch worker
+	// became free within the admission wait, the admission queue is full,
+	// or the program cache is at capacity). HTTP 429.
+	ErrBusy = errors.New("serve: busy")
+	// ErrQuota: the tenant is at its session quota. HTTP 429.
+	ErrQuota = errors.New("serve: tenant quota exceeded")
+	// ErrShuttingDown: the server is draining. HTTP 503.
+	ErrShuttingDown = errors.New("serve: shutting down")
+	// ErrNotAdmissible: static analysis refused the graph (inconsistent,
+	// unsafe, deadlocked or unbounded — a session of it could not run in
+	// bounded memory). HTTP 422.
+	ErrNotAdmissible = errors.New("serve: graph not admissible")
+	// ErrNotFound: unknown session ID. HTTP 404.
+	ErrNotFound = errors.New("serve: no such session")
+	// ErrClosed: the session was already drained. HTTP 409.
+	ErrClosed = errors.New("serve: session closed")
+)
+
+// Config bounds the service. Every limit exists so that saturation turns
+// into a rejected request instead of unbounded memory: slots bound live
+// engines, the queue bounds waiting openers, quotas bound any one tenant,
+// batch workers bound concurrent analysis jobs, and the program cache
+// bounds distinct compiled graphs.
+type Config struct {
+	// MaxSessions bounds concurrently open sessions (default 256).
+	MaxSessions int
+	// MaxSessionsPerTenant bounds one tenant's share (default MaxSessions).
+	MaxSessionsPerTenant int
+	// AdmitWait is how long an opener may queue for a free slot before
+	// being rejected with ErrBusy (default 100ms; 0 keeps the default,
+	// negative disables queueing).
+	AdmitWait time.Duration
+	// MaxQueue bounds openers waiting for a slot (default MaxSessions).
+	MaxQueue int
+	// MaxPrograms bounds the compiled-program cache (default 1024).
+	MaxPrograms int
+	// BatchWorkers bounds concurrently executing batch (analyze/sweep)
+	// requests; excess requests queue up to AdmitWait (default 2).
+	BatchWorkers int
+	// SweepParallelism is the worker-pool width a single sweep request may
+	// use (default 1: batch concurrency comes from BatchWorkers).
+	SweepParallelism int
+	// DrainTimeout bounds graceful shutdown: sessions that have not
+	// reached a barrier by then are cancelled (default 5s).
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.MaxSessionsPerTenant <= 0 {
+		c.MaxSessionsPerTenant = c.MaxSessions
+	}
+	if c.AdmitWait == 0 {
+		c.AdmitWait = 100 * time.Millisecond
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = c.MaxSessions
+	}
+	if c.MaxPrograms <= 0 {
+		c.MaxPrograms = 1024
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = 2
+	}
+	if c.SweepParallelism <= 0 {
+		c.SweepParallelism = 1
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Stats is the service-level counter snapshot exposed by /v1/stats.
+type Stats struct {
+	Sessions       int        `json:"sessions"`
+	Tenants        int        `json:"tenants"`
+	Opened         int64      `json:"opened"`
+	Drained        int64      `json:"drained"`
+	Failed         int64      `json:"failed"`
+	RejectedBusy   int64      `json:"rejected_busy"`
+	RejectedQuota  int64      `json:"rejected_quota"`
+	RejectedGraph  int64      `json:"rejected_graph"`
+	BatchJobs      int64      `json:"batch_jobs"`
+	BatchRejected  int64      `json:"batch_rejected"`
+	Cache          CacheStats `json:"cache"`
+	IterationsLive int64      `json:"iterations_live"`
+}
+
+// Manager owns the session fleet: admission, the shared program cache,
+// per-tenant accounting and graceful drain.
+type Manager struct {
+	cfg   Config
+	cache *ProgramCache
+
+	slots  chan struct{}
+	batch  chan struct{}
+	queued atomic.Int64
+	closed atomic.Bool
+
+	mu        sync.Mutex
+	sessions  map[string]*Session
+	perTenant map[string]int
+	nextID    atomic.Int64
+
+	opened        atomic.Int64
+	drained       atomic.Int64
+	failed        atomic.Int64
+	rejectedBusy  atomic.Int64
+	rejectedQuota atomic.Int64
+	rejectedGraph atomic.Int64
+	batchJobs     atomic.Int64
+	batchRejected atomic.Int64
+}
+
+// NewManager builds a manager with the configured bounds.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	return &Manager{
+		cfg:       cfg,
+		cache:     NewProgramCache(cfg.MaxPrograms),
+		slots:     make(chan struct{}, cfg.MaxSessions),
+		batch:     make(chan struct{}, cfg.BatchWorkers),
+		sessions:  map[string]*Session{},
+		perTenant: map[string]int{},
+	}
+}
+
+// Compile resolves a graph through the shared program cache (one compile +
+// one analysis per distinct graph, fleet-wide).
+func (m *Manager) Compile(g *tpdf.Graph) (*tpdf.CompiledGraph, *tpdf.Report, error) {
+	return m.cache.Get(g)
+}
+
+// acquireSlot implements the bounded admission queue: an immediate slot if
+// one is free, otherwise wait up to AdmitWait in a queue bounded by
+// MaxQueue; saturation beyond that is an immediate ErrBusy.
+func (m *Manager) acquireSlot(ctx context.Context) error {
+	select {
+	case m.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if m.cfg.AdmitWait < 0 {
+		m.rejectedBusy.Add(1)
+		return fmt.Errorf("%w: %d sessions open", ErrBusy, m.cfg.MaxSessions)
+	}
+	if m.queued.Add(1) > int64(m.cfg.MaxQueue) {
+		m.queued.Add(-1)
+		m.rejectedBusy.Add(1)
+		return fmt.Errorf("%w: admission queue full", ErrBusy)
+	}
+	defer m.queued.Add(-1)
+	t := time.NewTimer(m.cfg.AdmitWait)
+	defer t.Stop()
+	select {
+	case m.slots <- struct{}{}:
+		return nil
+	case <-t.C:
+		m.rejectedBusy.Add(1)
+		return fmt.Errorf("%w: %d sessions open", ErrBusy, m.cfg.MaxSessions)
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Open admits one session: tenant quota, bounded slot, cached compile,
+// boundedness verdict, then stamp and start. On success the session is
+// registered and its engine parks at the completed=0 barrier awaiting the
+// first pump.
+func (m *Manager) Open(ctx context.Context, tenant string, g *tpdf.Graph, params map[string]int64) (*Session, error) {
+	if m.closed.Load() {
+		return nil, ErrShuttingDown
+	}
+	if tenant == "" {
+		tenant = "default"
+	}
+
+	// Reserve the tenant quota before queueing for a slot so an over-quota
+	// tenant cannot occupy the admission queue.
+	m.mu.Lock()
+	if m.perTenant[tenant] >= m.cfg.MaxSessionsPerTenant {
+		m.mu.Unlock()
+		m.rejectedQuota.Add(1)
+		return nil, fmt.Errorf("%w: tenant %q at %d sessions", ErrQuota, tenant, m.cfg.MaxSessionsPerTenant)
+	}
+	m.perTenant[tenant]++
+	m.mu.Unlock()
+	release := func() {
+		m.mu.Lock()
+		if m.perTenant[tenant]--; m.perTenant[tenant] == 0 {
+			delete(m.perTenant, tenant)
+		}
+		m.mu.Unlock()
+	}
+
+	if err := m.acquireSlot(ctx); err != nil {
+		release()
+		return nil, err
+	}
+
+	compiled, report, err := m.cache.Get(g)
+	if err != nil {
+		<-m.slots
+		release()
+		m.rejectedGraph.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrNotAdmissible, err)
+	}
+	if report.Err != nil || !report.Bounded {
+		<-m.slots
+		release()
+		m.rejectedGraph.Add(1)
+		if report.Err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrNotAdmissible, report.Err)
+		}
+		return nil, fmt.Errorf("%w: graph %q is not bounded (Theorem 2)", ErrNotAdmissible, report.GraphName)
+	}
+	if m.closed.Load() {
+		<-m.slots
+		release()
+		return nil, ErrShuttingDown
+	}
+
+	id := "s" + strconv.FormatInt(m.nextID.Add(1), 10)
+	s := newSession(id, tenant, compiled, params)
+	m.mu.Lock()
+	m.sessions[id] = s
+	m.mu.Unlock()
+	m.opened.Add(1)
+	return s, nil
+}
+
+// Get looks a session up by ID.
+func (m *Manager) Get(id string) (*Session, error) {
+	m.mu.Lock()
+	s := m.sessions[id]
+	m.mu.Unlock()
+	if s == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return s, nil
+}
+
+// Close drains one session (bounded by ctx) and frees its slot and quota.
+func (m *Manager) Close(ctx context.Context, id string) (*tpdf.ExecResult, error) {
+	m.mu.Lock()
+	s := m.sessions[id]
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	if s == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	res, err := s.Drain(ctx)
+	m.mu.Lock()
+	if m.perTenant[s.Tenant]--; m.perTenant[s.Tenant] == 0 {
+		delete(m.perTenant, s.Tenant)
+	}
+	m.mu.Unlock()
+	<-m.slots
+	if err != nil {
+		m.failed.Add(1)
+	} else {
+		m.drained.Add(1)
+	}
+	return res, err
+}
+
+// Drain gracefully stops the whole fleet: no new sessions are admitted,
+// and every open session is asked to park-and-exit at its next transaction
+// barrier, with the manager's DrainTimeout (or the earlier ctx deadline)
+// as the hard bound. It returns the first drain error, if any.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.closed.Store(true)
+	deadline := m.cfg.DrainTimeout
+	dctx, cancel := context.WithTimeout(ctx, deadline)
+	defer cancel()
+
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.sessions))
+	for id := range m.sessions {
+		ids = append(ids, id)
+	}
+	m.mu.Unlock()
+	sort.Strings(ids)
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(ids))
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			_, errs[i] = m.Close(dctx, id)
+		}(i, id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			return err
+		}
+	}
+	return nil
+}
+
+// AcquireBatch admits one batch (analyze/sweep) job against the bounded
+// batch worker budget; the returned release must be called when the job
+// ends. Saturation beyond AdmitWait is ErrBusy.
+func (m *Manager) AcquireBatch(ctx context.Context) (func(), error) {
+	if m.closed.Load() {
+		return nil, ErrShuttingDown
+	}
+	select {
+	case m.batch <- struct{}{}:
+		m.batchJobs.Add(1)
+		return func() { <-m.batch }, nil
+	default:
+	}
+	t := time.NewTimer(max(m.cfg.AdmitWait, 0))
+	defer t.Stop()
+	select {
+	case m.batch <- struct{}{}:
+		m.batchJobs.Add(1)
+		return func() { <-m.batch }, nil
+	case <-t.C:
+		m.batchRejected.Add(1)
+		return nil, fmt.Errorf("%w: %d batch jobs in flight", ErrBusy, m.cfg.BatchWorkers)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Stats snapshots the fleet.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	n := len(m.sessions)
+	t := len(m.perTenant)
+	var live int64
+	for _, s := range m.sessions {
+		live += s.Completed()
+	}
+	m.mu.Unlock()
+	return Stats{
+		Sessions:       n,
+		Tenants:        t,
+		Opened:         m.opened.Load(),
+		Drained:        m.drained.Load(),
+		Failed:         m.failed.Load(),
+		RejectedBusy:   m.rejectedBusy.Load(),
+		RejectedQuota:  m.rejectedQuota.Load(),
+		RejectedGraph:  m.rejectedGraph.Load(),
+		BatchJobs:      m.batchJobs.Load(),
+		BatchRejected:  m.batchRejected.Load(),
+		Cache:          m.cache.Stats(),
+		IterationsLive: live,
+	}
+}

@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/tpdf"
+)
+
+func testGraph(t *testing.T) *tpdf.Graph {
+	t.Helper()
+	g, err := tpdf.Builtin("fig2")
+	if err != nil {
+		t.Fatalf("builtin fig2: %v", err)
+	}
+	return g
+}
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestSessionLifecycle drives one session through open → pump → reconfigure
+// → pump → drain and checks iteration accounting and sink progress.
+func TestSessionLifecycle(t *testing.T) {
+	m := NewManager(Config{})
+	ctx := ctxT(t)
+
+	s, err := m.Open(ctx, "acme", testGraph(t), nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if n := s.Completed(); n != 0 {
+		t.Fatalf("fresh session completed = %d, want 0", n)
+	}
+
+	n, err := s.Pump(ctx, 3, nil)
+	if err != nil {
+		t.Fatalf("pump: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("completed after pump = %d, want 3", n)
+	}
+	tok3 := s.SinkTokens()
+	var sum3 int64
+	for _, v := range tok3 {
+		sum3 += v
+	}
+	if sum3 <= 0 {
+		t.Fatalf("no sink tokens after 3 iterations: %v", tok3)
+	}
+
+	if err := s.Reconfigure(ctx, map[string]int64{"p": 4}); err != nil {
+		t.Fatalf("reconfigure: %v", err)
+	}
+	n, err = s.Pump(ctx, 2, nil)
+	if err != nil {
+		t.Fatalf("pump 2: %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("completed = %d, want 5", n)
+	}
+
+	res, err := m.Close(ctx, s.ID)
+	if err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if res == nil || len(res.Firings) == 0 {
+		t.Fatalf("drain result missing firings: %+v", res)
+	}
+	if _, err := m.Get(s.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("closed session still resolvable: %v", err)
+	}
+	// Commands after drain answer ErrClosed.
+	if _, err := s.Pump(ctx, 1, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("pump after drain: %v, want ErrClosed", err)
+	}
+}
+
+// TestProgramCacheSharedAcrossSessions is the acceptance criterion: N
+// sessions of the same graph trigger exactly one Compile, however many race.
+func TestProgramCacheSharedAcrossSessions(t *testing.T) {
+	const sessions = 32
+	m := NewManager(Config{MaxSessions: sessions})
+	ctx := ctxT(t)
+
+	var wg sync.WaitGroup
+	errs := make([]error, sessions)
+	ids := make([]string, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Each goroutine builds its own Graph value so sharing must come
+			// from the canonical-text cache key, not pointer identity.
+			g, err := tpdf.Builtin("fig2")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			s, err := m.Open(ctx, fmt.Sprintf("tenant-%d", i%4), g, nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ids[i] = s.ID
+			_, errs[i] = s.Pump(ctx, 2, nil)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+	}
+
+	st := m.Stats()
+	if st.Cache.Compiles != 1 {
+		t.Fatalf("compiles = %d, want exactly 1 for %d sessions of one graph", st.Cache.Compiles, sessions)
+	}
+	if st.Cache.Hits != sessions-1 {
+		t.Fatalf("cache hits = %d, want %d", st.Cache.Hits, sessions-1)
+	}
+	if st.Sessions != sessions {
+		t.Fatalf("open sessions = %d, want %d", st.Sessions, sessions)
+	}
+
+	for _, id := range ids {
+		if _, err := m.Close(ctx, id); err != nil {
+			t.Fatalf("close %s: %v", id, err)
+		}
+	}
+	if st := m.Stats(); st.Sessions != 0 {
+		t.Fatalf("sessions leaked after close: %d", st.Sessions)
+	}
+}
+
+// TestAdmissionSlots checks that the fleet bound turns saturation into
+// ErrBusy and that closing a session frees the slot.
+func TestAdmissionSlots(t *testing.T) {
+	m := NewManager(Config{MaxSessions: 2, MaxSessionsPerTenant: 2, AdmitWait: -1})
+	ctx := ctxT(t)
+	g := testGraph(t)
+
+	a, err := m.Open(ctx, "t1", g, nil)
+	if err != nil {
+		t.Fatalf("open a: %v", err)
+	}
+	if _, err := m.Open(ctx, "t2", g, nil); err != nil {
+		t.Fatalf("open b: %v", err)
+	}
+	if _, err := m.Open(ctx, "t3", g, nil); !errors.Is(err, ErrBusy) {
+		t.Fatalf("third open: %v, want ErrBusy", err)
+	}
+	if st := m.Stats(); st.RejectedBusy != 1 {
+		t.Fatalf("rejected_busy = %d, want 1", st.RejectedBusy)
+	}
+
+	if _, err := m.Close(ctx, a.ID); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := m.Open(ctx, "t1", g, nil); err != nil {
+		t.Fatalf("open after close: %v", err)
+	}
+}
+
+// TestAdmissionQueue checks that a queued opener gets the slot released
+// within AdmitWait instead of being bounced.
+func TestAdmissionQueue(t *testing.T) {
+	m := NewManager(Config{MaxSessions: 1, MaxSessionsPerTenant: 2, AdmitWait: 5 * time.Second})
+	ctx := ctxT(t)
+	g := testGraph(t)
+
+	a, err := m.Open(ctx, "t", g, nil)
+	if err != nil {
+		t.Fatalf("open a: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Open(ctx, "t", g, nil)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the opener queue
+	if _, err := m.Close(ctx, a.ID); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("queued open: %v", err)
+	}
+}
+
+// TestTenantQuota checks the per-tenant bound rejects independently of the
+// global slot budget.
+func TestTenantQuota(t *testing.T) {
+	m := NewManager(Config{MaxSessions: 8, MaxSessionsPerTenant: 1, AdmitWait: -1})
+	ctx := ctxT(t)
+	g := testGraph(t)
+
+	if _, err := m.Open(ctx, "small", g, nil); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := m.Open(ctx, "small", g, nil); !errors.Is(err, ErrQuota) {
+		t.Fatalf("second open for tenant: %v, want ErrQuota", err)
+	}
+	// A different tenant is unaffected.
+	if _, err := m.Open(ctx, "other", g, nil); err != nil {
+		t.Fatalf("other tenant: %v", err)
+	}
+	if st := m.Stats(); st.RejectedQuota != 1 {
+		t.Fatalf("rejected_quota = %d, want 1", st.RejectedQuota)
+	}
+}
+
+// TestInadmissibleGraph: a graph without the Theorem 2 verdict is refused
+// at admission (it could not run in bounded memory) and does not consume a
+// slot.
+func TestInadmissibleGraph(t *testing.T) {
+	m := NewManager(Config{MaxSessions: 1, AdmitWait: -1})
+	ctx := ctxT(t)
+
+	// Inconsistent rates: the two parallel edges force qA = qB and
+	// 2 qA = qB at once — no repetition vector exists.
+	bad, err := tpdf.Parse(`graph bad {
+  kernel A exec 1;
+  kernel B exec 1;
+  edge e1: A [1] -> [1] B;
+  edge e2: A [2] -> [1] B;
+}`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := m.Open(ctx, "t", bad, nil); !errors.Is(err, ErrNotAdmissible) {
+		t.Fatalf("open inconsistent graph: %v, want ErrNotAdmissible", err)
+	}
+	// The slot was returned: a good graph still fits.
+	if _, err := m.Open(ctx, "t", testGraph(t), nil); err != nil {
+		t.Fatalf("open after rejection: %v", err)
+	}
+}
+
+// TestBatchBudget bounds concurrent analyze/sweep jobs.
+func TestBatchBudget(t *testing.T) {
+	m := NewManager(Config{BatchWorkers: 1, AdmitWait: -1})
+	ctx := ctxT(t)
+
+	rel, err := m.AcquireBatch(ctx)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if _, err := m.AcquireBatch(ctx); !errors.Is(err, ErrBusy) {
+		t.Fatalf("second acquire: %v, want ErrBusy", err)
+	}
+	rel()
+	rel2, err := m.AcquireBatch(ctx)
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	rel2()
+}

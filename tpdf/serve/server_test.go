@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), s.m.cfg.DrainTimeout)
+		defer cancel()
+		s.m.Drain(ctx) //nolint:errcheck // fleet cleanup
+	})
+	return s, ts
+}
+
+func doJSON(t *testing.T, method, url string, req any, resp any) int {
+	t.Helper()
+	var body *bytes.Reader
+	if req != nil {
+		b, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		body = bytes.NewReader(b)
+	} else {
+		body = bytes.NewReader(nil)
+	}
+	hr, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	res, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer res.Body.Close()
+	if resp != nil && res.StatusCode < 300 {
+		if err := json.NewDecoder(res.Body).Decode(resp); err != nil {
+			t.Fatalf("decode %s %s: %v", method, url, err)
+		}
+	}
+	return res.StatusCode
+}
+
+// TestHTTPSessionFlow exercises the full REST surface: open, pump,
+// reconfigure, stats, close, and the 404/409 error paths.
+func TestHTTPSessionFlow(t *testing.T) {
+	_, ts := testServer(t, Config{})
+
+	var opened openResponse
+	code := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions",
+		openRequest{Tenant: "acme", Graph: GraphSpec{Builtin: "fig2"}}, &opened)
+	if code != http.StatusCreated {
+		t.Fatalf("open status = %d", code)
+	}
+	if opened.ID == "" || opened.Tenant != "acme" {
+		t.Fatalf("open response: %+v", opened)
+	}
+
+	var pumped pumpResponse
+	code = doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+opened.ID+"/pump",
+		pumpRequest{Iterations: 4}, &pumped)
+	if code != http.StatusOK || pumped.Completed != 4 {
+		t.Fatalf("pump: status %d, %+v", code, pumped)
+	}
+	var total int64
+	for _, v := range pumped.SinkTokens {
+		total += v
+	}
+	if total <= 0 {
+		t.Fatalf("pump produced no sink tokens: %+v", pumped)
+	}
+
+	code = doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+opened.ID+"/reconfigure",
+		reconfigureRequest{Params: map[string]int64{"p": 5}}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("reconfigure status = %d", code)
+	}
+
+	var st Stats
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil, &st); code != http.StatusOK {
+		t.Fatalf("stats status = %d", code)
+	}
+	if st.Sessions != 1 || st.Cache.Compiles != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	var closed closeResponse
+	code = doJSON(t, http.MethodDelete, ts.URL+"/v1/sessions/"+opened.ID, nil, &closed)
+	if code != http.StatusOK || closed.Completed != 4 || len(closed.Firings) == 0 {
+		t.Fatalf("close: status %d, %+v", code, closed)
+	}
+
+	// Unknown and already-closed sessions.
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/nope/pump", pumpRequest{Iterations: 1}, nil); code != http.StatusNotFound {
+		t.Fatalf("pump unknown session status = %d, want 404", code)
+	}
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/sessions/"+opened.ID, nil, nil); code != http.StatusNotFound {
+		t.Fatalf("double close status = %d, want 404", code)
+	}
+}
+
+// TestHTTPAdmissionStatuses maps the sentinel taxonomy onto HTTP codes.
+func TestHTTPAdmissionStatuses(t *testing.T) {
+	_, ts := testServer(t, Config{MaxSessions: 1, MaxSessionsPerTenant: 1, AdmitWait: -1})
+
+	spec := GraphSpec{Builtin: "fig2"}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions", openRequest{Tenant: "a", Graph: spec}, nil); code != http.StatusCreated {
+		t.Fatalf("open status = %d", code)
+	}
+	// Same tenant: quota → 429. Other tenant: slots full → 429.
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions", openRequest{Tenant: "a", Graph: spec}, nil); code != http.StatusTooManyRequests {
+		t.Fatalf("quota status = %d, want 429", code)
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions", openRequest{Tenant: "b", Graph: spec}, nil); code != http.StatusTooManyRequests {
+		t.Fatalf("busy status = %d, want 429", code)
+	}
+	// Unknown builtin → 400.
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions", openRequest{Graph: GraphSpec{Builtin: "zzz"}}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad graph status = %d, want 400", code)
+	}
+	// Inadmissible graph → 422.
+	src := `graph bad {
+  kernel A exec 1;
+  kernel B exec 1;
+  edge e1: A [1] -> [1] B;
+  edge e2: A [2] -> [1] B;
+}`
+	// Use a manager with a free slot so admission reaches analysis.
+	_, ts2 := testServer(t, Config{})
+	if code := doJSON(t, http.MethodPost, ts2.URL+"/v1/sessions", openRequest{Graph: GraphSpec{Source: src}}, nil); code != http.StatusUnprocessableEntity {
+		t.Fatalf("inadmissible status = %d, want 422", code)
+	}
+}
+
+// TestHTTPAnalyzeAndSweep exercises the batch endpoints end to end.
+func TestHTTPAnalyzeAndSweep(t *testing.T) {
+	_, ts := testServer(t, Config{})
+
+	var an analyzeResponse
+	code := doJSON(t, http.MethodPost, ts.URL+"/v1/analyze",
+		analyzeRequest{Graph: GraphSpec{Builtin: "fig2"}}, &an)
+	if code != http.StatusOK {
+		t.Fatalf("analyze status = %d", code)
+	}
+	if !an.Consistent || !an.Bounded || an.Bound <= 0 || !strings.Contains(an.Report, "consistency: OK") {
+		t.Fatalf("analyze response: %+v", an)
+	}
+
+	var sw sweepResponse
+	code = doJSON(t, http.MethodPost, ts.URL+"/v1/sweep", sweepRequest{
+		Graph: GraphSpec{Builtin: "fig2"},
+		Axes:  map[string][]int64{"p": {1, 2, 3}},
+	}, &sw)
+	if code != http.StatusOK {
+		t.Fatalf("sweep status = %d", code)
+	}
+	if len(sw.Points) != 3 {
+		t.Fatalf("sweep points = %d, want 3", len(sw.Points))
+	}
+	for _, p := range sw.Points {
+		if p.Time <= 0 || p.TotalBuffer <= 0 {
+			t.Fatalf("degenerate sweep point: %+v", p)
+		}
+	}
+
+	// Analyze shares the program cache with sessions: opening a session of
+	// the analyzed graph must not recompile.
+	var opened openResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions",
+		openRequest{Graph: GraphSpec{Builtin: "fig2"}}, &opened); code != http.StatusCreated {
+		t.Fatalf("open status = %d", code)
+	}
+	var st Stats
+	doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil, &st)
+	if st.Cache.Compiles != 1 {
+		t.Fatalf("compiles after analyze+open = %d, want 1 (shared cache)", st.Cache.Compiles)
+	}
+}
+
+// TestHTTPHealthz sanity-checks the probe endpoint.
+func TestHTTPHealthz(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	res, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", res.StatusCode)
+	}
+}
+
+// TestLoadgenAgainstServer runs the loadgen library against an in-process
+// server — a miniature soak that asserts zero failed and zero leaked
+// sessions (the full-size version runs in TestSoak).
+func TestLoadgenAgainstServer(t *testing.T) {
+	s := New(Config{MaxSessions: 16})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck // test cleanup
+	}()
+
+	rep, err := RunLoad(ctxT(t), LoadConfig{
+		BaseURL:     "http://" + addr,
+		Sessions:    24,
+		Concurrency: 8,
+		Pumps:       3,
+		Iterations:  4,
+	})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if rep.Failed != 0 || rep.Leaked != 0 {
+		t.Fatalf("failed=%d leaked=%d, want 0/0 (report %+v)", rep.Failed, rep.Leaked, rep)
+	}
+	if want := int64(24 * 3 * 4); rep.TotalIterations != want {
+		t.Fatalf("total iterations = %d, want %d", rep.TotalIterations, want)
+	}
+	if rep.Open.Count != 24 || rep.Pump.Count != 24*3 {
+		t.Fatalf("latency sample counts: %+v", rep)
+	}
+	if st := s.Manager().Stats(); st.Cache.Compiles != 1 {
+		t.Fatalf("soak recompiled: %d compiles", st.Cache.Compiles)
+	}
+}
+
+// TestSoak is the acceptance-criterion soak: >= 100 concurrent sessions on
+// one server, zero failed, zero leaked. Skipped in -short runs; CI runs it
+// under -race in the soak job.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	const fleet = 100
+	s := New(Config{MaxSessions: fleet, AdmitWait: 5 * time.Second})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck // test cleanup
+	}()
+
+	rep, err := RunLoad(ctxT(t), LoadConfig{
+		BaseURL:     "http://" + addr,
+		Sessions:    2 * fleet,
+		Concurrency: fleet, // all 100 alive at once
+		Tenants:     8,
+		Pumps:       5,
+		Iterations:  8,
+	})
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("soak failed sessions: %d", rep.Failed)
+	}
+	if rep.Leaked != 0 {
+		t.Fatalf("soak leaked sessions: %d", rep.Leaked)
+	}
+	if want := int64(2 * fleet * 5 * 8); rep.TotalIterations != want {
+		t.Fatalf("total iterations = %d, want %d", rep.TotalIterations, want)
+	}
+	if st := s.Manager().Stats(); st.Cache.Compiles != 1 {
+		t.Fatalf("soak recompiled: %d compiles for one graph", st.Cache.Compiles)
+	}
+	t.Logf("soak: %d sessions, %.1f sessions/sec, pump p50=%v p99=%v",
+		rep.Sessions, rep.SessionsPerSec, rep.Pump.P50, rep.Pump.P99)
+}

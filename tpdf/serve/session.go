@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/tpdf"
+)
+
+// maxSessionIterations is the engine horizon of a session: effectively
+// unbounded, the session ends by draining at a barrier, not by exhausting
+// iterations. Admission requires the Theorem 2 boundedness verdict, so a
+// huge horizon never inflates ring capacities (bounded graphs have zero
+// per-iteration token drift).
+const maxSessionIterations = int64(1) << 62
+
+// sessCmd is one client command delivered to the session's barrier hook at
+// a quiescent transaction boundary.
+type sessCmd struct {
+	// params are parameter overrides to apply at the boundary.
+	params map[string]int64
+	// iters > 0 pumps that many graph iterations (transactions).
+	iters int64
+	// reply receives the session's total completed iteration count once
+	// the command has taken effect (buffered; the hook never blocks on it).
+	reply chan int64
+}
+
+// Session is one client's persistent streaming engine: a tpdf.Stream run
+// parked at a transaction barrier between requests. Its Program is stamped
+// from the tenant graph's shared CompiledGraph, so the session owns all of
+// its mutable engine state (single-writer per session) while the compile
+// product is shared fleet-wide.
+//
+// Lifecycle: Open (stamp + start, engine parks at the completed=0 barrier)
+// → any number of Pump/Reconfigure commands, each taking effect at a
+// quiescent barrier → Drain (clean stop at the next barrier, rings
+// flushed into the final result) or hard cancellation after the drain
+// deadline.
+type Session struct {
+	ID     string
+	Tenant string
+
+	compiled *tpdf.CompiledGraph
+	params   map[string]int64
+
+	cmds chan sessCmd
+	// soft asks the barrier hook to stop at the next boundary; hard
+	// cancels the engine outright (unparks ring waits) when the drain
+	// deadline expires.
+	soft       chan struct{}
+	softOnce   sync.Once
+	hardCtx    context.Context
+	hardCancel context.CancelFunc
+
+	done   chan struct{}
+	result *tpdf.ExecResult
+	runErr error
+
+	completed atomic.Int64
+	// sink token counters, parallel to sinkNames (nodes with no outgoing
+	// edges): the per-session observable output of the count profile.
+	sinkNames  []string
+	sinkTokens []atomic.Int64
+}
+
+// newSession stamps and starts a session. The engine goroutine runs until
+// drain or hard cancellation; it parks (zero CPU) whenever no command is
+// pending.
+func newSession(id, tenant string, compiled *tpdf.CompiledGraph, params map[string]int64) *Session {
+	hardCtx, hardCancel := context.WithCancel(context.Background())
+	s := &Session{
+		ID:         id,
+		Tenant:     tenant,
+		compiled:   compiled,
+		params:     params,
+		cmds:       make(chan sessCmd),
+		soft:       make(chan struct{}),
+		hardCtx:    hardCtx,
+		hardCancel: hardCancel,
+		done:       make(chan struct{}),
+	}
+	g := compiled.Graph()
+	out := make([]bool, len(g.Nodes))
+	for _, e := range g.Edges {
+		out[e.Src] = true
+	}
+	for ni, n := range g.Nodes {
+		if !out[ni] {
+			s.sinkNames = append(s.sinkNames, n.Name)
+		}
+	}
+	s.sinkTokens = make([]atomic.Int64, len(s.sinkNames))
+	go s.run()
+	return s
+}
+
+// behaviors implements the count profile: every sink node counts the
+// tokens it consumes (per session, read back by Stats and pump replies);
+// all other nodes stay token-only, which the engine executes without even
+// materializing a firing context. The profile is graph-agnostic — it works
+// for any admissible graph — and deterministic, so a session on a shared
+// compile product is byte-identical to one on a fresh compile.
+func (s *Session) behaviors() map[string]tpdf.Behavior {
+	b := make(map[string]tpdf.Behavior, len(s.sinkNames))
+	for i, name := range s.sinkNames {
+		ctr := &s.sinkTokens[i]
+		b[name] = func(f *tpdf.Firing) error {
+			n := 0
+			for _, vals := range f.In {
+				n += len(vals)
+			}
+			ctr.Add(int64(n))
+			return nil
+		}
+	}
+	return b
+}
+
+func (s *Session) run() {
+	defer close(s.done)
+	res, err := tpdf.Stream(s.compiled.Graph(), s.behaviors(),
+		tpdf.WithCompiled(s.compiled),
+		tpdf.WithParams(s.params),
+		tpdf.WithIterations(maxSessionIterations),
+		tpdf.WithContext(s.hardCtx),
+		tpdf.WithBarrier(s.barrier()),
+	)
+	s.result, s.runErr = res, err
+}
+
+// barrier builds the session's transaction-boundary command loop. It runs
+// on the engine's main goroutine: between pumps it blocks here (counted as
+// boundary work, so the stall watchdog stays quiet) and every command takes
+// effect only at this quiescent point — the paper's transaction rule, bent
+// into a server's request loop.
+func (s *Session) barrier() func(int64) (map[string]int64, bool) {
+	remaining := int64(0)
+	var reply chan int64
+	var pending map[string]int64
+	finish := func(completed int64) {
+		if reply != nil {
+			reply <- completed
+			reply = nil
+		}
+	}
+	return func(completed int64) (map[string]int64, bool) {
+		s.completed.Store(completed)
+		if remaining > 0 {
+			// Mid-pump boundary: keep going unless a drain arrived, in
+			// which case stop here — a pump is not a critical section,
+			// every boundary is a legal stopping point.
+			select {
+			case <-s.soft:
+				finish(completed)
+				return nil, true
+			case <-s.hardCtx.Done():
+				finish(completed)
+				return nil, true
+			default:
+			}
+			remaining--
+			if remaining > 0 {
+				return nil, false
+			}
+		}
+		finish(completed)
+		for {
+			select {
+			case cmd := <-s.cmds:
+				if len(cmd.params) > 0 {
+					if pending == nil {
+						pending = map[string]int64{}
+					}
+					for k, v := range cmd.params {
+						pending[k] = v
+					}
+				}
+				if cmd.iters > 0 {
+					remaining = cmd.iters
+					reply = cmd.reply
+					p := pending
+					pending = nil
+					return p, false
+				}
+				// Pure reconfigure: acknowledged now, applied together
+				// with the next pump's first iteration.
+				if cmd.reply != nil {
+					cmd.reply <- completed
+				}
+			case <-s.soft:
+				return pending, true
+			case <-s.hardCtx.Done():
+				return nil, true
+			}
+		}
+	}
+}
+
+// send delivers one command to the barrier hook and waits for its ack.
+func (s *Session) send(ctx context.Context, cmd sessCmd) (int64, error) {
+	cmd.reply = make(chan int64, 1)
+	select {
+	case s.cmds <- cmd:
+	case <-s.done:
+		return s.completed.Load(), s.exitErr()
+	case <-ctx.Done():
+		return s.completed.Load(), ctx.Err()
+	}
+	select {
+	case n := <-cmd.reply:
+		return n, nil
+	case <-s.done:
+		return s.completed.Load(), s.exitErr()
+	case <-ctx.Done():
+		// The engine keeps pumping; only this waiter gives up.
+		return s.completed.Load(), ctx.Err()
+	}
+}
+
+// Pump runs iters graph iterations (transactions) through the parked
+// engine, optionally applying parameter overrides at the first boundary,
+// and returns the session's total completed iteration count afterwards.
+func (s *Session) Pump(ctx context.Context, iters int64, params map[string]int64) (int64, error) {
+	if iters <= 0 {
+		return s.completed.Load(), fmt.Errorf("serve: pump iterations must be >= 1")
+	}
+	return s.send(ctx, sessCmd{iters: iters, params: params})
+}
+
+// Reconfigure stages parameter overrides; they take effect at the boundary
+// opening the next pumped iteration, per the transaction semantics.
+func (s *Session) Reconfigure(ctx context.Context, params map[string]int64) error {
+	if len(params) == 0 {
+		return nil
+	}
+	_, err := s.send(ctx, sessCmd{params: params})
+	return err
+}
+
+// Drain stops the session cleanly at the next transaction barrier: parked
+// actors exit, leftover tokens are flushed into the final result. If the
+// context expires first (the bounded drain deadline), the engine is
+// cancelled outright. Drain is idempotent and always waits for the engine
+// goroutine to exit before returning.
+func (s *Session) Drain(ctx context.Context) (*tpdf.ExecResult, error) {
+	s.softOnce.Do(func() { close(s.soft) })
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+		s.hardCancel()
+		<-s.done
+	}
+	return s.result, s.runErr
+}
+
+// exitErr is the error a command should report after the engine exited: the
+// run error if the engine failed, or a closed-session error after a clean
+// drain.
+func (s *Session) exitErr() error {
+	if s.runErr != nil {
+		return fmt.Errorf("serve: session %s engine failed: %w", s.ID, s.runErr)
+	}
+	return fmt.Errorf("%w: session %s", ErrClosed, s.ID)
+}
+
+// Completed returns the session's total completed iteration count.
+func (s *Session) Completed() int64 { return s.completed.Load() }
+
+// SinkTokens reports tokens consumed per sink node so far.
+func (s *Session) SinkTokens() map[string]int64 {
+	out := make(map[string]int64, len(s.sinkNames))
+	for i, name := range s.sinkNames {
+		out[name] = s.sinkTokens[i].Load()
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count returns to within slack of
+// base (engines park and exit asynchronously after drain acks) — a
+// hand-rolled goleak: if sessions leaked actors or ring waiters, the count
+// never comes back down and the test fails with a stack dump.
+func waitGoroutines(t *testing.T, base int, slack int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak: %d running, started with %d\n%s", n, base, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestGracefulDrain opens a fleet, keeps pumps in flight, then drains: every
+// in-flight pump must complete (sessions stop at barriers, not mid-pump),
+// every engine must exit cleanly, and no goroutines may leak.
+func TestGracefulDrain(t *testing.T) {
+	base := runtime.NumGoroutine()
+	m := NewManager(Config{MaxSessions: 16, DrainTimeout: 10 * time.Second})
+	ctx := ctxT(t)
+	g := testGraph(t)
+
+	const fleet = 8
+	sessions := make([]*Session, fleet)
+	for i := range sessions {
+		s, err := m.Open(ctx, "t", g, nil)
+		if err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+		sessions[i] = s
+	}
+
+	// Keep a pump in flight on every session while the drain begins.
+	var wg sync.WaitGroup
+	pumped := make([]int64, fleet)
+	pumpErr := make([]error, fleet)
+	for i, s := range sessions {
+		wg.Add(1)
+		go func(i int, s *Session) {
+			defer wg.Done()
+			pumped[i], pumpErr[i] = s.Pump(ctx, 200, nil)
+		}(i, s)
+	}
+
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+
+	for i := range sessions {
+		// A pump that raced the drain is answered, never hung: either it ran
+		// to completion, or the session stopped at a transaction barrier and
+		// acked the partial iteration count (in-flight firings complete; the
+		// rest of the pump is shed), or the session closed before accepting.
+		if pumpErr[i] != nil && !errors.Is(pumpErr[i], ErrClosed) {
+			t.Fatalf("pump %d: %v", i, pumpErr[i])
+		}
+		if pumpErr[i] == nil && (pumped[i] < 0 || pumped[i] > 200) {
+			t.Fatalf("pump %d acked %d iterations, want 0..200", i, pumped[i])
+		}
+		// Whatever the ack said must match the engine's own final count.
+		if pumpErr[i] == nil && sessions[i].Completed() != pumped[i] {
+			t.Fatalf("pump %d acked %d but engine completed %d", i, pumped[i], sessions[i].Completed())
+		}
+	}
+	if st := m.Stats(); st.Sessions != 0 || st.Failed != 0 {
+		t.Fatalf("after drain: %+v", st)
+	}
+	// New admissions are refused while shut down.
+	if _, err := m.Open(ctx, "t", g, nil); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("open after drain: %v, want ErrShuttingDown", err)
+	}
+	waitGoroutines(t, base, 2)
+}
+
+// TestDrainInFlightPumpCompletes: a pump already accepted by the barrier
+// hook finishes its iterations OR stops cleanly at a barrier with a partial
+// count — never an error, never a hang — when the drain lands mid-pump.
+func TestDrainInFlightPumpCompletes(t *testing.T) {
+	m := NewManager(Config{DrainTimeout: 10 * time.Second})
+	ctx := ctxT(t)
+	s, err := m.Open(ctx, "t", testGraph(t), nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+
+	started := make(chan struct{})
+	var n int64
+	var perr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		close(started)
+		n, perr = s.Pump(ctx, 100_000, nil)
+	}()
+	<-started
+	time.Sleep(2 * time.Millisecond) // let the pump get going
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	<-done
+	if perr != nil && !errors.Is(perr, ErrClosed) {
+		t.Fatalf("in-flight pump: %v", perr)
+	}
+	if perr == nil && (n <= 0 || n > 100_000) {
+		t.Fatalf("in-flight pump acked %d iterations", n)
+	}
+	// The engine stopped at a transaction barrier: the final result exists
+	// and its iteration count matches what the pump observed.
+	if s.result == nil {
+		t.Fatalf("drained session has no final result (err %v)", s.runErr)
+	}
+}
+
+// TestDrainDeadlineHardCancels: when the drain context is already dead the
+// session is cancelled outright instead of waiting for a barrier.
+func TestDrainDeadlineHardCancels(t *testing.T) {
+	m := NewManager(Config{})
+	ctx := ctxT(t)
+	s, err := m.Open(ctx, "t", testGraph(t), nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Close must still return (hard cancel path) instead of hanging.
+	if _, err := m.Close(dead, s.ID); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("close with dead ctx: %v", err)
+	}
+	select {
+	case <-s.done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("session engine did not exit after hard cancel")
+	}
+}
+
+// TestServerShutdownHTTP drives graceful shutdown through the HTTP layer:
+// requests in flight finish, the listener closes, the fleet drains, no
+// goroutines leak.
+func TestServerShutdownHTTP(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := New(Config{MaxSessions: 8, DrainTimeout: 10 * time.Second})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+
+	var opened openResponse
+	if code := doJSON(t, http.MethodPost, "http://"+addr+"/v1/sessions",
+		openRequest{Graph: GraphSpec{Builtin: "fig2"}}, &opened); code != http.StatusCreated {
+		t.Fatalf("open status = %d", code)
+	}
+	var pumped pumpResponse
+	if code := doJSON(t, http.MethodPost, "http://"+addr+"/v1/sessions/"+opened.ID+"/pump",
+		pumpRequest{Iterations: 10}, &pumped); code != http.StatusOK {
+		t.Fatalf("pump status = %d", code)
+	}
+
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The listener is gone and the fleet is empty.
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatalf("server still accepting connections after shutdown")
+	}
+	if st := s.Manager().Stats(); st.Sessions != 0 {
+		t.Fatalf("sessions after shutdown: %d", st.Sessions)
+	}
+	waitGoroutines(t, base, 3)
+}

@@ -18,10 +18,11 @@ import (
 // duration of the firing (keep the values, not the slices).
 //
 // Relevant options: WithParams, WithIterations, WithContext, WithWorkers,
-// WithChannelCapacity, WithReconfigure, WithStallTimeout.
+// WithChannelCapacity, WithReconfigure, WithBarrier, WithCompiled,
+// WithStallTimeout.
 func Stream(g *Graph, behaviors map[string]Behavior, opts ...Option) (*ExecResult, error) {
 	cfg := buildConfig(opts)
-	return engine.Run(engine.Config{
+	ec := engine.Config{
 		Graph:        g,
 		Env:          cfg.env(),
 		Behaviors:    behaviors,
@@ -30,6 +31,11 @@ func Stream(g *Graph, behaviors map[string]Behavior, opts ...Option) (*ExecResul
 		Workers:      cfg.workers,
 		Capacity:     cfg.channelCap,
 		Reconfigure:  cfg.reconfigure,
+		Barrier:      cfg.barrier,
 		StallTimeout: cfg.stallTimeout,
-	})
+	}
+	if cfg.compiled != nil {
+		ec.Skeleton = cfg.compiled.sk
+	}
+	return engine.Run(ec)
 }
