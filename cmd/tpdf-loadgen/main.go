@@ -2,7 +2,9 @@
 // session lifecycles (open → pump×N → close) at a configured concurrency,
 // retries admission pushback (429/503) as backpressure, and reports
 // per-endpoint latency percentiles plus throughput as JSON — the numbers
-// the BENCH_serve.json CI gate tracks.
+// the BENCH_serve.json CI gate tracks. Mid-run it scrapes GET /metrics and
+// validates the Prometheus exposition; an unparsable exposition fails the
+// run like a failed session does.
 //
 // Usage:
 //
@@ -76,15 +78,19 @@ func run() error {
 			os.Stdout.Write(out)
 		}
 		fmt.Fprintf(os.Stderr,
-			"tpdf-loadgen: %d sessions (%.1f/sec), %d failed, %d leaked, pump p50=%s p99=%s\n",
+			"tpdf-loadgen: %d sessions (%.1f/sec), %d failed, %d leaked, pump p50=%s p99=%s, metrics %d series (valid=%v)\n",
 			rep.Sessions, rep.SessionsPerSec, rep.Failed, rep.Leaked,
-			time.Duration(rep.Pump.P50), time.Duration(rep.Pump.P99))
+			time.Duration(rep.Pump.P50), time.Duration(rep.Pump.P99),
+			rep.MetricsSeries, rep.MetricsValid)
 	}
 	if err != nil {
 		return err
 	}
 	if rep.Failed > 0 || rep.Leaked > 0 {
 		return fmt.Errorf("%d failed sessions, %d leaked sessions", rep.Failed, rep.Leaked)
+	}
+	if !rep.MetricsValid {
+		return fmt.Errorf("/metrics exposition did not validate")
 	}
 	return nil
 }

@@ -8,8 +8,16 @@
 //
 // Usage:
 //
-//	tpdf-serve [-addr host:port] [-max-sessions n] [-max-per-tenant n]
-//	           [-admit-wait d] [-drain-timeout d] [-batch-workers n]
+//	tpdf-serve [-addr host:port] [-admin host:port] [-max-sessions n]
+//	           [-max-per-tenant n] [-admit-wait d] [-drain-timeout d]
+//	           [-batch-workers n]
+//
+// GET /metrics serves the fleet and per-session engine counters in
+// Prometheus text exposition; GET /healthz answers 503 "draining" once
+// shutdown begins so load balancers stop routing here. -admin opts into a
+// second listener carrying net/http/pprof and a /metrics copy — keep it on
+// a loopback or private address, the profiling endpoints are not for the
+// public port.
 //
 // A session lives across requests; parameters change only at transaction
 // (iteration) boundaries, per the TPDF transaction rule:
@@ -48,6 +56,7 @@ import (
 
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	adminAddr := flag.String("admin", "", "admin listener (pprof + /metrics); empty disables")
 	maxSessions := flag.Int("max-sessions", 256, "max concurrently open sessions")
 	maxPerTenant := flag.Int("max-per-tenant", 0, "max sessions per tenant (0: same as -max-sessions)")
 	admitWait := flag.Duration("admit-wait", 100*time.Millisecond, "how long an opener may queue for a session slot")
@@ -75,6 +84,13 @@ func run() error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "tpdf-serve: listening on %s (%d session slots)\n", bound, *maxSessions)
+	if *adminAddr != "" {
+		abound, err := srv.StartAdmin(*adminAddr)
+		if err != nil {
+			return fmt.Errorf("admin listener: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "tpdf-serve: admin (pprof, /metrics) on %s\n", abound)
+	}
 
 	<-ctx.Done()
 	stop() // a second signal kills immediately

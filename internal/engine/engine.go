@@ -45,6 +45,7 @@ import (
 	"repro/internal/csdf"
 	"repro/internal/runner"
 	"repro/internal/symb"
+	"repro/tpdf/obs"
 )
 
 // Config configures a concurrent payload run.
@@ -107,6 +108,17 @@ type Config struct {
 	// no behavior runs for two consecutive windows, the run fails with a
 	// diagnostic instead of hanging. Default 500ms.
 	StallTimeout time.Duration
+	// Metrics, when non-nil, receives per-actor and per-edge counters.
+	// Actors update private cache-line-padded blocks with plain stores on
+	// the hot path; the engine copies them into the registry only at
+	// transaction barriers (and at run start/end), so the warm firing path
+	// stays allocation-free and the snapshot is always consistent.
+	Metrics *obs.Registry
+	// Journal, when non-nil, receives transaction-trace events: run
+	// start/end, barrier spans, rebinds (with params digest), drain
+	// verdicts and watchdog near-misses. Recording is bounded and
+	// allocation-free; the hot firing path never records.
+	Journal *obs.Journal
 }
 
 // portEdge pairs a concrete edge index with the port name an actor sees it
@@ -163,6 +175,14 @@ type engine struct {
 	ops  atomic.Int64
 	busy atomic.Int64
 	sem  chan struct{}
+
+	// mx/jr are the optional observability sinks (Config.Metrics/Journal);
+	// edgeProd/edgeCons name the actor on each side of every concrete
+	// edge, for harvest snapshots and watchdog stall diagnosis.
+	mx       *engMetrics
+	jr       *obs.Journal
+	edgeProd []string
+	edgeCons []string
 }
 
 func (e *engine) fail(err error) {
@@ -240,6 +260,14 @@ func Run(cfg Config) (*runner.Result, error) {
 	if err := e.wire(iters); err != nil {
 		return nil, err
 	}
+	e.jr = cfg.Journal
+	if cfg.Metrics != nil {
+		e.mx = e.newEngMetrics(cfg.Metrics)
+	}
+	// Publish an initial snapshot so readers see names, capacities and the
+	// seeded occupancies as soon as the run exists.
+	e.harvest(0, true)
+	e.record(obs.Event{Kind: obs.EvRunStart})
 
 	defer close(e.quit)
 	for id := range g.Nodes {
@@ -273,17 +301,33 @@ func Run(cfg Config) (*runner.Result, error) {
 			return cfg.Reconfigure(completed), false
 		}
 	}
+	obsOn := e.mx != nil || e.jr != nil
+	// envDigest identifies the active valuation on rebind events. It is
+	// maintained incrementally (XOR out the old binding, XOR in the new)
+	// because re-hashing the whole map at every rebind boundary costs a
+	// map iteration per barrier.
+	var envDigest uint64
+	if obsOn && barrier != nil {
+		envDigest = obs.ParamsDigest(map[string]int64(env))
+	}
+	completed := int64(0)
 	if barrier == nil {
 		if err := e.runEpoch(iters); err != nil {
 			return nil, err
 		}
+		completed = iters
 	} else {
 		for it := int64(0); it < iters; it++ {
+			var bt time.Time
+			if obsOn {
+				bt = time.Now()
+			}
 			over, stopNow := barrier(it)
 			if stopNow {
 				// Clean drain at the quiescent boundary: actors are parked,
 				// leftover tokens stay on their edges and are reported in
 				// Result.Remaining below.
+				e.record(obs.Event{Kind: obs.EvDrain, Completed: it})
 				break
 			}
 			// A hook may have blocked across a cancellation; don't start
@@ -292,25 +336,66 @@ func Run(cfg Config) (*runner.Result, error) {
 			if err := e.firstErr(); err != nil {
 				return nil, err
 			}
+			// Clock discipline: time.Now costs ~50-100ns on virtualized
+			// hosts, so the boundary takes at most three reads (bt above, rt
+			// below, bend here) and every journal event is stamped from bend
+			// rather than letting Record read the clock again.
+			var bend time.Time
 			if len(over) > 0 {
 				changed := false
 				for k, v := range over {
-					if env[k] != v {
+					if old, ok := env[k]; !ok || old != v {
+						if obsOn {
+							if ok {
+								envDigest ^= obs.BindingDigest(k, old)
+							}
+							envDigest ^= obs.BindingDigest(k, v)
+						}
 						env[k] = v
 						changed = true
 					}
 				}
 				if changed {
+					var rt time.Time
+					if obsOn {
+						rt = time.Now()
+					}
 					if err := e.reconfigure(env, iters-it); err != nil {
 						return nil, err
 					}
+					if obsOn {
+						bend = time.Now()
+						rd := int64(bend.Sub(rt))
+						if e.mx != nil {
+							e.mx.rebinds++
+							e.mx.rebindNs += rd
+						}
+						e.record(obs.Event{TimeUnixNano: bend.UnixNano(),
+							Kind: obs.EvRebind, Completed: it, DurNs: rd,
+							ParamsDigest: envDigest})
+					}
 				}
+			}
+			if obsOn {
+				if bend.IsZero() {
+					bend = time.Now()
+				}
+				bd := int64(bend.Sub(bt))
+				if e.mx != nil {
+					e.mx.boundaryNs += bd
+				}
+				e.record(obs.Event{TimeUnixNano: bend.UnixNano(),
+					Kind: obs.EvBarrier, Completed: it, DurNs: bd})
 			}
 			if err := e.runEpoch(1); err != nil {
 				return nil, err
 			}
+			completed = it + 1
+			e.harvest(completed, true)
 		}
 	}
+	e.harvest(completed, false)
+	e.record(obs.Event{Kind: obs.EvRunEnd, Completed: completed})
 
 	res := &runner.Result{Firings: map[string]int64{}, Remaining: map[string][]any{}}
 	for id, n := range g.Nodes {
@@ -379,10 +464,14 @@ func (e *engine) wire(horizon int64) error {
 	low := e.prog.Lowering()
 	e.ins = make([][]portEdge, len(g.Nodes))
 	e.outs = make([][]portEdge, len(g.Nodes))
+	e.edgeProd = make([]string, len(e.cg.Edges))
+	e.edgeCons = make([]string, len(e.cg.Edges))
 	for ei, ed := range g.Edges {
 		ci := low.EdgeOf[ei]
 		e.ins[ed.Dst] = append(e.ins[ed.Dst], portEdge{ci, g.Nodes[ed.Dst].Ports[ed.DstPort].Name})
 		e.outs[ed.Src] = append(e.outs[ed.Src], portEdge{ci, g.Nodes[ed.Src].Ports[ed.SrcPort].Name})
+		e.edgeProd[ci] = g.Nodes[ed.Src].Name
+		e.edgeCons[ci] = g.Nodes[ed.Dst].Name
 	}
 
 	e.behaviors = make([]runner.Behavior, len(g.Nodes))
@@ -432,7 +521,11 @@ func (e *engine) reconfigure(env symb.Env, horizon int64) error {
 		return fmt.Errorf("engine: no sequential schedule: %v", err)
 	}
 	for ci := range e.cg.Edges {
+		before := e.rings[ci].cap()
 		e.rings[ci].grow(e.capacityFor(sch, ci, horizon))
+		if e.mx != nil && e.rings[ci].cap() > before {
+			e.mx.grows[ci]++
+		}
 	}
 	copy(e.base, e.fired)
 	return nil
@@ -443,6 +536,9 @@ func (e *engine) reconfigure(env symb.Env, horizon int64) error {
 func (e *engine) runEpoch(iters int64) error {
 	if err := e.firstErr(); err != nil {
 		return err
+	}
+	if e.mx != nil {
+		e.mx.barriers++
 	}
 	sol := e.prog.Solution()
 	e.wg.Add(len(e.work))
@@ -471,11 +567,35 @@ func (e *engine) actorLoop(id int) {
 	}
 }
 
-// runActor fires the node total times: consume the input rates, run the
+// runActor fires the node total times, with sampled epoch-granularity time
+// accounting when metrics are enabled: one timestamp pair per sampled epoch
+// (one in activeSampleMask+1, never per firing — blocked time inside ring
+// waits is timed separately by the ring's slow path, and busy is estimated
+// as scaled active minus blocked at harvest).
+func (e *engine) runActor(id int, total int64) {
+	if e.mx == nil {
+		e.fireActor(id, total, nil)
+		return
+	}
+	ah := &e.mx.actors[id]
+	if ah.epochs&activeSampleMask == 0 {
+		ah.epochs++
+		ah.timed++
+		t0 := time.Now()
+		e.fireActor(id, total, ah)
+		ah.activeNs += int64(time.Since(t0))
+		return
+	}
+	ah.epochs++
+	e.fireActor(id, total, ah)
+}
+
+// fireActor fires the node total times: consume the input rates, run the
 // behavior, produce the output rates — blocking on ring capacity for
 // backpressure. Rates and solution are read from the compiled program,
-// which is only rewritten while the actor is parked.
-func (e *engine) runActor(id int, total int64) {
+// which is only rewritten while the actor is parked. ah, when non-nil, is
+// this actor's private counter block, bumped with plain stores.
+func (e *engine) fireActor(id int, total int64, ah *actorHot) {
 	edges := e.cg.Edges
 	ins, outs := e.ins[id], e.outs[id]
 	behavior := e.behaviors[id]
@@ -497,16 +617,27 @@ func (e *engine) runActor(id int, total int64) {
 			}
 			kLocal := fired - base
 			for _, pe := range ins {
-				if !e.rings[pe.edge].discard(edges[pe.edge].ConsAt(kLocal), stop) {
+				rate := edges[pe.edge].ConsAt(kLocal)
+				if !e.rings[pe.edge].discard(rate, stop) {
 					return
+				}
+				if ah != nil {
+					ah.tokensIn += rate
 				}
 			}
 			for _, pe := range outs {
-				if !e.rings[pe.edge].writeNil(edges[pe.edge].ProdAt(kLocal), stop) {
+				rate := edges[pe.edge].ProdAt(kLocal)
+				if !e.rings[pe.edge].writeNil(rate, stop) {
 					return
+				}
+				if ah != nil {
+					ah.tokensOut += rate
 				}
 			}
 			fired++
+			if ah != nil {
+				ah.firings++
+			}
 			e.ops.Add(1)
 		}
 		return
@@ -533,6 +664,9 @@ func (e *engine) runActor(id int, total int64) {
 			}
 			if !e.rings[pe.edge].read(buf, rate, stop) {
 				return
+			}
+			if ah != nil {
+				ah.tokensIn += rate
 			}
 			// Install even at rate 0 so the In map has the same keys the
 			// sequential runner produces.
@@ -577,9 +711,15 @@ func (e *engine) runActor(id int, total int64) {
 					name, fired, pe.port, len(vals), rate))
 				return
 			}
+			if ah != nil {
+				ah.tokensOut += rate
+			}
 		}
 
 		fired++
+		if ah != nil {
+			ah.firings++
+		}
 		e.ops.Add(1)
 	}
 }
@@ -600,6 +740,7 @@ func (e *engine) startWatchdog() func() {
 		tick := time.NewTicker(stall)
 		defer tick.Stop()
 		last := e.ops.Load()
+		lastProgress := time.Now()
 		idle := 0
 		for {
 			select {
@@ -611,12 +752,23 @@ func (e *engine) startWatchdog() func() {
 				cur := e.ops.Load()
 				if cur != last || e.busy.Load() > 0 {
 					last, idle = cur, 0
+					lastProgress = time.Now()
 					continue
 				}
 				if idle++; idle >= 2 {
-					e.fail(fmt.Errorf("engine: deadlock: no progress for %v (channel capacity override too small?)", 2*stall))
+					msg := e.blockedReport()
+					if msg == "" {
+						msg = "no actor is blocked on a ring (behavior stuck?)"
+					}
+					e.record(obs.Event{Kind: obs.EvStall, Detail: msg})
+					e.fail(fmt.Errorf("engine: deadlock: no progress for %v, last progress at %s, %d firings completed (channel capacity override too small?): %s",
+						2*stall, lastProgress.Format(time.RFC3339Nano), cur, msg))
 					return
 				}
+				// Near-miss: one idle window elapsed; a second consecutive
+				// one fails the run. Journal it so slow-but-alive pipelines
+				// leave a trace.
+				e.record(obs.Event{Kind: obs.EvStallWarn, Detail: e.blockedReport()})
 			}
 		}
 	}()

@@ -9,6 +9,7 @@ import (
 	"repro/internal/csdf"
 	"repro/internal/runner"
 	"repro/internal/symb"
+	"repro/tpdf/obs"
 )
 
 // multiratePipeline builds SRC -[4]->[3,1] A -[2]->[4] B -[3]->[1] SNK: a
@@ -66,14 +67,19 @@ func hotBehaviors(sunk *int64) map[string]runner.Behavior {
 }
 
 // mallocsOfRun measures the process-wide heap allocation count of one
-// engine run at the given iteration count.
-func mallocsOfRun(t testing.TB, g *core.Graph, iters int64) uint64 {
+// engine run at the given iteration count. decorate, when non-nil, adjusts
+// the config before the run (the metrics-enabled variants hook in here).
+func mallocsOfRun(t testing.TB, g *core.Graph, iters int64, decorate func(*Config)) uint64 {
 	t.Helper()
 	var sunk int64
 	behaviors := hotBehaviors(&sunk)
+	cfg := Config{Graph: g, Behaviors: behaviors, Iterations: iters}
+	if decorate != nil {
+		decorate(&cfg)
+	}
 	var m1, m2 runtime.MemStats
 	runtime.ReadMemStats(&m1)
-	if _, err := Run(Config{Graph: g, Behaviors: behaviors, Iterations: iters}); err != nil {
+	if _, err := Run(cfg); err != nil {
 		t.Fatal(err)
 	}
 	runtime.ReadMemStats(&m2)
@@ -87,6 +93,14 @@ func mallocsOfRun(t testing.TB, g *core.Graph, iters int64) uint64 {
 // touches — ring slots, the firing scratch, the payload boxes — is
 // preallocated or reused. Run setup (goroutines, rings, schedule) is
 // identical in both runs and cancels out of the delta.
+//
+// The metrics variant proves the barrier-harvest rule: with a Registry, a
+// Journal and a nil-returning Reconfigure hook attached (so every
+// iteration is a separate epoch with a harvest and journal events at its
+// boundary), the per-firing and per-barrier paths must still allocate
+// nothing — counters are plain stores into preallocated blocks, the
+// harvest reuses one stored closure and the snapshot's slices, and journal
+// entries land in a preallocated ring.
 func TestStreamSteadyStateAllocs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation accounting skipped in -short (race CI inflates runtime bookkeeping)")
@@ -94,16 +108,35 @@ func TestStreamSteadyStateAllocs(t *testing.T) {
 	g := multiratePipeline(t)
 	const small, big = 64, 4096
 
-	mallocsOfRun(t, g, small) // warm OS/runtime one-time costs
-	smallAllocs := mallocsOfRun(t, g, small)
-	bigAllocs := mallocsOfRun(t, g, big)
+	variants := []struct {
+		name     string
+		decorate func(*Config)
+	}{
+		{"plain", nil},
+		{"metrics", func(cfg *Config) {
+			cfg.Metrics = obs.NewRegistry()
+			cfg.Journal = obs.NewJournal(128)
+		}},
+		{"metrics+barriers", func(cfg *Config) {
+			cfg.Metrics = obs.NewRegistry()
+			cfg.Journal = obs.NewJournal(128)
+			cfg.Reconfigure = func(int64) map[string]int64 { return nil }
+		}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			mallocsOfRun(t, g, small, v.decorate) // warm OS/runtime one-time costs
+			smallAllocs := mallocsOfRun(t, g, small, v.decorate)
+			bigAllocs := mallocsOfRun(t, g, big, v.decorate)
 
-	extraFirings := float64((big - small) * firingsPerIteration)
-	perFiring := (float64(bigAllocs) - float64(smallAllocs)) / extraFirings
-	t.Logf("allocs: %d @ %d iters, %d @ %d iters -> %.4f allocs/firing",
-		smallAllocs, small, bigAllocs, big, perFiring)
-	if perFiring > 0.01 {
-		t.Errorf("warm firing path allocates %.4f allocs/firing, want 0", perFiring)
+			extraFirings := float64((big - small) * firingsPerIteration)
+			perFiring := (float64(bigAllocs) - float64(smallAllocs)) / extraFirings
+			t.Logf("allocs: %d @ %d iters, %d @ %d iters -> %.4f allocs/firing",
+				smallAllocs, small, bigAllocs, big, perFiring)
+			if perFiring > 0.01 {
+				t.Errorf("warm firing path allocates %.4f allocs/firing, want 0", perFiring)
+			}
+		})
 	}
 }
 

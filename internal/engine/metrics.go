@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/tpdf/obs"
+)
+
+// Metrics follow the barrier-harvest rule: every hot counter below is
+// written with plain stores by exactly one goroutine (the owning actor for
+// actorHot, the producing or consuming side for sideStats) and read only
+// by the engine's main goroutine at transaction barriers, after the epoch
+// WaitGroup has parked every actor — the Wait is the happens-before edge,
+// so no atomics and no locks appear on the firing path. Each struct is
+// padded to its own cache line so two actors bumping their counters never
+// write-share a line.
+
+// cacheLine is the padding granularity; 128 covers the spatial prefetcher
+// pairing lines on common x86 parts.
+const cacheLine = 128
+
+// actorHot is one actor's private counter block.
+type actorHot struct {
+	firings   int64
+	tokensIn  int64
+	tokensOut int64
+	// Active time is sampled, not exhaustive: runActor times one epoch in
+	// activeSampleMask+1 (always including the first), because a clock
+	// read costs ~50-100ns on virtualized hosts — per-epoch pairs would
+	// dominate barrier-heavy runs. epochs counts every dispatch, timed the
+	// sampled ones, activeNs the wall time inside sampled epochs only;
+	// the harvest scales activeNs by epochs/timed to estimate the total.
+	epochs   int64
+	timed    int64
+	activeNs int64
+	_        [cacheLine - 6*8]byte
+}
+
+// activeSampleMask selects which epochs runActor times: epoch indices with
+// (epochs & mask) == 0, i.e. one in mask+1.
+const activeSampleMask = 7
+
+// sideStats is one side (producer or consumer) of one ring. The producer
+// side also tracks the occupancy high-water mark, observed at publish.
+// Blocked time is sampled like actor active time: one park in
+// parkSampleMask+1 is timed (parks counts all of them, timedParks the
+// sampled ones) and the harvest scales blockedNs by parks/timedParks —
+// in a pipelining chain parks are frequent and individually cheap, so a
+// clock-read pair around every one would cost more than the park itself.
+type sideStats struct {
+	parks      int64
+	timedParks int64
+	spins      int64
+	wakes      int64
+	blockedNs  int64
+	highWater  int64
+	_          [cacheLine - 6*8]byte
+}
+
+// parkSampleMask selects which parks a ring side times: park indices with
+// (parks & mask) == 0, i.e. one in mask+1.
+const parkSampleMask = 7
+
+// engMetrics is the engine-owned collector: hot blocks for every actor and
+// ring side, plus main-goroutine-owned boundary counters. harvestFn is the
+// one closure handed to Registry.UpdateEngine, created once so a
+// barrier-time harvest allocates nothing.
+type engMetrics struct {
+	reg    *obs.Registry
+	actors []actorHot
+	prod   []sideStats // indexed by concrete edge
+	cons   []sideStats
+
+	// Main-owned boundary counters.
+	barriers   int64
+	completed  int64
+	rebinds    int64
+	rebindNs   int64
+	boundaryNs int64
+	grows      []int64
+	running    bool
+
+	harvestFn func(*obs.EngineSnapshot)
+}
+
+// blockedEstNs scales the sampled park time up to an estimate covering
+// every park this side performed.
+func (st *sideStats) blockedEstNs() int64 {
+	if st.timedParks > 0 && st.parks > st.timedParks {
+		return st.blockedNs * st.parks / st.timedParks
+	}
+	return st.blockedNs
+}
+
+// newEngMetrics sizes the collector for the engine's wired graph and
+// attaches the ring side pointers.
+func (e *engine) newEngMetrics(reg *obs.Registry) *engMetrics {
+	m := &engMetrics{
+		reg:    reg,
+		actors: make([]actorHot, len(e.cfg.Graph.Nodes)),
+		prod:   make([]sideStats, len(e.cg.Edges)),
+		cons:   make([]sideStats, len(e.cg.Edges)),
+		grows:  make([]int64, len(e.cg.Edges)),
+	}
+	for ci, r := range e.rings {
+		r.pst = &m.prod[ci]
+		r.cst = &m.cons[ci]
+		// Seeded initial tokens are the occupancy before any publish.
+		m.prod[ci].highWater = r.len()
+	}
+	m.harvestFn = e.fillSnapshot
+	return m
+}
+
+// harvest publishes the current counters into the registry. Called by the
+// engine's main goroutine only, at transaction barriers and run start/end,
+// when every actor is parked.
+func (e *engine) harvest(completed int64, running bool) {
+	m := e.mx
+	if m == nil {
+		return
+	}
+	m.completed = completed
+	m.running = running
+	m.reg.UpdateEngine(m.harvestFn)
+}
+
+// fillSnapshot copies the collector into the registry's snapshot in place,
+// reusing the snapshot's slices after the first harvest.
+func (e *engine) fillSnapshot(s *obs.EngineSnapshot) {
+	m := e.mx
+	g := e.cfg.Graph
+	if len(s.Actors) != len(g.Nodes) {
+		s.Actors = make([]obs.ActorMetrics, len(g.Nodes))
+	}
+	if len(s.Edges) != len(e.cg.Edges) {
+		s.Edges = make([]obs.EdgeMetrics, len(e.cg.Edges))
+	}
+	s.Running = m.running
+	s.Completed = m.completed
+	s.Barriers = m.barriers
+	s.Rebinds = m.rebinds
+	s.RebindNs = m.rebindNs
+	s.BoundaryNs = m.boundaryNs
+
+	for id := range g.Nodes {
+		a := &s.Actors[id]
+		h := &m.actors[id]
+		a.Name = g.Nodes[id].Name
+		a.Firings = h.firings
+		a.TokensIn = h.tokensIn
+		a.TokensOut = h.tokensOut
+		a.Parks, a.Spins, a.Wakes, a.BlockedNs = 0, 0, 0, 0
+		// Ring waits are attributed to the actor that performed them: the
+		// consumer side of its input edges, the producer side of its
+		// output edges.
+		for _, pe := range e.ins[id] {
+			c := &m.cons[pe.edge]
+			a.Parks += c.parks
+			a.Spins += c.spins
+			a.Wakes += c.wakes
+			a.BlockedNs += c.blockedEstNs()
+		}
+		for _, pe := range e.outs[id] {
+			p := &m.prod[pe.edge]
+			a.Parks += p.parks
+			a.Spins += p.spins
+			a.Wakes += p.wakes
+			a.BlockedNs += p.blockedEstNs()
+		}
+		activeNs := h.activeNs
+		if h.timed > 0 && h.epochs > h.timed {
+			activeNs = h.activeNs * h.epochs / h.timed
+		}
+		if a.BusyNs = activeNs - a.BlockedNs; a.BusyNs < 0 {
+			a.BusyNs = 0
+		}
+	}
+	for ci := range e.cg.Edges {
+		ed := &s.Edges[ci]
+		ed.Name = e.cg.Edges[ci].Name
+		ed.Producer = e.edgeProd[ci]
+		ed.Consumer = e.edgeCons[ci]
+		ed.Capacity = e.rings[ci].cap()
+		ed.Occupancy = e.rings[ci].len()
+		ed.HighWater = m.prod[ci].highWater
+		ed.Grows = m.grows[ci]
+		ed.ProdBlockedNs = m.prod[ci].blockedEstNs()
+		ed.ConsBlockedNs = m.cons[ci].blockedEstNs()
+		ed.ProdParks = m.prod[ci].parks
+		ed.ConsParks = m.cons[ci].parks
+	}
+}
+
+// record appends a journal event when tracing is enabled; no-op otherwise.
+func (e *engine) record(ev obs.Event) {
+	if e.jr != nil {
+		e.jr.Record(ev)
+	}
+}
+
+// blockedReport describes, from the rings' atomic state only (safe while
+// actors run), which actors are blocked and where — the watchdog's stall
+// diagnosis. Returns "" when no ring wait flag is raised.
+func (e *engine) blockedReport() string {
+	var b strings.Builder
+	for ci := range e.rings {
+		r := e.rings[ci]
+		occ := r.len()
+		if r.cwait.Load() {
+			if b.Len() > 0 {
+				b.WriteString("; ")
+			}
+			fmtBlocked(&b, e.edgeCons[ci], "waiting for tokens", e.cg.Edges[ci].Name, occ, r.cap())
+		}
+		if r.pwait.Load() {
+			if b.Len() > 0 {
+				b.WriteString("; ")
+			}
+			fmtBlocked(&b, e.edgeProd[ci], "waiting for space", e.cg.Edges[ci].Name, occ, r.cap())
+		}
+	}
+	return b.String()
+}
+
+func fmtBlocked(b *strings.Builder, actor, what, edge string, occ, capTok int64) {
+	b.WriteString("actor ")
+	b.WriteString(actor)
+	b.WriteByte(' ')
+	b.WriteString(what)
+	b.WriteString(" on ")
+	b.WriteString(edge)
+	b.WriteString(" (")
+	b.WriteString(strconv.FormatInt(occ, 10))
+	b.WriteByte('/')
+	b.WriteString(strconv.FormatInt(capTok, 10))
+	b.WriteString(" tokens)")
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 )
 
 // spinYields is how many scheduler yields a ring op tries before the full
@@ -47,6 +48,14 @@ type ring struct {
 	pwait atomic.Bool
 	csig  chan struct{}
 	psig  chan struct{}
+
+	// pst/cst, when non-nil, collect producer-/consumer-side metrics
+	// (parks, spins, wakes, blocked time, occupancy high-water). Each is
+	// written only by its owning side with plain stores and read only at
+	// barriers; nil when metrics are disabled, keeping the fast paths
+	// untouched.
+	pst *sideStats
+	cst *sideStats
 }
 
 func newRing(capacity int64) *ring {
@@ -68,14 +77,27 @@ func (r *ring) cap() int64 { return int64(len(r.buf)) }
 func (r *ring) len() int64 { return r.atomicTail.Load() - r.atomicHead.Load() }
 
 // waitRead blocks until at least n tokens are published or stop closes
-// (returning false). Consumer side only.
+// (returning false). Consumer side only. The fast path is one atomic load
+// and a compare; the slow path classifies metrics-enabled waits as spin or
+// park with plain counter bumps and reads the clock only around sampled
+// channel parks (one in parkSampleMask+1) — spin-resolved waits happen per
+// firing under load and parks in a pipelining chain are frequent and
+// individually cheap, so a time.Now pair around each would be the dominant
+// cost of the instrumentation.
 func (r *ring) waitRead(n int64, stop <-chan struct{}) bool {
 	if r.atomicTail.Load()-r.head >= n {
 		return true
 	}
+	return r.waitReadSlow(n, stop, r.cst)
+}
+
+func (r *ring) waitReadSlow(n int64, stop <-chan struct{}, st *sideStats) bool {
 	for s := 0; s < spinYields; s++ {
 		runtime.Gosched()
 		if r.atomicTail.Load()-r.head >= n {
+			if st != nil {
+				st.spins++
+			}
 			return true
 		}
 	}
@@ -83,26 +105,52 @@ func (r *ring) waitRead(n int64, stop <-chan struct{}) bool {
 		r.cwait.Store(true)
 		if r.atomicTail.Load()-r.head >= n {
 			r.cwait.Store(false)
+			if st != nil {
+				st.spins++
+			}
 			return true
 		}
-		select {
-		case <-r.csig:
-		case <-stop:
-			return false
+		if st != nil && st.parks&parkSampleMask == 0 {
+			st.parks++
+			st.timedParks++
+			t0 := time.Now()
+			select {
+			case <-r.csig:
+				st.blockedNs += int64(time.Since(t0))
+			case <-stop:
+				st.blockedNs += int64(time.Since(t0))
+				return false
+			}
+		} else {
+			if st != nil {
+				st.parks++
+			}
+			select {
+			case <-r.csig:
+			case <-stop:
+				return false
+			}
 		}
 	}
 	return true
 }
 
 // waitWrite blocks until at least n slots are free or stop closes
-// (returning false). Producer side only.
+// (returning false). Producer side only; instrumentation follows waitRead.
 func (r *ring) waitWrite(n int64, stop <-chan struct{}) bool {
 	if r.cap()-(r.tail-r.atomicHead.Load()) >= n {
 		return true
 	}
+	return r.waitWriteSlow(n, stop, r.pst)
+}
+
+func (r *ring) waitWriteSlow(n int64, stop <-chan struct{}, st *sideStats) bool {
 	for s := 0; s < spinYields; s++ {
 		runtime.Gosched()
 		if r.cap()-(r.tail-r.atomicHead.Load()) >= n {
+			if st != nil {
+				st.spins++
+			}
 			return true
 		}
 	}
@@ -110,12 +158,31 @@ func (r *ring) waitWrite(n int64, stop <-chan struct{}) bool {
 		r.pwait.Store(true)
 		if r.cap()-(r.tail-r.atomicHead.Load()) >= n {
 			r.pwait.Store(false)
+			if st != nil {
+				st.spins++
+			}
 			return true
 		}
-		select {
-		case <-r.psig:
-		case <-stop:
-			return false
+		if st != nil && st.parks&parkSampleMask == 0 {
+			st.parks++
+			st.timedParks++
+			t0 := time.Now()
+			select {
+			case <-r.psig:
+				st.blockedNs += int64(time.Since(t0))
+			case <-stop:
+				st.blockedNs += int64(time.Since(t0))
+				return false
+			}
+		} else {
+			if st != nil {
+				st.parks++
+			}
+			select {
+			case <-r.psig:
+			case <-stop:
+				return false
+			}
 		}
 	}
 	return true
@@ -123,11 +190,20 @@ func (r *ring) waitWrite(n int64, stop <-chan struct{}) bool {
 
 // publish advances the producer cursor by n (after the slots were filled)
 // and wakes a waiting consumer. The atomic store orders the slot writes
-// before the consumer's reads.
+// before the consumer's reads. With metrics enabled the producer also
+// tracks the occupancy high-water mark (one extra atomic load per batch).
 func (r *ring) publish(n int64) {
 	r.tail += n
 	r.atomicTail.Store(r.tail)
+	if st := r.pst; st != nil {
+		if occ := r.tail - r.atomicHead.Load(); occ > st.highWater {
+			st.highWater = occ
+		}
+	}
 	if r.cwait.CompareAndSwap(true, false) {
+		if st := r.pst; st != nil {
+			st.wakes++
+		}
 		select {
 		case r.csig <- struct{}{}:
 		default:
@@ -141,6 +217,9 @@ func (r *ring) release(n int64) {
 	r.head += n
 	r.atomicHead.Store(r.head)
 	if r.pwait.CompareAndSwap(true, false) {
+		if st := r.cst; st != nil {
+			st.wakes++
+		}
 		select {
 		case r.psig <- struct{}{}:
 		default:

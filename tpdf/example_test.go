@@ -5,6 +5,7 @@ import (
 	"log"
 
 	"repro/tpdf"
+	"repro/tpdf/obs"
 )
 
 // Example builds a parametric two-stage pipeline with the fluent builder,
@@ -83,6 +84,56 @@ func ExampleStream() {
 	// Output:
 	// fired: SRC 3, FWD 3, SNK 3
 	// tokens delivered: 14
+}
+
+// ExampleStream_metrics attaches the observability surface to a streaming
+// run: a Registry receives per-actor and per-edge counters harvested at
+// every transaction barrier (never on the firing path, which stays
+// allocation-free), and a bounded Journal records barrier, rebind and
+// drain events for export as a Chrome trace or a table. Both are safe to
+// read concurrently while the run is live; here they are read after it.
+func ExampleStream_metrics() {
+	g, err := tpdf.NewGraph("observed").
+		Param("p", 2, 1, 8).
+		Kernel("SRC", 1).
+		Kernel("SNK", 1).
+		Connect("SRC[p] -> SNK[p]").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	journal := obs.NewJournal(64)
+	_, err = tpdf.Stream(g, nil,
+		tpdf.WithIterations(4),
+		tpdf.WithMetrics(reg),
+		tpdf.WithTraceJournal(journal),
+		tpdf.WithReconfigure(func(completed int64) map[string]int64 {
+			return map[string]int64{"p": 2 + completed} // 2, 3, 4, 5
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	snap := reg.EngineSnapshot()
+	fmt.Printf("completed %d iterations, %d rebinds\n", snap.Completed, snap.Rebinds)
+	for _, a := range snap.Actors {
+		fmt.Printf("%s: %d firings, %d in, %d out\n",
+			a.Name, a.Firings, a.TokensIn, a.TokensOut)
+	}
+	rebinds := 0
+	for _, ev := range journal.Events() {
+		if ev.Kind == obs.EvRebind {
+			rebinds++
+		}
+	}
+	fmt.Printf("journal: %d events, %d rebind records\n", journal.Len(), rebinds)
+	// Output:
+	// completed 4 iterations, 3 rebinds
+	// SRC: 4 firings, 0 in, 14 out
+	// SNK: 4 firings, 14 in, 0 out
+	// journal: 9 events, 3 rebind records
 }
 
 // ExampleStream_reconfigure changes a parameter mid-stream: the hook runs

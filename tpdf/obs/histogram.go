@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram with lock-free atomic counters,
+// sized for request latencies and rendered in Prometheus exposition form
+// by PromWriter.Histo. Observations are seconds; bucket bounds are
+// cumulative upper bounds (le).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf overflow
+	sum    atomic.Int64   // nanoseconds, to stay integral under concurrency
+	count  atomic.Int64
+}
+
+// defaultLatencyBounds spans 100µs to 10s, roughly logarithmic — wide
+// enough for both in-process handlers and loaded fleet tails.
+var defaultLatencyBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// NewLatencyHistogram returns a histogram with the default latency bounds.
+func NewLatencyHistogram() *Histogram { return NewHistogram(defaultLatencyBounds) }
+
+// NewHistogram returns a histogram over the given ascending upper bounds
+// (seconds). The bounds slice is not copied and must not change.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// snapshot returns bounds, per-bucket counts, the sum in seconds and the
+// total count, read without locking (buckets may skew by in-flight
+// observations, which Prometheus tolerates).
+func (h *Histogram) snapshot() (bounds []float64, counts []int64, sum float64, count int64) {
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return h.bounds, counts, float64(h.sum.Load()) / 1e9, h.count.Load()
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistrySnapshotIsDeepCopy(t *testing.T) {
+	r := NewRegistry()
+	r.UpdateEngine(func(s *EngineSnapshot) {
+		s.Completed = 3
+		s.Actors = append(s.Actors[:0], ActorMetrics{Name: "A", Firings: 7})
+		s.Edges = append(s.Edges[:0], EdgeMetrics{Name: "A->B", Capacity: 4})
+	})
+	snap := r.EngineSnapshot()
+	snap.Actors[0].Firings = 999
+	snap.Edges[0].Capacity = 999
+	again := r.EngineSnapshot()
+	if again.Actors[0].Firings != 7 || again.Edges[0].Capacity != 4 {
+		t.Fatalf("snapshot aliased registry state: %+v", again)
+	}
+	if again.Completed != 3 {
+		t.Fatalf("Completed = %d, want 3", again.Completed)
+	}
+}
+
+func TestParamsDigest(t *testing.T) {
+	a := ParamsDigest(map[string]int64{"p": 2, "q": 5})
+	b := ParamsDigest(map[string]int64{"q": 5, "p": 2})
+	if a != b {
+		t.Fatalf("digest is order-dependent: %x vs %x", a, b)
+	}
+	if a == 0 {
+		t.Fatal("digest of a non-empty valuation is zero")
+	}
+	c := ParamsDigest(map[string]int64{"p": 3, "q": 5})
+	if c == a {
+		t.Fatalf("digest did not change with a value change")
+	}
+	if ParamsDigest(nil) != 0 {
+		t.Fatal("digest of nil valuation should be 0")
+	}
+	// Allocation-free: safe on the engine's barrier path.
+	env := map[string]int64{"p": 2, "q": 5, "r": 9}
+	if allocs := testing.AllocsPerRun(100, func() { ParamsDigest(env) }); allocs > 0 {
+		t.Fatalf("ParamsDigest allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestJournalBoundAndOrder(t *testing.T) {
+	j := NewJournal(4)
+	var fake int64
+	j.nowfn = func() int64 { fake++; return fake }
+	for i := int64(1); i <= 10; i++ {
+		j.Record(Event{Kind: EvBarrier, Completed: i})
+	}
+	if j.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", j.Len())
+	}
+	if j.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", j.Dropped())
+	}
+	evs := j.Events()
+	for i, e := range evs {
+		if want := int64(7 + i); e.Completed != want {
+			t.Fatalf("event %d Completed = %d, want %d (newest 4, oldest first)", i, e.Completed, want)
+		}
+	}
+	j.Reset()
+	if j.Len() != 0 || j.Dropped() != 0 {
+		t.Fatalf("Reset left Len=%d Dropped=%d", j.Len(), j.Dropped())
+	}
+}
+
+func TestJournalRecordDoesNotAllocate(t *testing.T) {
+	j := NewJournal(64)
+	ev := Event{TimeUnixNano: 1, Kind: EvBarrier, Completed: 1, Detail: "static"}
+	if allocs := testing.AllocsPerRun(200, func() { j.Record(ev) }); allocs > 0 {
+		t.Fatalf("Record allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestJournalChromeTraceIsValidJSON(t *testing.T) {
+	j := NewJournal(8)
+	base := time.Now().UnixNano()
+	j.Record(Event{TimeUnixNano: base, Kind: EvRunStart})
+	j.Record(Event{TimeUnixNano: base + 2e6, Kind: EvBarrier, Completed: 1, DurNs: 1e6})
+	j.Record(Event{TimeUnixNano: base + 3e6, Kind: EvRebind, Completed: 1, DurNs: 5e5, ParamsDigest: 0xabcd, Detail: `quote"and\slash`})
+	j.Record(Event{TimeUnixNano: base + 4e6, Kind: EvRunEnd, Completed: 2})
+	var sb strings.Builder
+	if err := j.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &evs); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	if evs[1]["ph"] != "X" || evs[0]["ph"] != "i" {
+		t.Fatalf("phases wrong: %v / %v", evs[0]["ph"], evs[1]["ph"])
+	}
+	if evs[2]["name"] != "rebind" {
+		t.Fatalf("name = %v, want rebind", evs[2]["name"])
+	}
+}
+
+func TestJournalSummaryTable(t *testing.T) {
+	j := NewJournal(8)
+	j.Record(Event{TimeUnixNano: 1e6, Kind: EvBarrier, Completed: 1, DurNs: 2e6})
+	j.Record(Event{TimeUnixNano: 5e6, Kind: EvRebind, Completed: 1, ParamsDigest: 0xff, Detail: "p=3"})
+	s := j.Summary()
+	for _, want := range []string{"event", "barrier", "rebind", "00000000000000ff", "p=3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01})
+	h.Observe(500 * time.Microsecond) // bucket le=0.001
+	h.Observe(5 * time.Millisecond)   // bucket le=0.01
+	h.Observe(2 * time.Second)        // +Inf
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count())
+	}
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Family("lat", "latency", "histogram")
+	p.Histo("lat", []Label{{"endpoint", "pump"}}, h)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`lat_bucket{endpoint="pump",le="0.001"} 1`,
+		`lat_bucket{endpoint="pump",le="0.01"} 2`,
+		`lat_bucket{endpoint="pump",le="+Inf"} 3`,
+		`lat_count{endpoint="pump"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if n, err := ValidateExposition(out); err != nil || n != 5 {
+		t.Fatalf("ValidateExposition = %d, %v\n%s", n, err, out)
+	}
+}
+
+func TestPromWriterEscaping(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Family("m", "a metric", "gauge")
+	p.Int("m", []Label{{"graph", `pipe"v\1`}}, 7)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `m{graph="pipe\"v\\1"} 7`) {
+		t.Fatalf("bad escaping:\n%s", sb.String())
+	}
+	if _, err := ValidateExposition(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateExpositionRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here\n",
+		"# BOGUS comment style\n",
+		"1leading_digit 3\n",
+		"m{unterminated 3\n",
+		"m not-a-number\n",
+	} {
+		if _, err := ValidateExposition(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+	if n, err := ValidateExposition("m 3.5\nm2{a=\"b\"} +Inf 123\n# HELP m x\n"); err != nil || n != 2 {
+		t.Fatalf("got %d, %v", n, err)
+	}
+}

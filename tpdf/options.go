@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/symb"
+	"repro/tpdf/obs"
 )
 
 // Params is a repeatable "name=value" command-line flag collecting
@@ -54,6 +55,8 @@ type config struct {
 	compiled        *CompiledGraph
 	stallTimeout    time.Duration
 	parallel        int
+	metrics         *obs.Registry
+	journal         *obs.Journal
 }
 
 // Option configures Analyze, Simulate, Execute, Schedule or GenerateCode.
@@ -190,6 +193,30 @@ func WithReconfigure(fn func(completed int64) map[string]int64) Option {
 // not misread the pause as a deadlock. Zero or negative keeps the default.
 func WithStallTimeout(d time.Duration) Option {
 	return func(c *config) { c.stallTimeout = d }
+}
+
+// WithMetrics attaches an observability registry to the run. Stream
+// harvests per-actor counters (firings, tokens in/out, busy and blocked
+// time, park/spin/wake events) and per-edge ring gauges (occupancy,
+// high-water, grow events) into it at every transaction barrier — the
+// firing path itself updates only private cache-line-padded counters with
+// plain stores and stays 0 allocs/op — and Simulate publishes its event
+// counters after the run. Read a consistent copy at any time with
+// Registry.EngineSnapshot; it is at most one transaction old. Use one
+// registry per run (tpdf/serve keeps one per session) so series never mix.
+func WithMetrics(r *obs.Registry) Option {
+	return func(c *config) { c.metrics = r }
+}
+
+// WithTraceJournal attaches a bounded transaction-trace journal: Stream
+// records run start/end, every barrier span, rebinds with their duration
+// and parameter digest, drain verdicts and watchdog near-misses. The
+// journal keeps the newest Cap events (older ones are overwritten) and
+// recording never allocates, so it is safe to leave attached to a
+// long-running session. Export with Journal.WriteChromeTrace
+// (chrome://tracing) or Journal.Summary (aligned table).
+func WithTraceJournal(j *obs.Journal) Option {
+	return func(c *config) { c.journal = j }
 }
 
 // WithProbeEnvs adds parameter valuations at which Analyze probes the

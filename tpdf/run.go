@@ -10,15 +10,17 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/tpdf/obs"
 )
 
 // Simulate executes the graph token-accurately in virtual time and reports
 // firings, completion time and per-channel buffer high-water marks.
 // Relevant options: WithParams, WithIterations, WithProcessors,
-// WithDecisions, WithContext, WithTrace, WithRecord, WithMaxEvents.
+// WithDecisions, WithContext, WithTrace, WithRecord, WithMaxEvents,
+// WithMetrics (event counters published to the registry after the run).
 func Simulate(g *Graph, opts ...Option) (*SimResult, error) {
 	cfg := buildConfig(opts)
-	return sim.Run(sim.Config{
+	sc := sim.Config{
 		Graph:      g,
 		Context:    cfg.ctx,
 		Env:        cfg.env(),
@@ -28,7 +30,28 @@ func Simulate(g *Graph, opts ...Option) (*SimResult, error) {
 		OnFire:     cfg.onFire,
 		Record:     cfg.record,
 		MaxEvents:  cfg.maxEvents,
-	})
+	}
+	if cfg.metrics == nil {
+		return sim.Run(sc)
+	}
+	s, err := sim.NewSimulator(sc)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Run()
+	ctr := s.Counters()
+	snap := obs.SimSnapshot{
+		Runs:          ctr.Runs,
+		Events:        ctr.Events,
+		Firings:       ctr.Firings,
+		ClockTicks:    ctr.ClockTicks,
+		MaxEventQueue: ctr.MaxEventQueue,
+	}
+	if res != nil {
+		snap.VirtualTime = res.Time
+	}
+	cfg.metrics.UpdateSim(snap)
+	return res, err
 }
 
 // Execute runs the graph at the payload level: behaviors map node names to

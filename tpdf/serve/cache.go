@@ -46,6 +46,10 @@ type CacheStats struct {
 	// Misses counts lookups that created the entry (== Compiles unless a
 	// compilation failed and was retried).
 	Misses int64 `json:"misses"`
+	// Rejected counts lookups refused because the cache was at capacity —
+	// the admission-control signal that clients are submitting more
+	// distinct graphs than the server is provisioned for.
+	Rejected int64 `json:"rejected"`
 }
 
 // ProgramCache shares compile products across sessions, keyed by the
@@ -63,6 +67,7 @@ type ProgramCache struct {
 	compiles atomic.Int64
 	hits     atomic.Int64
 	misses   atomic.Int64
+	rejected atomic.Int64
 }
 
 // NewProgramCache builds a cache bounded to max distinct graphs (<= 0
@@ -85,6 +90,7 @@ func (c *ProgramCache) Get(g *tpdf.Graph) (*tpdf.CompiledGraph, *tpdf.Report, er
 	if !ok {
 		if len(c.entries) >= c.max {
 			c.mu.Unlock()
+			c.rejected.Add(1)
 			return nil, nil, fmt.Errorf("%w: program cache holds %d distinct graphs", ErrBusy, c.max)
 		}
 		e = &cacheEntry{}
@@ -124,5 +130,6 @@ func (c *ProgramCache) Stats() CacheStats {
 		Compiles: c.compiles.Load(),
 		Hits:     c.hits.Load(),
 		Misses:   c.misses.Load(),
+		Rejected: c.rejected.Load(),
 	}
 }

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/tpdf/obs"
 )
 
 // LoadConfig drives RunLoad against a running tpdf-serve instance.
@@ -111,6 +113,11 @@ type LoadReport struct {
 	Rejected int64 `json:"rejected"`
 	// Leaked counts sessions still reported by /v1/stats after the run.
 	Leaked int64 `json:"leaked"`
+	// MetricsSeries is the number of sample lines the mid-run /metrics
+	// scrape exposed; MetricsValid reports whether the exposition parsed
+	// as Prometheus text (a parse failure fails the whole run).
+	MetricsSeries int  `json:"metrics_series"`
+	MetricsValid  bool `json:"metrics_valid"`
 
 	ElapsedMs      int64   `json:"elapsed_ms"`
 	SessionsPerSec float64 `json:"sessions_per_sec"`
@@ -168,6 +175,27 @@ func (c *loadClient) do(ctx context.Context, method, path string, req, resp any)
 		return json.Unmarshal(data, resp)
 	}
 	return nil
+}
+
+// raw fetches a non-JSON endpoint (the Prometheus exposition) verbatim.
+func (c *loadClient) raw(ctx context.Context, path string) (string, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return "", err
+	}
+	res, err := c.hc.Do(hr)
+	if err != nil {
+		return "", err
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(res.Body, 8<<20))
+	if err != nil {
+		return "", err
+	}
+	if res.StatusCode >= 300 {
+		return "", &httpError{status: res.StatusCode, body: string(bytes.TrimSpace(data))}
+	}
+	return string(data), nil
 }
 
 // RunLoad soaks the server: Sessions session lifecycles at Concurrency in
@@ -228,6 +256,29 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		}
 	}
 
+	// One mid-run /metrics scrape, taken while the scraping session is
+	// still open so the exposition carries live per-session series; the
+	// text is validated structurally and a parse failure fails the run.
+	var (
+		scrapeOnce    sync.Once
+		metricsSeries int
+		metricsValid  bool
+		metricsErr    error
+	)
+	scrapeMetrics := func() {
+		text, err := cl.raw(ctx, "/metrics")
+		if err != nil {
+			metricsErr = fmt.Errorf("scrape /metrics: %w", err)
+			return
+		}
+		n, err := obs.ValidateExposition(text)
+		if err != nil {
+			metricsErr = fmt.Errorf("invalid /metrics exposition: %w", err)
+			return
+		}
+		metricsSeries, metricsValid = n, true
+	}
+
 	runSession := func(i int) error {
 		tenant := fmt.Sprintf("tenant-%d", i%cfg.Tenants)
 		start := time.Now()
@@ -236,6 +287,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			openRequest{Tenant: tenant, Graph: cfg.Graph}, &opened); err != nil {
 			return fmt.Errorf("open: %w", err)
 		}
+		scrapeOnce.Do(scrapeMetrics)
 		for p := 0; p < cfg.Pumps; p++ {
 			var pr pumpResponse
 			if err := timedDo(&pumpNs, http.MethodPost, "/v1/sessions/"+opened.ID+"/pump",
@@ -289,6 +341,11 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		Pump:            summarize(pumpNs),
 		Close:           summarize(closeNs),
 		Session:         summarize(sessNs),
+		MetricsSeries:   metricsSeries,
+		MetricsValid:    metricsValid,
+	}
+	if metricsErr != nil {
+		return rep, metricsErr
 	}
 
 	// Leak check: after every session closed, the server must report an

@@ -94,6 +94,8 @@ func (c Config) withDefaults() Config {
 type Stats struct {
 	Sessions       int        `json:"sessions"`
 	Tenants        int        `json:"tenants"`
+	QueueDepth     int64      `json:"queue_depth"`
+	Draining       bool       `json:"draining"`
 	Opened         int64      `json:"opened"`
 	Drained        int64      `json:"drained"`
 	Failed         int64      `json:"failed"`
@@ -249,6 +251,27 @@ func (m *Manager) Open(ctx context.Context, tenant string, g *tpdf.Graph, params
 	return s, nil
 }
 
+// Draining reports whether the manager has begun shutting down: new
+// admissions are refused and /healthz answers 503 so load balancers stop
+// routing here while in-flight sessions park and exit.
+func (m *Manager) Draining() bool { return m.closed.Load() }
+
+// QueueDepth is the number of openers currently waiting for a session slot.
+func (m *Manager) QueueDepth() int64 { return m.queued.Load() }
+
+// Sessions snapshots the open sessions in ID order (for the metrics
+// exposition, which must emit stable series across scrapes).
+func (m *Manager) Sessions() []*Session {
+	m.mu.Lock()
+	out := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		out = append(out, s)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // Get looks a session up by ID.
 func (m *Manager) Get(id string) (*Session, error) {
 	m.mu.Lock()
@@ -360,6 +383,8 @@ func (m *Manager) Stats() Stats {
 	return Stats{
 		Sessions:       n,
 		Tenants:        t,
+		QueueDepth:     m.queued.Load(),
+		Draining:       m.closed.Load(),
 		Opened:         m.opened.Load(),
 		Drained:        m.drained.Load(),
 		Failed:         m.failed.Load(),

@@ -108,21 +108,26 @@ type errorResponse struct {
 
 // Server is the HTTP face of the service tier.
 type Server struct {
-	m    *Manager
-	mux  *http.ServeMux
-	http *http.Server
-	ln   net.Listener
+	m       *Manager
+	mux     *http.ServeMux
+	obs     *serveObs
+	http    *http.Server
+	ln      net.Listener
+	admin   *http.Server
+	adminLn net.Listener
 }
 
 // New builds a server around a fresh Manager with the given bounds.
 func New(cfg Config) *Server {
-	s := &Server{m: NewManager(cfg), mux: http.NewServeMux()}
+	s := &Server{m: NewManager(cfg), mux: http.NewServeMux(), obs: newServeObs()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleOpen)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/pump", s.handlePump)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/reconfigure", s.handleReconfigure)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleClose)
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
@@ -132,8 +137,9 @@ func New(cfg Config) *Server {
 // Manager exposes the fleet for in-process callers (tests, tpdf-bench).
 func (s *Server) Manager() *Manager { return s.m }
 
-// Handler returns the HTTP handler (for tests and embedding).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the instrumented HTTP handler (for tests and embedding):
+// every request passes the latency/status middleware feeding /metrics.
+func (s *Server) Handler() http.Handler { return s.obs.wrap(s.mux) }
 
 // Start listens on addr (host:port, port 0 picks a free one) and serves in
 // a background goroutine. The bound address is returned.
@@ -143,7 +149,7 @@ func (s *Server) Start(addr string) (string, error) {
 		return "", err
 	}
 	s.ln = ln
-	s.http = &http.Server{Handler: s.mux}
+	s.http = &http.Server{Handler: s.Handler()}
 	go s.http.Serve(ln) //nolint:errcheck // Serve always returns on Close
 	return ln.Addr().String(), nil
 }
@@ -157,6 +163,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.http != nil {
 		if herr := s.http.Shutdown(ctx); err == nil {
 			err = herr
+		}
+	}
+	if s.admin != nil {
+		if aerr := s.admin.Shutdown(ctx); err == nil {
+			err = aerr
 		}
 	}
 	return err
@@ -196,7 +207,14 @@ func decode[T any](r *http.Request, into *T) error {
 	return dec.Decode(into)
 }
 
+// handleHealth answers 200 while serving and 503 "draining" once shutdown
+// has begun, so load balancers stop routing new work here while in-flight
+// sessions park and exit at their barriers.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.m.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/tpdf"
+	"repro/tpdf/obs"
 )
 
 // maxSessionIterations is the engine horizon of a session: effectively
@@ -64,6 +65,13 @@ type Session struct {
 	// edges): the per-session observable output of the count profile.
 	sinkNames  []string
 	sinkTokens []atomic.Int64
+
+	// metrics and journal are the session's private observability surface:
+	// the engine harvests into them at transaction barriers, /metrics and
+	// the trace export read them. One registry per session, so series from
+	// different engines never mix.
+	metrics *obs.Registry
+	journal *obs.Journal
 }
 
 // newSession stamps and starts a session. The engine goroutine runs until
@@ -81,6 +89,8 @@ func newSession(id, tenant string, compiled *tpdf.CompiledGraph, params map[stri
 		hardCtx:    hardCtx,
 		hardCancel: hardCancel,
 		done:       make(chan struct{}),
+		metrics:    obs.NewRegistry(),
+		journal:    obs.NewJournal(256),
 	}
 	g := compiled.Graph()
 	out := make([]bool, len(g.Nodes))
@@ -127,6 +137,8 @@ func (s *Session) run() {
 		tpdf.WithIterations(maxSessionIterations),
 		tpdf.WithContext(s.hardCtx),
 		tpdf.WithBarrier(s.barrier()),
+		tpdf.WithMetrics(s.metrics),
+		tpdf.WithTraceJournal(s.journal),
 	)
 	s.result, s.runErr = res, err
 }
@@ -268,6 +280,16 @@ func (s *Session) exitErr() error {
 
 // Completed returns the session's total completed iteration count.
 func (s *Session) Completed() int64 { return s.completed.Load() }
+
+// Metrics is the session's private observability registry; the engine
+// refreshes it at every transaction barrier.
+func (s *Session) Metrics() *obs.Registry { return s.metrics }
+
+// TraceJournal is the session's bounded transaction-trace journal.
+func (s *Session) TraceJournal() *obs.Journal { return s.journal }
+
+// Graph names the session's graph (a label in the metrics exposition).
+func (s *Session) Graph() string { return s.compiled.Graph().Name }
 
 // SinkTokens reports tokens consumed per sink node so far.
 func (s *Session) SinkTokens() map[string]int64 {

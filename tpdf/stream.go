@@ -19,7 +19,7 @@ import (
 //
 // Relevant options: WithParams, WithIterations, WithContext, WithWorkers,
 // WithChannelCapacity, WithReconfigure, WithBarrier, WithCompiled,
-// WithStallTimeout.
+// WithStallTimeout, WithMetrics, WithTraceJournal.
 func Stream(g *Graph, behaviors map[string]Behavior, opts ...Option) (*ExecResult, error) {
 	cfg := buildConfig(opts)
 	ec := engine.Config{
@@ -33,6 +33,8 @@ func Stream(g *Graph, behaviors map[string]Behavior, opts ...Option) (*ExecResul
 		Reconfigure:  cfg.reconfigure,
 		Barrier:      cfg.barrier,
 		StallTimeout: cfg.stallTimeout,
+		Metrics:      cfg.metrics,
+		Journal:      cfg.journal,
 	}
 	if cfg.compiled != nil {
 		ec.Skeleton = cfg.compiled.sk

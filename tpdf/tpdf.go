@@ -31,6 +31,30 @@
 //   - The case-study constructors (OFDM, EdgeDetection, FMRadio, VC1,
 //     MotionEstimation) and the experiment registry (RunExperiment)
 //     reproduce the paper's graphs, tables and figures.
+//
+// # Observability
+//
+// Streaming runs carry zero-overhead instrumentation from the tpdf/obs
+// package, attached with two options. WithMetrics(registry) publishes
+// per-actor counters (firings, tokens moved, estimated busy/blocked time)
+// and per-edge ring gauges (occupancy, high-water, capacity, grows, park
+// and wake counts) into an obs.Registry. Counters are bumped with plain
+// stores on cache-line-padded per-actor blocks and harvested into the
+// registry only at transaction barriers, when the pipeline is quiescent —
+// the warm firing path stays free of locks, atomics and allocations, and
+// clock reads are sampled, so a run with metrics attached is measurably no
+// slower (the tpdf-bench -metrics-overhead CI gate enforces <2%).
+//
+// WithTraceJournal(journal) records the run's transaction structure —
+// barriers with their boundary cost, parameter rebinds with a digest of
+// the new valuation, drains, stall warnings — into a bounded obs.Journal
+// ring. Export it with Journal.WriteChromeTrace (load in chrome://tracing
+// or Perfetto) or Journal.Summary (aligned text table). Both the registry
+// and the journal are safe to read concurrently while the run is live;
+// tpdf-serve holds one pair per session and serves them at GET /metrics in
+// Prometheus text exposition and GET /v1/sessions/{id}/trace as a Chrome
+// trace, with net/http/pprof on an opt-in admin listener. See
+// ExampleStream_metrics.
 package tpdf
 
 import (
