@@ -186,6 +186,10 @@ type streamWorkload struct {
 	name  string
 	iters int64
 	build func() (*tpdf.Graph, map[string]tpdf.Behavior, []tpdf.Option, error)
+	// ckptArmed marks workloads that already run with checkpoint capture
+	// on; they are their own checkpoint measurement and get no "+ckpt"
+	// twin (stacking a second WithCheckpoints would invert the pair).
+	ckptArmed bool
 }
 
 // passthrough forwards one payload without allocating (direct append into
@@ -304,16 +308,70 @@ func engineWorkloads(quick bool) []streamWorkload {
 			})}
 			return g, behaviors, opts, nil
 		}},
+		// stream/checkpoint measures the full fault-tolerance data path:
+		// the run rehydrates from a checkpoint (one restore, taken outside
+		// the timed window) and then captures a full recovery point at
+		// every transaction barrier, handing it to a sink that copies it
+		// into a held arena — the exact shape of a supervised serve
+		// session restarting and then keeping a rolling restart point. The
+		// pipeline does the same ~100 firings of real per-epoch work as
+		// stream/reconfigure, so the number reports restore + capture +
+		// copy cost amortized the way a supervisor amortizes it.
+		{name: "stream/checkpoint", iters: 2048 / scale, ckptArmed: true, build: func() (*tpdf.Graph, map[string]tpdf.Behavior, []tpdf.Option, error) {
+			g, err := tpdf.NewGraph("ckpt").
+				Kernel("SRC", 1).Kernel("A", 1).Kernel("B", 1).Kernel("SNK", 1).
+				Connect("SRC[32] -> A[1]").
+				Connect("A[1] -> B[1]").
+				Connect("B[1] -> SNK[4]").
+				Build()
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			behaviors := map[string]tpdf.Behavior{
+				"SRC": func(f *tpdf.Firing) error {
+					for i := 0; i < 32; i++ {
+						f.Out["o0"] = append(f.Out["o0"], i)
+					}
+					return nil
+				},
+				"A": passthrough, "B": passthrough,
+				"SNK": func(f *tpdf.Firing) error { return nil },
+			}
+			// A no-op reconfigure hook forces a barrier per iteration so
+			// every iteration produces a checkpoint, as a supervised
+			// session's rolling recovery point does.
+			noop := func(int64) map[string]int64 { return nil }
+			// Prime the restore source outside the timed window: a short
+			// checkpointed leg whose final barrier cut the measured run
+			// resumes from (WithIterations is the total target, so the
+			// timed run performs the remaining iterations).
+			prime := &tpdf.Checkpoint{}
+			if _, err := tpdf.Stream(g, behaviors,
+				tpdf.WithIterations(64),
+				tpdf.WithReconfigure(noop),
+				tpdf.WithCheckpoints(func(ck *tpdf.Checkpoint) { ck.CopyInto(prime) })); err != nil {
+				return nil, nil, nil, err
+			}
+			held := &tpdf.Checkpoint{}
+			opts := []tpdf.Option{
+				tpdf.WithReconfigure(noop),
+				tpdf.WithCheckpoints(func(ck *tpdf.Checkpoint) { ck.CopyInto(held) }),
+				tpdf.WithResume(prime),
+			}
+			return g, behaviors, opts, nil
+		}},
 	}
 }
 
 // measureEngineMode times every streaming workload (best of measureRounds,
 // with allocation counts) plus the engine-vs-runner latency comparison:
 // the regression gate for the execution hot path, the counterpart of the
-// analysis gate in the default mode. Every workload is measured twice —
-// bare and with a metrics registry + trace journal attached — so the
-// "+metrics" pairs feed the -metrics-overhead gate proving observability
-// costs nothing on the hot path.
+// analysis gate in the default mode. Every workload is measured several
+// times over — bare, with a metrics registry + trace journal attached
+// ("+metrics"), and with barrier checkpointing armed but no consumer
+// ("+ckpt") — so the decorated twins feed the -metrics-overhead and
+// -ckpt-overhead gates proving observability and fault-tolerance arming
+// cost nothing on the hot path.
 func measureEngineMode(quick bool) (*benchReport, error) {
 	rep := &benchReport{Quick: quick, EngineMode: true}
 	for _, w := range engineWorkloads(quick) {
@@ -334,26 +392,36 @@ func measureEngineMode(quick bool) (*benchReport, error) {
 				}, nil
 			}
 		}
-		timing, withObs := measureTimingPair(
-			w.name, prepare(nil),
-			w.name+"+metrics", prepare(func(opts []tpdf.Option) []tpdf.Option {
-				// Fresh registry and journal per round, as a server session
-				// would hold them.
-				return append(opts,
-					tpdf.WithMetrics(obs.NewRegistry()),
-					tpdf.WithTraceJournal(obs.NewJournal(256)))
-			}))
-		timing.Iterations = w.iters
-		withObs.Iterations = w.iters
-		rep.Experiments = append(rep.Experiments, timing, withObs)
+		twins := []twinSpec{{name: w.name + "+metrics", prep: prepare(func(opts []tpdf.Option) []tpdf.Option {
+			// Fresh registry and journal per round, as a server session
+			// would hold them.
+			return append(opts,
+				tpdf.WithMetrics(obs.NewRegistry()),
+				tpdf.WithTraceJournal(obs.NewJournal(256)))
+		})}}
+		if !w.ckptArmed {
+			twins = append(twins, twinSpec{name: w.name + "+ckpt", prep: prepare(func(opts []tpdf.Option) []tpdf.Option {
+				// Checkpoint capture armed with no sink: the armed-but-idle
+				// configuration every supervised serve session runs in
+				// between faults.
+				return append(opts, tpdf.WithCheckpoints(nil))
+			})})
+		}
+		set := measureTimingSet(w.name, prepare(nil), twins...)
+		for i := range set {
+			set[i].Iterations = w.iters
+		}
+		rep.Experiments = append(rep.Experiments, set...)
 	}
 	return rep, finishReport(rep, quick)
 }
 
-// metricsSetupAllocs is the fixed allocation budget attaching observability
-// may spend per run outside the firing path: the registry snapshot slices
-// (sized once at the first harvest), the options themselves, and journal
-// construction. Everything beyond it must amortize to ~zero per iteration.
+// metricsSetupAllocs is the fixed allocation budget a decorated twin may
+// spend per run outside the firing path: for "+metrics" the registry
+// snapshot slices (sized once at the first harvest), the options
+// themselves, and journal construction; for "+ckpt" the checkpoint arena
+// (per-edge buffers sized once to ring capacities). Everything beyond it
+// must amortize to ~zero per iteration.
 const metricsSetupAllocs = 512
 
 // metricsAllocsPerIter is the per-iteration allocation delta tolerated for
@@ -361,24 +429,25 @@ const metricsSetupAllocs = 512
 // epsilon absorbs runtime bookkeeping such as GC assists).
 const metricsAllocsPerIter = 0.01
 
-// gateMetricsOverhead compares every engine workload against its
-// "+metrics" twin from the same report: the instrumented run may be at
-// most tol slower in wall time and must not allocate per iteration beyond
-// the fixed setup budget — the zero-overhead contract, enforced in CI.
-func gateMetricsOverhead(rep *benchReport, tol float64) error {
+// gateTwinOverhead compares every engine workload against one family of
+// decorated twins ("+metrics", "+ckpt") from the same report: the
+// decorated run may be at most tol slower in wall time and must not
+// allocate per iteration beyond the fixed setup budget — the
+// zero-overhead contract, enforced in CI.
+func gateTwinOverhead(rep *benchReport, suffix, what string, tol float64) error {
 	byName := map[string]experimentTiming{}
 	for _, t := range rep.Experiments {
 		byName[t.Name] = t
 	}
 	var violations []string
 	checked := 0
-	fmt.Printf("metrics overhead gate (<=%.1f%% ns/op, <=%.2f allocs/iteration beyond %d setup):\n",
-		tol*100, metricsAllocsPerIter, metricsSetupAllocs)
+	fmt.Printf("%s overhead gate (<=%.1f%% ns/op, <=%.2f allocs/iteration beyond %d setup):\n",
+		what, tol*100, metricsAllocsPerIter, metricsSetupAllocs)
 	for _, off := range rep.Experiments {
-		if strings.HasSuffix(off.Name, "+metrics") {
-			continue
+		if strings.Contains(off.Name, "+") {
+			continue // a twin, not a base
 		}
-		on, ok := byName[off.Name+"+metrics"]
+		on, ok := byName[off.Name+suffix]
 		if !ok {
 			continue
 		}
@@ -417,13 +486,13 @@ func gateMetricsOverhead(rep *benchReport, tol float64) error {
 			off.Name, off.NsPerOp, on.NsPerOp, delta*100, off.AllocsPerOp, on.AllocsPerOp, verdict)
 	}
 	if checked == 0 {
-		return fmt.Errorf("metrics overhead gate matched no workload pairs")
+		return fmt.Errorf("%s overhead gate matched no workload pairs", what)
 	}
 	if len(violations) > 0 {
-		return fmt.Errorf("metrics overhead above budget on %d workload(s):\n  %s",
-			len(violations), strings.Join(violations, "\n  "))
+		return fmt.Errorf("%s overhead above budget on %d workload(s):\n  %s",
+			what, len(violations), strings.Join(violations, "\n  "))
 	}
-	fmt.Println("metrics overhead within budget")
+	fmt.Printf("%s overhead within budget\n", what)
 	return nil
 }
 
@@ -541,82 +610,101 @@ func measureTiming(name string, prepare func() (func() error, error)) experiment
 	return timing
 }
 
-// pairRounds is how many rounds a paired twin measurement takes. Pairs
-// exist to be compared against each other at a few-percent tolerance —
+// pairRounds is how many rounds a paired twin measurement takes. Twins
+// exist to be compared against their base at a few-percent tolerance —
 // far below scheduler noise on a shared runner — so they get many more
 // rounds than a standalone experiment (engine runs are milliseconds, the
-// extra rounds are cheap) and the rounds interleave A,B,A,B,... so a noise
-// burst (CPU contention, GC debt) lands on both twins instead of skewing
-// whichever one owned that stretch of wall time.
-const pairRounds = 25
+// extra rounds are cheap) and every round runs all variants back to back
+// so a noise burst (CPU contention, GC debt) lands on the whole round
+// instead of skewing whichever variant owned that stretch of wall time.
+const pairRounds = 41
 
-// measureTimingPair measures two experiment variants with interleaved
-// rounds. Each twin reports its single fastest round; the B twin also
-// carries OverheadPct, the median of the per-round (B-A)/A wall-time
-// ratios — each ratio compares two runs adjacent in time, so contention
-// that slows the whole stretch cancels out of it, and the median discards
-// rounds where a burst hit only one of the two.
-func measureTimingPair(nameA string, prepA func() (func() error, error),
-	nameB string, prepB func() (func() error, error)) (experimentTiming, experimentTiming) {
-	a := experimentTiming{Name: nameA}
-	b := experimentTiming{Name: nameB}
-	var ratios []float64
+// pairWarmup is how many leading rounds contribute no overhead ratio:
+// the first rounds pay cold page-cache and scheduler ramp-up costs that
+// land asymmetrically on whichever variant ran first, and a handful of
+// discarded rounds is cheaper than letting that skew a 2% gate. The
+// minimum-time estimate still considers every round.
+const pairWarmup = 2
+
+// twinSpec is one decorated variant measured against a base experiment
+// inside the same interleaved round set.
+type twinSpec struct {
+	name string
+	prep func() (func() error, error)
+}
+
+// measureTimingSet measures a base experiment and any number of decorated
+// twins with interleaved rounds. Each variant reports its single fastest
+// round; every twin also carries OverheadPct, the median of the per-round
+// (twin-base)/base wall-time ratios — each ratio compares runs adjacent
+// in time, so contention that slows the whole round cancels out of it,
+// and the median discards rounds where a burst hit only one variant. The
+// run order rotates every round so no variant systematically inherits the
+// cache/scheduler state another left behind. Returns base followed by the
+// twins in their given order.
+func measureTimingSet(baseName string, basePrep func() (func() error, error), twins ...twinSpec) []experimentTiming {
+	variants := 1 + len(twins)
+	timings := make([]experimentTiming, variants)
+	timings[0] = experimentTiming{Name: baseName}
+	for i, tw := range twins {
+		timings[i+1] = experimentTiming{Name: tw.name}
+	}
+	preps := make([]func() (func() error, error), variants)
+	preps[0] = basePrep
+	for i, tw := range twins {
+		preps[i+1] = tw.prep
+	}
+	ratios := make([][]float64, len(twins))
+rounds:
 	for round := 0; round < pairRounds; round++ {
-		if a.Error != "" || b.Error != "" {
-			break
+		ns := make([]int64, variants)
+		allocs := make([]uint64, variants)
+		for k := 0; k < variants; k++ {
+			idx := (round + k) % variants
+			n, a, err := timeRound(preps[idx])
+			if err != nil {
+				timings[idx].Error = err.Error()
+				break rounds
+			}
+			ns[idx], allocs[idx] = n, a
 		}
-		// Alternate which twin runs first so neither systematically
-		// inherits the cache/scheduler state the other left behind.
-		var nsA, nsB int64
-		var allocsA, allocsB uint64
-		var errA, errB error
-		if round%2 == 0 {
-			nsA, allocsA, errA = timeRound(prepA)
-			nsB, allocsB, errB = timeRound(prepB)
-		} else {
-			nsB, allocsB, errB = timeRound(prepB)
-			nsA, allocsA, errA = timeRound(prepA)
+		for idx := 0; idx < variants; idx++ {
+			if round == 0 || ns[idx] < timings[idx].NsPerOp {
+				timings[idx].NsPerOp, timings[idx].AllocsPerOp = ns[idx], allocs[idx]
+			}
 		}
-		if errA != nil {
-			a.Error = errA.Error()
-			break
-		}
-		if errB != nil {
-			b.Error = errB.Error()
-			break
-		}
-		if round == 0 || nsA < a.NsPerOp {
-			a.NsPerOp, a.AllocsPerOp = nsA, allocsA
-		}
-		if round == 0 || nsB < b.NsPerOp {
-			b.NsPerOp, b.AllocsPerOp = nsB, allocsB
-		}
-		if nsA > 0 {
-			ratios = append(ratios, float64(nsB-nsA)/float64(nsA))
+		if ns[0] > 0 && round >= pairWarmup {
+			for i := range twins {
+				ratios[i] = append(ratios[i], float64(ns[i+1]-ns[0])/float64(ns[0]))
+			}
 		}
 	}
-	if len(ratios) > 0 {
-		med := medianOf(ratios)
-		b.OverheadPct = &med
+	for i := range twins {
+		if len(ratios[i]) == 0 {
+			continue
+		}
+		med := medianOf(ratios[i])
+		timings[i+1].OverheadPct = &med
 		// Robust standard error of the median: 1.4826*MAD estimates the
 		// ratio spread without letting burst rounds inflate it, and
 		// 1.2533*sd/sqrt(n) is the median's sampling error. The gate
 		// judges med - 1.645*se, the one-sided 95% lower bound.
-		dev := make([]float64, len(ratios))
-		for i, r := range ratios {
-			dev[i] = math.Abs(r - med)
+		dev := make([]float64, len(ratios[i]))
+		for j, r := range ratios[i] {
+			dev[j] = math.Abs(r - med)
 		}
-		se := 1.2533 * 1.4826 * medianOf(dev) / math.Sqrt(float64(len(ratios)))
+		se := 1.2533 * 1.4826 * medianOf(dev) / math.Sqrt(float64(len(ratios[i])))
 		lo := med - 1.645*se
-		b.OverheadLoPct = &lo
+		timings[i+1].OverheadLoPct = &lo
 	}
-	fmt.Printf("%-18s %12d ns/op %12d allocs/op\n", a.Name, a.NsPerOp, a.AllocsPerOp)
-	over := ""
-	if b.OverheadPct != nil {
-		over = fmt.Sprintf("   %+.1f%% paired (lo %+.1f%%)", *b.OverheadPct*100, *b.OverheadLoPct*100)
+	for _, t := range timings {
+		over := ""
+		if t.OverheadPct != nil {
+			over = fmt.Sprintf("   %+.1f%% paired (lo %+.1f%%)", *t.OverheadPct*100, *t.OverheadLoPct*100)
+		}
+		fmt.Printf("%-22s %12d ns/op %12d allocs/op%s\n", t.Name, t.NsPerOp, t.AllocsPerOp, over)
 	}
-	fmt.Printf("%-18s %12d ns/op %12d allocs/op%s\n", b.Name, b.NsPerOp, b.AllocsPerOp, over)
-	return a, b
+	return timings
 }
 
 // medianOf returns the median; it sorts xs in place.
@@ -786,6 +874,7 @@ func run() error {
 	threshold := flag.Float64("threshold", 0.25, "relative slowdown tolerated by -compare (0.25 = 25%)")
 	allocThreshold := flag.Float64("alloc-threshold", 0.5, "relative allocs_per_op growth tolerated by -compare (0.5 = 50%)")
 	metricsOverhead := flag.Float64("metrics-overhead", 0, "engine mode: max relative slowdown of each workload's +metrics twin (0.02 = 2%; 0 disables the gate)")
+	ckptOverhead := flag.Float64("ckpt-overhead", 0, "engine mode: max relative slowdown of each workload's checkpoint-armed +ckpt twin (0.02 = 2%; 0 disables the gate)")
 	flag.Parse()
 
 	if *engineMode || *serveMode {
@@ -814,7 +903,12 @@ func run() error {
 			}
 		}
 		if *engineMode && *metricsOverhead > 0 {
-			if err := gateMetricsOverhead(rep, *metricsOverhead); err != nil {
+			if err := gateTwinOverhead(rep, "+metrics", "metrics", *metricsOverhead); err != nil {
+				return err
+			}
+		}
+		if *engineMode && *ckptOverhead > 0 {
+			if err := gateTwinOverhead(rep, "+ckpt", "checkpoint", *ckptOverhead); err != nil {
 				return err
 			}
 		}

@@ -40,6 +40,8 @@ func run() error {
 	graphFile := flag.String("graph", "", "open a .tpdf file instead of a builtin")
 	jsonOut := flag.String("json", "", "write the report as JSON to this file (default stdout)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	chaos := flag.Bool("chaos", false, "inject seeded faults into every session (server must run -chaos); sessions must still complete via supervisor recovery")
+	chaosSeed := flag.Int64("chaos-seed", 1, "base seed for per-session fault schedules (session i uses seed+i)")
 	flag.Parse()
 
 	spec := serve.GraphSpec{Builtin: *builtin}
@@ -54,7 +56,7 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
-	rep, err := serve.RunLoad(ctx, serve.LoadConfig{
+	lc := serve.LoadConfig{
 		BaseURL:     *url,
 		Sessions:    *sessions,
 		Concurrency: *concurrency,
@@ -63,7 +65,11 @@ func run() error {
 		Iterations:  *iterations,
 		Graph:       spec,
 		Timeout:     *timeout,
-	})
+	}
+	if *chaos {
+		lc.Chaos = &serve.ChaosSpec{Seed: *chaosSeed, Panics: 1, Delays: 1, RebindAborts: 1}
+	}
+	rep, err := serve.RunLoad(ctx, lc)
 	if rep != nil {
 		out, merr := json.MarshalIndent(rep, "", "  ")
 		if merr != nil {
@@ -82,6 +88,11 @@ func run() error {
 			rep.Sessions, rep.SessionsPerSec, rep.Failed, rep.Leaked,
 			time.Duration(rep.Pump.P50), time.Duration(rep.Pump.P99),
 			rep.MetricsSeries, rep.MetricsValid)
+		if *chaos {
+			fmt.Fprintf(os.Stderr,
+				"tpdf-loadgen: chaos: %d panics recovered via %d restarts, %d rebind aborts\n",
+				rep.Panics, rep.Restarts, rep.RebindAborts)
+		}
 	}
 	if err != nil {
 		return err

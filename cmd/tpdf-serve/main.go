@@ -64,6 +64,8 @@ func run() error {
 	batchWorkers := flag.Int("batch-workers", 2, "concurrent analyze/sweep jobs")
 	sweepPar := flag.Int("sweep-parallelism", 0, "worker-pool width per sweep request (0: sequential)")
 	maxPrograms := flag.Int("max-programs", 1024, "distinct graphs the program cache may hold")
+	maxRestarts := flag.Int("max-restarts", 3, "engine restarts per session after behavior panics (negative disables recovery)")
+	chaos := flag.Bool("chaos", false, "accept seeded fault-injection specs at session open (testing only)")
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
@@ -74,6 +76,8 @@ func run() error {
 		BatchWorkers:         *batchWorkers,
 		SweepParallelism:     *sweepPar,
 		MaxPrograms:          *maxPrograms,
+		MaxRestarts:          *maxRestarts,
+		EnableChaos:          *chaos,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)

@@ -1,0 +1,464 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/runner"
+	"repro/internal/symb"
+	"repro/tpdf/obs"
+)
+
+// ckRun is one fault-tolerant pipeline run: sink payload sequence travels
+// with the checkpoint via SnapshotUser/RestoreUser, so rolled-back or
+// resumed runs keep exactly-once output.
+type ckRun struct {
+	seq   []int
+	saved *Checkpoint
+}
+
+func (c *ckRun) snapshot() any { return append([]int(nil), c.seq...) }
+func (c *ckRun) restore(u any) {
+	if u == nil {
+		c.seq = c.seq[:0]
+		return
+	}
+	c.seq = append(c.seq[:0], u.([]int)...)
+}
+
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	g := pipeline(t)
+	const iters = 12
+	const captureAt = 5
+
+	run := func(resume *Checkpoint) (*ckRun, map[string]int64, map[string][]any, error) {
+		c := &ckRun{}
+		cfg := Config{
+			Graph:        g,
+			Behaviors:    pipelineBehaviors(&c.seq),
+			Iterations:   iters,
+			Resume:       resume,
+			SnapshotUser: c.snapshot,
+			RestoreUser:  c.restore,
+			CheckpointSink: func(ck *Checkpoint) {
+				if ck.Completed == captureAt && c.saved == nil {
+					c.saved = ck.Clone()
+				}
+			},
+			// A barrier hook forces per-iteration boundaries so a capture
+			// exists at captureAt.
+			Reconfigure: func(int64) map[string]int64 { return nil },
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			return c, nil, nil, err
+		}
+		return c, res.Firings, res.Remaining, nil
+	}
+
+	ref, refFirings, refRemaining, err := run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.saved == nil {
+		t.Fatalf("no checkpoint captured at iteration %d", captureAt)
+	}
+	if ref.saved.Completed != captureAt || ref.saved.Graph != "pipe" {
+		t.Fatalf("checkpoint = {%s, %d}, want {pipe, %d}", ref.saved.Graph, ref.saved.Completed, captureAt)
+	}
+
+	res, gotFirings, gotRemaining, err := run(ref.saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotFirings, refFirings) {
+		t.Errorf("firings: resumed %v, uninterrupted %v", gotFirings, refFirings)
+	}
+	if !reflect.DeepEqual(gotRemaining, refRemaining) {
+		t.Errorf("remaining: resumed %v, uninterrupted %v", gotRemaining, refRemaining)
+	}
+	if !reflect.DeepEqual(res.seq, ref.seq) {
+		t.Errorf("payload streams differ:\nresumed       %v\nuninterrupted %v", res.seq, ref.seq)
+	}
+}
+
+// TestCheckpointResumeAcrossRebinds resumes from a checkpoint taken
+// between two parameter changes: the restored valuation (the checkpoint's
+// Params) and the rate-phase base must both survive, or the tail diverges.
+func TestCheckpointResumeAcrossRebinds(t *testing.T) {
+	g := reconfGraph(t)
+	plan := []int64{2, 5, 5, 3, 4, 4, 2, 6}
+	const captureAt = 4 // between the p=3 and p=4 boundaries
+
+	run := func(resume *Checkpoint) ([][2]int, *Checkpoint, error) {
+		var observed [][2]int
+		var saved *Checkpoint
+		res, err := Run(Config{
+			Graph: g,
+			Env:   symb.Env{"p": plan[0]},
+			Behaviors: map[string]runner.Behavior{
+				"B": func(f *runner.Firing) error {
+					observed = append(observed, [2]int{len(f.In["i0"]), len(f.In["i1"])})
+					return nil
+				},
+			},
+			Iterations: int64(len(plan)),
+			Resume:     resume,
+			Reconfigure: func(completed int64) map[string]int64 {
+				return map[string]int64{"p": plan[completed]}
+			},
+			SnapshotUser: func() any { return append([][2]int(nil), observed...) },
+			RestoreUser: func(u any) {
+				observed = observed[:0]
+				if u != nil {
+					observed = append(observed, u.([][2]int)...)
+				}
+			},
+			CheckpointSink: func(ck *Checkpoint) {
+				if ck.Completed == captureAt && saved == nil {
+					saved = ck.Clone()
+				}
+			},
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if got := res.Firings["B"]; got != int64(len(plan)) {
+			return nil, nil, fmt.Errorf("B fired %d times, want %d", got, len(plan))
+		}
+		return observed, saved, nil
+	}
+
+	ref, saved, err := run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	if saved.Params["p"] != plan[captureAt] {
+		t.Fatalf("checkpoint p = %d, want %d", saved.Params["p"], plan[captureAt])
+	}
+	got, _, err := run(saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Errorf("observed rates differ:\nresumed       %v\nuninterrupted %v", got, ref)
+	}
+}
+
+// reconfGraph is the two-parallel-edge parametric graph of
+// TestReconfigureAtTransactionBoundaries.
+func reconfGraph(t *testing.T) *core.Graph {
+	t.Helper()
+	g := core.NewGraph("reconf")
+	g.AddParam("p", 2, 1, 8)
+	a := g.AddKernel("A", 1)
+	b := g.AddKernel("B", 1)
+	if _, err := g.Connect(a, "[p]", b, "[p]", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect(a, "[p]", b, "[p]", 0); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPanicRollbackRecoversByteIdentical(t *testing.T) {
+	g := pipeline(t)
+	const iters = 10
+
+	run := func(faults *faultinject.Plan, retries int) (*ckRun, map[string]int64, error) {
+		c := &ckRun{}
+		jr := obs.NewJournal(64)
+		res, err := Run(Config{
+			Graph:        g,
+			Behaviors:    pipelineBehaviors(&c.seq),
+			Iterations:   iters,
+			Reconfigure:  func(int64) map[string]int64 { return nil },
+			SnapshotUser: c.snapshot,
+			RestoreUser:  c.restore,
+			PanicRetries: retries,
+			Faults:       faults,
+			Journal:      jr,
+		})
+		if err != nil {
+			return c, nil, err
+		}
+		if faults != nil {
+			kinds := map[obs.EventKind]int{}
+			for _, ev := range jr.Events() {
+				kinds[ev.Kind]++
+			}
+			if kinds[obs.EvAbort] == 0 || kinds[obs.EvRestore] == 0 {
+				return c, nil, fmt.Errorf("journal missing abort/restore events: %v", kinds)
+			}
+		}
+		return c, res.Firings, nil
+	}
+
+	ref, refFirings, err := run(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := faultinject.New(
+		faultinject.Fault{Kind: faultinject.KindPanic, Node: "A", K: 6},
+		faultinject.Fault{Kind: faultinject.KindPanic, Node: "SNK", K: 8},
+	)
+	got, gotFirings, err := run(faults, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faults.Pending() != 0 {
+		t.Fatalf("%d faults never fired", faults.Pending())
+	}
+	if !reflect.DeepEqual(gotFirings, refFirings) {
+		t.Errorf("firings: recovered %v, fault-free %v", gotFirings, refFirings)
+	}
+	if !reflect.DeepEqual(got.seq, ref.seq) {
+		t.Errorf("payload streams differ:\nrecovered  %v\nfault-free %v", got.seq, ref.seq)
+	}
+}
+
+func TestPanicWithoutRetriesReturnsStructuredError(t *testing.T) {
+	g := pipeline(t)
+	behaviors := pipelineBehaviors(new([]int))
+	behaviors["A"] = func(f *runner.Firing) error {
+		if f.K == 3 {
+			panic("kaboom")
+		}
+		f.Produce("o0", f.In["i0"][0].(int)*10)
+		return nil
+	}
+	_, err := Run(Config{Graph: g, Behaviors: behaviors, Iterations: 50})
+	var pe *BehaviorPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v (%T), want *BehaviorPanicError", err, err)
+	}
+	if pe.Node != "A" || pe.Firing != 3 {
+		t.Errorf("panic located at %s firing %d, want A firing 3", pe.Node, pe.Firing)
+	}
+	if !strings.Contains(string(pe.Stack), "goroutine") {
+		t.Error("panic error carries no stack")
+	}
+	if !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("error %q does not carry the panic value", err)
+	}
+}
+
+func TestPanicRetriesExhausted(t *testing.T) {
+	g := pipeline(t)
+	// A deterministic panic: every replay of firing 3 hits it again, so the
+	// retry budget must bound the rollback loop.
+	aborts := 0
+	behaviors := pipelineBehaviors(new([]int))
+	behaviors["A"] = func(f *runner.Firing) error {
+		if f.K == 3 {
+			aborts++
+			panic("always")
+		}
+		f.Produce("o0", f.In["i0"][0].(int)*10)
+		return nil
+	}
+	mx := obs.NewRegistry()
+	_, err := Run(Config{
+		Graph: g, Behaviors: behaviors, Iterations: 50,
+		Reconfigure:  func(int64) map[string]int64 { return nil },
+		PanicRetries: 2,
+		Metrics:      mx,
+	})
+	var pe *BehaviorPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *BehaviorPanicError", err)
+	}
+	if aborts != 3 { // initial attempt + 2 retries
+		t.Errorf("behavior hit %d times, want 3 (1 + 2 retries)", aborts)
+	}
+	snap := mx.EngineSnapshot()
+	if snap.Aborts != 3 || snap.Restores != 2 {
+		t.Errorf("metrics aborts=%d restores=%d, want 3/2", snap.Aborts, snap.Restores)
+	}
+}
+
+func TestRebindAbortValidation(t *testing.T) {
+	g := reconfGraph(t)
+	plan := []int64{2, 7, 3, 4} // p=7 will be rejected
+	validate := func(params map[string]int64) error {
+		if params["p"] > 6 {
+			return fmt.Errorf("p=%d exceeds policy", params["p"])
+		}
+		return nil
+	}
+
+	t.Run("fatal without handler", func(t *testing.T) {
+		_, err := Run(Config{
+			Graph: g, Env: symb.Env{"p": plan[0]}, Iterations: int64(len(plan)),
+			Reconfigure: func(completed int64) map[string]int64 {
+				return map[string]int64{"p": plan[completed]}
+			},
+			ValidateRebind: validate,
+		})
+		if !errors.Is(err, ErrRebindAborted) {
+			t.Fatalf("got %v, want ErrRebindAborted", err)
+		}
+	})
+
+	t.Run("continues with handler", func(t *testing.T) {
+		var observed []int
+		var abortErrs []error
+		res, err := Run(Config{
+			Graph: g, Env: symb.Env{"p": plan[0]}, Iterations: int64(len(plan)),
+			Behaviors: map[string]runner.Behavior{
+				"B": func(f *runner.Firing) error {
+					observed = append(observed, len(f.In["i0"]))
+					return nil
+				},
+			},
+			Reconfigure: func(completed int64) map[string]int64 {
+				return map[string]int64{"p": plan[completed]}
+			},
+			ValidateRebind: validate,
+			OnRebindAbort:  func(err error) { abortErrs = append(abortErrs, err) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(abortErrs) != 1 || !errors.Is(abortErrs[0], ErrRebindAborted) {
+			t.Fatalf("abort handler got %v, want one ErrRebindAborted", abortErrs)
+		}
+		if res.Firings["B"] != int64(len(plan)) {
+			t.Fatalf("B fired %d times, want %d", res.Firings["B"], len(plan))
+		}
+		// Iteration 1 runs under the *old* p=2 because p=7 was aborted;
+		// later boundaries rebind normally.
+		want := []int{2, 2, 3, 4}
+		if !reflect.DeepEqual(observed, want) {
+			t.Errorf("observed rates %v, want %v", observed, want)
+		}
+	})
+}
+
+func TestRebindAbortInjected(t *testing.T) {
+	g := reconfGraph(t)
+	plan := []int64{2, 3, 4, 5}
+	faults := faultinject.New(faultinject.Fault{Kind: faultinject.KindRebindAbort, K: 2})
+	var observed []int
+	var aborts int
+	_, err := Run(Config{
+		Graph: g, Env: symb.Env{"p": plan[0]}, Iterations: int64(len(plan)),
+		Behaviors: map[string]runner.Behavior{
+			"B": func(f *runner.Firing) error {
+				observed = append(observed, len(f.In["i0"]))
+				return nil
+			},
+		},
+		Reconfigure: func(completed int64) map[string]int64 {
+			return map[string]int64{"p": plan[completed]}
+		},
+		OnRebindAbort: func(error) { aborts++ },
+		Faults:        faults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aborts != 1 {
+		t.Fatalf("%d aborts, want 1", aborts)
+	}
+	// The K=2 fault rejects the p=4 rebind at completed=2: iteration 2 runs
+	// under the previous p=3; the p=5 rebind at completed=3 succeeds.
+	want := []int{2, 3, 3, 5}
+	if !reflect.DeepEqual(observed, want) {
+		t.Errorf("observed rates %v, want %v", observed, want)
+	}
+}
+
+// TestRollbackThenCancel exercises the cancellation-vs-abort race window:
+// a context cancelled while a panic error is pending must still end the
+// run even though the rollback clears the error.
+func TestRollbackThenCancel(t *testing.T) {
+	g := pipeline(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	behaviors := pipelineBehaviors(new([]int))
+	behaviors["A"] = func(f *runner.Firing) error {
+		if f.K == 3 {
+			cancel() // cancellation lands just before the panic is recorded
+			panic("boom")
+		}
+		f.Produce("o0", f.In["i0"][0].(int)*10)
+		return nil
+	}
+	_, err := Run(Config{
+		Graph: g, Context: ctx, Behaviors: behaviors, Iterations: 1000,
+		Reconfigure:  func(int64) map[string]int64 { return nil },
+		PanicRetries: 100,
+	})
+	if err == nil {
+		t.Fatal("run survived cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		// The panic error is an acceptable answer too (the race can resolve
+		// either way), but the run must not hang or succeed.
+		var pe *BehaviorPanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("got %v, want context.Canceled or BehaviorPanicError", err)
+		}
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	g := pipeline(t)
+	var saved *Checkpoint
+	_, err := Run(Config{
+		Graph: g, Behaviors: pipelineBehaviors(new([]int)), Iterations: 4,
+		Reconfigure:    func(int64) map[string]int64 { return nil },
+		CheckpointSink: func(ck *Checkpoint) { saved = ck.Clone() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := saved.Clone()
+	bad.Graph = "other"
+	if _, err := Run(Config{Graph: g, Iterations: 8, Resume: bad}); err == nil ||
+		!strings.Contains(err.Error(), "resume") {
+		t.Errorf("mismatched graph name accepted: %v", err)
+	}
+	bad2 := saved.Clone()
+	bad2.Nodes[0] = "ZZZ"
+	if _, err := Run(Config{Graph: g, Iterations: 8, Resume: bad2}); err == nil ||
+		!strings.Contains(err.Error(), "resume") {
+		t.Errorf("mismatched node accepted: %v", err)
+	}
+	bad3 := saved.Clone()
+	bad3.Completed = 100
+	if _, err := Run(Config{Graph: g, Iterations: 8, Resume: bad3}); err == nil ||
+		!strings.Contains(err.Error(), "resume") {
+		t.Errorf("overshot checkpoint accepted: %v", err)
+	}
+}
+
+// TestStallErrorIncludesRingOccupancy pins the watchdog diagnostics: the
+// deadlock error must name the stalled actors *and* report every edge's
+// ring occupancy/capacity.
+func TestStallErrorIncludesRingOccupancy(t *testing.T) {
+	g := deadlockDiamond(t)
+	_, err := Run(Config{Graph: g, Capacity: 1, StallTimeout: 30 * time.Millisecond})
+	if err == nil {
+		t.Fatal("capacity-1 diamond did not deadlock")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "actor ") || !strings.Contains(msg, "waiting") {
+		t.Errorf("stall error names no blocked actor: %q", msg)
+	}
+	if !strings.Contains(msg, "ring occupancy:") {
+		t.Errorf("stall error carries no ring occupancy snapshot: %q", msg)
+	}
+}

@@ -36,13 +36,16 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/csdf"
+	"repro/internal/faultinject"
 	"repro/internal/runner"
 	"repro/internal/symb"
 	"repro/tpdf/obs"
@@ -119,6 +122,49 @@ type Config struct {
 	// verdicts and watchdog near-misses. Recording is bounded and
 	// allocation-free; the hot firing path never records.
 	Journal *obs.Journal
+	// Checkpoint arms barrier checkpointing without a sink: the engine
+	// maintains an internal arena snapshot of the quiescent state at every
+	// transaction boundary — the state panic rollback restores. Arming
+	// never changes the epoch structure, and warm captures reuse the arena,
+	// so the firing path stays allocation-free.
+	Checkpoint bool
+	// CheckpointSink, when non-nil, arms checkpointing and receives the
+	// arena after each capture. The pointer is valid only during the call;
+	// use Checkpoint.CopyInto or Clone to keep state across calls.
+	CheckpointSink func(*Checkpoint)
+	// Resume, when non-nil, starts the run from a checkpoint instead of
+	// the initial token state: ring contents, firing counters and the
+	// captured valuation are installed before the first epoch. Iterations
+	// is the *total* target — a run resumed at Completed=c performs
+	// Iterations-c more iterations, and its output is byte-identical to an
+	// uninterrupted run of the same length.
+	Resume *Checkpoint
+	// PanicRetries bounds in-engine panic recovery: a behavior panic
+	// aborts the in-flight transaction and, while the budget lasts (and a
+	// checkpoint arena exists), rolls the run back to the last barrier
+	// checkpoint and retries the epoch. At 0 (the default) a panic ends
+	// the run with a BehaviorPanicError — still recovered, the process
+	// never crashes.
+	PanicRetries int
+	// ValidateRebind, when set, is consulted at reconfiguration boundaries
+	// after the rebind has been applied and re-scheduled but before it
+	// takes effect; returning an error aborts the reconfiguration
+	// (ErrRebindAborted) and the previous valuation is restored.
+	ValidateRebind func(params map[string]int64) error
+	// OnRebindAbort, when set, makes rebind aborts non-fatal: the abort is
+	// reported through it and the run continues under the previous
+	// valuation. When nil, an aborted rebind ends the run with the error.
+	OnRebindAbort func(error)
+	// SnapshotUser and RestoreUser extend checkpoints with behavior-side
+	// state: SnapshotUser runs at each capture (its return value travels
+	// in Checkpoint.User), RestoreUser at each rollback or resume — so a
+	// stateful sink's output can be rolled back in lockstep with the
+	// engine and a recovered run stays byte-identical end to end.
+	SnapshotUser func() any
+	RestoreUser  func(any)
+	// Faults, when non-nil, injects the plan's deterministic fault
+	// schedule at behavior firings and rebind boundaries. Test-only.
+	Faults *faultinject.Plan
 }
 
 // portEdge pairs a concrete edge index with the port name an actor sees it
@@ -138,10 +184,14 @@ type engine struct {
 	prog *core.Program
 	cg   *csdf.Graph
 
-	stop    chan struct{} // closed on first error/cancellation
-	stopped atomic.Bool   // mirrors stop for branch-cheap per-firing checks
+	// stop is closed on the first error/cancellation and *replaced* by a
+	// panic rollback (only at a quiescent barrier, every actor parked —
+	// the epoch dispatch orders the replacement before the actors' next
+	// read). stopped mirrors it for branch-cheap per-firing checks. Both
+	// are guarded by mu together with err.
+	stop    chan struct{}
+	stopped atomic.Bool
 	quit    chan struct{} // closed when Run returns: actors exit
-	once    sync.Once
 	mu      sync.Mutex
 	err     error
 
@@ -183,16 +233,38 @@ type engine struct {
 	jr       *obs.Journal
 	edgeProd []string
 	edgeCons []string
+
+	// ckpt is the preallocated checkpoint arena (nil when not armed);
+	// ckptParamsStale marks the arena's valuation copy out of date, set at
+	// init and at boundaries that change the environment. faults is the
+	// optional injection plan; prevBinds journals one boundary's parameter
+	// overwrites so an aborted rebind restores the previous valuation
+	// without allocating.
+	ckpt            *Checkpoint
+	ckptParamsStale bool
+	faults          *faultinject.Plan
+	prevBinds       []prevBind
 }
 
+// prevBind is one recorded parameter overwrite: key, previous value, and
+// whether the key existed before the boundary.
+type prevBind struct {
+	k   string
+	v   int64
+	had bool
+}
+
+// fail records the first error and closes the current stop channel. Not
+// once-gated: a panic rollback clears the error and replaces the channel,
+// after which the next failure must be recordable again.
 func (e *engine) fail(err error) {
-	e.once.Do(func() {
-		e.mu.Lock()
+	e.mu.Lock()
+	if e.err == nil {
 		e.err = err
-		e.mu.Unlock()
 		e.stopped.Store(true)
 		close(e.stop)
-	})
+	}
+	e.mu.Unlock()
 }
 
 func (e *engine) firstErr() error {
@@ -228,6 +300,17 @@ func Run(cfg Config) (*runner.Result, error) {
 	for k, v := range cfg.Env {
 		env[k] = v
 	}
+	resume := cfg.Resume
+	if resume != nil {
+		// The checkpoint's valuation wins: the resumed run continues under
+		// exactly the parameters active at capture.
+		for k, v := range resume.Params {
+			env[k] = v
+		}
+		if resume.Completed > iters {
+			return nil, fmt.Errorf("engine: resume: checkpoint has %d completed iterations, Iterations is %d", resume.Completed, iters)
+		}
+	}
 
 	if prog == nil {
 		var err error
@@ -250,6 +333,7 @@ func Run(cfg Config) (*runner.Result, error) {
 		fired: make([]int64, len(g.Nodes)),
 		base:  make([]int64, len(g.Nodes)),
 	}
+	e.faults = cfg.Faults
 	if cfg.Workers > 0 {
 		e.sem = make(chan struct{}, cfg.Workers)
 	}
@@ -257,8 +341,32 @@ func Run(cfg Config) (*runner.Result, error) {
 	// boundary work (rebinds, user hooks) must not trip the watchdog.
 	e.busy.Add(1)
 
-	if err := e.wire(iters); err != nil {
+	start := int64(0)
+	if resume != nil {
+		if err := e.validateResume(resume); err != nil {
+			return nil, err
+		}
+		start = resume.Completed
+	}
+	if err := e.wire(iters-start, resume); err != nil {
 		return nil, err
+	}
+	if resume != nil {
+		copy(e.fired, resume.Fired)
+		copy(e.base, resume.Base)
+		if cfg.RestoreUser != nil {
+			cfg.RestoreUser(resume.User)
+		}
+	}
+	armed := cfg.Checkpoint || cfg.CheckpointSink != nil || cfg.PanicRetries > 0 || resume != nil
+	if armed {
+		e.ckpt = e.newCheckpointArena()
+		e.ckptParamsStale = true
+		if resume != nil {
+			// The rollback target must exist before the first fresh capture:
+			// the restored state is the checkpoint.
+			resume.CopyInto(e.ckpt)
+		}
 	}
 	e.jr = cfg.Journal
 	if cfg.Metrics != nil {
@@ -266,8 +374,8 @@ func Run(cfg Config) (*runner.Result, error) {
 	}
 	// Publish an initial snapshot so readers see names, capacities and the
 	// seeded occupancies as soon as the run exists.
-	e.harvest(0, true)
-	e.record(obs.Event{Kind: obs.EvRunStart})
+	e.harvest(start, true)
+	e.record(obs.Event{Kind: obs.EvRunStart, Completed: start})
 
 	defer close(e.quit)
 	for id := range g.Nodes {
@@ -279,12 +387,16 @@ func Run(cfg Config) (*runner.Result, error) {
 	if ctx := cfg.Context; ctx != nil {
 		ctxDone := make(chan struct{})
 		defer close(ctxDone)
+		// The watcher must not exit on e.stop: a panic rollback clears the
+		// run error and the engine keeps going, so cancellation has to stay
+		// armed for the whole run. A cancellation that lands while a panic
+		// error is pending is a no-op here — rollbackAfterAbort re-checks
+		// ctx.Err for exactly that window.
 		go func() {
 			select {
 			case <-ctx.Done():
 				e.fail(ctx.Err())
 			case <-ctxDone:
-			case <-e.stop:
 			}
 		}()
 	}
@@ -302,97 +414,158 @@ func Run(cfg Config) (*runner.Result, error) {
 		}
 	}
 	obsOn := e.mx != nil || e.jr != nil
-	// envDigest identifies the active valuation on rebind events. It is
-	// maintained incrementally (XOR out the old binding, XOR in the new)
-	// because re-hashing the whole map at every rebind boundary costs a
-	// map iteration per barrier.
+	// envDigest identifies the active valuation on rebind events and in
+	// checkpoints. It is maintained incrementally (XOR out the old binding,
+	// XOR in the new) because re-hashing the whole map at every rebind
+	// boundary costs a map iteration per barrier.
+	digestOn := (obsOn && barrier != nil) || armed
 	var envDigest uint64
-	if obsOn && barrier != nil {
+	if digestOn {
 		envDigest = obs.ParamsDigest(map[string]int64(env))
 	}
-	completed := int64(0)
+	completed := start
+	retries := 0
 	if barrier == nil {
-		if err := e.runEpoch(iters); err != nil {
-			return nil, err
+		if armed {
+			e.capture(start, env, envDigest)
+		}
+		if iters > start {
+			if err := e.runGuarded(iters-start, start, &retries); err != nil {
+				return nil, err
+			}
 		}
 		completed = iters
 	} else {
-		for it := int64(0); it < iters; it++ {
-			var bt time.Time
-			if obsOn {
-				bt = time.Now()
-			}
-			over, stopNow := barrier(it)
-			if stopNow {
-				// Clean drain at the quiescent boundary: actors are parked,
-				// leftover tokens stay on their edges and are reported in
-				// Result.Remaining below.
-				e.record(obs.Event{Kind: obs.EvDrain, Completed: it})
-				break
-			}
-			// A hook may have blocked across a cancellation; don't start
-			// another epoch on a dead run (runEpoch would catch it, but the
-			// rebind below must not run either).
-			if err := e.firstErr(); err != nil {
-				return nil, err
-			}
-			// Clock discipline: time.Now costs ~50-100ns on virtualized
-			// hosts, so the boundary takes at most three reads (bt above, rt
-			// below, bend here) and every journal event is stamped from bend
-			// rather than letting Record read the clock again.
-			var bend time.Time
-			if len(over) > 0 {
-				changed := false
-				for k, v := range over {
-					if old, ok := env[k]; !ok || old != v {
-						if obsOn {
-							if ok {
-								envDigest ^= obs.BindingDigest(k, old)
+		// A resumed run skips the first boundary's hook, rebind and
+		// capture: the checkpoint was taken after that boundary's work ran
+		// (captures are post-hook, post-rebind, pre-epoch), so re-invoking
+		// it would double-apply the boundary — and the restored state *is*
+		// the checkpoint.
+		skip := resume != nil
+	loop:
+		for it := start; it < iters; it++ {
+			if !skip {
+				var bt time.Time
+				if obsOn {
+					bt = time.Now()
+				}
+				over, stopNow := barrier(it)
+				if stopNow {
+					// Clean drain at the quiescent boundary: actors are parked,
+					// leftover tokens stay on their edges and are reported in
+					// Result.Remaining below.
+					e.record(obs.Event{Kind: obs.EvDrain, Completed: it})
+					break loop
+				}
+				// A hook may have blocked across a cancellation; don't start
+				// another epoch on a dead run (runEpoch would catch it, but the
+				// rebind below must not run either).
+				if err := e.firstErr(); err != nil {
+					return nil, err
+				}
+				// Clock discipline: time.Now costs ~50-100ns on virtualized
+				// hosts, so the boundary takes at most three reads (bt above, rt
+				// below, bend here) and every journal event is stamped from bend
+				// rather than letting Record read the clock again.
+				var bend time.Time
+				if len(over) > 0 {
+					changed := false
+					e.prevBinds = e.prevBinds[:0]
+					for k, v := range over {
+						if old, ok := env[k]; !ok || old != v {
+							e.prevBinds = append(e.prevBinds, prevBind{k, old, ok})
+							if digestOn {
+								if ok {
+									envDigest ^= obs.BindingDigest(k, old)
+								}
+								envDigest ^= obs.BindingDigest(k, v)
 							}
-							envDigest ^= obs.BindingDigest(k, v)
+							env[k] = v
+							changed = true
 						}
-						env[k] = v
-						changed = true
+					}
+					if changed {
+						e.ckptParamsStale = true
+						var rt time.Time
+						if obsOn {
+							rt = time.Now()
+						}
+						err := e.reconfigure(env, iters-it, it)
+						switch {
+						case err != nil && errors.Is(err, ErrRebindAborted):
+							// Speculative rebind abort: restore the previous
+							// valuation (replaying the recorded bindings through
+							// the XOR digest undoes it — the update is an
+							// involution) and rebind the program back to it.
+							// Validation ran before any ring grew, so ring
+							// capacities need no repair.
+							for _, pb := range e.prevBinds {
+								if digestOn {
+									envDigest ^= obs.BindingDigest(pb.k, env[pb.k])
+									if pb.had {
+										envDigest ^= obs.BindingDigest(pb.k, pb.v)
+									}
+								}
+								if pb.had {
+									env[pb.k] = pb.v
+								} else {
+									delete(env, pb.k)
+								}
+							}
+							if rerr := e.prog.Rebind(env); rerr != nil {
+								return nil, fmt.Errorf("engine: restoring valuation after aborted rebind: %v", rerr)
+							}
+							if e.mx != nil {
+								e.mx.aborts++
+							}
+							e.record(obs.Event{Kind: obs.EvAbort, Completed: it,
+								ParamsDigest: envDigest, Detail: "rebind"})
+							if e.cfg.OnRebindAbort == nil {
+								return nil, err
+							}
+							e.cfg.OnRebindAbort(err)
+						case err != nil:
+							return nil, err
+						case obsOn:
+							bend = time.Now()
+							rd := int64(bend.Sub(rt))
+							if e.mx != nil {
+								e.mx.rebinds++
+								e.mx.rebindNs += rd
+							}
+							e.record(obs.Event{TimeUnixNano: bend.UnixNano(),
+								Kind: obs.EvRebind, Completed: it, DurNs: rd,
+								ParamsDigest: envDigest})
+						}
 					}
 				}
-				if changed {
-					var rt time.Time
-					if obsOn {
-						rt = time.Now()
-					}
-					if err := e.reconfigure(env, iters-it); err != nil {
-						return nil, err
-					}
-					if obsOn {
+				if obsOn {
+					if bend.IsZero() {
 						bend = time.Now()
-						rd := int64(bend.Sub(rt))
-						if e.mx != nil {
-							e.mx.rebinds++
-							e.mx.rebindNs += rd
-						}
-						e.record(obs.Event{TimeUnixNano: bend.UnixNano(),
-							Kind: obs.EvRebind, Completed: it, DurNs: rd,
-							ParamsDigest: envDigest})
 					}
+					bd := int64(bend.Sub(bt))
+					if e.mx != nil {
+						e.mx.boundaryNs += bd
+					}
+					e.record(obs.Event{TimeUnixNano: bend.UnixNano(),
+						Kind: obs.EvBarrier, Completed: it, DurNs: bd})
+				}
+				if armed {
+					e.capture(it, env, envDigest)
 				}
 			}
-			if obsOn {
-				if bend.IsZero() {
-					bend = time.Now()
-				}
-				bd := int64(bend.Sub(bt))
-				if e.mx != nil {
-					e.mx.boundaryNs += bd
-				}
-				e.record(obs.Event{TimeUnixNano: bend.UnixNano(),
-					Kind: obs.EvBarrier, Completed: it, DurNs: bd})
-			}
-			if err := e.runEpoch(1); err != nil {
+			skip = false
+			if err := e.runGuarded(1, it, &retries); err != nil {
 				return nil, err
 			}
 			completed = it + 1
 			e.harvest(completed, true)
 		}
+	}
+	if armed {
+		// The final quiescent state is a checkpoint too: a drained session
+		// hands its sink the exact cut it stopped at.
+		e.capture(completed, env, envDigest)
 	}
 	e.harvest(completed, false)
 	e.record(obs.Event{Kind: obs.EvRunEnd, Completed: completed})
@@ -446,10 +619,19 @@ func (e *engine) capacityFor(sch *csdf.Schedule, ci int, horizon int64) int64 {
 }
 
 // wire builds the run-once state: rings sized for `horizon` iterations
-// (seeded with the declared initial tokens), per-node port wiring, and the
-// reusable firing scratches of every node that has a behavior.
-func (e *engine) wire(horizon int64) error {
+// (seeded with the declared initial tokens, or the checkpoint's ring
+// contents when resuming), per-node port wiring, and the reusable firing
+// scratches of every node that has a behavior.
+func (e *engine) wire(horizon int64, resume *Checkpoint) error {
 	g := e.cfg.Graph
+	if resume != nil {
+		// The schedule (and the capacity bounds) must start from the tokens
+		// actually in the checkpoint, not the declared initial state —
+		// exactly as reconfigure does at a live boundary.
+		for ci := range e.cg.Edges {
+			e.cg.Edges[ci].Initial = int64(len(resume.Edges[ci]))
+		}
+	}
 	sch, err := e.cg.BuildSchedule(e.prog.Solution(), csdf.Demand)
 	if err != nil {
 		return fmt.Errorf("engine: no sequential schedule: %v", err)
@@ -458,7 +640,11 @@ func (e *engine) wire(horizon int64) error {
 	e.rings = make([]*ring, len(e.cg.Edges))
 	for ci := range e.cg.Edges {
 		e.rings[ci] = newRing(e.capacityFor(sch, ci, horizon))
-		e.rings[ci].writeNil(e.cg.Edges[ci].Initial, e.stop)
+		if resume != nil {
+			e.rings[ci].restore(resume.Edges[ci])
+		} else {
+			e.rings[ci].writeNil(e.cg.Edges[ci].Initial, e.stop)
+		}
 	}
 
 	low := e.prog.Lowering()
@@ -505,9 +691,17 @@ func (e *engine) wire(horizon int64) error {
 // to the new schedule's bounds, and rate-phase indexing restarts. The
 // rings keep their content — leftover payloads cross the boundary in FIFO
 // order without being drained and re-queued.
-func (e *engine) reconfigure(env symb.Env, horizon int64) error {
+//
+// The rebind is speculative: every failure before the commit point (a
+// rebind the rate tables reject, a new valuation with no bounded schedule
+// — the Theorem 2 check — an injected fault, or the user validation hook)
+// returns an error wrapping ErrRebindAborted, and the caller restores the
+// previous valuation. Validation deliberately precedes the ring growths,
+// which are the only irreversible effect, so an aborted rebind leaves
+// nothing to repair beyond the rate tables.
+func (e *engine) reconfigure(env symb.Env, horizon, completed int64) error {
 	if err := e.prog.Rebind(env); err != nil {
-		return err
+		return fmt.Errorf("%w: %v", ErrRebindAborted, err)
 	}
 	// The schedule (and therefore the capacity bounds and the liveness
 	// check) starts from the tokens actually on the edges now, not the
@@ -518,7 +712,15 @@ func (e *engine) reconfigure(env symb.Env, horizon int64) error {
 	}
 	sch, err := e.cg.BuildSchedule(e.prog.Solution(), csdf.Demand)
 	if err != nil {
-		return fmt.Errorf("engine: no sequential schedule: %v", err)
+		return fmt.Errorf("%w: no sequential schedule: %v", ErrRebindAborted, err)
+	}
+	if e.faults.RebindFault(completed) {
+		return fmt.Errorf("%w: injected validation failure at iteration %d", ErrRebindAborted, completed)
+	}
+	if v := e.cfg.ValidateRebind; v != nil {
+		if verr := v(map[string]int64(env)); verr != nil {
+			return fmt.Errorf("%w: %v", ErrRebindAborted, verr)
+		}
 	}
 	for ci := range e.cg.Edges {
 		before := e.rings[ci].cap()
@@ -682,13 +884,20 @@ func (e *engine) fireActor(id int, total int64, ah *actorHot) {
 				return
 			}
 		}
-		err := behavior(f)
+		err := e.callBehavior(behavior, f, name, fired)
 		if e.sem != nil {
 			<-e.sem
 		}
 		e.busy.Add(-1)
 		if err != nil {
-			e.fail(fmt.Errorf("engine: %s firing %d: %v", name, fired, err))
+			var pe *BehaviorPanicError
+			if errors.As(err, &pe) {
+				// Unwrapped: the main goroutine dispatches on the concrete
+				// type to decide between rollback and run failure.
+				e.fail(pe)
+			} else {
+				e.fail(fmt.Errorf("engine: %s firing %d: %v", name, fired, err))
+			}
 			return
 		}
 
@@ -724,6 +933,29 @@ func (e *engine) fireActor(id int, total int64, ah *actorHot) {
 	}
 }
 
+// callBehavior runs one behavior firing with panic isolation: a panic in
+// user code (or injected by the fault plan) is recovered into a structured
+// BehaviorPanicError instead of crashing the process — the actor goroutine
+// returns through its normal error path and the panic becomes a
+// transaction abort at the epoch barrier. The fault-injection consult
+// rides here too: one nil test per firing when no plan is armed, inside
+// the busy window so an injected delay never trips the stall watchdog.
+func (e *engine) callBehavior(behavior runner.Behavior, f *runner.Firing, name string, k int64) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &BehaviorPanicError{Node: name, Firing: k, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if e.faults != nil {
+		if delay, panicNow := e.faults.Behavior(name, k); panicNow {
+			panic(fmt.Sprintf("injected fault at firing %d", k))
+		} else if delay > 0 {
+			time.Sleep(delay)
+		}
+	}
+	return behavior(f)
+}
+
 // startWatchdog returns a stopper for a goroutine that fails the run when
 // it makes no progress: no firing completed, no behavior ran and no
 // boundary work happened for two consecutive stall windows. With
@@ -742,11 +974,12 @@ func (e *engine) startWatchdog() func() {
 		last := e.ops.Load()
 		lastProgress := time.Now()
 		idle := 0
+		// The loop does not exit on e.stop: a panic rollback clears the run
+		// error and continues, and the watchdog must keep guarding the
+		// retried epochs. It exits only when Run returns (done).
 		for {
 			select {
 			case <-done:
-				return
-			case <-e.stop:
 				return
 			case <-tick.C:
 				cur := e.ops.Load()
@@ -761,8 +994,8 @@ func (e *engine) startWatchdog() func() {
 						msg = "no actor is blocked on a ring (behavior stuck?)"
 					}
 					e.record(obs.Event{Kind: obs.EvStall, Detail: msg})
-					e.fail(fmt.Errorf("engine: deadlock: no progress for %v, last progress at %s, %d firings completed (channel capacity override too small?): %s",
-						2*stall, lastProgress.Format(time.RFC3339Nano), cur, msg))
+					e.fail(fmt.Errorf("engine: deadlock: no progress for %v, last progress at %s, %d firings completed (channel capacity override too small?): %s; ring occupancy: %s",
+						2*stall, lastProgress.Format(time.RFC3339Nano), cur, msg, e.ringReport()))
 					return
 				}
 				// Near-miss: one idle window elapsed; a second consecutive

@@ -122,6 +122,25 @@ func TestStreamSteadyStateAllocs(t *testing.T) {
 			cfg.Journal = obs.NewJournal(128)
 			cfg.Reconfigure = func(int64) map[string]int64 { return nil }
 		}},
+		// Checkpoint-armed variants: a capture at every transaction barrier
+		// (per-iteration epochs via the nil hook) must stay off the heap —
+		// counters land in the preallocated arena, ring contents are peeked
+		// into reusable buffers, and the sink's CopyInto reuses its slices.
+		{"checkpoint", func(cfg *Config) {
+			cfg.Checkpoint = true
+			cfg.Reconfigure = func(int64) map[string]int64 { return nil }
+		}},
+		{"checkpoint+sink", func(cfg *Config) {
+			held := &Checkpoint{}
+			cfg.CheckpointSink = func(ck *Checkpoint) { ck.CopyInto(held) }
+			cfg.Reconfigure = func(int64) map[string]int64 { return nil }
+		}},
+		{"checkpoint+metrics", func(cfg *Config) {
+			cfg.Checkpoint = true
+			cfg.Metrics = obs.NewRegistry()
+			cfg.Journal = obs.NewJournal(128)
+			cfg.Reconfigure = func(int64) map[string]int64 { return nil }
+		}},
 	}
 	for _, v := range variants {
 		t.Run(v.name, func(t *testing.T) {

@@ -78,6 +78,8 @@ type engMetrics struct {
 	rebinds    int64
 	rebindNs   int64
 	boundaryNs int64
+	aborts     int64
+	restores   int64
 	grows      []int64
 	running    bool
 
@@ -143,6 +145,8 @@ func (e *engine) fillSnapshot(s *obs.EngineSnapshot) {
 	s.Rebinds = m.rebinds
 	s.RebindNs = m.rebindNs
 	s.BoundaryNs = m.boundaryNs
+	s.Aborts = m.aborts
+	s.Restores = m.restores
 
 	for id := range g.Nodes {
 		a := &s.Actors[id]
@@ -220,6 +224,25 @@ func (e *engine) blockedReport() string {
 			}
 			fmtBlocked(&b, e.edgeProd[ci], "waiting for space", e.cg.Edges[ci].Name, occ, r.cap())
 		}
+	}
+	return b.String()
+}
+
+// ringReport lists every edge's occupancy/capacity from the rings' atomic
+// state (safe while actors run) — the watchdog's full-pipeline view
+// attached to stall errors, where blockedReport covers only edges with a
+// raised wait flag.
+func (e *engine) ringReport() string {
+	var b strings.Builder
+	for ci := range e.rings {
+		if ci > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(e.cg.Edges[ci].Name)
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(e.rings[ci].len(), 10))
+		b.WriteByte('/')
+		b.WriteString(strconv.FormatInt(e.rings[ci].cap(), 10))
 	}
 	return b.String()
 }

@@ -337,6 +337,53 @@ func (r *ring) drain() []any {
 	return out
 }
 
+// peek copies the ring's oldest len(dst) tokens into dst in FIFO order
+// without advancing the consumer cursor. Only called at barriers (no actor
+// running) — this is the checkpoint capture path, which must observe the
+// ring without disturbing it.
+func (r *ring) peek(dst []any) {
+	n := int64(len(dst))
+	size := int64(len(r.buf))
+	i := r.head % size
+	for j := int64(0); j < n; j++ {
+		dst[j] = r.buf[i]
+		if i++; i == size {
+			i = 0
+		}
+	}
+}
+
+// restore rewrites the ring's content to exactly vals (FIFO order) and
+// resets the blocking protocol: wait flags lowered, stale wake tokens
+// drained. Only called at barriers or before the actors start — both
+// sides' cached cursors are rewritten, and the dispatch that (re)starts the
+// actors orders these writes before their reads.
+func (r *ring) restore(vals []any) {
+	if int64(len(vals)) > r.cap() {
+		r.buf = make([]any, len(vals))
+	}
+	for i := range r.buf {
+		r.buf[i] = nil
+	}
+	copy(r.buf, vals)
+	r.head, r.tail = 0, int64(len(vals))
+	r.atomicHead.Store(r.head)
+	r.atomicTail.Store(r.tail)
+	// An actor cancelled inside a ring wait may have left its flag raised
+	// or a wake token pending; either would corrupt the next epoch's
+	// blocking protocol.
+	r.cwait.Store(false)
+	r.pwait.Store(false)
+	select {
+	case <-r.csig:
+	default:
+	}
+	select {
+	case <-r.psig:
+	default:
+	}
+}
+
 // grow resizes the ring to at least capacity tokens, preserving contents in
 // FIFO order. Only called at barriers: both sides' cached cursors are
 // rewritten, and the dispatch that restarts the actors orders these writes

@@ -1,0 +1,109 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilPlanInjectsNothing(t *testing.T) {
+	var p *Plan
+	if d, pn := p.Behavior("x", 0); d != 0 || pn {
+		t.Fatalf("nil plan injected d=%v panic=%v", d, pn)
+	}
+	if p.RebindFault(100) {
+		t.Fatal("nil plan injected rebind fault")
+	}
+	if p.Injected() != 0 || p.Pending() != 0 {
+		t.Fatal("nil plan has counts")
+	}
+}
+
+func TestExplicitFaultsFireOnce(t *testing.T) {
+	p := New(
+		Fault{Kind: KindPanic, Node: "a", K: 3},
+		Fault{Kind: KindDelay, Node: "a", K: 5, Delay: time.Microsecond},
+		Fault{Kind: KindRebindAbort, K: 2},
+	)
+	if p.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", p.Pending())
+	}
+	for k := int64(0); k < 10; k++ {
+		d, pn := p.Behavior("a", k)
+		switch k {
+		case 3:
+			if !pn {
+				t.Fatalf("firing %d: want panic", k)
+			}
+		case 5:
+			if d != time.Microsecond || pn {
+				t.Fatalf("firing %d: d=%v panic=%v", k, d, pn)
+			}
+		default:
+			if d != 0 || pn {
+				t.Fatalf("firing %d: unexpected fault", k)
+			}
+		}
+	}
+	// Second pass over the same indices: all spent.
+	if _, pn := p.Behavior("a", 3); pn {
+		t.Fatal("panic fault fired twice")
+	}
+	if p.RebindFault(1) {
+		t.Fatal("rebind fault fired below threshold")
+	}
+	if !p.RebindFault(2) {
+		t.Fatal("rebind fault did not fire at threshold")
+	}
+	if p.RebindFault(2) {
+		t.Fatal("rebind fault fired twice")
+	}
+	if p.Injected() != 3 || p.Pending() != 0 {
+		t.Fatalf("injected=%d pending=%d, want 3/0", p.Injected(), p.Pending())
+	}
+}
+
+func TestSeededDeterministic(t *testing.T) {
+	spec := Spec{Nodes: []string{"a", "b", "c"}, Horizon: 100, Panics: 2, Delays: 3, RebindAborts: 1}
+	p1 := Seeded(42, spec)
+	p2 := Seeded(42, spec)
+	// Replaying the same firing schedule against both plans must observe
+	// identical faults.
+	for k := int64(0); k < 100; k++ {
+		for _, n := range spec.Nodes {
+			d1, pn1 := p1.Behavior(n, k)
+			d2, pn2 := p2.Behavior(n, k)
+			if d1 != d2 || pn1 != pn2 {
+				t.Fatalf("node %s firing %d diverged: (%v,%v) vs (%v,%v)", n, k, d1, pn1, d2, pn2)
+			}
+		}
+		if p1.RebindFault(k) != p2.RebindFault(k) {
+			t.Fatalf("rebind fault diverged at %d", k)
+		}
+	}
+	if p1.Injected() != 6 {
+		t.Fatalf("injected = %d, want 6", p1.Injected())
+	}
+}
+
+func TestSeededDistinctSites(t *testing.T) {
+	p := Seeded(7, Spec{Nodes: []string{"a"}, Horizon: 10, Panics: 4, Delays: 4})
+	fired := 0
+	for k := int64(0); k < 10; k++ {
+		d, pn := p.Behavior("a", k)
+		if d != 0 || pn {
+			fired++
+		}
+	}
+	if fired != 8 {
+		t.Fatalf("fired = %d, want 8 distinct sites", fired)
+	}
+}
+
+func TestSeededTinyHorizonGivesUp(t *testing.T) {
+	// 1 node x horizon 2 = 2 distinct sites; asking for 10 faults must not
+	// hang and must yield at most 2.
+	p := Seeded(1, Spec{Nodes: []string{"a"}, Horizon: 2, Panics: 10})
+	if p.Pending() > 2 {
+		t.Fatalf("pending = %d, want <= 2", p.Pending())
+	}
+}

@@ -176,3 +176,104 @@ func ExampleStream_reconfigure() {
 	// iteration 3 consumed a block of 5
 	// iteration 4 consumed a block of 5
 }
+
+// ExampleStream_checkpoint splits one logical run across two engines: the
+// first leg keeps the checkpoint captured at its final quiescent barrier
+// (ring contents, firing counters, parameter valuation — a consistent cut
+// of the dataflow), and a fresh engine resumes from it. WithIterations is
+// the total target, so the resumed leg performs only the remaining
+// iterations, and the combined output is identical to an uninterrupted
+// six-iteration run.
+func ExampleStream_checkpoint() {
+	g, err := tpdf.NewGraph("resumable").
+		Param("p", 2, 1, 8).
+		Kernel("SRC", 1).
+		Kernel("SNK", 1).
+		Connect("SRC[p] -> SNK[p]").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	total := 0
+	behaviors := map[string]tpdf.Behavior{
+		"SNK": func(f *tpdf.Firing) error {
+			total += len(f.In["i0"])
+			return nil
+		},
+	}
+
+	var saved *tpdf.Checkpoint
+	res, err := tpdf.Stream(g, behaviors,
+		tpdf.WithIterations(3),
+		// The sink runs at every barrier; the arena behind ck is reused,
+		// so keep a Clone (or CopyInto a held arena) to outlive the call.
+		tpdf.WithCheckpoints(func(ck *tpdf.Checkpoint) { saved = ck.Clone() }))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first leg: SNK fired %d times, %d tokens, checkpoint at iteration %d\n",
+		res.Firings["SNK"], total, saved.Completed)
+
+	res, err = tpdf.Stream(g, behaviors,
+		tpdf.WithIterations(6), // total target, not "6 more"
+		tpdf.WithResume(saved))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resumed leg: SNK fired %d times in total, %d tokens overall\n",
+		res.Firings["SNK"], total)
+	// Output:
+	// first leg: SNK fired 3 times, 6 tokens, checkpoint at iteration 3
+	// resumed leg: SNK fired 6 times in total, 12 tokens overall
+}
+
+// ExampleStream_panicRecovery arms in-run recovery: a behavior panic is
+// caught at the epoch barrier and turned into a transaction abort — the
+// engine rolls every ring, counter and parameter back to the checkpoint
+// of the previous quiescent barrier and retries the epoch. Behavior state
+// living outside the engine must travel with the checkpoint, so the token
+// count is registered with WithUserState: it is snapshotted at every
+// capture and restored on rollback, keeping it exact even though the
+// poisoned iteration executes twice.
+func ExampleStream_panicRecovery() {
+	g, err := tpdf.NewGraph("recoverable").
+		Param("p", 2, 1, 8).
+		Kernel("SRC", 1).
+		Kernel("SNK", 1).
+		Connect("SRC[p] -> SNK[p]").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	total := 0
+	poisoned := true
+	behaviors := map[string]tpdf.Behavior{
+		"SNK": func(f *tpdf.Firing) error {
+			if poisoned && f.K == 2 {
+				poisoned = false // transient fault: the retry succeeds
+				panic("corrupt block")
+			}
+			total += len(f.In["i0"])
+			return nil
+		},
+	}
+
+	res, err := tpdf.Stream(g, behaviors,
+		tpdf.WithIterations(4),
+		// A boundary hook makes every iteration its own transaction, so
+		// the rollback repeats only the poisoned iteration.
+		tpdf.WithReconfigure(func(int64) map[string]int64 { return nil }),
+		tpdf.WithPanicRecovery(1),
+		tpdf.WithUserState(
+			func() any { return total },
+			func(u any) { total = u.(int) }))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SNK fired %d times, %d tokens — the aborted epoch left no trace\n",
+		res.Firings["SNK"], total)
+	// Output:
+	// SNK fired 4 times, 8 tokens — the aborted epoch left no trace
+}

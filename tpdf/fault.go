@@ -1,0 +1,115 @@
+package tpdf
+
+import (
+	"repro/internal/engine"
+	"repro/internal/faultinject"
+)
+
+// Fault tolerance facade: barrier checkpoints, speculative rebind with
+// rollback, and behavior-panic isolation, re-exported from the streaming
+// engine. See the package documentation's "Fault tolerance" section for
+// the model.
+
+type (
+	// Checkpoint is a consistent cut of a Stream run captured at a
+	// quiescent transaction barrier: firing counters, ring contents in
+	// FIFO order, the active parameter valuation, and optional user state.
+	// Feed it back with WithResume to continue the run, or render it with
+	// Checkpoint.Result.
+	Checkpoint = engine.Checkpoint
+
+	// BehaviorPanicError reports a behavior panic converted into a
+	// transaction abort; Node and Firing locate the panic, Stack is the
+	// panicking goroutine's stack. Test with errors.As.
+	BehaviorPanicError = engine.BehaviorPanicError
+)
+
+// ErrRebindAborted reports a reconfiguration rejected at a transaction
+// boundary: the rebind (or a WithRebindValidation hook) failed, and the
+// engine rolled its rate state back to the pre-boundary valuation.
+// Errors wrap it; test with errors.Is.
+var ErrRebindAborted = engine.ErrRebindAborted
+
+// WithCheckpoints arms barrier checkpointing on Stream: a consistent cut
+// is captured at every transaction boundary (and once at run end) and
+// handed to sink. The cut passed to sink is the engine's reusable arena —
+// valid only during the call; keep state across calls with
+// Checkpoint.CopyInto or Checkpoint.Clone. Warm captures perform no heap
+// allocations, so a checkpoint-armed pipeline keeps the 0 allocs/op
+// firing path. A nil sink still arms capture (useful with
+// WithPanicRecovery, which rolls back to the internal arena).
+func WithCheckpoints(sink func(*Checkpoint)) Option {
+	return func(c *config) {
+		c.checkpoint = true
+		c.checkpointSink = sink
+	}
+}
+
+// WithUserState attaches behavior-side state to checkpoints: snapshot is
+// called at every capture barrier and its value travels in
+// Checkpoint.User; restore is called on rollback and resume with that
+// value. Both run on the engine's barrier goroutine while every actor is
+// parked, so they may touch state the behaviors own. snapshot must return
+// a self-contained value (rollback hands it back after further firings
+// have mutated the live state).
+func WithUserState(snapshot func() any, restore func(any)) Option {
+	return func(c *config) {
+		c.snapshotUser = snapshot
+		c.restoreUser = restore
+	}
+}
+
+// WithResume starts Stream from a checkpoint instead of from the graph's
+// initial state: ring contents, firing counters, the captured valuation
+// and user state are installed before the first epoch. WithIterations
+// remains the total target — resuming a 100-iteration run from a
+// checkpoint at 60 runs 40 more and produces a result byte-identical to
+// the uninterrupted run. The checkpoint must come from the same graph
+// (same name, nodes and edges); anything else fails fast.
+func WithResume(ck *Checkpoint) Option {
+	return func(c *config) { c.resume = ck }
+}
+
+// WithPanicRecovery arms in-run panic recovery: a behavior panic aborts
+// the in-flight transaction (its partial effects are discarded) and the
+// run rolls back to the last barrier checkpoint and retries, up to
+// retries times across the run. Recovery implies checkpoint capture even
+// without WithCheckpoints. When the budget is exhausted — or with
+// retries <= 0 — the run fails with a *BehaviorPanicError.
+func WithPanicRecovery(retries int) Option {
+	return func(c *config) {
+		c.panicRetries = retries
+		if retries > 0 {
+			c.checkpoint = true
+		}
+	}
+}
+
+// WithRebindValidation installs a predicate over proposed valuations:
+// at each transaction boundary the hook sees the post-rebind environment
+// (after Theorem 2's boundedness check has passed) and may reject it by
+// returning an error. A rejection aborts the rebind — the engine rolls
+// back to the pre-boundary valuation — and surfaces as an error wrapping
+// ErrRebindAborted, fatal to the run unless WithRebindAbortHandler is
+// also set.
+func WithRebindValidation(fn func(params map[string]int64) error) Option {
+	return func(c *config) { c.validateRebind = fn }
+}
+
+// WithRebindAbortHandler makes aborted rebinds non-fatal: when a
+// reconfiguration is rejected (unbounded schedule, failed validation, or
+// an injected fault), fn receives the error wrapping ErrRebindAborted and
+// the run continues under the previous valuation — the transaction that
+// proposed the change is discarded, not the session.
+func WithRebindAbortHandler(fn func(error)) Option {
+	return func(c *config) { c.onRebindAbort = fn }
+}
+
+// WithFaultPlan injects a deterministic fault schedule into the run:
+// behavior panics, firing delays and rebind rejections fire at exact
+// (node, firing-index) sites from the plan. Test-only — build plans with
+// internal/faultinject (explicit sites or Seeded schedules); production
+// code passes nothing and pays nothing.
+func WithFaultPlan(p *faultinject.Plan) Option {
+	return func(c *config) { c.faults = p }
+}

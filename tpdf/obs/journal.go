@@ -32,6 +32,14 @@ const (
 	// progress; a second consecutive one fails the run (EvStall).
 	EvStallWarn
 	EvStall
+	// EvAbort is a discarded transaction: an in-flight epoch torn down by a
+	// behavior panic, or a rebind rejected by validation. Completed is the
+	// checkpoint the engine rolled back to (panic) or held at (rebind),
+	// Detail names the panicking node or the validation failure.
+	EvAbort
+	// EvRestore is a successful recovery: the engine (or a supervised serve
+	// session) resumed from the checkpoint named by Completed.
+	EvRestore
 )
 
 // String names the kind for summaries and trace exports.
@@ -51,6 +59,10 @@ func (k EventKind) String() string {
 		return "stall_warn"
 	case EvStall:
 		return "stall"
+	case EvAbort:
+		return "abort"
+	case EvRestore:
+		return "restore"
 	default:
 		return "unknown"
 	}

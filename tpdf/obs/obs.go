@@ -78,8 +78,14 @@ type EngineSnapshot struct {
 	Rebinds    int64
 	RebindNs   int64
 	BoundaryNs int64
-	Actors     []ActorMetrics
-	Edges      []EdgeMetrics
+	// Aborts counts discarded transactions (behavior panics rolled back,
+	// rebinds rejected by validation); Restores counts successful
+	// checkpoint restores (in-engine panic recovery and resume-from-
+	// checkpoint run starts).
+	Aborts   int64
+	Restores int64
+	Actors   []ActorMetrics
+	Edges    []EdgeMetrics
 }
 
 // SimSnapshot is the simulator counterpart: lightweight counters from

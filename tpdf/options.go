@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/symb"
 	"repro/tpdf/obs"
 )
@@ -57,6 +58,15 @@ type config struct {
 	parallel        int
 	metrics         *obs.Registry
 	journal         *obs.Journal
+	checkpoint      bool
+	checkpointSink  func(*Checkpoint)
+	resume          *Checkpoint
+	panicRetries    int
+	validateRebind  func(map[string]int64) error
+	onRebindAbort   func(error)
+	snapshotUser    func() any
+	restoreUser     func(any)
+	faults          *faultinject.Plan
 }
 
 // Option configures Analyze, Simulate, Execute, Schedule or GenerateCode.

@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// ChaosSpec asks for a deterministic seeded fault schedule inside one
+// session's engine: behavior panics, firing delays, and rebind rejections
+// at pseudo-random (node, firing) sites drawn from Seed. It is accepted
+// only when the server runs with Config.EnableChaos (the tpdf-serve
+// -chaos flag) — a production server rejects it at open time. Identical
+// specs produce identical schedules, so a failing soak run replays
+// exactly.
+type ChaosSpec struct {
+	Seed int64 `json:"seed"`
+	// Panics / Delays / RebindAborts are injection counts (how many of
+	// each kind the schedule places).
+	Panics       int `json:"panics"`
+	Delays       int `json:"delays"`
+	RebindAborts int `json:"rebind_aborts"`
+	// MaxDelayMs bounds injected delays (default 1ms).
+	MaxDelayMs int64 `json:"max_delay_ms,omitempty"`
+	// Horizon is the firing-index window faults are placed in
+	// (default 64: sites land within the first pumps).
+	Horizon int64 `json:"horizon,omitempty"`
+}
+
+// plan materializes the schedule over the session's behavior-bearing
+// nodes (the sinks — token-only nodes never run user code, so there is
+// nothing to panic in).
+func (c *ChaosSpec) plan(nodes []string) *faultinject.Plan {
+	if len(nodes) == 0 {
+		return nil
+	}
+	horizon := c.Horizon
+	if horizon <= 0 {
+		horizon = 64
+	}
+	return faultinject.Seeded(c.Seed, faultinject.Spec{
+		Nodes:        nodes,
+		Horizon:      horizon,
+		Panics:       c.Panics,
+		Delays:       c.Delays,
+		RebindAborts: c.RebindAborts,
+		MaxDelay:     time.Duration(c.MaxDelayMs) * time.Millisecond,
+	})
+}

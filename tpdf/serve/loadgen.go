@@ -35,6 +35,16 @@ type LoadConfig struct {
 	Graph GraphSpec
 	// Timeout bounds each individual HTTP request (default 30s).
 	Timeout time.Duration
+	// Chaos, when non-nil, attaches a seeded fault schedule to every
+	// session (session i gets Seed+i, so schedules differ but the whole
+	// run replays from one seed). Requires a server started with -chaos.
+	// Sessions must still all complete: injected panics are expected to
+	// be recovered by the server's supervisor, not to fail the run.
+	Chaos *ChaosSpec
+	// ChaosParams are the parameter overrides chaos sessions cycle
+	// through between pumps (giving injected rebind aborts a rebind to
+	// reject). Default {"p": 2,3,4}, matching the default fig2 graph.
+	ChaosParams map[string][]int64
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -61,6 +71,9 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
+	}
+	if c.Chaos != nil && len(c.ChaosParams) == 0 {
+		c.ChaosParams = map[string][]int64{"p": {2, 3, 4}}
 	}
 	return c
 }
@@ -118,6 +131,12 @@ type LoadReport struct {
 	// as Prometheus text (a parse failure fails the whole run).
 	MetricsSeries int  `json:"metrics_series"`
 	MetricsValid  bool `json:"metrics_valid"`
+	// Fleet fault-tolerance counters from the final /v1/stats: in a
+	// chaos run, Panics and Restarts prove injection and recovery both
+	// happened (all sessions completed regardless).
+	Panics       int64 `json:"panics"`
+	Restarts     int64 `json:"restarts"`
+	RebindAborts int64 `json:"rebind_aborts"`
 
 	ElapsedMs      int64   `json:"elapsed_ms"`
 	SessionsPerSec float64 `json:"sessions_per_sec"`
@@ -282,16 +301,31 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	runSession := func(i int) error {
 		tenant := fmt.Sprintf("tenant-%d", i%cfg.Tenants)
 		start := time.Now()
+		open := openRequest{Tenant: tenant, Graph: cfg.Graph}
+		if cfg.Chaos != nil {
+			spec := *cfg.Chaos
+			spec.Seed += int64(i)
+			open.Chaos = &spec
+		}
 		var opened openResponse
-		if err := timedDo(&openNs, http.MethodPost, "/v1/sessions",
-			openRequest{Tenant: tenant, Graph: cfg.Graph}, &opened); err != nil {
+		if err := timedDo(&openNs, http.MethodPost, "/v1/sessions", open, &opened); err != nil {
 			return fmt.Errorf("open: %w", err)
 		}
 		scrapeOnce.Do(scrapeMetrics)
 		for p := 0; p < cfg.Pumps; p++ {
+			var pump pumpRequest
+			pump.Iterations = cfg.Iterations
+			if cfg.Chaos != nil && p > 0 {
+				// Cycle parameters so injected rebind aborts have a
+				// rebind to reject; survivors apply normally.
+				pump.Params = map[string]int64{}
+				for name, vals := range cfg.ChaosParams {
+					pump.Params[name] = vals[p%len(vals)]
+				}
+			}
 			var pr pumpResponse
 			if err := timedDo(&pumpNs, http.MethodPost, "/v1/sessions/"+opened.ID+"/pump",
-				pumpRequest{Iterations: cfg.Iterations}, &pr); err != nil {
+				pump, &pr); err != nil {
 				return fmt.Errorf("pump: %w", err)
 			}
 		}
@@ -353,6 +387,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	var st Stats
 	if err := cl.do(ctx, http.MethodGet, "/v1/stats", nil, &st); err == nil {
 		rep.Leaked = int64(st.Sessions)
+		rep.Panics = st.Panics
+		rep.Restarts = st.Restarts
+		rep.RebindAborts = st.RebindAborts
 	}
 
 	if err, ok := firstErr.Load().(error); ok && err != nil {

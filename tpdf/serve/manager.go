@@ -60,6 +60,19 @@ type Config struct {
 	// DrainTimeout bounds graceful shutdown: sessions that have not
 	// reached a barrier by then are cancelled (default 5s).
 	DrainTimeout time.Duration
+	// MaxRestarts bounds per-session engine restarts after behavior
+	// panics (default 3; negative disables recovery — the first panic
+	// fails the session).
+	MaxRestarts int
+	// RestartBackoff is the supervisor's initial restart delay (default
+	// 10ms), doubled per consecutive attempt up to RestartMaxBackoff
+	// (default 640ms), with deterministic per-session jitter.
+	RestartBackoff    time.Duration
+	RestartMaxBackoff time.Duration
+	// EnableChaos accepts ChaosSpec fault-injection requests at session
+	// open (the tpdf-serve -chaos flag). Off by default: a production
+	// server refuses injected faults.
+	EnableChaos bool
 }
 
 func (c Config) withDefaults() Config {
@@ -87,7 +100,30 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
 	}
+	if c.MaxRestarts == 0 {
+		c.MaxRestarts = 3
+	}
+	if c.RestartBackoff <= 0 {
+		c.RestartBackoff = 10 * time.Millisecond
+	}
+	if c.RestartMaxBackoff <= 0 {
+		c.RestartMaxBackoff = 640 * time.Millisecond
+	}
 	return c
+}
+
+// policy renders the restart knobs for sessions (negative MaxRestarts
+// means no recovery).
+func (c Config) policy() restartPolicy {
+	p := restartPolicy{
+		maxRestarts: c.MaxRestarts,
+		backoff:     c.RestartBackoff,
+		maxBackoff:  c.RestartMaxBackoff,
+	}
+	if p.maxRestarts < 0 {
+		p.maxRestarts = 0
+	}
+	return p
 }
 
 // Stats is the service-level counter snapshot exposed by /v1/stats.
@@ -106,6 +142,15 @@ type Stats struct {
 	BatchRejected  int64      `json:"batch_rejected"`
 	Cache          CacheStats `json:"cache"`
 	IterationsLive int64      `json:"iterations_live"`
+	// Fault-tolerance counters, summed over the fleet's lifetime:
+	// behavior panics recovered into transaction aborts, supervisor
+	// engine restarts, and reconfigurations rejected at barriers.
+	Panics       int64 `json:"panics"`
+	Restarts     int64 `json:"restarts"`
+	RebindAborts int64 `json:"rebind_aborts"`
+	// Recovering counts open sessions currently between engine
+	// incarnations (crashed, waiting out the restart backoff).
+	Recovering int `json:"recovering"`
 }
 
 // Manager owns the session fleet: admission, the shared program cache,
@@ -132,6 +177,7 @@ type Manager struct {
 	rejectedGraph atomic.Int64
 	batchJobs     atomic.Int64
 	batchRejected atomic.Int64
+	fleet         fleetCounters
 }
 
 // NewManager builds a manager with the configured bounds.
@@ -188,10 +234,14 @@ func (m *Manager) acquireSlot(ctx context.Context) error {
 // Open admits one session: tenant quota, bounded slot, cached compile,
 // boundedness verdict, then stamp and start. On success the session is
 // registered and its engine parks at the completed=0 barrier awaiting the
-// first pump.
-func (m *Manager) Open(ctx context.Context, tenant string, g *tpdf.Graph, params map[string]int64) (*Session, error) {
+// first pump. A non-nil chaos spec (deterministic fault injection) is
+// honored only when the server runs with Config.EnableChaos.
+func (m *Manager) Open(ctx context.Context, tenant string, g *tpdf.Graph, params map[string]int64, chaos *ChaosSpec) (*Session, error) {
 	if m.closed.Load() {
 		return nil, ErrShuttingDown
+	}
+	if chaos != nil && !m.cfg.EnableChaos {
+		return nil, fmt.Errorf("serve: chaos injection requested but the server runs without -chaos")
 	}
 	if tenant == "" {
 		tenant = "default"
@@ -243,10 +293,20 @@ func (m *Manager) Open(ctx context.Context, tenant string, g *tpdf.Graph, params
 	}
 
 	id := "s" + strconv.FormatInt(m.nextID.Add(1), 10)
-	s := newSession(id, tenant, compiled, params)
+	s := newSession(id, tenant, compiled, params, chaos, m.cfg.policy(), &m.fleet)
 	m.mu.Lock()
 	m.sessions[id] = s
 	m.mu.Unlock()
+	// Drain may have begun between the admission check above and the
+	// registration: its ID snapshot would then miss this session, leaking
+	// an engine (and its slot) past shutdown. Re-check after registering —
+	// one side of the race always sees the other.
+	if m.closed.Load() {
+		dctx, cancel := context.WithTimeout(context.Background(), m.cfg.DrainTimeout)
+		_, _ = m.Close(dctx, id)
+		cancel()
+		return nil, ErrShuttingDown
+	}
 	m.opened.Add(1)
 	return s, nil
 }
@@ -376,8 +436,12 @@ func (m *Manager) Stats() Stats {
 	n := len(m.sessions)
 	t := len(m.perTenant)
 	var live int64
+	recovering := 0
 	for _, s := range m.sessions {
 		live += s.Completed()
+		if s.State() == StateRecovering {
+			recovering++
+		}
 	}
 	m.mu.Unlock()
 	return Stats{
@@ -395,5 +459,9 @@ func (m *Manager) Stats() Stats {
 		BatchRejected:  m.batchRejected.Load(),
 		Cache:          m.cache.Stats(),
 		IterationsLive: live,
+		Panics:         m.fleet.panics.Load(),
+		Restarts:       m.fleet.restarts.Load(),
+		RebindAborts:   m.fleet.rebindAborts.Load(),
+		Recovering:     recovering,
 	}
 }

@@ -118,6 +118,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Family("tpdf_serve_iterations_live", "Completed iterations summed over open sessions.", "gauge")
 	p.Int("tpdf_serve_iterations_live", nil, st.IterationsLive)
 
+	p.Family("tpdf_serve_fault_events_total", "Fleet fault-tolerance events: recovered behavior panics, supervisor engine restarts, rebind aborts.", "counter")
+	p.Int("tpdf_serve_fault_events_total", []obs.Label{{Key: "event", Value: "panic"}}, st.Panics)
+	p.Int("tpdf_serve_fault_events_total", []obs.Label{{Key: "event", Value: "restart"}}, st.Restarts)
+	p.Int("tpdf_serve_fault_events_total", []obs.Label{{Key: "event", Value: "rebind_abort"}}, st.RebindAborts)
+	p.Family("tpdf_serve_sessions_recovering", "Open sessions between engine incarnations (restart backoff).", "gauge")
+	p.Int("tpdf_serve_sessions_recovering", nil, int64(st.Recovering))
+
 	p.Family("tpdf_serve_rejected_total", "Requests refused by admission control.", "counter")
 	p.Int("tpdf_serve_rejected_total", []obs.Label{{Key: "reason", Value: "busy"}}, st.RejectedBusy)
 	p.Int("tpdf_serve_rejected_total", []obs.Label{{Key: "reason", Value: "quota"}}, st.RejectedQuota)
@@ -186,6 +193,23 @@ func (s *Server) writeSessionMetrics(p *obs.PromWriter) {
 	p.Family("tpdf_session_rebinds_total", "Parameter rebinds applied at barriers.", "counter")
 	for _, sn := range snaps {
 		p.Int("tpdf_session_rebinds_total", base(sn.sess), sn.eng.Rebinds)
+	}
+	p.Family("tpdf_session_state", "Supervision state (1 for the session's current state).", "gauge")
+	for _, sn := range snaps {
+		p.Int("tpdf_session_state",
+			append(base(sn.sess), obs.Label{Key: "state", Value: sn.sess.State().String()}), 1)
+	}
+	p.Family("tpdf_session_restarts_total", "Supervisor engine restarts after behavior panics.", "counter")
+	for _, sn := range snaps {
+		p.Int("tpdf_session_restarts_total", base(sn.sess), sn.sess.Restarts())
+	}
+	p.Family("tpdf_session_aborts_total", "Transactions discarded (behavior panics, rejected rebinds).", "counter")
+	for _, sn := range snaps {
+		p.Int("tpdf_session_aborts_total", base(sn.sess), sn.eng.Aborts)
+	}
+	p.Family("tpdf_session_restores_total", "Checkpoint rollbacks completed inside the engine.", "counter")
+	for _, sn := range snaps {
+		p.Int("tpdf_session_restores_total", base(sn.sess), sn.eng.Restores)
 	}
 	p.Family("tpdf_session_actor_firings_total", "Firings per actor.", "counter")
 	for _, sn := range snaps {

@@ -33,7 +33,7 @@ func TestSessionLifecycle(t *testing.T) {
 	m := NewManager(Config{})
 	ctx := ctxT(t)
 
-	s, err := m.Open(ctx, "acme", testGraph(t), nil)
+	s, err := m.Open(ctx, "acme", testGraph(t), nil, nil)
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}
@@ -105,7 +105,7 @@ func TestProgramCacheSharedAcrossSessions(t *testing.T) {
 				errs[i] = err
 				return
 			}
-			s, err := m.Open(ctx, fmt.Sprintf("tenant-%d", i%4), g, nil)
+			s, err := m.Open(ctx, fmt.Sprintf("tenant-%d", i%4), g, nil, nil)
 			if err != nil {
 				errs[i] = err
 				return
@@ -149,14 +149,14 @@ func TestAdmissionSlots(t *testing.T) {
 	ctx := ctxT(t)
 	g := testGraph(t)
 
-	a, err := m.Open(ctx, "t1", g, nil)
+	a, err := m.Open(ctx, "t1", g, nil, nil)
 	if err != nil {
 		t.Fatalf("open a: %v", err)
 	}
-	if _, err := m.Open(ctx, "t2", g, nil); err != nil {
+	if _, err := m.Open(ctx, "t2", g, nil, nil); err != nil {
 		t.Fatalf("open b: %v", err)
 	}
-	if _, err := m.Open(ctx, "t3", g, nil); !errors.Is(err, ErrBusy) {
+	if _, err := m.Open(ctx, "t3", g, nil, nil); !errors.Is(err, ErrBusy) {
 		t.Fatalf("third open: %v, want ErrBusy", err)
 	}
 	if st := m.Stats(); st.RejectedBusy != 1 {
@@ -166,7 +166,7 @@ func TestAdmissionSlots(t *testing.T) {
 	if _, err := m.Close(ctx, a.ID); err != nil {
 		t.Fatalf("close: %v", err)
 	}
-	if _, err := m.Open(ctx, "t1", g, nil); err != nil {
+	if _, err := m.Open(ctx, "t1", g, nil, nil); err != nil {
 		t.Fatalf("open after close: %v", err)
 	}
 }
@@ -178,13 +178,13 @@ func TestAdmissionQueue(t *testing.T) {
 	ctx := ctxT(t)
 	g := testGraph(t)
 
-	a, err := m.Open(ctx, "t", g, nil)
+	a, err := m.Open(ctx, "t", g, nil, nil)
 	if err != nil {
 		t.Fatalf("open a: %v", err)
 	}
 	done := make(chan error, 1)
 	go func() {
-		_, err := m.Open(ctx, "t", g, nil)
+		_, err := m.Open(ctx, "t", g, nil, nil)
 		done <- err
 	}()
 	time.Sleep(20 * time.Millisecond) // let the opener queue
@@ -203,14 +203,14 @@ func TestTenantQuota(t *testing.T) {
 	ctx := ctxT(t)
 	g := testGraph(t)
 
-	if _, err := m.Open(ctx, "small", g, nil); err != nil {
+	if _, err := m.Open(ctx, "small", g, nil, nil); err != nil {
 		t.Fatalf("open: %v", err)
 	}
-	if _, err := m.Open(ctx, "small", g, nil); !errors.Is(err, ErrQuota) {
+	if _, err := m.Open(ctx, "small", g, nil, nil); !errors.Is(err, ErrQuota) {
 		t.Fatalf("second open for tenant: %v, want ErrQuota", err)
 	}
 	// A different tenant is unaffected.
-	if _, err := m.Open(ctx, "other", g, nil); err != nil {
+	if _, err := m.Open(ctx, "other", g, nil, nil); err != nil {
 		t.Fatalf("other tenant: %v", err)
 	}
 	if st := m.Stats(); st.RejectedQuota != 1 {
@@ -236,11 +236,11 @@ func TestInadmissibleGraph(t *testing.T) {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	if _, err := m.Open(ctx, "t", bad, nil); !errors.Is(err, ErrNotAdmissible) {
+	if _, err := m.Open(ctx, "t", bad, nil, nil); !errors.Is(err, ErrNotAdmissible) {
 		t.Fatalf("open inconsistent graph: %v, want ErrNotAdmissible", err)
 	}
 	// The slot was returned: a good graph still fits.
-	if _, err := m.Open(ctx, "t", testGraph(t), nil); err != nil {
+	if _, err := m.Open(ctx, "t", testGraph(t), nil, nil); err != nil {
 		t.Fatalf("open after rejection: %v", err)
 	}
 }

@@ -43,6 +43,9 @@ type openRequest struct {
 	Tenant string           `json:"tenant,omitempty"`
 	Graph  GraphSpec        `json:"graph"`
 	Params map[string]int64 `json:"params,omitempty"`
+	// Chaos requests seeded fault injection inside the session's engine;
+	// honored only by servers started with -chaos.
+	Chaos *ChaosSpec `json:"chaos,omitempty"`
 }
 
 type openResponse struct {
@@ -233,7 +236,7 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	sess, err := s.m.Open(r.Context(), req.Tenant, g, req.Params)
+	sess, err := s.m.Open(r.Context(), req.Tenant, g, req.Params, req.Chaos)
 	if err != nil {
 		writeErr(w, err)
 		return

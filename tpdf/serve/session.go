@@ -2,10 +2,14 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/faultinject"
 	"repro/tpdf"
 	"repro/tpdf/obs"
 )
@@ -16,6 +20,55 @@ import (
 // huge horizon never inflates ring capacities (bounded graphs have zero
 // per-iteration token drift).
 const maxSessionIterations = int64(1) << 62
+
+// SessionState is a session's supervision state, readable via
+// Session.State and exported per session on /metrics.
+type SessionState int32
+
+const (
+	// StateRunning: the engine is live (parked at a barrier or pumping).
+	StateRunning SessionState = iota
+	// StateRecovering: the engine crashed on a behavior panic and the
+	// supervisor is backing off before restarting it from the last barrier
+	// checkpoint. Client commands queue transparently meanwhile.
+	StateRecovering
+	// StateFailed: the engine is gone for good — restart budget exhausted,
+	// a non-recoverable error, or hard cancellation. Commands answer the
+	// run error.
+	StateFailed
+	// StateDrained: the session stopped cleanly at a transaction barrier.
+	StateDrained
+)
+
+func (s SessionState) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateRecovering:
+		return "recovering"
+	case StateFailed:
+		return "failed"
+	case StateDrained:
+		return "drained"
+	default:
+		return "unknown"
+	}
+}
+
+// restartPolicy is the supervisor's restart budget, derived from Config.
+type restartPolicy struct {
+	maxRestarts int
+	backoff     time.Duration
+	maxBackoff  time.Duration
+}
+
+// fleetCounters aggregates fault-tolerance events across the fleet; the
+// manager owns one and every session bumps it alongside its own counters.
+type fleetCounters struct {
+	panics       atomic.Int64
+	restarts     atomic.Int64
+	rebindAborts atomic.Int64
+}
 
 // sessCmd is one client command delivered to the session's barrier hook at
 // a quiescent transaction boundary.
@@ -40,6 +93,13 @@ type sessCmd struct {
 // quiescent barrier → Drain (clean stop at the next barrier, rings
 // flushed into the final result) or hard cancellation after the drain
 // deadline.
+//
+// The session is supervised: the engine checkpoints at every transaction
+// barrier, a behavior panic tears down only the in-flight transaction, and
+// the supervisor restarts the engine from the last checkpoint (bounded
+// retries, exponential backoff with deterministic jitter). A panic in one
+// session never touches the process or any other session — the engine
+// recovers it on the actor goroutine and returns it as an error value.
 type Session struct {
 	ID     string
 	Tenant string
@@ -66,6 +126,29 @@ type Session struct {
 	sinkNames  []string
 	sinkTokens []atomic.Int64
 
+	// Supervision state. The barrier-hook fields (pumpRemaining,
+	// pumpReply, pumpPending) live on the session rather than in a
+	// closure so an in-flight pump survives an engine restart: the hook
+	// runs on the supervisor goroutine (tpdf.Stream is synchronous), so
+	// one goroutine owns them across engine incarnations.
+	state         atomic.Int32
+	restarts      atomic.Int64
+	panics        atomic.Int64
+	rebindAborts  atomic.Int64
+	policy        restartPolicy
+	fleet         *fleetCounters
+	faults        *faultinject.Plan
+	pumpRemaining int64
+	pumpReply     chan int64
+	pumpPending   map[string]int64
+
+	// ckptArena holds the newest barrier checkpoint (the engine's sink
+	// copies into it at every capture); snapSinks is the matching sink
+	// counter snapshot riding in Checkpoint.User. ckptOK arms WithResume.
+	ckptArena *tpdf.Checkpoint
+	snapSinks []int64
+	ckptOK    bool
+
 	// metrics and journal are the session's private observability surface:
 	// the engine harvests into them at transaction barriers, /metrics and
 	// the trace export read them. One registry per session, so series from
@@ -74,10 +157,11 @@ type Session struct {
 	journal *obs.Journal
 }
 
-// newSession stamps and starts a session. The engine goroutine runs until
-// drain or hard cancellation; it parks (zero CPU) whenever no command is
-// pending.
-func newSession(id, tenant string, compiled *tpdf.CompiledGraph, params map[string]int64) *Session {
+// newSession stamps and starts a session. The supervisor goroutine runs
+// engine incarnations until drain, failure or hard cancellation; the
+// engine parks (zero CPU) whenever no command is pending.
+func newSession(id, tenant string, compiled *tpdf.CompiledGraph, params map[string]int64,
+	chaos *ChaosSpec, policy restartPolicy, fleet *fleetCounters) *Session {
 	hardCtx, hardCancel := context.WithCancel(context.Background())
 	s := &Session{
 		ID:         id,
@@ -89,6 +173,9 @@ func newSession(id, tenant string, compiled *tpdf.CompiledGraph, params map[stri
 		hardCtx:    hardCtx,
 		hardCancel: hardCancel,
 		done:       make(chan struct{}),
+		policy:     policy,
+		fleet:      fleet,
+		ckptArena:  &tpdf.Checkpoint{},
 		metrics:    obs.NewRegistry(),
 		journal:    obs.NewJournal(256),
 	}
@@ -103,6 +190,10 @@ func newSession(id, tenant string, compiled *tpdf.CompiledGraph, params map[stri
 		}
 	}
 	s.sinkTokens = make([]atomic.Int64, len(s.sinkNames))
+	s.snapSinks = make([]int64, len(s.sinkNames))
+	if chaos != nil {
+		s.faults = chaos.plan(s.sinkNames)
+	}
 	go s.run()
 	return s
 }
@@ -129,89 +220,204 @@ func (s *Session) behaviors() map[string]tpdf.Behavior {
 	return b
 }
 
-func (s *Session) run() {
-	defer close(s.done)
-	res, err := tpdf.Stream(s.compiled.Graph(), s.behaviors(),
+// keepCheckpoint is the session's CheckpointSink: copy the engine's arena
+// into the session's (slice-reusing, so warm captures stay allocation
+// free) and mark resume as possible.
+func (s *Session) keepCheckpoint(ck *tpdf.Checkpoint) {
+	ck.CopyInto(s.ckptArena)
+	s.ckptOK = true
+}
+
+// snapshotSinks / restoreSinks carry the sink counters inside each
+// checkpoint, so a rollback discards exactly the tokens of the aborted
+// transaction. The snapshot slice is reused: only the newest checkpoint is
+// ever restored, and arena and slice are rewritten at the same barrier.
+func (s *Session) snapshotSinks() any {
+	for i := range s.sinkTokens {
+		s.snapSinks[i] = s.sinkTokens[i].Load()
+	}
+	return s.snapSinks
+}
+
+func (s *Session) restoreSinks(u any) {
+	vals, ok := u.([]int64)
+	if !ok {
+		return
+	}
+	for i := range s.sinkTokens {
+		s.sinkTokens[i].Store(vals[i])
+	}
+}
+
+// onRebindAbort makes rejected reconfigurations non-fatal: the engine
+// rolled the valuation back and keeps running under the previous
+// parameters; the session and fleet just count the event (the engine
+// already journaled it).
+func (s *Session) onRebindAbort(error) {
+	s.rebindAborts.Add(1)
+	s.fleet.rebindAborts.Add(1)
+}
+
+// runEngine runs one engine incarnation; resume rehydrates it from the
+// last barrier checkpoint. PanicRetries stays 0: recovery policy
+// (budget, backoff) belongs to the supervisor, not the engine.
+func (s *Session) runEngine(resume bool) (*tpdf.ExecResult, error) {
+	opts := []tpdf.Option{
 		tpdf.WithCompiled(s.compiled),
 		tpdf.WithParams(s.params),
 		tpdf.WithIterations(maxSessionIterations),
 		tpdf.WithContext(s.hardCtx),
-		tpdf.WithBarrier(s.barrier()),
+		tpdf.WithBarrier(s.barrierHook),
 		tpdf.WithMetrics(s.metrics),
 		tpdf.WithTraceJournal(s.journal),
-	)
-	s.result, s.runErr = res, err
+		tpdf.WithCheckpoints(s.keepCheckpoint),
+		tpdf.WithUserState(s.snapshotSinks, s.restoreSinks),
+		tpdf.WithRebindAbortHandler(s.onRebindAbort),
+	}
+	if s.faults != nil {
+		opts = append(opts, tpdf.WithFaultPlan(s.faults))
+	}
+	if resume {
+		opts = append(opts, tpdf.WithResume(s.ckptArena))
+	}
+	return tpdf.Stream(s.compiled.Graph(), s.behaviors(), opts...)
 }
 
-// barrier builds the session's transaction-boundary command loop. It runs
-// on the engine's main goroutine: between pumps it blocks here (counted as
-// boundary work, so the stall watchdog stays quiet) and every command takes
-// effect only at this quiescent point — the paper's transaction rule, bent
-// into a server's request loop.
-func (s *Session) barrier() func(int64) (map[string]int64, bool) {
-	remaining := int64(0)
-	var reply chan int64
-	var pending map[string]int64
-	finish := func(completed int64) {
-		if reply != nil {
-			reply <- completed
-			reply = nil
+// restartBackoff is the supervisor's wait before restart attempt n:
+// exponential from the policy base, capped, with deterministic jitter in
+// [d/2, d) derived from the session ID — sessions crashing together do
+// not restart together, and a test re-running the same fleet sees the
+// same schedule.
+func (s *Session) restartBackoff(attempt int) time.Duration {
+	d := s.policy.backoff << uint(attempt)
+	if d > s.policy.maxBackoff || d <= 0 {
+		d = s.policy.maxBackoff
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", s.ID, attempt)
+	return d/2 + time.Duration(uint64(d/2)*(h.Sum64()%1024)/1024)
+}
+
+// run is the session's supervisor: it runs engine incarnations until the
+// session drains, fails, or exhausts its restart budget. Only behavior
+// panics are recoverable — the engine isolates them to an error value and
+// the checkpoint names the barrier to restart from; every other error
+// (cancellation, watchdog stalls, admission-time bugs) fails the session.
+func (s *Session) run() {
+	defer close(s.done)
+	attempt := 0
+	resume := false
+	for {
+		res, err := s.runEngine(resume)
+		if err == nil {
+			s.result = res
+			s.state.Store(int32(StateDrained))
+			return
+		}
+		var pe *tpdf.BehaviorPanicError
+		recoverable := errors.As(err, &pe)
+		if recoverable {
+			s.panics.Add(1)
+			s.fleet.panics.Add(1)
+		}
+		if !recoverable || !s.ckptOK || attempt >= s.policy.maxRestarts {
+			s.runErr = err
+			s.state.Store(int32(StateFailed))
+			return
+		}
+		s.state.Store(int32(StateRecovering))
+		select {
+		case <-time.After(s.restartBackoff(attempt)):
+		case <-s.soft:
+			// Drained while recovering: the last checkpoint is the
+			// session's final consistent state; report it.
+			s.result = s.ckptArena.Result()
+			s.completed.Store(s.ckptArena.Completed)
+			s.state.Store(int32(StateDrained))
+			return
+		case <-s.hardCtx.Done():
+			s.runErr = err
+			s.state.Store(int32(StateFailed))
+			return
+		}
+		attempt++
+		resume = true
+		s.restarts.Add(1)
+		s.fleet.restarts.Add(1)
+		s.journal.Record(obs.Event{Kind: obs.EvRestore, Completed: s.ckptArena.Completed, Detail: pe.Node})
+		s.state.Store(int32(StateRunning))
+	}
+}
+
+// barrierHook is the session's transaction-boundary command loop. It runs
+// on the supervisor goroutine inside tpdf.Stream: between pumps it blocks
+// here (counted as boundary work, so the stall watchdog stays quiet) and
+// every command takes effect only at this quiescent point — the paper's
+// transaction rule, bent into a server's request loop. Its state lives on
+// the session so an in-flight pump spans engine restarts: the engine
+// resumes mid-pump exactly where the checkpoint was cut.
+func (s *Session) barrierHook(completed int64) (map[string]int64, bool) {
+	s.completed.Store(completed)
+	if s.pumpRemaining > 0 {
+		// Mid-pump boundary: keep going unless a drain arrived, in
+		// which case stop here — a pump is not a critical section,
+		// every boundary is a legal stopping point.
+		select {
+		case <-s.soft:
+			s.finishPump(completed)
+			return nil, true
+		case <-s.hardCtx.Done():
+			s.finishPump(completed)
+			return nil, true
+		default:
+		}
+		s.pumpRemaining--
+		if s.pumpRemaining > 0 {
+			return nil, false
 		}
 	}
-	return func(completed int64) (map[string]int64, bool) {
-		s.completed.Store(completed)
-		if remaining > 0 {
-			// Mid-pump boundary: keep going unless a drain arrived, in
-			// which case stop here — a pump is not a critical section,
-			// every boundary is a legal stopping point.
-			select {
-			case <-s.soft:
-				finish(completed)
-				return nil, true
-			case <-s.hardCtx.Done():
-				finish(completed)
-				return nil, true
-			default:
+	s.finishPump(completed)
+	for {
+		select {
+		case cmd := <-s.cmds:
+			if len(cmd.params) > 0 {
+				if s.pumpPending == nil {
+					s.pumpPending = map[string]int64{}
+				}
+				for k, v := range cmd.params {
+					s.pumpPending[k] = v
+				}
 			}
-			remaining--
-			if remaining > 0 {
-				return nil, false
+			if cmd.iters > 0 {
+				s.pumpRemaining = cmd.iters
+				s.pumpReply = cmd.reply
+				p := s.pumpPending
+				s.pumpPending = nil
+				return p, false
 			}
+			// Pure reconfigure: acknowledged now, applied together
+			// with the next pump's first iteration.
+			if cmd.reply != nil {
+				cmd.reply <- completed
+			}
+		case <-s.soft:
+			return s.pumpPending, true
+		case <-s.hardCtx.Done():
+			return nil, true
 		}
-		finish(completed)
-		for {
-			select {
-			case cmd := <-s.cmds:
-				if len(cmd.params) > 0 {
-					if pending == nil {
-						pending = map[string]int64{}
-					}
-					for k, v := range cmd.params {
-						pending[k] = v
-					}
-				}
-				if cmd.iters > 0 {
-					remaining = cmd.iters
-					reply = cmd.reply
-					p := pending
-					pending = nil
-					return p, false
-				}
-				// Pure reconfigure: acknowledged now, applied together
-				// with the next pump's first iteration.
-				if cmd.reply != nil {
-					cmd.reply <- completed
-				}
-			case <-s.soft:
-				return pending, true
-			case <-s.hardCtx.Done():
-				return nil, true
-			}
-		}
+	}
+}
+
+func (s *Session) finishPump(completed int64) {
+	if s.pumpReply != nil {
+		s.pumpReply <- completed
+		s.pumpReply = nil
 	}
 }
 
 // send delivers one command to the barrier hook and waits for its ack.
+// A session in recovery has no engine at a barrier, but the supervisor
+// restarts one within its backoff budget; the command just queues.
 func (s *Session) send(ctx context.Context, cmd sessCmd) (int64, error) {
 	cmd.reply = make(chan int64, 1)
 	select {
@@ -243,7 +449,10 @@ func (s *Session) Pump(ctx context.Context, iters int64, params map[string]int64
 }
 
 // Reconfigure stages parameter overrides; they take effect at the boundary
-// opening the next pumped iteration, per the transaction semantics.
+// opening the next pumped iteration, per the transaction semantics. An
+// override rejected there (unbounded schedule, failed validation) aborts
+// only that rebind: the engine keeps running under the previous
+// parameters and the abort is counted on the session and the fleet.
 func (s *Session) Reconfigure(ctx context.Context, params map[string]int64) error {
 	if len(params) == 0 {
 		return nil
@@ -253,8 +462,9 @@ func (s *Session) Reconfigure(ctx context.Context, params map[string]int64) erro
 }
 
 // Drain stops the session cleanly at the next transaction barrier: parked
-// actors exit, leftover tokens are flushed into the final result. If the
-// context expires first (the bounded drain deadline), the engine is
+// actors exit, leftover tokens are flushed into the final result. A
+// session draining mid-recovery reports the state of its last checkpoint.
+// If the context expires first (the bounded drain deadline), the engine is
 // cancelled outright. Drain is idempotent and always waits for the engine
 // goroutine to exit before returning.
 func (s *Session) Drain(ctx context.Context) (*tpdf.ExecResult, error) {
@@ -280,6 +490,18 @@ func (s *Session) exitErr() error {
 
 // Completed returns the session's total completed iteration count.
 func (s *Session) Completed() int64 { return s.completed.Load() }
+
+// State returns the session's supervision state.
+func (s *Session) State() SessionState { return SessionState(s.state.Load()) }
+
+// Restarts counts engine restarts performed by the supervisor.
+func (s *Session) Restarts() int64 { return s.restarts.Load() }
+
+// Panics counts behavior panics the session's engines hit.
+func (s *Session) Panics() int64 { return s.panics.Load() }
+
+// RebindAborts counts reconfigurations rejected at barriers.
+func (s *Session) RebindAborts() int64 { return s.rebindAborts.Load() }
 
 // Metrics is the session's private observability registry; the engine
 // refreshes it at every transaction barrier.

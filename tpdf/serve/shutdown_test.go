@@ -44,7 +44,7 @@ func TestGracefulDrain(t *testing.T) {
 	const fleet = 8
 	sessions := make([]*Session, fleet)
 	for i := range sessions {
-		s, err := m.Open(ctx, "t", g, nil)
+		s, err := m.Open(ctx, "t", g, nil, nil)
 		if err != nil {
 			t.Fatalf("open %d: %v", i, err)
 		}
@@ -88,7 +88,7 @@ func TestGracefulDrain(t *testing.T) {
 		t.Fatalf("after drain: %+v", st)
 	}
 	// New admissions are refused while shut down.
-	if _, err := m.Open(ctx, "t", g, nil); !errors.Is(err, ErrShuttingDown) {
+	if _, err := m.Open(ctx, "t", g, nil, nil); !errors.Is(err, ErrShuttingDown) {
 		t.Fatalf("open after drain: %v, want ErrShuttingDown", err)
 	}
 	waitGoroutines(t, base, 2)
@@ -100,7 +100,7 @@ func TestGracefulDrain(t *testing.T) {
 func TestDrainInFlightPumpCompletes(t *testing.T) {
 	m := NewManager(Config{DrainTimeout: 10 * time.Second})
 	ctx := ctxT(t)
-	s, err := m.Open(ctx, "t", testGraph(t), nil)
+	s, err := m.Open(ctx, "t", testGraph(t), nil, nil)
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}
@@ -138,7 +138,7 @@ func TestDrainInFlightPumpCompletes(t *testing.T) {
 func TestDrainDeadlineHardCancels(t *testing.T) {
 	m := NewManager(Config{})
 	ctx := ctxT(t)
-	s, err := m.Open(ctx, "t", testGraph(t), nil)
+	s, err := m.Open(ctx, "t", testGraph(t), nil, nil)
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}

@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/tpdf/obs"
+)
+
+// chaosManager builds a manager with fault injection enabled and a fast
+// restart schedule so recovery tests finish quickly.
+func chaosManager(extra func(*Config)) *Manager {
+	cfg := Config{
+		EnableChaos:       true,
+		RestartBackoff:    time.Millisecond,
+		RestartMaxBackoff: 8 * time.Millisecond,
+	}
+	if extra != nil {
+		extra(&cfg)
+	}
+	return NewManager(cfg)
+}
+
+// TestSessionPanicRecovery injects a behavior panic into one session and
+// checks that the supervisor restarts its engine from the last barrier
+// checkpoint: the in-flight pump completes as if nothing happened, the
+// session returns to Running, and the restart is visible on the session,
+// the fleet, and the journal.
+func TestSessionPanicRecovery(t *testing.T) {
+	m := chaosManager(nil)
+	ctx := ctxT(t)
+
+	s, err := m.Open(ctx, "t", testGraph(t), nil, &ChaosSpec{Seed: 7, Panics: 1, Horizon: 16})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	n, err := s.Pump(ctx, 20, nil)
+	if err != nil {
+		t.Fatalf("pump across panic: %v", err)
+	}
+	if n != 20 {
+		t.Fatalf("completed = %d, want 20", n)
+	}
+	if got := s.State(); got != StateRunning {
+		t.Fatalf("state after recovery = %v, want running", got)
+	}
+	if s.Panics() != 1 || s.Restarts() != 1 {
+		t.Fatalf("panics=%d restarts=%d, want 1/1", s.Panics(), s.Restarts())
+	}
+	if st := m.Stats(); st.Panics != 1 || st.Restarts != 1 {
+		t.Fatalf("fleet panics=%d restarts=%d, want 1/1", st.Panics, st.Restarts)
+	}
+	var sawAbort, sawRestore bool
+	for _, ev := range s.TraceJournal().Events() {
+		switch ev.Kind {
+		case obs.EvAbort:
+			sawAbort = true
+		case obs.EvRestore:
+			sawRestore = true
+		}
+	}
+	if !sawAbort || !sawRestore {
+		t.Fatalf("journal abort=%v restore=%v, want both", sawAbort, sawRestore)
+	}
+
+	// The recovered session keeps working and drains cleanly.
+	if _, err := s.Pump(ctx, 5, nil); err != nil {
+		t.Fatalf("pump after recovery: %v", err)
+	}
+	if _, err := m.Close(ctx, s.ID); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestSessionPanicIsolation crashes one session repeatedly past its
+// restart budget while a neighbor session keeps pumping: the crashing
+// session must fail alone — the neighbor and the process never notice.
+func TestSessionPanicIsolation(t *testing.T) {
+	m := chaosManager(func(c *Config) { c.MaxRestarts = -1 })
+	ctx := ctxT(t)
+
+	victim, err := m.Open(ctx, "t", testGraph(t), nil, &ChaosSpec{Seed: 3, Panics: 1, Horizon: 8})
+	if err != nil {
+		t.Fatalf("open victim: %v", err)
+	}
+	bystander, err := m.Open(ctx, "t", testGraph(t), nil, nil)
+	if err != nil {
+		t.Fatalf("open bystander: %v", err)
+	}
+
+	_, err = victim.Pump(ctx, 20, nil)
+	if err == nil {
+		t.Fatal("victim pump succeeded; want engine failure with recovery disabled")
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("victim error %v does not name the panic", err)
+	}
+	if got := victim.State(); got != StateFailed {
+		t.Fatalf("victim state = %v, want failed", got)
+	}
+
+	if _, err := bystander.Pump(ctx, 10, nil); err != nil {
+		t.Fatalf("bystander pump: %v", err)
+	}
+	if got := bystander.State(); got != StateRunning {
+		t.Fatalf("bystander state = %v, want running", got)
+	}
+	if _, err := m.Close(ctx, bystander.ID); err != nil {
+		t.Fatalf("close bystander: %v", err)
+	}
+	if _, err := m.Close(ctx, victim.ID); err == nil {
+		t.Fatal("closing failed victim returned no error")
+	}
+}
+
+// TestSessionRebindAbortSurvives sends a reconfiguration the engine must
+// reject (a parameter below its declared minimum fails the rebind) and
+// checks the session survives it: the abort is counted, the old valuation
+// stays in force, and later pumps and rebinds work.
+func TestSessionRebindAbortSurvives(t *testing.T) {
+	m := NewManager(Config{})
+	ctx := ctxT(t)
+
+	s, err := m.Open(ctx, "t", testGraph(t), nil, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := s.Pump(ctx, 2, map[string]int64{"p": 0}); err != nil {
+		t.Fatalf("pump with bad params: %v (want survived abort)", err)
+	}
+	if s.RebindAborts() != 1 {
+		t.Fatalf("rebind aborts = %d, want 1", s.RebindAborts())
+	}
+	if st := m.Stats(); st.RebindAborts != 1 {
+		t.Fatalf("fleet rebind aborts = %d, want 1", st.RebindAborts)
+	}
+	if got := s.State(); got != StateRunning {
+		t.Fatalf("state after aborted rebind = %v, want running", got)
+	}
+	if _, err := s.Pump(ctx, 3, map[string]int64{"p": 4}); err != nil {
+		t.Fatalf("pump with good params after abort: %v", err)
+	}
+	if _, err := m.Close(ctx, s.ID); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestDrainVsReconfigureRace races in-flight Reconfigure/Pump commands
+// against a fleet drain: every command call must return promptly (applied,
+// or answered with the drain sentinel), the drain must complete, and no
+// session goroutine may leak. Also covers the open-vs-drain registration
+// window: sessions admitted while Drain snapshots its ID list must still
+// be drained (or refused), never leaked.
+func TestDrainVsReconfigureRace(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for round := 0; round < 20; round++ {
+		m := NewManager(Config{DrainTimeout: 2 * time.Second})
+		ctx := ctxT(t)
+
+		s, err := m.Open(ctx, "t", testGraph(t), nil, nil)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if _, err := s.Pump(ctx, 1, nil); err != nil {
+			t.Fatalf("warmup pump: %v", err)
+		}
+
+		var wg sync.WaitGroup
+		errs := make(chan error, 64)
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for j := 0; j < 8; j++ {
+					err := s.Reconfigure(ctx, map[string]int64{"p": int64(2 + j%3)})
+					if err != nil && !errors.Is(err, ErrClosed) && !errors.Is(err, context.Canceled) {
+						errs <- fmt.Errorf("reconfigure %d/%d: %w", i, j, err)
+						return
+					}
+					if err != nil {
+						return // drained; sentinel is the expected outcome
+					}
+				}
+			}(i)
+		}
+		// Race a late Open against the drain: either admitted and then
+		// drained, or refused with ErrShuttingDown — never leaked.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := m.Open(ctx, "late", testGraph(t), nil, nil)
+			if err != nil && !errors.Is(err, ErrShuttingDown) && !errors.Is(err, ErrBusy) {
+				errs <- fmt.Errorf("late open: %w", err)
+			}
+		}()
+
+		if err := m.Drain(ctx); err != nil {
+			t.Fatalf("drain round %d: %v", round, err)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		if st := m.Stats(); st.Sessions != 0 {
+			t.Fatalf("round %d: %d sessions leaked past drain", round, st.Sessions)
+		}
+	}
+	waitGoroutines(t, base, 2)
+}
+
+// TestAdmitWaitCancelWhileQueued cancels an opener waiting in the
+// admission queue and checks the cancellation is clean: the queue
+// position is released, the tenant quota is not consumed, and the
+// rejection counters do not move (a cancel is not a server-side reject).
+func TestAdmitWaitCancelWhileQueued(t *testing.T) {
+	m := NewManager(Config{MaxSessions: 1, AdmitWait: time.Minute})
+	ctx := ctxT(t)
+
+	s, err := m.Open(ctx, "t", testGraph(t), nil, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	openErr := make(chan error, 1)
+	go func() {
+		_, err := m.Open(cctx, "waiter", testGraph(t), nil, nil)
+		openErr <- err
+	}()
+	// Wait until the opener is queued, then cancel it.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.QueueDepth() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("opener never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-openErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued open returned %v, want context.Canceled", err)
+	}
+	if d := m.QueueDepth(); d != 0 {
+		t.Fatalf("queue depth after cancel = %d, want 0", d)
+	}
+	st := m.Stats()
+	if st.RejectedBusy != 0 || st.RejectedQuota != 0 {
+		t.Fatalf("cancel counted as rejection: %+v", st)
+	}
+
+	// The cancelled opener must not hold quota: with the slot freed, the
+	// same tenant can open immediately.
+	if _, err := m.Close(ctx, s.ID); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	s2, err := m.Open(ctx, "waiter", testGraph(t), nil, nil)
+	if err != nil {
+		t.Fatalf("open after cancel: %v", err)
+	}
+	if _, err := m.Close(ctx, s2.ID); err != nil {
+		t.Fatalf("close 2: %v", err)
+	}
+}
+
+// TestChaosSoakFleet is the in-process chaos soak: a fleet of sessions
+// each carrying a seeded fault schedule (panics, delays, rebind aborts)
+// runs through the full HTTP surface via RunLoad. Every session must
+// complete — injected panics recovered by supervisors, aborted rebinds
+// absorbed — with zero failed sessions, zero leaks, zero goroutine leaks.
+func TestChaosSoakFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak in -short")
+	}
+	base := runtime.NumGoroutine()
+	srv := New(Config{
+		MaxSessions:       64,
+		EnableChaos:       true,
+		RestartBackoff:    time.Millisecond,
+		RestartMaxBackoff: 8 * time.Millisecond,
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	ctx := ctxT(t)
+
+	rep, err := RunLoad(ctx, LoadConfig{
+		BaseURL:     "http://" + addr,
+		Sessions:    50,
+		Concurrency: 16,
+		Pumps:       4,
+		Iterations:  8,
+		Chaos:       &ChaosSpec{Seed: 42, Panics: 1, Delays: 1, RebindAborts: 1, Horizon: 24},
+	})
+	if err != nil {
+		t.Fatalf("chaos soak: %v", err)
+	}
+	if rep.Failed != 0 || rep.Leaked != 0 {
+		t.Fatalf("chaos soak: %d failed, %d leaked (want 0/0)", rep.Failed, rep.Leaked)
+	}
+	if !rep.MetricsValid {
+		t.Fatal("metrics exposition invalid during chaos soak")
+	}
+	if rep.Panics == 0 || rep.Restarts == 0 {
+		t.Fatalf("chaos injected nothing: panics=%d restarts=%d", rep.Panics, rep.Restarts)
+	}
+	if rep.RebindAborts == 0 {
+		t.Fatalf("chaos run saw no rebind aborts")
+	}
+
+	sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	waitGoroutines(t, base, 4)
+}

@@ -35,6 +35,16 @@ func Stream(g *Graph, behaviors map[string]Behavior, opts ...Option) (*ExecResul
 		StallTimeout: cfg.stallTimeout,
 		Metrics:      cfg.metrics,
 		Journal:      cfg.journal,
+
+		Checkpoint:     cfg.checkpoint,
+		CheckpointSink: cfg.checkpointSink,
+		Resume:         cfg.resume,
+		PanicRetries:   cfg.panicRetries,
+		ValidateRebind: cfg.validateRebind,
+		OnRebindAbort:  cfg.onRebindAbort,
+		SnapshotUser:   cfg.snapshotUser,
+		RestoreUser:    cfg.restoreUser,
+		Faults:         cfg.faults,
 	}
 	if cfg.compiled != nil {
 		ec.Skeleton = cfg.compiled.sk

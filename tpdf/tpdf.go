@@ -55,6 +55,40 @@
 // Prometheus text exposition and GET /v1/sessions/{id}/trace as a Chrome
 // trace, with net/http/pprof on an opt-in admin listener. See
 // ExampleStream_metrics.
+//
+// # Fault tolerance
+//
+// Streaming runs can arm transactional fault tolerance, built on the same
+// quiescent barriers reconfiguration uses. WithCheckpoints(sink) captures
+// a Checkpoint at every transaction barrier: per-edge ring contents in
+// FIFO order, per-actor firing counters, the parameter valuation with its
+// digest, and (with WithUserState) a snapshot of user behavior state.
+// Rings are only snapshotted at quiescent barriers — between epochs, when
+// every actor is parked and the in-flight token set is exactly the edge
+// residue — so a checkpoint is always a consistent cut of the dataflow,
+// never a torn mid-epoch state. Captures reuse a preallocated arena: the
+// warm firing path stays allocation-free with checkpointing armed, and a
+// checkpoint-armed-but-idle engine is statistically no slower than a bare
+// one (the tpdf-bench -ckpt-overhead CI gate enforces <2%).
+//
+// A checkpoint rehydrates a fresh engine with WithResume: the resumed run
+// skips the first boundary's hook and rebind (the checkpoint was taken
+// after that boundary's work ran) and continues toward the WithIterations
+// total, producing output byte-identical to an uninterrupted run. The
+// same machinery backs in-run recovery: WithPanicRecovery(n) turns a
+// panicking behavior into a transaction abort, rolls the engine back to
+// the last checkpoint and retries the epoch up to n times, surfacing a
+// structured *BehaviorPanicError (node, firing, stack) once the budget is
+// spent. Speculative rebinds are transactional too: WithRebindValidation
+// vets a proposed valuation before any engine state changes, and a
+// rejected or failed rebind aborts with ErrRebindAborted, restoring the
+// pre-barrier valuation — observe aborts with WithRebindAbortHandler or
+// receive them as the run error. Deterministic seeded fault injection for
+// tests attaches with WithFaultPlan; tpdf-serve layers session
+// supervision on top — bounded-retry restart from the latest checkpoint
+// with exponential backoff — and tpdf-loadgen -chaos soaks that recovery
+// path in CI. See ExampleStream_checkpoint and
+// ExampleStream_panicRecovery.
 package tpdf
 
 import (
