@@ -555,6 +555,43 @@ func measureServeMode(quick bool) (*benchReport, error) {
 	add("serve/sweep", br.Sweep)
 	fmt.Printf("serve soak: %d sessions at %d concurrent, %.1f sessions/sec, 0 failed, 0 leaked\n",
 		lr.Sessions, lr.Concurrency, lr.SessionsPerSec)
+
+	// Durable twin: the same soak against a server persisting every
+	// session to disk (synchronous snapshot flush on every pump ack), so
+	// the gate tracks what durability costs the service path.
+	dir, err := os.MkdirTemp("", "tpdf-bench-durable-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	dsrv := serve.New(serve.Config{
+		MaxSessions: 64, AdmitWait: 5 * time.Second,
+		DataDir: dir, PersistEvery: 1,
+	})
+	daddr, err := dsrv.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		dsrv.Shutdown(ctx) //nolint:errcheck // bench teardown
+	}()
+	dcfg := cfg
+	dcfg.BaseURL = "http://" + daddr
+	dlr, err := serve.RunLoad(ctx, dcfg)
+	if err != nil {
+		return nil, fmt.Errorf("durable serve soak: %v", err)
+	}
+	if dlr.Failed > 0 || dlr.Leaked > 0 {
+		return nil, fmt.Errorf("durable serve soak: %d failed, %d leaked sessions", dlr.Failed, dlr.Leaked)
+	}
+	add("serve+durable/open", dlr.Open)
+	add("serve+durable/pump", dlr.Pump)
+	add("serve+durable/close", dlr.Close)
+	add("serve+durable/session", dlr.Session)
+	fmt.Printf("durable serve soak: %d sessions, %.1f sessions/sec, 0 failed, 0 leaked\n",
+		dlr.Sessions, dlr.SessionsPerSec)
 	return rep, nil
 }
 

@@ -14,6 +14,17 @@
 //	             [-json out.json]
 //
 // Exit status is non-zero if any session failed or leaked.
+//
+// Crash-recovery harness (against a server started with -data-dir):
+//
+//	tpdf-loadgen -crash-record -state crash.json   # pump until killed
+//	# ... kill -9 the server, restart it on the same -data-dir ...
+//	tpdf-loadgen -crash-verify -state crash.json   # exit 0 iff no acked work lost
+//
+// The recorder journals every acked pump to the state file (atomically
+// rewritten per ack) and exits 0 when the server dies under it; the
+// verifier waits out recovery, asserts every acked iteration survived, and
+// checks post-crash output is identical to an uninterrupted reference run.
 package main
 
 import (
@@ -42,6 +53,9 @@ func run() error {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	chaos := flag.Bool("chaos", false, "inject seeded faults into every session (server must run -chaos); sessions must still complete via supervisor recovery")
 	chaosSeed := flag.Int64("chaos-seed", 1, "base seed for per-session fault schedules (session i uses seed+i)")
+	crashRecord := flag.Bool("crash-record", false, "crash harness: pump sessions and journal acks to -state until the server dies")
+	crashVerify := flag.Bool("crash-verify", false, "crash harness: verify a restarted server against the -state journal")
+	stateFile := flag.String("state", "crash-state.json", "crash harness state file")
 	flag.Parse()
 
 	spec := serve.GraphSpec{Builtin: *builtin}
@@ -55,6 +69,50 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+
+	if *crashRecord || *crashVerify {
+		cc := serve.CrashConfig{
+			BaseURL:    *url,
+			StateFile:  *stateFile,
+			Sessions:   *sessions,
+			Tenants:    *tenants,
+			Iterations: *iterations,
+			Pumps:      *pumps,
+			Graph:      spec,
+			Timeout:    *timeout,
+		}
+		if *crashRecord {
+			st, err := serve.RunCrashRecord(ctx, cc)
+			if err != nil {
+				return err
+			}
+			var acked int64
+			for _, s := range st.Sessions {
+				acked += s.Acked
+			}
+			fmt.Fprintf(os.Stderr, "tpdf-loadgen: recorded %d sessions, %d acked iterations to %s\n",
+				len(st.Sessions), acked, *stateFile)
+			return nil
+		}
+		rep, err := serve.RunCrashVerify(ctx, cc)
+		if rep != nil {
+			out, merr := json.MarshalIndent(rep, "", "  ")
+			if merr != nil {
+				return merr
+			}
+			os.Stdout.Write(append(out, '\n'))
+		}
+		if err != nil {
+			return err
+		}
+		if !rep.Pass() {
+			return fmt.Errorf("crash verify failed: %d/%d recovered, %d acked iterations lost, %d sink mismatches",
+				rep.Recovered, rep.Sessions, rep.LostIterations, rep.SinkMismatches)
+		}
+		fmt.Fprintf(os.Stderr, "tpdf-loadgen: crash verify passed: %d/%d sessions recovered, 0 acked iterations lost (recovery wait %dms)\n",
+			rep.Recovered, rep.Sessions, rep.HealthWaitMs)
+		return nil
+	}
 
 	lc := serve.LoadConfig{
 		BaseURL:     *url,

@@ -10,7 +10,21 @@
 //
 //	tpdf-serve [-addr host:port] [-admin host:port] [-max-sessions n]
 //	           [-max-per-tenant n] [-admit-wait d] [-drain-timeout d]
-//	           [-batch-workers n]
+//	           [-batch-workers n] [-data-dir dir] [-persist-every n]
+//	           [-keep-snapshots k]
+//
+// -data-dir makes sessions durable: every session's state is snapshotted
+// to <dir>/<session>/ at transaction boundaries (asynchronously, every
+// -persist-every boundaries; synchronously before each pump request is
+// acknowledged, so an acked pump always survives a crash) and the newest
+// -keep-snapshots files are retained per session. On restart with the same
+// directory the fleet is rebuilt from disk: each session's graph is
+// recompiled from its recorded text and resumed at its newest valid
+// snapshot — torn or corrupt files from a mid-write crash are detected by
+// checksum and skipped. /healthz answers 503 "recovering" until recovery
+// completes; /v1/stats reports its progress and /metrics carries the
+// tpdf_durable_* families. Sessions closed by the client delete their
+// snapshots; a drain keeps them for the next boot.
 //
 // GET /metrics serves the fleet and per-session engine counters in
 // Prometheus text exposition; GET /healthz answers 503 "draining" once
@@ -66,6 +80,9 @@ func run() error {
 	maxPrograms := flag.Int("max-programs", 1024, "distinct graphs the program cache may hold")
 	maxRestarts := flag.Int("max-restarts", 3, "engine restarts per session after behavior panics (negative disables recovery)")
 	chaos := flag.Bool("chaos", false, "accept seeded fault-injection specs at session open (testing only)")
+	dataDir := flag.String("data-dir", "", "durable snapshot directory; empty disables persistence")
+	persistEvery := flag.Int("persist-every", 1, "persist asynchronously every n transaction boundaries (acked pumps always flush synchronously)")
+	keepSnapshots := flag.Int("keep-snapshots", 3, "newest snapshots retained per session")
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
@@ -78,6 +95,9 @@ func run() error {
 		MaxPrograms:          *maxPrograms,
 		MaxRestarts:          *maxRestarts,
 		EnableChaos:          *chaos,
+		DataDir:              *dataDir,
+		PersistEvery:         *persistEvery,
+		KeepSnapshots:        *keepSnapshots,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
@@ -88,6 +108,10 @@ func run() error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "tpdf-serve: listening on %s (%d session slots)\n", bound, *maxSessions)
+	if *dataDir != "" {
+		fmt.Fprintf(os.Stderr, "tpdf-serve: durable sessions in %s (persist every %d, keep %d)\n",
+			*dataDir, *persistEvery, *keepSnapshots)
+	}
 	if *adminAddr != "" {
 		abound, err := srv.StartAdmin(*adminAddr)
 		if err != nil {

@@ -1,0 +1,233 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrNoSnapshot reports a session directory holding no snapshot files at
+// all — distinct from one whose files are all corrupt, which is an error.
+var ErrNoSnapshot = errors.New("durable: no snapshot")
+
+// snapshot filenames are ck-<seq>.snap with a fixed-width hex sequence so
+// lexical order is write order; in-flight writes use a .tmp suffix and are
+// swept on open.
+const (
+	snapPrefix = "ck-"
+	snapSuffix = ".snap"
+	tmpSuffix  = ".tmp"
+)
+
+// Store is the on-disk snapshot root: one subdirectory per session, each
+// holding the session's newest K snapshots. Every write follows the
+// crash-safe discipline — write to a temp file, fsync it, rename into
+// place, fsync the directory — so a crash at any instant leaves either the
+// previous snapshot set intact or a new complete snapshot, never a half
+// file under the final name. (A torn rename target is still possible on
+// non-atomic filesystems, which is what the CRC framing catches.)
+type Store struct {
+	dir  string
+	keep int
+
+	mu       sync.Mutex
+	sessions map[string]*SessionStore
+}
+
+// Open creates (if needed) and opens the snapshot root. keepLast bounds
+// per-session retention; values < 1 are clamped to 1.
+func Open(dir string, keepLast int) (*Store, error) {
+	if keepLast < 1 {
+		keepLast = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: open store: %w", err)
+	}
+	return &Store{dir: dir, keep: keepLast, sessions: map[string]*SessionStore{}}, nil
+}
+
+// Dir returns the store root.
+func (st *Store) Dir() string { return st.dir }
+
+// Sessions lists the session IDs with a directory in the store, sorted.
+func (st *Store) Sessions() ([]string, error) {
+	ents, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: scan store: %w", err)
+	}
+	var ids []string
+	for _, e := range ents {
+		if e.IsDir() {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Session opens (creating if needed) the per-session store for id. The
+// write sequence continues from the highest sequence already on disk, so
+// a recovered session's new snapshots sort after its pre-crash ones.
+func (st *Store) Session(id string) (*SessionStore, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if ss, ok := st.sessions[id]; ok {
+		return ss, nil
+	}
+	dir := filepath.Join(st.dir, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: open session %s: %w", id, err)
+	}
+	ss := &SessionStore{dir: dir, keep: st.keep}
+	seqs, err := ss.list()
+	if err != nil {
+		return nil, err
+	}
+	if len(seqs) > 0 {
+		ss.seq = seqs[len(seqs)-1]
+	}
+	st.sessions[id] = ss
+	return ss, nil
+}
+
+// LoadNewest decodes the newest valid snapshot for id, walking backward
+// past torn or corrupt files (discarded counts them — each is a crash
+// casualty worth a metric). ErrNoSnapshot means the session directory holds
+// no snapshot files at all; a directory with files but no valid one is a
+// hard error.
+func (st *Store) LoadNewest(id string) (s *Snapshot, discarded int, err error) {
+	ss, err := st.Session(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ss.LoadNewest()
+}
+
+// Remove deletes every snapshot for id — called when a client closes its
+// session, so a clean restart neither replays nor leaks disk.
+func (st *Store) Remove(id string) error {
+	st.mu.Lock()
+	delete(st.sessions, id)
+	st.mu.Unlock()
+	if err := os.RemoveAll(filepath.Join(st.dir, id)); err != nil {
+		return fmt.Errorf("durable: remove session %s: %w", id, err)
+	}
+	return nil
+}
+
+// SessionStore holds one session's snapshot files.
+type SessionStore struct {
+	dir  string
+	keep int
+
+	mu  sync.Mutex
+	seq uint64
+}
+
+// list returns the sequence numbers of well-formed snapshot filenames,
+// ascending, and sweeps stray .tmp files left by a crash mid-write.
+func (ss *SessionStore) list() ([]uint64, error) {
+	ents, err := os.ReadDir(ss.dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: scan session: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasSuffix(name, tmpSuffix) {
+			os.Remove(filepath.Join(ss.dir, name))
+			continue
+		}
+		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		seq, perr := strconv.ParseUint(name[len(snapPrefix):len(name)-len(snapSuffix)], 16, 64)
+		if perr != nil {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+func (ss *SessionStore) path(seq uint64) string {
+	return filepath.Join(ss.dir, fmt.Sprintf("%s%016x%s", snapPrefix, seq, snapSuffix))
+}
+
+// Write persists one encoded snapshot atomically and prunes retention:
+// tmp-write → fsync(file) → rename → fsync(dir), then delete snapshots
+// beyond the newest keep. Returns the number of bytes written.
+func (ss *SessionStore) Write(encoded []byte) (int, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.seq++
+	final := ss.path(ss.seq)
+	tmp := final + tmpSuffix
+
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("durable: write snapshot: %w", err)
+	}
+	if _, err = f.Write(encoded); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("durable: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("durable: write snapshot: %w", err)
+	}
+	if d, derr := os.Open(ss.dir); derr == nil {
+		// Make the rename itself durable; skip silently where directories
+		// cannot be fsynced.
+		d.Sync()
+		d.Close()
+	}
+
+	if seqs, err := ss.list(); err == nil && len(seqs) > ss.keep {
+		for _, old := range seqs[:len(seqs)-ss.keep] {
+			os.Remove(ss.path(old))
+		}
+	}
+	return len(encoded), nil
+}
+
+// LoadNewest decodes the newest valid snapshot, skipping (and counting)
+// torn or corrupt files.
+func (ss *SessionStore) LoadNewest() (s *Snapshot, discarded int, err error) {
+	seqs, err := ss.list()
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(seqs) == 0 {
+		return nil, 0, ErrNoSnapshot
+	}
+	var lastErr error
+	for i := len(seqs) - 1; i >= 0; i-- {
+		data, rerr := os.ReadFile(ss.path(seqs[i]))
+		if rerr != nil {
+			lastErr = rerr
+			discarded++
+			continue
+		}
+		snap, derr := Decode(data)
+		if derr != nil {
+			lastErr = derr
+			discarded++
+			continue
+		}
+		return snap, discarded, nil
+	}
+	return nil, discarded, fmt.Errorf("durable: all %d snapshots invalid, newest: %w", len(seqs), lastErr)
+}

@@ -66,6 +66,16 @@ type Checkpoint struct {
 	// behavior-side state that must travel with the engine cut for the
 	// resumed run to be byte-identical (e.g. a sink's committed output).
 	User any
+	// AtEntry marks a cut taken at barrier entry — after the previous
+	// epoch drained, before the boundary's hook and rebind ran (or, for
+	// the run's final capture, a boundary whose hook never ran at all).
+	// Resuming from an entry cut re-invokes that boundary's hook instead
+	// of skipping it: the hook's effects are not part of the state.
+	// Entry captures exist only when Config.CaptureAtEntry is set; they
+	// are the cuts durable persistence wants, because at the moment a
+	// Barrier hook acknowledges completed work the entry capture already
+	// covers every completed iteration.
+	AtEntry bool
 }
 
 // Clone deep-copies the checkpoint (User is copied by reference; snapshot
@@ -101,6 +111,7 @@ func (ck *Checkpoint) CopyInto(dst *Checkpoint) {
 		dst.Edges[i] = append(dst.Edges[i][:0], vals...)
 	}
 	dst.User = ck.User
+	dst.AtEntry = ck.AtEntry
 }
 
 // Result renders the checkpoint as the runner.Result a run drained at the
@@ -148,13 +159,16 @@ func (e *engine) newCheckpointArena() *Checkpoint {
 // capture snapshots the quiescent engine into the arena at a transaction
 // barrier (all actors parked — the epoch WaitGroup is the happens-before
 // edge, exactly as for the metrics harvest) and hands the arena to the
-// sink. Warm captures are allocation-free: counters are copied into
-// preallocated slices, ring contents peeked into reusable buffers, and the
-// valuation map rewritten only at boundaries that changed it.
-func (e *engine) capture(completed int64, env map[string]int64, digest uint64) {
+// sink. atEntry marks a cut taken before the boundary's hook ran (see
+// Checkpoint.AtEntry). Warm captures are allocation-free: counters are
+// copied into preallocated slices, ring contents peeked into reusable
+// buffers, and the valuation map rewritten only at boundaries that changed
+// it.
+func (e *engine) capture(completed int64, env map[string]int64, digest uint64, atEntry bool) {
 	ck := e.ckpt
 	ck.Completed = completed
 	ck.Digest = digest
+	ck.AtEntry = atEntry
 	if e.ckptParamsStale {
 		// Valuations never remove keys, so overwriting suffices.
 		for k, v := range env {

@@ -445,6 +445,118 @@ func TestResumeValidation(t *testing.T) {
 	}
 }
 
+// TestEntryCaptureResumeByteIdentical pins the AtEntry contract durable
+// persistence depends on: an entry cut is taken before the boundary's hook
+// runs, so at the moment a Barrier hook acknowledges completed work the
+// entry capture already covers every acknowledged iteration — and resuming
+// from it must re-invoke that boundary's hook (the hook's effects are not
+// part of the cut) and then replay the tail byte-identically.
+func TestEntryCaptureResumeByteIdentical(t *testing.T) {
+	g := reconfGraph(t)
+	plan := []int64{2, 5, 3, 4, 6, 2, 3, 5}
+	const captureAt = 4 // entry cut at the p=6 boundary, before its rebind
+
+	run := func(resume *Checkpoint) ([]int, []int64, *Checkpoint, error) {
+		var observed []int
+		var hookAt []int64
+		var saved *Checkpoint
+		_, err := Run(Config{
+			Graph: g,
+			Env:   symb.Env{"p": plan[0]},
+			Behaviors: map[string]runner.Behavior{
+				"B": func(f *runner.Firing) error {
+					observed = append(observed, len(f.In["i0"]))
+					return nil
+				},
+			},
+			Iterations: int64(len(plan)),
+			Resume:     resume,
+			Reconfigure: func(completed int64) map[string]int64 {
+				hookAt = append(hookAt, completed)
+				return map[string]int64{"p": plan[completed]}
+			},
+			SnapshotUser: func() any { return append([]int(nil), observed...) },
+			RestoreUser: func(u any) {
+				observed = observed[:0]
+				if u != nil {
+					observed = append(observed, u.([]int)...)
+				}
+			},
+			CaptureAtEntry: true,
+			CheckpointSink: func(ck *Checkpoint) {
+				if ck.AtEntry && ck.Completed == captureAt && saved == nil {
+					saved = ck.Clone()
+				}
+			},
+		})
+		return observed, hookAt, saved, err
+	}
+
+	ref, refHooks, saved, err := run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved == nil {
+		t.Fatalf("no entry capture at %d", captureAt)
+	}
+	if !saved.AtEntry {
+		t.Fatal("capture not marked AtEntry")
+	}
+	// The entry cut precedes the boundary's rebind: it still holds the
+	// previous valuation, and the interrupted prefix never saw hook(4).
+	if saved.Params["p"] != plan[captureAt-1] {
+		t.Fatalf("entry capture p = %d, want pre-rebind %d", saved.Params["p"], plan[captureAt-1])
+	}
+
+	got, gotHooks, _, err := run(saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resume re-invokes the boundary's hook: the resumed run starts its
+	// hook sequence at captureAt, exactly where the reference run's hook
+	// for that boundary fired.
+	if len(gotHooks) == 0 || gotHooks[0] != captureAt {
+		t.Fatalf("resumed hook calls %v, want to start at %d", gotHooks, captureAt)
+	}
+	if want := refHooks[captureAt-1:]; !reflect.DeepEqual(gotHooks, want) {
+		t.Errorf("resumed hook sequence %v, want %v", gotHooks, want)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Errorf("observed rates differ:\nresumed       %v\nuninterrupted %v", got, ref)
+	}
+}
+
+// TestEntryCaptureCoversAckedWork is the ack-ordering guarantee: when the
+// Barrier hook observes `completed` iterations, an entry capture with that
+// Completed count has already been handed to the sink — so a service that
+// flushes the newest entry capture before acknowledging a pump can never
+// ack work that no durable cut covers.
+func TestEntryCaptureCoversAckedWork(t *testing.T) {
+	g := pipeline(t)
+	var newestEntry int64 = -1
+	_, err := Run(Config{
+		Graph: g, Behaviors: pipelineBehaviors(new([]int)), Iterations: 6,
+		CaptureAtEntry: true,
+		CheckpointSink: func(ck *Checkpoint) {
+			if ck.AtEntry {
+				newestEntry = ck.Completed
+			}
+		},
+		Reconfigure: func(completed int64) map[string]int64 {
+			if newestEntry < completed {
+				t.Errorf("hook saw completed=%d but newest entry capture is %d", completed, newestEntry)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newestEntry != 6 {
+		t.Errorf("final entry capture at %d, want 6 (run end is an entry cut)", newestEntry)
+	}
+}
+
 // TestStallErrorIncludesRingOccupancy pins the watchdog diagnostics: the
 // deadlock error must name the stalled actors *and* report every edge's
 // ring occupancy/capacity.

@@ -132,12 +132,26 @@ type Config struct {
 	// arena after each capture. The pointer is valid only during the call;
 	// use Checkpoint.CopyInto or Clone to keep state across calls.
 	CheckpointSink func(*Checkpoint)
+	// CaptureAtEntry additionally captures a checkpoint at every barrier
+	// *entry* — after the previous epoch drained, before the boundary's
+	// hook and rebind run — marked with Checkpoint.AtEntry. Entry captures
+	// are the cuts durable persistence needs: when a Barrier hook
+	// acknowledges completed work from inside the boundary, the newest
+	// entry capture already covers every completed iteration, whereas the
+	// regular post-hook capture for that boundary is only taken once the
+	// hook has returned. Each boundary then produces two sink calls: the
+	// entry cut, then the post-hook cut (which stays the rollback target).
+	// Requires checkpointing to be armed; captures stay allocation-free.
+	CaptureAtEntry bool
 	// Resume, when non-nil, starts the run from a checkpoint instead of
 	// the initial token state: ring contents, firing counters and the
 	// captured valuation are installed before the first epoch. Iterations
 	// is the *total* target — a run resumed at Completed=c performs
 	// Iterations-c more iterations, and its output is byte-identical to an
-	// uninterrupted run of the same length.
+	// uninterrupted run of the same length. A checkpoint with AtEntry set
+	// re-invokes the hook of the boundary it was cut at (the hook's
+	// effects are not part of the state); any other checkpoint skips that
+	// boundary's hook, exactly as before.
 	Resume *Checkpoint
 	// PanicRetries bounds in-engine panic recovery: a behavior panic
 	// aborts the in-flight transaction and, while the budget lasts (and a
@@ -358,7 +372,7 @@ func Run(cfg Config) (*runner.Result, error) {
 			cfg.RestoreUser(resume.User)
 		}
 	}
-	armed := cfg.Checkpoint || cfg.CheckpointSink != nil || cfg.PanicRetries > 0 || resume != nil
+	armed := cfg.Checkpoint || cfg.CheckpointSink != nil || cfg.CaptureAtEntry || cfg.PanicRetries > 0 || resume != nil
 	if armed {
 		e.ckpt = e.newCheckpointArena()
 		e.ckptParamsStale = true
@@ -427,7 +441,7 @@ func Run(cfg Config) (*runner.Result, error) {
 	retries := 0
 	if barrier == nil {
 		if armed {
-			e.capture(start, env, envDigest)
+			e.capture(start, env, envDigest, true)
 		}
 		if iters > start {
 			if err := e.runGuarded(iters-start, start, &retries); err != nil {
@@ -440,11 +454,15 @@ func Run(cfg Config) (*runner.Result, error) {
 		// capture: the checkpoint was taken after that boundary's work ran
 		// (captures are post-hook, post-rebind, pre-epoch), so re-invoking
 		// it would double-apply the boundary — and the restored state *is*
-		// the checkpoint.
-		skip := resume != nil
+		// the checkpoint. An *entry* checkpoint is the opposite cut — taken
+		// before the hook ran — so resuming from one must consult the hook.
+		skip := resume != nil && !resume.AtEntry
 	loop:
 		for it := start; it < iters; it++ {
 			if !skip {
+				if armed && cfg.CaptureAtEntry {
+					e.capture(it, env, envDigest, true)
+				}
 				var bt time.Time
 				if obsOn {
 					bt = time.Now()
@@ -551,7 +569,7 @@ func Run(cfg Config) (*runner.Result, error) {
 						Kind: obs.EvBarrier, Completed: it, DurNs: bd})
 				}
 				if armed {
-					e.capture(it, env, envDigest)
+					e.capture(it, env, envDigest, false)
 				}
 			}
 			skip = false
@@ -564,8 +582,13 @@ func Run(cfg Config) (*runner.Result, error) {
 	}
 	if armed {
 		// The final quiescent state is a checkpoint too: a drained session
-		// hands its sink the exact cut it stopped at.
-		e.capture(completed, env, envDigest)
+		// hands its sink the exact cut it stopped at. It is an entry cut:
+		// whether the run drained at a stop verdict or exhausted its
+		// iterations, the boundary at `completed` applied no work to the
+		// state (a stop verdict rebinds nothing), so a resume from here
+		// must consult the hook at `completed` — exactly what an
+		// uninterrupted longer run would have done.
+		e.capture(completed, env, envDigest, true)
 	}
 	e.harvest(completed, false)
 	e.record(obs.Event{Kind: obs.EvRunEnd, Completed: completed})

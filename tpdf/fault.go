@@ -1,6 +1,9 @@
 package tpdf
 
 import (
+	"time"
+
+	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/faultinject"
 )
@@ -103,6 +106,166 @@ func WithRebindValidation(fn func(params map[string]int64) error) Option {
 // proposed the change is discarded, not the session.
 func WithRebindAbortHandler(fn func(error)) Option {
 	return func(c *config) { c.onRebindAbort = fn }
+}
+
+// ErrNoSnapshot reports a session with no durable snapshot on disk —
+// distinct from a session whose snapshots exist but are all corrupt, which
+// surfaces as a plain error. Test with errors.Is.
+var ErrNoSnapshot = durable.ErrNoSnapshot
+
+// SnapshotStore is the durable half of fault tolerance: a directory of
+// per-session checkpoint snapshots with crash-safe write discipline
+// (tmp-write → fsync → rename → directory fsync), keep-last-K retention,
+// and CRC-guarded torn-write detection on load. Open one, derive a
+// Persister per run, and arm it with WithDurableCheckpoints; after a
+// crash, Load the newest valid snapshot and resume with WithResume.
+type SnapshotStore struct {
+	st *durable.Store
+}
+
+// OpenSnapshotStore opens (creating if needed) a snapshot store rooted at
+// dir, keeping the newest keepLast snapshots per session (clamped to 1).
+func OpenSnapshotStore(dir string, keepLast int) (*SnapshotStore, error) {
+	st, err := durable.Open(dir, keepLast)
+	if err != nil {
+		return nil, err
+	}
+	return &SnapshotStore{st: st}, nil
+}
+
+// IDs lists the session IDs with snapshots in the store, sorted.
+func (s *SnapshotStore) IDs() ([]string, error) { return s.st.Sessions() }
+
+// Remove deletes every snapshot held for id.
+func (s *SnapshotStore) Remove(id string) error { return s.st.Remove(id) }
+
+// DurableSnapshot is one recovered session state: the engine checkpoint
+// plus the identity needed to rebuild the session around it.
+type DurableSnapshot struct {
+	// ID and Tenant are the session identity recorded at persist time.
+	ID     string
+	Tenant string
+	// GraphText is the canonical graph source (Format output); parse it
+	// with Graph (or Parse) and recompile before resuming.
+	GraphText string
+	// Checkpoint is the consistent cut to hand to WithResume.
+	Checkpoint *Checkpoint
+	// Discarded counts newer snapshot files skipped as torn or corrupt
+	// before this one decoded cleanly — each is a crash casualty.
+	Discarded int
+}
+
+// Graph parses the snapshot's recorded graph text.
+func (d *DurableSnapshot) Graph() (*Graph, error) { return Parse(d.GraphText) }
+
+// Load decodes the newest valid snapshot for id, walking backward past
+// torn or corrupt files. ErrNoSnapshot when the session has none.
+func (s *SnapshotStore) Load(id string) (*DurableSnapshot, error) {
+	snap, discarded, err := s.st.LoadNewest(id)
+	if err != nil {
+		return nil, err
+	}
+	return &DurableSnapshot{
+		ID:         snap.SessionID,
+		Tenant:     snap.Tenant,
+		GraphText:  snap.GraphText,
+		Checkpoint: snap.Checkpoint,
+		Discarded:  discarded,
+	}, nil
+}
+
+// PersistInfo reports one durable snapshot write to PersistOptions.OnPersist.
+type PersistInfo struct {
+	// Completed is the persisted checkpoint's iteration count.
+	Completed int64
+	// Bytes is the encoded snapshot size (0 when the write failed).
+	Bytes int
+	// Dur is the persist latency: encode + write + fsync + rename.
+	Dur time.Duration
+	// Err is non-nil when the write failed.
+	Err error
+}
+
+// PersistOptions tunes a Persister.
+type PersistOptions struct {
+	// Tenant is recorded in every snapshot and restored on recovery.
+	Tenant string
+	// Every is the persistence cadence: a background write is triggered
+	// every Every-th offered checkpoint (values < 1 mean every one). The
+	// newest checkpoint is always buffered regardless, so Flush persists
+	// up-to-date state whatever the cadence.
+	Every int
+	// OnPersist, when non-nil, observes every persist attempt — the hook
+	// metrics and journals hang off. Called from the writer's background
+	// goroutine (or the Flush caller); must be safe for that.
+	OnPersist func(PersistInfo)
+}
+
+// Persister streams one session's checkpoints to a snapshot store without
+// blocking the barrier path: Offer copies into a double buffer
+// (allocation-free once warm) and a background goroutine encodes and
+// writes. Only the newest offered checkpoint is ever written; skipped
+// intermediates are safe because every snapshot is a complete state.
+type Persister struct {
+	w *durable.Writer
+}
+
+// Persister returns a persister writing session id's checkpoints to the
+// store. g must be the graph the session runs — its Format text is
+// recorded in every snapshot so recovery can recompile it.
+func (s *SnapshotStore) Persister(id string, g *Graph, po PersistOptions) (*Persister, error) {
+	ss, err := s.st.Session(id)
+	if err != nil {
+		return nil, err
+	}
+	var onEv func(durable.PersistEvent)
+	if po.OnPersist != nil {
+		hook := po.OnPersist
+		onEv = func(ev durable.PersistEvent) {
+			hook(PersistInfo{Completed: ev.Completed, Bytes: ev.Bytes, Dur: ev.Dur, Err: ev.Err})
+		}
+	}
+	return &Persister{w: durable.NewWriter(ss, id, po.Tenant, Format(g), po.Every, onEv)}, nil
+}
+
+// Offer records ck as the newest persistable cut; never blocks on I/O.
+// Stream calls this for every entry capture when the persister is armed
+// via WithDurableCheckpoints; call it directly only for checkpoints
+// obtained some other way.
+func (p *Persister) Offer(ck *Checkpoint) { p.w.Offer(ck) }
+
+// Flush synchronously persists the newest offered checkpoint — the
+// durability point an acknowledgement should wait on. With nothing
+// pending it returns the last background persist's error, so a failed
+// write cannot hide behind an empty flush.
+func (p *Persister) Flush() error { return p.w.Flush() }
+
+// Close flushes and stops the background writer. Safe to call twice.
+func (p *Persister) Close() error { return p.w.Close() }
+
+// WithDurableCheckpoints arms crash-consistent persistence on Stream: in
+// addition to the post-hook barrier checkpoints of WithCheckpoints, the
+// engine captures an *entry* cut at every transaction boundary — taken
+// after the previous epoch drained but before the boundary's hook runs —
+// and offers it to p. Entry cuts are what durability wants: at the moment
+// a barrier hook acknowledges completed work, the entry capture covering
+// that work has already been offered, so Persister.Flush before the
+// acknowledgement makes it crash-safe. Resuming from an entry cut
+// re-invokes that boundary's hook (its effects are not part of the cut);
+// parameter changes staged by a hook but not yet applied are therefore
+// not crash-durable — the hook is simply asked again.
+//
+// The persistence path costs the barrier an allocation-free double-buffer
+// copy; encoding and fsync happen on p's background goroutine, so the
+// warm firing path stays 0 allocs/op and barrier latency stays flat.
+// Composes with WithCheckpoints (its sink still sees every capture, entry
+// and post-hook alike) and WithUserState.
+func WithDurableCheckpoints(p *Persister) Option {
+	return func(c *config) {
+		c.checkpoint = true
+		c.captureAtEntry = true
+		c.persister = p
+	}
 }
 
 // WithFaultPlan injects a deterministic fault schedule into the run:

@@ -40,6 +40,15 @@ const (
 	// EvRestore is a successful recovery: the engine (or a supervised serve
 	// session) resumed from the checkpoint named by Completed.
 	EvRestore
+	// EvPersist is a durable snapshot write: the checkpoint at Completed was
+	// encoded and fsynced to the session's snapshot store. DurNs is the
+	// persist latency (encode + write + fsync + rename); Detail carries the
+	// error text when the write failed.
+	EvPersist
+	// EvRecover is a cold-start recovery: a session was re-opened from its
+	// newest durable snapshot, resuming at the checkpoint named by
+	// Completed.
+	EvRecover
 )
 
 // String names the kind for summaries and trace exports.
@@ -63,6 +72,10 @@ func (k EventKind) String() string {
 		return "abort"
 	case EvRestore:
 		return "restore"
+	case EvPersist:
+		return "persist"
+	case EvRecover:
+		return "recover"
 	default:
 		return "unknown"
 	}

@@ -60,6 +60,8 @@ type config struct {
 	journal         *obs.Journal
 	checkpoint      bool
 	checkpointSink  func(*Checkpoint)
+	captureAtEntry  bool
+	persister       *Persister
 	resume          *Checkpoint
 	panicRetries    int
 	validateRebind  func(map[string]int64) error

@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+)
+
+// CrashConfig drives the crash-recovery harness (tpdf-loadgen
+// -crash-record / -crash-verify): a recorder pumps sessions against a
+// durable server and journals every acked pump to a state file; after the
+// server is killed (SIGKILL) and restarted on the same data directory, the
+// verifier replays the journal against the recovered fleet.
+type CrashConfig struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// StateFile is where the recorder journals acked progress (rewritten
+	// atomically after every ack) and where the verifier reads it back.
+	StateFile string
+	// Sessions is how many sessions the recorder opens (default 8).
+	Sessions int
+	// Tenants spreads sessions over this many tenant names (default 2).
+	Tenants int
+	// Iterations is the number of graph iterations per pump (default 4).
+	Iterations int64
+	// Pumps bounds the recording loop per session; zero (the default)
+	// records until the server dies or the context expires.
+	Pumps int
+	// Graph is the graph spec every session opens (default builtin fig2).
+	Graph GraphSpec
+	// Timeout bounds each HTTP request (default 30s).
+	Timeout time.Duration
+}
+
+func (c CrashConfig) withDefaults() CrashConfig {
+	if c.Sessions <= 0 {
+		c.Sessions = 8
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 2
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 4
+	}
+	if c.Graph.Builtin == "" && c.Graph.Source == "" {
+		c.Graph = GraphSpec{Builtin: "fig2"}
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// CrashSession is one session's acked progress as journaled by the
+// recorder: everything in it was acknowledged by the server, so all of it
+// must survive the crash.
+type CrashSession struct {
+	ID     string           `json:"id"`
+	Tenant string           `json:"tenant"`
+	Acked  int64            `json:"acked"`
+	Sinks  map[string]int64 `json:"sinks"`
+}
+
+// CrashState is the recorder's journal.
+type CrashState struct {
+	Sessions []CrashSession `json:"sessions"`
+}
+
+func writeStateAtomic(path string, st *CrashState) error {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// RunCrashRecord opens Sessions sessions and pumps them round-robin,
+// atomically rewriting StateFile after every acked pump, until the server
+// dies, the per-session Pumps bound is reached, or the context expires.
+// The server being killed out from under it is the expected outcome, not
+// an error: transport-level failures end the recording cleanly so the
+// journal reflects exactly the acks received before the crash.
+func RunCrashRecord(ctx context.Context, cfg CrashConfig) (*CrashState, error) {
+	cfg = cfg.withDefaults()
+	cl := &loadClient{base: cfg.BaseURL, hc: &http.Client{Timeout: cfg.Timeout}}
+
+	st := &CrashState{Sessions: make([]CrashSession, 0, cfg.Sessions)}
+	for i := 0; i < cfg.Sessions; i++ {
+		tenant := fmt.Sprintf("tenant-%d", i%cfg.Tenants)
+		var opened openResponse
+		if err := cl.do(ctx, http.MethodPost, "/v1/sessions",
+			openRequest{Tenant: tenant, Graph: cfg.Graph}, &opened); err != nil {
+			return st, fmt.Errorf("open session %d: %w", i, err)
+		}
+		st.Sessions = append(st.Sessions, CrashSession{ID: opened.ID, Tenant: opened.Tenant})
+	}
+	if err := writeStateAtomic(cfg.StateFile, st); err != nil {
+		return st, err
+	}
+
+	for round := 0; cfg.Pumps <= 0 || round < cfg.Pumps; round++ {
+		for i := range st.Sessions {
+			if ctx.Err() != nil {
+				return st, nil
+			}
+			cs := &st.Sessions[i]
+			var pr pumpResponse
+			err := cl.do(ctx, http.MethodPost, "/v1/sessions/"+cs.ID+"/pump",
+				pumpRequest{Iterations: cfg.Iterations}, &pr)
+			if err != nil {
+				var he *httpError
+				if asHTTPError(err, &he) {
+					return st, fmt.Errorf("pump %s: %w", cs.ID, err)
+				}
+				// Transport error: the server was killed. Recording done.
+				return st, nil
+			}
+			cs.Acked, cs.Sinks = pr.Completed, pr.SinkTokens
+			if err := writeStateAtomic(cfg.StateFile, st); err != nil {
+				return st, err
+			}
+		}
+	}
+	return st, nil
+}
+
+// CrashReport is the verifier's verdict over one recorded crash.
+type CrashReport struct {
+	Sessions int `json:"sessions"`
+	// Recovered counts sessions found again after restart; must equal
+	// Sessions for the gate to pass.
+	Recovered int `json:"recovered"`
+	// LostIterations sums max(0, acked-completed) over sessions: any
+	// positive value means the server acked work it then lost.
+	LostIterations int64 `json:"lost_iterations"`
+	// ReplayedAhead counts sessions recovered past their last recorded
+	// ack (a pump was in flight when the crash hit — allowed, the ack was
+	// never delivered).
+	ReplayedAhead int `json:"replayed_ahead"`
+	// SinkMismatches counts sessions whose post-recovery output diverged
+	// from the uninterrupted reference run at the same iteration count.
+	SinkMismatches int  `json:"sink_mismatches"`
+	HealthWaitMs   int64 `json:"health_wait_ms"`
+}
+
+// Pass reports whether the crash left no observable damage.
+func (r *CrashReport) Pass() bool {
+	return r.Recovered == r.Sessions && r.LostIterations == 0 && r.SinkMismatches == 0
+}
+
+// RunCrashVerify checks a restarted server against the recorder's journal:
+// it waits for /healthz to leave "recovering", then asserts every recorded
+// session was recovered at or past its last acked iteration, pumps each to
+// a common target, and compares sink totals against a fresh uninterrupted
+// reference session — byte-for-byte determinism across the crash.
+func RunCrashVerify(ctx context.Context, cfg CrashConfig) (*CrashReport, error) {
+	cfg = cfg.withDefaults()
+	cl := &loadClient{base: cfg.BaseURL, hc: &http.Client{Timeout: cfg.Timeout}}
+
+	data, err := os.ReadFile(cfg.StateFile)
+	if err != nil {
+		return nil, err
+	}
+	var st CrashState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("state file: %w", err)
+	}
+	rep := &CrashReport{Sessions: len(st.Sessions)}
+
+	// Wait out recovery: /healthz answers 503 "recovering" until the
+	// fleet is rebuilt.
+	healthStart := time.Now()
+	for {
+		if err := ctx.Err(); err != nil {
+			return rep, fmt.Errorf("waiting for /healthz: %w", err)
+		}
+		if err := cl.do(ctx, http.MethodGet, "/healthz", nil, nil); err == nil {
+			break
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+			return rep, fmt.Errorf("waiting for /healthz: %w", ctx.Err())
+		}
+	}
+	rep.HealthWaitMs = time.Since(healthStart).Milliseconds()
+
+	// Pass 1: every acked iteration must have survived.
+	var target int64
+	completed := make(map[string]int64, len(st.Sessions))
+	for _, cs := range st.Sessions {
+		var got pumpResponse
+		if err := cl.do(ctx, http.MethodGet, "/v1/sessions/"+cs.ID, nil, &got); err != nil {
+			continue // not recovered; counted below
+		}
+		rep.Recovered++
+		completed[cs.ID] = got.Completed
+		if got.Completed < cs.Acked {
+			rep.LostIterations += cs.Acked - got.Completed
+		} else if got.Completed > cs.Acked {
+			rep.ReplayedAhead++
+		} else if !sameSinks(got.SinkTokens, cs.Sinks) {
+			rep.SinkMismatches++
+		}
+		if got.Completed > target {
+			target = got.Completed
+		}
+	}
+	if rep.Recovered != rep.Sessions || rep.LostIterations > 0 {
+		return rep, nil
+	}
+
+	// Pass 2: pump every session to a common target and compare against
+	// an uninterrupted reference — the crash must not have perturbed the
+	// deterministic output.
+	target += cfg.Iterations
+	var ref openResponse
+	if err := cl.do(ctx, http.MethodPost, "/v1/sessions",
+		openRequest{Tenant: "crash-ref", Graph: cfg.Graph}, &ref); err != nil {
+		return rep, fmt.Errorf("open reference: %w", err)
+	}
+	var want pumpResponse
+	if err := cl.do(ctx, http.MethodPost, "/v1/sessions/"+ref.ID+"/pump",
+		pumpRequest{Iterations: target}, &want); err != nil {
+		return rep, fmt.Errorf("pump reference: %w", err)
+	}
+	for _, cs := range st.Sessions {
+		var got pumpResponse
+		if err := cl.do(ctx, http.MethodPost, "/v1/sessions/"+cs.ID+"/pump",
+			pumpRequest{Iterations: target - completed[cs.ID]}, &got); err != nil {
+			return rep, fmt.Errorf("pump %s: %w", cs.ID, err)
+		}
+		if !sameSinks(got.SinkTokens, want.SinkTokens) {
+			rep.SinkMismatches++
+		}
+		if err := cl.do(ctx, http.MethodDelete, "/v1/sessions/"+cs.ID, nil, nil); err != nil {
+			return rep, fmt.Errorf("close %s: %w", cs.ID, err)
+		}
+	}
+	if err := cl.do(ctx, http.MethodDelete, "/v1/sessions/"+ref.ID, nil, nil); err != nil {
+		return rep, fmt.Errorf("close reference: %w", err)
+	}
+	return rep, nil
+}
+
+func sameSinks(a, b map[string]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/tpdf"
+	"repro/tpdf/obs"
 )
 
 // Sentinel errors; the HTTP layer maps them to status codes.
@@ -73,6 +75,23 @@ type Config struct {
 	// open (the tpdf-serve -chaos flag). Off by default: a production
 	// server refuses injected faults.
 	EnableChaos bool
+	// DataDir enables durable sessions: every session streams its barrier
+	// checkpoints to a per-session snapshot store under this directory
+	// (crash-safe tmp-write → fsync → rename), a pump is acknowledged only
+	// after its covering checkpoint is fsynced, and a restarted server
+	// recovers every session from its newest valid snapshot. Empty (the
+	// default) keeps all checkpoints in memory.
+	DataDir string
+	// PersistEvery is the background persistence cadence: a snapshot write
+	// is triggered every Nth barrier (default 1). Pump acks flush
+	// synchronously regardless, so the cadence trades background I/O
+	// against recovery staleness between acks, never against the acked-work
+	// guarantee.
+	PersistEvery int
+	// KeepSnapshots bounds per-session snapshot retention (default 3;
+	// older files are pruned after each successful write). More than one is
+	// kept so a torn newest write falls back instead of losing the session.
+	KeepSnapshots int
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +127,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RestartMaxBackoff <= 0 {
 		c.RestartMaxBackoff = 640 * time.Millisecond
+	}
+	if c.PersistEvery <= 0 {
+		c.PersistEvery = 1
+	}
+	if c.KeepSnapshots <= 0 {
+		c.KeepSnapshots = 3
 	}
 	return c
 }
@@ -151,6 +176,75 @@ type Stats struct {
 	// Recovering counts open sessions currently between engine
 	// incarnations (crashed, waiting out the restart backoff).
 	Recovering int `json:"recovering"`
+	// Durable reports snapshot-store activity; nil when the server runs
+	// without -data-dir.
+	Durable *DurableStats `json:"durable,omitempty"`
+	// Recovery reports cold-start recovery progress; nil when the server
+	// runs without -data-dir.
+	Recovery *RecoveryStats `json:"recovery,omitempty"`
+}
+
+// DurableStats is the snapshot-store counter snapshot.
+type DurableStats struct {
+	// Snapshots counts successful snapshot writes; PersistErrors failed
+	// ones. Bytes is the cumulative encoded size, LastSnapshotBytes the
+	// newest snapshot's size.
+	Snapshots         int64 `json:"snapshots"`
+	PersistErrors     int64 `json:"persist_errors"`
+	Bytes             int64 `json:"bytes"`
+	LastSnapshotBytes int64 `json:"last_snapshot_bytes"`
+	// TornDiscarded counts snapshot files skipped as torn or corrupt
+	// during recovery (each was a crash casualty; recovery fell back to an
+	// older valid snapshot).
+	TornDiscarded int64 `json:"torn_discarded"`
+	// Recovered / RecoveryFailed count cold-start session recoveries.
+	Recovered      int64 `json:"recovered"`
+	RecoveryFailed int64 `json:"recovery_failed"`
+	// Deleted counts snapshot sets removed after client session closes.
+	Deleted int64 `json:"deleted"`
+}
+
+// RecoveryStats is the cold-start recovery progress /v1/stats reports
+// while (and after) the server rebuilds its fleet from the snapshot store.
+type RecoveryStats struct {
+	// Active is true while recovery is still running (healthz answers 503
+	// "recovering" meanwhile).
+	Active bool `json:"active"`
+	// Total is the number of sessions found in the store at boot; Pending
+	// counts those not yet attempted.
+	Total   int `json:"total"`
+	Pending int `json:"pending"`
+	// Recovered sessions are re-opened and resumed; Failed ones could not
+	// be (Reasons explains each).
+	Recovered int      `json:"recovered"`
+	Failed    int      `json:"failed"`
+	Reasons   []string `json:"reasons,omitempty"`
+}
+
+// durableCounters aggregates snapshot-store events across the fleet.
+type durableCounters struct {
+	snapshots      atomic.Int64
+	persistErrs    atomic.Int64
+	bytes          atomic.Int64
+	lastSize       atomic.Int64
+	torn           atomic.Int64
+	recovered      atomic.Int64
+	recoveryFailed atomic.Int64
+	deleted        atomic.Int64
+	persistLatency *obs.Histogram
+}
+
+func (d *durableCounters) stats() *DurableStats {
+	return &DurableStats{
+		Snapshots:         d.snapshots.Load(),
+		PersistErrors:     d.persistErrs.Load(),
+		Bytes:             d.bytes.Load(),
+		LastSnapshotBytes: d.lastSize.Load(),
+		TornDiscarded:     d.torn.Load(),
+		Recovered:         d.recovered.Load(),
+		RecoveryFailed:    d.recoveryFailed.Load(),
+		Deleted:           d.deleted.Load(),
+	}
 }
 
 // Manager owns the session fleet: admission, the shared program cache,
@@ -178,12 +272,22 @@ type Manager struct {
 	batchJobs     atomic.Int64
 	batchRejected atomic.Int64
 	fleet         fleetCounters
+
+	// Durable-session state: the snapshot store (nil without DataDir; a
+	// failed open is stashed in storeErr and surfaced by Server.Start),
+	// fleet-wide durability counters, and cold-start recovery progress.
+	store      *tpdf.SnapshotStore
+	storeErr   error
+	durable    durableCounters
+	recovering atomic.Bool
+	recMu      sync.Mutex
+	recovery   RecoveryStats
 }
 
 // NewManager builds a manager with the configured bounds.
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
-	return &Manager{
+	m := &Manager{
 		cfg:       cfg,
 		cache:     NewProgramCache(cfg.MaxPrograms),
 		slots:     make(chan struct{}, cfg.MaxSessions),
@@ -191,6 +295,20 @@ func NewManager(cfg Config) *Manager {
 		sessions:  map[string]*Session{},
 		perTenant: map[string]int{},
 	}
+	m.durable.persistLatency = obs.NewLatencyHistogram()
+	if cfg.DataDir != "" {
+		m.store, m.storeErr = tpdf.OpenSnapshotStore(cfg.DataDir, cfg.KeepSnapshots)
+	}
+	return m
+}
+
+// durableEnv renders the durability context sessions persist through; nil
+// when the server runs without a data directory.
+func (m *Manager) durableEnv() *durableEnv {
+	if m.store == nil {
+		return nil
+	}
+	return &durableEnv{store: m.store, every: m.cfg.PersistEvery, counters: &m.durable}
 }
 
 // Compile resolves a graph through the shared program cache (one compile +
@@ -293,7 +411,12 @@ func (m *Manager) Open(ctx context.Context, tenant string, g *tpdf.Graph, params
 	}
 
 	id := "s" + strconv.FormatInt(m.nextID.Add(1), 10)
-	s := newSession(id, tenant, compiled, params, chaos, m.cfg.policy(), &m.fleet)
+	s, err := newSession(id, tenant, compiled, params, chaos, m.cfg.policy(), &m.fleet, m.durableEnv(), nil)
+	if err != nil {
+		<-m.slots
+		release()
+		return nil, err
+	}
 	m.mu.Lock()
 	m.sessions[id] = s
 	m.mu.Unlock()
@@ -344,7 +467,18 @@ func (m *Manager) Get(id string) (*Session, error) {
 }
 
 // Close drains one session (bounded by ctx) and frees its slot and quota.
+// A client close is final: the session's durable snapshots are deleted, so
+// a restarted server does not resurrect a session its client finished
+// with. (Fleet Drain keeps snapshots — see closeSession.)
 func (m *Manager) Close(ctx context.Context, id string) (*tpdf.ExecResult, error) {
+	return m.closeSession(ctx, id, true)
+}
+
+// closeSession is the shared drain-one-session path. removeSnapshots
+// distinguishes a client's DELETE (final — snapshots are disk leaks once
+// the client has its result) from a graceful shutdown (snapshots are the
+// whole point: the next boot resumes from them).
+func (m *Manager) closeSession(ctx context.Context, id string, removeSnapshots bool) (*tpdf.ExecResult, error) {
 	m.mu.Lock()
 	s := m.sessions[id]
 	delete(m.sessions, id)
@@ -363,6 +497,13 @@ func (m *Manager) Close(ctx context.Context, id string) (*tpdf.ExecResult, error
 		m.failed.Add(1)
 	} else {
 		m.drained.Add(1)
+	}
+	if removeSnapshots && m.store != nil {
+		// Drain already closed the session's persister (final flush), so
+		// no writer races the removal.
+		if rerr := m.store.Remove(id); rerr == nil {
+			m.durable.deleted.Add(1)
+		}
 	}
 	return res, err
 }
@@ -391,7 +532,9 @@ func (m *Manager) Drain(ctx context.Context) error {
 		wg.Add(1)
 		go func(i int, id string) {
 			defer wg.Done()
-			_, errs[i] = m.Close(dctx, id)
+			// Keep snapshots: each session's drain path flushed a final
+			// one, and the next boot resumes the fleet from them.
+			_, errs[i] = m.closeSession(dctx, id, false)
 		}(i, id)
 	}
 	wg.Wait()
@@ -399,6 +542,154 @@ func (m *Manager) Drain(ctx context.Context) error {
 		if err != nil && !errors.Is(err, ErrNotFound) {
 			return err
 		}
+	}
+	return nil
+}
+
+// RecoveryActive reports whether cold-start recovery is still running;
+// /healthz answers 503 "recovering" while it is.
+func (m *Manager) RecoveryActive() bool { return m.recovering.Load() }
+
+// RecoveryStats snapshots recovery progress (zero value when the server
+// runs without a data directory or recovery has not been started).
+func (m *Manager) RecoveryStats() RecoveryStats {
+	m.recMu.Lock()
+	defer m.recMu.Unlock()
+	out := m.recovery
+	out.Reasons = append([]string(nil), m.recovery.Reasons...)
+	return out
+}
+
+func (m *Manager) setRecovery(mut func(*RecoveryStats)) {
+	m.recMu.Lock()
+	mut(&m.recovery)
+	m.recMu.Unlock()
+}
+
+// Recover rebuilds the fleet from the snapshot store: every session found
+// on disk is re-compiled from its recorded graph text (through the shared
+// program cache), re-admitted against quota and slots, and resumed from
+// its newest valid snapshot — torn or corrupt newer files are skipped and
+// counted. Sessions that cannot be recovered (invalid graph, no slot,
+// unreadable snapshots) are left on disk and reported in RecoveryStats.
+// Synchronous; Server.Start runs it in the background and gates /healthz
+// on completion. Safe to call when no store is configured (no-op).
+func (m *Manager) Recover(ctx context.Context) RecoveryStats {
+	if m.store == nil {
+		return RecoveryStats{}
+	}
+	m.recovering.Store(true)
+	defer m.recovering.Store(false)
+
+	ids, err := m.store.IDs()
+	if err != nil {
+		m.setRecovery(func(r *RecoveryStats) {
+			*r = RecoveryStats{Reasons: []string{"store scan: " + err.Error()}}
+		})
+		return m.RecoveryStats()
+	}
+	m.setRecovery(func(r *RecoveryStats) {
+		*r = RecoveryStats{Active: true, Total: len(ids), Pending: len(ids)}
+	})
+	for _, id := range ids {
+		if ctx.Err() != nil || m.closed.Load() {
+			break
+		}
+		err := m.recoverSession(id)
+		m.setRecovery(func(r *RecoveryStats) {
+			r.Pending--
+			if err != nil {
+				r.Failed++
+				r.Reasons = append(r.Reasons, id+": "+err.Error())
+			} else {
+				r.Recovered++
+			}
+		})
+		if err != nil {
+			m.durable.recoveryFailed.Add(1)
+		} else {
+			m.durable.recovered.Add(1)
+		}
+	}
+	m.setRecovery(func(r *RecoveryStats) { r.Active = false })
+	return m.RecoveryStats()
+}
+
+// recoverSession re-opens one session from its newest valid snapshot.
+func (m *Manager) recoverSession(id string) error {
+	m.mu.Lock()
+	_, open := m.sessions[id]
+	m.mu.Unlock()
+	if open {
+		return fmt.Errorf("already open")
+	}
+	snap, err := m.store.Load(id)
+	if err != nil {
+		return err
+	}
+	m.durable.torn.Add(int64(snap.Discarded))
+	g, err := snap.Graph()
+	if err != nil {
+		return fmt.Errorf("graph text: %w", err)
+	}
+	compiled, report, err := m.cache.Get(g)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNotAdmissible, err)
+	}
+	if report.Err != nil || !report.Bounded {
+		return fmt.Errorf("%w: graph %q no longer admissible", ErrNotAdmissible, report.GraphName)
+	}
+	tenant := snap.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+
+	m.mu.Lock()
+	if m.perTenant[tenant] >= m.cfg.MaxSessionsPerTenant {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: tenant %q", ErrQuota, tenant)
+	}
+	m.perTenant[tenant]++
+	m.mu.Unlock()
+	release := func() {
+		m.mu.Lock()
+		if m.perTenant[tenant]--; m.perTenant[tenant] == 0 {
+			delete(m.perTenant, tenant)
+		}
+		m.mu.Unlock()
+	}
+	select {
+	case m.slots <- struct{}{}:
+	default:
+		release()
+		return fmt.Errorf("%w: no session slot", ErrBusy)
+	}
+
+	s, err := newSession(id, tenant, compiled, snap.Checkpoint.Params, nil,
+		m.cfg.policy(), &m.fleet, m.durableEnv(), snap.Checkpoint)
+	if err != nil {
+		<-m.slots
+		release()
+		return err
+	}
+	m.mu.Lock()
+	m.sessions[id] = s
+	m.mu.Unlock()
+	// Keep new IDs from colliding with recovered ones ("s<n>" numbering
+	// continues past the highest recovered session).
+	if n, perr := strconv.ParseInt(strings.TrimPrefix(id, "s"), 10, 64); perr == nil {
+		for {
+			cur := m.nextID.Load()
+			if cur >= n || m.nextID.CompareAndSwap(cur, n) {
+				break
+			}
+		}
+	}
+	if m.closed.Load() {
+		dctx, cancel := context.WithTimeout(context.Background(), m.cfg.DrainTimeout)
+		_, _ = m.closeSession(dctx, id, false)
+		cancel()
+		return ErrShuttingDown
 	}
 	return nil
 }
@@ -444,6 +735,13 @@ func (m *Manager) Stats() Stats {
 		}
 	}
 	m.mu.Unlock()
+	var dur *DurableStats
+	var rec *RecoveryStats
+	if m.store != nil {
+		dur = m.durable.stats()
+		r := m.RecoveryStats()
+		rec = &r
+	}
 	return Stats{
 		Sessions:       n,
 		Tenants:        t,
@@ -463,5 +761,7 @@ func (m *Manager) Stats() Stats {
 		Restarts:       m.fleet.restarts.Load(),
 		RebindAborts:   m.fleet.rebindAborts.Load(),
 		Recovering:     recovering,
+		Durable:        dur,
+		Recovery:       rec,
 	}
 }

@@ -141,6 +141,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Int("tpdf_serve_program_cache_events_total", []obs.Label{{Key: "event", Value: "compile"}}, st.Cache.Compiles)
 	p.Int("tpdf_serve_program_cache_events_total", []obs.Label{{Key: "event", Value: "rejection"}}, st.Cache.Rejected)
 
+	if st.Durable != nil {
+		d := st.Durable
+		p.Family("tpdf_durable_events_total", "Durable snapshot lifecycle events.", "counter")
+		p.Int("tpdf_durable_events_total", []obs.Label{{Key: "event", Value: "persist"}}, d.Snapshots)
+		p.Int("tpdf_durable_events_total", []obs.Label{{Key: "event", Value: "persist_error"}}, d.PersistErrors)
+		p.Int("tpdf_durable_events_total", []obs.Label{{Key: "event", Value: "torn_discarded"}}, d.TornDiscarded)
+		p.Int("tpdf_durable_events_total", []obs.Label{{Key: "event", Value: "recovered"}}, d.Recovered)
+		p.Int("tpdf_durable_events_total", []obs.Label{{Key: "event", Value: "recovery_failed"}}, d.RecoveryFailed)
+		p.Int("tpdf_durable_events_total", []obs.Label{{Key: "event", Value: "deleted"}}, d.Deleted)
+		p.Family("tpdf_durable_bytes_total", "Snapshot bytes written to the store.", "counter")
+		p.Int("tpdf_durable_bytes_total", nil, d.Bytes)
+		p.Family("tpdf_durable_snapshot_bytes", "Size of the most recently persisted snapshot.", "gauge")
+		p.Int("tpdf_durable_snapshot_bytes", nil, d.LastSnapshotBytes)
+		p.Family("tpdf_durable_persist_seconds", "Snapshot persist latency (encode + write + fsync).", "histogram")
+		p.Histo("tpdf_durable_persist_seconds", nil, s.m.durable.persistLatency)
+	}
+
 	routes, hists, codes := s.obs.snapshot()
 	p.Family("tpdf_serve_http_responses_total", "HTTP responses by status code.", "counter")
 	statuses := make([]int, 0, len(codes))

@@ -147,6 +147,9 @@ func (s *Server) Handler() http.Handler { return s.obs.wrap(s.mux) }
 // Start listens on addr (host:port, port 0 picks a free one) and serves in
 // a background goroutine. The bound address is returned.
 func (s *Server) Start(addr string) (string, error) {
+	if s.m.storeErr != nil {
+		return "", fmt.Errorf("serve: snapshot store: %w", s.m.storeErr)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
@@ -154,6 +157,13 @@ func (s *Server) Start(addr string) (string, error) {
 	s.ln = ln
 	s.http = &http.Server{Handler: s.Handler()}
 	go s.http.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	if s.m.store != nil {
+		// Cold-start recovery runs behind the listener: /healthz answers
+		// 503 "recovering" until the fleet is rebuilt, so load balancers
+		// hold traffic without the boot blocking on disk.
+		s.m.recovering.Store(true)
+		go s.m.Recover(context.Background())
+	}
 	return ln.Addr().String(), nil
 }
 
@@ -216,6 +226,10 @@ func decode[T any](r *http.Request, into *T) error {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.m.Draining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	if s.m.RecoveryActive() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

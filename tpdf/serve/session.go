@@ -149,6 +149,13 @@ type Session struct {
 	snapSinks []int64
 	ckptOK    bool
 
+	// persister streams entry checkpoints to the durable snapshot store
+	// (nil when the server runs without -data-dir). resumeFirst makes the
+	// first engine incarnation resume from ckptArena — set when the session
+	// was re-opened from a durable snapshot at cold start.
+	persister   *tpdf.Persister
+	resumeFirst bool
+
 	// metrics and journal are the session's private observability surface:
 	// the engine harvests into them at transaction barriers, /metrics and
 	// the trace export read them. One registry per session, so series from
@@ -157,11 +164,24 @@ type Session struct {
 	journal *obs.Journal
 }
 
+// durableEnv is the manager's durability context handed to each session:
+// the shared snapshot store, the persistence cadence, and the fleet-wide
+// durability counters every persist event bumps.
+type durableEnv struct {
+	store    *tpdf.SnapshotStore
+	every    int
+	counters *durableCounters
+}
+
 // newSession stamps and starts a session. The supervisor goroutine runs
 // engine incarnations until drain, failure or hard cancellation; the
-// engine parks (zero CPU) whenever no command is pending.
+// engine parks (zero CPU) whenever no command is pending. A non-nil dur
+// arms durable checkpoint persistence; a non-nil resume seeds the session
+// from a durable snapshot's checkpoint — the first engine incarnation
+// resumes there instead of starting fresh.
 func newSession(id, tenant string, compiled *tpdf.CompiledGraph, params map[string]int64,
-	chaos *ChaosSpec, policy restartPolicy, fleet *fleetCounters) *Session {
+	chaos *ChaosSpec, policy restartPolicy, fleet *fleetCounters,
+	dur *durableEnv, resume *tpdf.Checkpoint) (*Session, error) {
 	hardCtx, hardCancel := context.WithCancel(context.Background())
 	s := &Session{
 		ID:         id,
@@ -194,8 +214,43 @@ func newSession(id, tenant string, compiled *tpdf.CompiledGraph, params map[stri
 	if chaos != nil {
 		s.faults = chaos.plan(s.sinkNames)
 	}
+	if resume != nil {
+		resume.CopyInto(s.ckptArena)
+		s.ckptOK = true
+		s.resumeFirst = true
+		s.completed.Store(resume.Completed)
+		// Seed the sink counters from the snapshot so stats are correct
+		// before the engine's own RestoreUser runs at resume.
+		s.restoreSinks(resume.User)
+		s.journal.Record(obs.Event{Kind: obs.EvRecover, Completed: resume.Completed})
+	}
+	if dur != nil && dur.store != nil {
+		p, err := dur.store.Persister(id, g, tpdf.PersistOptions{
+			Tenant: tenant,
+			Every:  dur.every,
+			OnPersist: func(info tpdf.PersistInfo) {
+				if info.Err != nil {
+					dur.counters.persistErrs.Add(1)
+					s.journal.Record(obs.Event{Kind: obs.EvPersist,
+						Completed: info.Completed, DurNs: int64(info.Dur), Detail: info.Err.Error()})
+					return
+				}
+				dur.counters.snapshots.Add(1)
+				dur.counters.bytes.Add(int64(info.Bytes))
+				dur.counters.lastSize.Store(int64(info.Bytes))
+				dur.counters.persistLatency.Observe(info.Dur)
+				s.journal.Record(obs.Event{Kind: obs.EvPersist,
+					Completed: info.Completed, DurNs: int64(info.Dur)})
+			},
+		})
+		if err != nil {
+			hardCancel()
+			return nil, fmt.Errorf("serve: session %s: durable store: %w", id, err)
+		}
+		s.persister = p
+	}
 	go s.run()
-	return s
+	return s, nil
 }
 
 // behaviors implements the count profile: every sink node counts the
@@ -277,6 +332,12 @@ func (s *Session) runEngine(resume bool) (*tpdf.ExecResult, error) {
 	if s.faults != nil {
 		opts = append(opts, tpdf.WithFaultPlan(s.faults))
 	}
+	if s.persister != nil {
+		// Entry captures stream to the background writer; a pump ack
+		// flushes before replying (finishPump), so acked work is always
+		// covered by a durable cut.
+		opts = append(opts, tpdf.WithDurableCheckpoints(s.persister))
+	}
 	if resume {
 		opts = append(opts, tpdf.WithResume(s.ckptArena))
 	}
@@ -305,8 +366,21 @@ func (s *Session) restartBackoff(attempt int) time.Duration {
 // (cancellation, watchdog stalls, admission-time bugs) fails the session.
 func (s *Session) run() {
 	defer close(s.done)
+	// Final durable snapshot (LIFO: this runs before done closes): once
+	// Drain returns, the session's last consistent state is on disk — a
+	// graceful restart neither replays nor loses work. The engine is gone
+	// by now, so offering the arena races nothing.
+	defer func() {
+		if s.persister == nil {
+			return
+		}
+		if s.ckptOK {
+			s.persister.Offer(s.ckptArena)
+		}
+		s.persister.Close() //nolint:errcheck // counted via OnPersist
+	}()
 	attempt := 0
-	resume := false
+	resume := s.resumeFirst
 	for {
 		res, err := s.runEngine(resume)
 		if err == nil {
@@ -410,6 +484,15 @@ func (s *Session) barrierHook(completed int64) (map[string]int64, bool) {
 
 func (s *Session) finishPump(completed int64) {
 	if s.pumpReply != nil {
+		if s.persister != nil {
+			// Durability point: the entry capture at this boundary (which
+			// covers every iteration being acknowledged) was offered before
+			// this hook ran; flush it to disk before the ack leaves. One
+			// fsync per pump, not per iteration. A failed flush still acks —
+			// the engine state is fine — but it is counted and journaled via
+			// the persist hook, and the next flush reports it again.
+			s.persister.Flush() //nolint:errcheck // counted via OnPersist
+		}
 		s.pumpReply <- completed
 		s.pumpReply = nil
 	}

@@ -22,6 +22,21 @@ import (
 // WithStallTimeout, WithMetrics, WithTraceJournal.
 func Stream(g *Graph, behaviors map[string]Behavior, opts ...Option) (*ExecResult, error) {
 	cfg := buildConfig(opts)
+	sink := cfg.checkpointSink
+	if p := cfg.persister; p != nil {
+		// Durable persistence taps the checkpoint stream: entry captures
+		// are offered to the background writer, and the user's sink (if
+		// any) still sees every capture first.
+		user := sink
+		sink = func(ck *Checkpoint) {
+			if user != nil {
+				user(ck)
+			}
+			if ck.AtEntry {
+				p.Offer(ck)
+			}
+		}
+	}
 	ec := engine.Config{
 		Graph:        g,
 		Env:          cfg.env(),
@@ -37,7 +52,8 @@ func Stream(g *Graph, behaviors map[string]Behavior, opts ...Option) (*ExecResul
 		Journal:      cfg.journal,
 
 		Checkpoint:     cfg.checkpoint,
-		CheckpointSink: cfg.checkpointSink,
+		CheckpointSink: sink,
+		CaptureAtEntry: cfg.captureAtEntry,
 		Resume:         cfg.resume,
 		PanicRetries:   cfg.panicRetries,
 		ValidateRebind: cfg.validateRebind,

@@ -89,6 +89,30 @@
 // with exponential backoff — and tpdf-loadgen -chaos soaks that recovery
 // path in CI. See ExampleStream_checkpoint and
 // ExampleStream_panicRecovery.
+//
+// # Durability
+//
+// The same consistent cuts persist across process death. OpenSnapshotStore
+// opens a snapshot directory; store.Persister(id, graph, opts) returns a
+// Persister that a run arms with WithDurableCheckpoints: every transaction
+// entry cut is captured into a double buffer on the barrier (an
+// allocation-free copy; the firing path never touches the disk) and a
+// background writer encodes the newest cut — ring contents, firing
+// counters, valuation, user state, plus the graph's canonical text so a
+// cold process can recompile it — into a checksummed binary snapshot,
+// written atomically (temp file, fsync, rename) with the newest K retained
+// per session. Persister.Flush forces a synchronous write of the newest
+// cut; tpdf-serve calls it before acknowledging a pump, so an acked pump
+// always survives a crash. After a crash, store.Load(id) returns the
+// newest snapshot whose checksums verify — torn files from a mid-write
+// power cut are detected and skipped, falling back to the previous good
+// one — and its Graph() plus Checkpoint rehydrate a fresh run via
+// WithResume, byte-identical from the cut onward. tpdf-serve -data-dir
+// wires this end to end: the fleet is rebuilt from disk at boot (/healthz
+// answers 503 "recovering" until done), client-closed sessions delete
+// their snapshots, drained ones keep them, and tpdf-loadgen -crash-record
+// / -crash-verify gate the whole cycle — SIGKILL, restart, no acked work
+// lost — in CI. See ExampleStream_durable.
 package tpdf
 
 import (
