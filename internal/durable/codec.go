@@ -221,10 +221,17 @@ func decodeCheckpoint(data []byte) (*engine.Checkpoint, error) {
 	ck.AtEntry = r.byte() != 0
 
 	np := r.uvarint()
-	ck.Params = make(map[string]int64, np)
-	for i := uint64(0); i < np && r.err == nil; i++ {
-		k := r.str()
-		ck.Params[k] = r.varint()
+	if r.err == nil && np > uint64(len(r.buf)) {
+		// Same guard as the node/edge counts below: a lying length field
+		// must not force a huge preallocation before any key is read.
+		r.err = fmt.Errorf("param count %d exceeds frame", np)
+	}
+	if r.err == nil {
+		ck.Params = make(map[string]int64, np)
+		for i := uint64(0); i < np && r.err == nil; i++ {
+			k := r.str()
+			ck.Params[k] = r.varint()
+		}
 	}
 
 	nn := r.uvarint()

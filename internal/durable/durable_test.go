@@ -2,6 +2,7 @@ package durable
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -206,6 +207,21 @@ func TestCodecCorruptionDetectedEverywhere(t *testing.T) {
 		if _, err := Decode(enc[:n]); err == nil {
 			t.Fatalf("truncation to %d bytes went undetected", n)
 		}
+	}
+}
+
+// TestDecodeGuardsCountPreallocations: a CRC-valid (crafted) frame whose
+// count fields lie must be rejected before the decoder preallocates for
+// them — a huge params/node/edge hint would otherwise OOM on make().
+func TestDecodeGuardsCountPreallocations(t *testing.T) {
+	var b []byte
+	b = putString(b, "g")                      // Graph
+	b = binary.AppendVarint(b, 1)              // Completed
+	b = binary.LittleEndian.AppendUint64(b, 0) // Digest
+	b = append(b, 0)                           // AtEntry
+	b = binary.AppendUvarint(b, 1<<40)         // params count: absurd
+	if _, err := decodeCheckpoint(b); err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge param count not rejected: %v", err)
 	}
 }
 
@@ -423,6 +439,51 @@ func TestWriterDetachesIntSliceUser(t *testing.T) {
 	got, ok := snap.Checkpoint.User.([]int64)
 	if !ok || got[0] != 1 {
 		t.Fatalf("user state aliased the shared slice: %v", snap.Checkpoint.User)
+	}
+}
+
+// TestWriterDetachesAllMutableUserTypes: the detach guarantee covers the
+// whole codec-supported type set, not just []int64 — a snapshot hook may
+// reuse a []byte, []any, or nested buffer across barriers, and the
+// background encoder must never read memory the engine is rewriting.
+func TestWriterDetachesAllMutableUserTypes(t *testing.T) {
+	st, err := Open(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, _ := st.Session("s1")
+	w := NewWriter(ss, "s1", "", "graph g {}\n", 1, nil)
+	defer w.Close()
+	ck := testSnapshot(31, 0).Checkpoint
+
+	sharedBytes := []byte{1, 2, 3}
+	nestedInts := []int64{7, 8}
+	sharedAny := []any{sharedBytes, nestedInts, "ok", int64(5)}
+	ck.User = sharedAny
+	w.Offer(ck)
+	// The engine rewrites every level of the buffer at the next barrier.
+	sharedBytes[0] = 99
+	nestedInts[0] = 99
+	sharedAny[2] = "mutated"
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err := ss.LoadNewest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := snap.Checkpoint.User.([]any)
+	if !ok {
+		t.Fatalf("user state type: %T", snap.Checkpoint.User)
+	}
+	if b, _ := got[0].([]byte); len(b) == 0 || b[0] != 1 {
+		t.Fatalf("[]byte element aliased the shared buffer: %v", got[0])
+	}
+	if v, _ := got[1].([]int64); len(v) == 0 || v[0] != 7 {
+		t.Fatalf("nested []int64 aliased the shared buffer: %v", got[1])
+	}
+	if got[2] != "ok" {
+		t.Fatalf("[]any aliased the shared buffer: %v", got[2])
 	}
 }
 

@@ -56,11 +56,13 @@ type Writer struct {
 }
 
 // ckBuf is one side of the double buffer. ints backs a deep copy of an
-// []int64 user state: serve's snapshot hook reuses one slice across
-// captures, so the reference CopyInto keeps would alias memory the engine
-// overwrites at the next barrier. boxed caches ints wrapped in an
-// interface — re-boxing a slice allocates, so the warm path (stable
-// length) reuses one box and just overwrites the backing array.
+// []int64 user state: snapshot hooks may reuse one buffer across captures
+// (serve's does), so the reference CopyInto keeps would alias memory the
+// engine overwrites at the next barrier while the background goroutine is
+// still encoding it. boxed caches ints wrapped in an interface — re-boxing
+// a slice allocates, so the warm path (stable length) reuses one box and
+// just overwrites the backing array. Other mutable user-state types take
+// the allocating deepCopyUser path in Offer.
 type ckBuf struct {
 	ck    engine.Checkpoint
 	ints  []int64
@@ -95,17 +97,26 @@ func (w *Writer) Offer(ck *engine.Checkpoint) {
 	w.mu.Lock()
 	buf := &w.bufs[w.cur]
 	ck.CopyInto(&buf.ck)
-	if ints, ok := buf.ck.User.([]int64); ok {
+	// CopyInto keeps User by reference; detach every codec-supported
+	// mutable type from memory the snapshot hook may rewrite at the next
+	// barrier. []int64 (serve's type) gets the allocation-free warm path;
+	// the rest deep-copy with an allocation.
+	switch u := buf.ck.User.(type) {
+	case nil, bool, int, int64, float64, string:
+		// Immutable or held by value: safe to keep as is.
+	case []int64:
 		// Detach from the snapshot hook's reusable slice (see ckBuf).
-		if buf.boxed == nil || len(buf.ints) != len(ints) {
-			if cap(buf.ints) < len(ints) {
-				buf.ints = make([]int64, len(ints))
+		if buf.boxed == nil || len(buf.ints) != len(u) {
+			if cap(buf.ints) < len(u) {
+				buf.ints = make([]int64, len(u))
 			}
-			buf.ints = buf.ints[:len(ints)]
+			buf.ints = buf.ints[:len(u)]
 			buf.boxed = buf.ints
 		}
-		copy(buf.ints, ints)
+		copy(buf.ints, u)
 		buf.ck.User = buf.boxed
+	default:
+		buf.ck.User = deepCopyUser(buf.ck.User)
 	}
 	w.dirty = true
 	w.sinceP++
@@ -119,6 +130,27 @@ func (w *Writer) Offer(ck *engine.Checkpoint) {
 		case w.wake <- struct{}{}:
 		default:
 		}
+	}
+}
+
+// deepCopyUser clones the mutable codec-supported user-state types
+// ([]byte, []any and anything nested in []any); scalars and strings are
+// immutable and pass through. Unsupported types also pass through —
+// Encode rejects them loudly at persist time, so aliasing them is moot.
+func deepCopyUser(v any) any {
+	switch x := v.(type) {
+	case []byte:
+		return append([]byte(nil), x...)
+	case []int64:
+		return append([]int64(nil), x...)
+	case []any:
+		out := make([]any, len(x))
+		for i, e := range x {
+			out[i] = deepCopyUser(e)
+		}
+		return out
+	default:
+		return v
 	}
 }
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -196,18 +197,116 @@ func TestRecoverReportsFailures(t *testing.T) {
 	if st := m2.Stats(); st.Durable.RecoveryFailed != 1 {
 		t.Fatalf("recoveryFailed counter: %+v", st.Durable)
 	}
-	// Recovered s99 would have pushed nextID to 99; the garbage one must
-	// not (it never registered), but the real recovered ID still advances
-	// numbering.
+	// seedNextID pushed numbering past every on-disk directory — including
+	// the unrecoverable s99, whose snapshot directory a fresh session must
+	// never write into.
 	s2, err := m2.Open(ctx, "acme", testGraph(t), nil, nil)
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}
-	if s2.ID == s.ID {
-		t.Fatalf("new session reused recovered ID %q", s.ID)
+	if s2.ID == s.ID || s2.ID == "s99" {
+		t.Fatalf("new session reused on-disk ID %q", s2.ID)
 	}
 	if err := m2.Drain(ctx); err != nil {
 		t.Fatalf("drain 2: %v", err)
+	}
+}
+
+// TestOpenDuringRecoveryNoIDCollision: the ID counter is seeded from the
+// on-disk store synchronously at NewManager — before the listener can
+// admit anyone — so a client Open racing background recovery is never
+// handed an ID matching a not-yet-recovered durable session (which would
+// write into, and eventually prune away, that session's snapshots).
+func TestOpenDuringRecoveryNoIDCollision(t *testing.T) {
+	cfg, _ := durableConfig(t)
+	ctx := ctxT(t)
+
+	m1 := NewManager(cfg)
+	s, err := m1.Open(ctx, "acme", testGraph(t), nil, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	const acked = 3
+	if _, err := s.Pump(ctx, acked, nil); err != nil {
+		t.Fatalf("pump: %v", err)
+	}
+	// Crash (no drain), restart — and admit a client BEFORE recovery runs,
+	// exactly the window a listener accepting ahead of background recovery
+	// leaves open.
+	m2 := NewManager(cfg)
+	early, err := m2.Open(ctx, "acme", testGraph(t), nil, nil)
+	if err != nil {
+		t.Fatalf("open during recovery window: %v", err)
+	}
+	if early.ID == s.ID {
+		t.Fatalf("racing Open reused on-disk session ID %q", s.ID)
+	}
+	rec := m2.Recover(ctx)
+	if rec.Recovered != 1 || rec.Failed != 0 {
+		t.Fatalf("recovery stats: %+v", rec)
+	}
+	rs, err := m2.Get(s.ID)
+	if err != nil {
+		t.Fatalf("durable session lost to the racing Open: %v", err)
+	}
+	if got := rs.Completed(); got != acked {
+		t.Fatalf("recovered completed = %d, want %d (acked)", got, acked)
+	}
+	if err := m2.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestPumpNotDurableOnFlushFailure: when the synchronous flush covering a
+// pump fails, the pump must fail with ErrNotDurable instead of acking work
+// that is not crash-safe. The iterations still ran — the count is reported
+// — and the session recovers once the store is writable again.
+func TestPumpNotDurableOnFlushFailure(t *testing.T) {
+	cfg, dir := durableConfig(t)
+	ctx := ctxT(t)
+
+	m := NewManager(cfg)
+	s, err := m.Open(ctx, "acme", testGraph(t), nil, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if n, err := s.Pump(ctx, 2, nil); err != nil || n != 2 {
+		t.Fatalf("pump: n=%d err=%v", n, err)
+	}
+
+	// Break the store out from under the session: replace its snapshot
+	// directory with a plain file, so writes fail (ENOTDIR) even as root.
+	sessDir := filepath.Join(dir, s.ID)
+	if err := os.RemoveAll(sessDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(sessDir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Pump(ctx, 3, nil)
+	if !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("pump on broken store: err=%v, want ErrNotDurable", err)
+	}
+	if n != 5 {
+		t.Fatalf("completed = %d, want 5 (the work ran; only durability failed)", n)
+	}
+	if st := m.Stats(); st.Durable == nil || st.Durable.PersistErrors == 0 {
+		t.Fatalf("persist errors not counted: %+v", st.Durable)
+	}
+
+	// Repair the store: the next pump offers a fresh cut, flushes it, and
+	// acks durably again.
+	if err := os.Remove(sessDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(sessDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.Pump(ctx, 1, nil); err != nil || n != 6 {
+		t.Fatalf("pump after repair: n=%d err=%v", n, err)
+	}
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
 	}
 }
 

@@ -33,6 +33,10 @@ var (
 	ErrNotFound = errors.New("serve: no such session")
 	// ErrClosed: the session was already drained. HTTP 409.
 	ErrClosed = errors.New("serve: session closed")
+	// ErrNotDurable: a pump ran to completion but the synchronous flush of
+	// its covering checkpoint failed — the session keeps running, but the
+	// completed work is not crash-safe. HTTP 500.
+	ErrNotDurable = errors.New("serve: pump not durable")
 )
 
 // Config bounds the service. Every limit exists so that saturation turns
@@ -78,9 +82,10 @@ type Config struct {
 	// DataDir enables durable sessions: every session streams its barrier
 	// checkpoints to a per-session snapshot store under this directory
 	// (crash-safe tmp-write → fsync → rename), a pump is acknowledged only
-	// after its covering checkpoint is fsynced, and a restarted server
-	// recovers every session from its newest valid snapshot. Empty (the
-	// default) keeps all checkpoints in memory.
+	// after its covering checkpoint is fsynced (a failed flush fails the
+	// pump with ErrNotDurable — the work ran but is reported non-durable),
+	// and a restarted server recovers every session from its newest valid
+	// snapshot. Empty (the default) keeps all checkpoints in memory.
 	DataDir string
 	// PersistEvery is the background persistence cadence: a snapshot write
 	// is triggered every Nth barrier (default 1). Pump acks flush
@@ -298,8 +303,35 @@ func NewManager(cfg Config) *Manager {
 	m.durable.persistLatency = obs.NewLatencyHistogram()
 	if cfg.DataDir != "" {
 		m.store, m.storeErr = tpdf.OpenSnapshotStore(cfg.DataDir, cfg.KeepSnapshots)
+		if m.storeErr == nil {
+			m.storeErr = m.seedNextID()
+		}
 	}
 	return m
+}
+
+// seedNextID raises the session-ID counter past every session directory
+// already in the store — synchronously, before any Open can run. Cold-start
+// recovery happens in the background while the listener already accepts
+// requests, so without this an Open racing recovery could be handed an ID
+// matching an on-disk session not yet recovered; the new session's
+// persister would then write into (and keep-last-K pruning would
+// eventually delete) the durable session's snapshots, silently losing
+// acked state. Directories that later fail to recover count too: a fresh
+// session must never share a snapshot directory with anything on disk.
+func (m *Manager) seedNextID() error {
+	ids, err := m.store.IDs()
+	if err != nil {
+		return err
+	}
+	var maxID int64
+	for _, id := range ids {
+		if n, perr := strconv.ParseInt(strings.TrimPrefix(id, "s"), 10, 64); perr == nil && n > maxID {
+			maxID = n
+		}
+	}
+	m.nextID.Store(maxID)
+	return nil
 }
 
 // durableEnv renders the durability context sessions persist through; nil
@@ -595,6 +627,16 @@ func (m *Manager) Recover(ctx context.Context) RecoveryStats {
 		if ctx.Err() != nil || m.closed.Load() {
 			break
 		}
+		m.mu.Lock()
+		_, open := m.sessions[id]
+		m.mu.Unlock()
+		if open {
+			// A session admitted after boot already owns this directory
+			// (its persister wrote a snapshot before recovery reached it).
+			// It is live, not crashed — nothing to recover.
+			m.setRecovery(func(r *RecoveryStats) { r.Pending--; r.Total-- })
+			continue
+		}
 		err := m.recoverSession(id)
 		m.setRecovery(func(r *RecoveryStats) {
 			r.Pending--
@@ -675,16 +717,8 @@ func (m *Manager) recoverSession(id string) error {
 	m.mu.Lock()
 	m.sessions[id] = s
 	m.mu.Unlock()
-	// Keep new IDs from colliding with recovered ones ("s<n>" numbering
-	// continues past the highest recovered session).
-	if n, perr := strconv.ParseInt(strings.TrimPrefix(id, "s"), 10, 64); perr == nil {
-		for {
-			cur := m.nextID.Load()
-			if cur >= n || m.nextID.CompareAndSwap(cur, n) {
-				break
-			}
-		}
-	}
+	// No ID bookkeeping here: seedNextID already pushed the counter past
+	// every on-disk session before the first Open could run.
 	if m.closed.Load() {
 		dctx, cancel := context.WithTimeout(context.Background(), m.cfg.DrainTimeout)
 		_, _ = m.closeSession(dctx, id, false)

@@ -208,6 +208,8 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, ErrClosed):
 		status = http.StatusConflict
+	case errors.Is(err, ErrNotDurable):
+		status = http.StatusInternalServerError
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		status = http.StatusGatewayTimeout
 	}

@@ -77,9 +77,18 @@ type sessCmd struct {
 	params map[string]int64
 	// iters > 0 pumps that many graph iterations (transactions).
 	iters int64
-	// reply receives the session's total completed iteration count once
-	// the command has taken effect (buffered; the hook never blocks on it).
-	reply chan int64
+	// reply receives the command's acknowledgement once it has taken
+	// effect (buffered; the hook never blocks on it).
+	reply chan pumpAck
+}
+
+// pumpAck is the barrier hook's answer to one command: the session's total
+// completed iteration count, plus a non-nil err wrapping ErrNotDurable
+// when the durable flush covering the pump failed — the iterations ran,
+// but the client must not treat them as crash-safe.
+type pumpAck struct {
+	completed int64
+	err       error
 }
 
 // Session is one client's persistent streaming engine: a tpdf.Stream run
@@ -139,7 +148,7 @@ type Session struct {
 	fleet         *fleetCounters
 	faults        *faultinject.Plan
 	pumpRemaining int64
-	pumpReply     chan int64
+	pumpReply     chan pumpAck
 	pumpPending   map[string]int64
 
 	// ckptArena holds the newest barrier checkpoint (the engine's sink
@@ -472,7 +481,7 @@ func (s *Session) barrierHook(completed int64) (map[string]int64, bool) {
 			// Pure reconfigure: acknowledged now, applied together
 			// with the next pump's first iteration.
 			if cmd.reply != nil {
-				cmd.reply <- completed
+				cmd.reply <- pumpAck{completed: completed}
 			}
 		case <-s.soft:
 			return s.pumpPending, true
@@ -483,26 +492,32 @@ func (s *Session) barrierHook(completed int64) (map[string]int64, bool) {
 }
 
 func (s *Session) finishPump(completed int64) {
-	if s.pumpReply != nil {
-		if s.persister != nil {
-			// Durability point: the entry capture at this boundary (which
-			// covers every iteration being acknowledged) was offered before
-			// this hook ran; flush it to disk before the ack leaves. One
-			// fsync per pump, not per iteration. A failed flush still acks —
-			// the engine state is fine — but it is counted and journaled via
-			// the persist hook, and the next flush reports it again.
-			s.persister.Flush() //nolint:errcheck // counted via OnPersist
-		}
-		s.pumpReply <- completed
-		s.pumpReply = nil
+	if s.pumpReply == nil {
+		return
 	}
+	var err error
+	if s.persister != nil {
+		// Durability point: the entry capture at this boundary (which
+		// covers every iteration being acknowledged) was offered before
+		// this hook ran; flush it to disk before the ack leaves. One
+		// fsync per pump, not per iteration. A failed flush fails the
+		// pump — the engine state is fine and the session keeps running,
+		// but the client must not be told the work is durable when it is
+		// not (Config.DataDir promises acks only after the covering
+		// checkpoint is fsynced).
+		if ferr := s.persister.Flush(); ferr != nil {
+			err = fmt.Errorf("%w: %v", ErrNotDurable, ferr)
+		}
+	}
+	s.pumpReply <- pumpAck{completed: completed, err: err}
+	s.pumpReply = nil
 }
 
 // send delivers one command to the barrier hook and waits for its ack.
 // A session in recovery has no engine at a barrier, but the supervisor
 // restarts one within its backoff budget; the command just queues.
 func (s *Session) send(ctx context.Context, cmd sessCmd) (int64, error) {
-	cmd.reply = make(chan int64, 1)
+	cmd.reply = make(chan pumpAck, 1)
 	select {
 	case s.cmds <- cmd:
 	case <-s.done:
@@ -511,8 +526,8 @@ func (s *Session) send(ctx context.Context, cmd sessCmd) (int64, error) {
 		return s.completed.Load(), ctx.Err()
 	}
 	select {
-	case n := <-cmd.reply:
-		return n, nil
+	case a := <-cmd.reply:
+		return a.completed, a.err
 	case <-s.done:
 		return s.completed.Load(), s.exitErr()
 	case <-ctx.Done():
@@ -524,6 +539,9 @@ func (s *Session) send(ctx context.Context, cmd sessCmd) (int64, error) {
 // Pump runs iters graph iterations (transactions) through the parked
 // engine, optionally applying parameter overrides at the first boundary,
 // and returns the session's total completed iteration count afterwards.
+// On a durable session, an error wrapping ErrNotDurable means the
+// iterations ran (the count is still returned) but the covering checkpoint
+// could not be flushed — the work is not crash-safe.
 func (s *Session) Pump(ctx context.Context, iters int64, params map[string]int64) (int64, error) {
 	if iters <= 0 {
 		return s.completed.Load(), fmt.Errorf("serve: pump iterations must be >= 1")

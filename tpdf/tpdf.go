@@ -103,7 +103,9 @@
 // written atomically (temp file, fsync, rename) with the newest K retained
 // per session. Persister.Flush forces a synchronous write of the newest
 // cut; tpdf-serve calls it before acknowledging a pump, so an acked pump
-// always survives a crash. After a crash, store.Load(id) returns the
+// always survives a crash — and when the flush itself fails, the pump is
+// failed (serve.ErrNotDurable) rather than acked, so the client is never
+// told unsynced work is durable. After a crash, store.Load(id) returns the
 // newest snapshot whose checksums verify — torn files from a mid-write
 // power cut are detected and skipped, falling back to the previous good
 // one — and its Graph() plus Checkpoint rehydrate a fresh run via
