@@ -31,6 +31,13 @@
 //	                                        # soaked by the loadgen library; per-endpoint
 //	                                        # median ns/op + p99 (open/pump/close/session,
 //	                                        # analyze/sweep) gated against BENCH_serve.json
+//	tpdf-bench -gen -json BENCH_gen.json
+//	                                        # generator mode: time the property-based test
+//	                                        # generators (tpdf/fuzz) over a fixed seed span —
+//	                                        # graph generation, schedule generation and full
+//	                                        # case assembly ns/op + allocs/op — gated against
+//	                                        # BENCH_gen.json so the fuzz sweep's cost per CI
+//	                                        # run stays bounded
 package main
 
 import (
@@ -46,6 +53,7 @@ import (
 	"time"
 
 	"repro/tpdf"
+	"repro/tpdf/fuzz"
 	"repro/tpdf/obs"
 	"repro/tpdf/serve"
 )
@@ -100,7 +108,10 @@ type benchReport struct {
 	EngineMode bool `json:"engine_mode,omitempty"`
 	// ServeMode marks a report produced by -serve: Experiments holds
 	// per-endpoint service latencies and Serve the full soak report.
-	ServeMode   bool               `json:"serve_mode,omitempty"`
+	ServeMode bool `json:"serve_mode,omitempty"`
+	// GenMode marks a report produced by -gen: Experiments holds the
+	// property-based test generator timings (tpdf/fuzz).
+	GenMode     bool               `json:"gen_mode,omitempty"`
 	Parallel    int                `json:"parallel,omitempty"`
 	Experiments []experimentTiming `json:"experiments"`
 	Engine      engineComparison   `json:"engine"`
@@ -595,6 +606,61 @@ func measureServeMode(quick bool) (*benchReport, error) {
 	return rep, nil
 }
 
+// genSink keeps the generator workloads' outputs observably alive so the
+// compiler cannot elide the work being timed.
+var genSink int64
+
+// measureGenMode times the property-based test generators (tpdf/fuzz)
+// over a fixed consecutive seed span: graph generation alone, schedule
+// generation alone (against one fixed graph), and full case assembly
+// including the canonical text both artifacts serialize to — the exact
+// per-case cost the CI fuzz sweep pays. Generation is deterministic by
+// seed, so every round re-derives byte-identical artifacts and the
+// numbers gate generator cost, not input variance.
+func measureGenMode(quick bool) (*benchReport, error) {
+	rep := &benchReport{Quick: quick, GenMode: true}
+	span := int64(2048)
+	if quick {
+		span = 512
+	}
+	scheduleGraph := fuzz.Graph(1, fuzz.GraphConfig{})
+	workloads := []struct {
+		name string
+		run  func() error
+	}{
+		{"gen/graph", func() error {
+			for seed := int64(1); seed <= span; seed++ {
+				g := fuzz.Graph(seed, fuzz.GraphConfig{})
+				genSink += int64(len(g.Nodes))
+			}
+			return nil
+		}},
+		{"gen/schedule", func() error {
+			for seed := int64(1); seed <= span; seed++ {
+				s := fuzz.NewSchedule(seed, scheduleGraph, fuzz.ScheduleConfig{})
+				genSink += s.Iterations
+			}
+			return nil
+		}},
+		{"gen/case", func() error {
+			for seed := int64(1); seed <= span; seed++ {
+				c := fuzz.NewCase(seed)
+				genSink += int64(len(tpdf.Format(c.Graph)) + len(c.Schedule.String()))
+			}
+			return nil
+		}},
+	}
+	for _, w := range workloads {
+		w := w
+		timing := measureTiming(w.name, func() (func() error, error) {
+			return w.run, nil
+		})
+		timing.Iterations = span
+		rep.Experiments = append(rep.Experiments, timing)
+	}
+	return rep, nil
+}
+
 // mallocs reads the process-wide cumulative heap-allocation count.
 func mallocs() uint64 {
 	var ms runtime.MemStats
@@ -825,7 +891,7 @@ func compare(baselinePath string, rep *benchReport, threshold, allocThreshold fl
 	}
 	// A baseline from another mode would share no experiment names and
 	// silently gate nothing; refuse it outright.
-	if base.EngineMode != rep.EngineMode || base.ServeMode != rep.ServeMode {
+	if base.EngineMode != rep.EngineMode || base.ServeMode != rep.ServeMode || base.GenMode != rep.GenMode {
 		return fmt.Errorf("%s is a %s baseline but this run measured %s (wrong -compare file?)",
 			baselinePath, modeName(&base), modeName(rep))
 	}
@@ -895,6 +961,8 @@ func modeName(rep *benchReport) string {
 		return "serve"
 	case rep.EngineMode:
 		return "engine"
+	case rep.GenMode:
+		return "gen"
 	default:
 		return "analysis"
 	}
@@ -905,6 +973,7 @@ func run() error {
 	exp := flag.String("exp", "", "run one experiment: "+strings.Join(tpdf.ExperimentNames(), " "))
 	engineMode := flag.Bool("engine", false, "benchmark the streaming engine per graph (stream ns/op + allocs/op) instead of the analysis experiments")
 	serveMode := flag.Bool("serve", false, "benchmark the service tier: soak an in-process tpdf-serve and report per-endpoint median ns/op + p99")
+	genMode := flag.Bool("gen", false, "benchmark the property-based test generators (tpdf/fuzz): graph/schedule/case ns/op + allocs/op over a fixed seed span")
 	parallel := flag.Int("parallel", 1, "worker pool width: fan experiments out and shard their sweeps")
 	jsonPath := flag.String("json", "", "write machine-readable timings (experiment ns/op + allocs/op, engine-vs-runner speedup) to this file")
 	baseline := flag.String("compare", "", "baseline JSON to compare against; exits nonzero on regression")
@@ -914,12 +983,18 @@ func run() error {
 	ckptOverhead := flag.Float64("ckpt-overhead", 0, "engine mode: max relative slowdown of each workload's checkpoint-armed +ckpt twin (0.02 = 2%; 0 disables the gate)")
 	flag.Parse()
 
-	if *engineMode || *serveMode {
+	if *engineMode || *serveMode || *genMode {
 		if *exp != "" {
-			return fmt.Errorf("-exp is mutually exclusive with -engine/-serve")
+			return fmt.Errorf("-exp is mutually exclusive with -engine/-serve/-gen")
 		}
-		if *engineMode && *serveMode {
-			return fmt.Errorf("-engine and -serve are mutually exclusive")
+		modes := 0
+		for _, on := range []bool{*engineMode, *serveMode, *genMode} {
+			if on {
+				modes++
+			}
+		}
+		if modes > 1 {
+			return fmt.Errorf("-engine, -serve and -gen are mutually exclusive")
 		}
 		if *baseline != "" {
 			if _, err := os.Stat(*baseline); err != nil {
@@ -929,6 +1004,9 @@ func run() error {
 		measureMode := measureEngineMode
 		if *serveMode {
 			measureMode = measureServeMode
+		}
+		if *genMode {
+			measureMode = measureGenMode
 		}
 		rep, err := measureMode(*quick)
 		if err != nil {

@@ -1,0 +1,67 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// DeadlockCase generates a graph that deadlocks under a channel-capacity
+// override of 1 but runs fine at default capacities — the fixture family
+// for stall-watchdog tests. The core is a fixed three-node diamond whose
+// cyclo-static phases interlock fatally at capacity 1 (A's second-phase
+// token to M cannot be produced until B drains A's first edge, but B
+// waits on M): the seed varies everything around it — a source chain
+// feeding the diamond, a sink chain draining it, and all execution times
+// — so watchdog coverage isn't tied to one literal topology. Returns the
+// graph and the name of a node inside the deadlocked clique (useful for
+// asserting the watchdog names a relevant actor).
+func DeadlockCase(seed int64) (*core.Graph, string) {
+	rng := newRand(seed)
+	g := core.NewGraph(fmt.Sprintf("deadlock_%x", uint64(seed)))
+
+	exec := func() []int64 {
+		e := []int64{1 + int64(rng.Intn(3))}
+		if rng.Intn(3) == 0 {
+			e = append(e, 1+int64(rng.Intn(3)))
+		}
+		return e
+	}
+
+	// Seeded prefix: 0..2 pass-through sources upstream of the diamond.
+	nPre := rng.Intn(3)
+	var prev core.NodeID = -1
+	for i := 0; i < nPre; i++ {
+		id := g.AddKernel(fmt.Sprintf("src%d", i), exec()...)
+		if prev >= 0 {
+			mustConnect(g, prev, "[1]", id, "[1]", 0)
+		}
+		prev = id
+	}
+
+	a := g.AddKernel("A", exec()...)
+	m := g.AddKernel("M", exec()...)
+	b := g.AddKernel("B", exec()...)
+	if prev >= 0 {
+		mustConnect(g, prev, "[1]", a, "[1]", 0)
+	}
+	mustConnect(g, m, "[1]", b, "[1,0]", 0)
+	mustConnect(g, a, "[1]", b, "[1]", 0)
+	mustConnect(g, a, "[0,1]", m, "[1]", 0)
+
+	// Seeded suffix: 0..2 pass-through sinks downstream of the diamond.
+	nPost := rng.Intn(3)
+	prev = b
+	for i := 0; i < nPost; i++ {
+		id := g.AddKernel(fmt.Sprintf("dst%d", i), exec()...)
+		mustConnect(g, prev, "[1]", id, "[1]", 0)
+		prev = id
+	}
+	return g, "B"
+}
+
+func mustConnect(g *core.Graph, src core.NodeID, prodRates string, dst core.NodeID, consRates string, initial int64) {
+	if _, err := g.Connect(src, prodRates, dst, consRates, initial); err != nil {
+		panic(fmt.Sprintf("gen: connect: %v", err))
+	}
+}

@@ -1,0 +1,262 @@
+// Package gen is the property-based test generator behind tpdf/fuzz: a
+// seeded, fully deterministic source of valid TPDF graphs (random
+// topologies, parametric cyclo-static rates, cycles with initial tokens,
+// special data-distribution kernels) and of execution schedules over them
+// (rebind sequences, pump cadences, fault-injection sites, crash points).
+//
+// Validity is by construction, not by rejection sampling: every node is
+// assigned a designed repetition count and every edge's production and
+// consumption rates are derived from the two endpoint counts so the
+// balance equations hold at every parameter valuation (parametric edges
+// multiply both ends by the same parameter, keeping the ratio fixed).
+// Back edges carry one designed iteration's worth of initial tokens, so
+// cycles are live, and rate phases are only split on nodes whose designed
+// count the phase cycle divides. The result is always consistent, live
+// and Theorem 2-bounded — asserted over a seed sweep in gen_test.go — so
+// a differential harness downstream never wastes a case on an invalid
+// graph.
+//
+// Determinism is the load-bearing property: one seed produces one graph,
+// byte-identical under graphio.Format, and one schedule, byte-identical
+// under Schedule.String — re-running a failed seed reproduces the failure
+// exactly, which is what makes shrinking and corpus replay possible. To
+// keep that true the package draws all randomness from a single
+// rand.Source per artifact and never iterates a Go map.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// GraphConfig bounds graph generation. The zero value is a usable
+// default: a seeded 3..8-node topology with up to two parameters, cycles
+// and special kernels allowed.
+type GraphConfig struct {
+	// Nodes fixes the node count; 0 draws it from [3, 8].
+	Nodes int
+	// MaxParams caps declared parameters (default 2; negative means 0).
+	MaxParams int
+	// NoCycles suppresses back edges (cycles with initial tokens).
+	NoCycles bool
+	// NoSpecials suppresses Transaction / Select-duplicate kernels.
+	NoSpecials bool
+	// NoPhases suppresses multi-phase (cyclo-static) rate sequences.
+	NoPhases bool
+}
+
+// shapes the topology planner can draw.
+const (
+	shapeChain = iota
+	shapeDAG
+	shapeFanOutIn
+	shapeCount
+)
+
+// Graph deterministically generates a valid TPDF graph: same seed and
+// config, byte-identical graphio.Format text. The graph is consistent,
+// live and bounded at every valuation within its declared parameter
+// ranges.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func Graph(seed int64, cfg GraphConfig) *core.Graph {
+	rng := newRand(seed)
+	n := cfg.Nodes
+	if n <= 0 {
+		n = 3 + rng.Intn(6)
+	}
+	if n < 2 {
+		n = 2
+	}
+	maxParams := cfg.MaxParams
+	if maxParams == 0 {
+		maxParams = 2
+	}
+	if maxParams < 0 {
+		maxParams = 0
+	}
+
+	g := core.NewGraph(fmt.Sprintf("gen_%x", uint64(seed)))
+
+	// Parameters: small ranges keep token totals (and therefore ring
+	// sizes and sim event counts) bounded across the whole range.
+	nParams := 0
+	if maxParams > 0 {
+		nParams = rng.Intn(maxParams + 1)
+	}
+	type param struct {
+		name string
+	}
+	params := make([]param, nParams)
+	for i := range params {
+		name := fmt.Sprintf("p%d", i)
+		min := int64(1)
+		max := min + 1 + rng.Int63n(3) // 2..4
+		def := min + rng.Int63n(max-min+1)
+		g.AddParam(name, def, min, max)
+		params[i] = param{name: name}
+	}
+
+	// Designed repetition counts. Even counts admit 2-phase rate splits.
+	q := make([]int64, n)
+	for i := range q {
+		q[i] = 1 + int64(rng.Intn(4)) // 1..4
+	}
+
+	// Topology plan: forward edges only (i < j), so the base graph is a
+	// DAG and a topological order is a valid schedule by construction.
+	type plannedEdge struct {
+		src, dst int
+		back     bool
+	}
+	var edges []plannedEdge
+	shape := rng.Intn(shapeCount)
+	switch {
+	case shape == shapeFanOutIn && n >= 4:
+		// 0 fans out to 1..n-2, all fan in to n-1.
+		for j := 1; j < n-1; j++ {
+			edges = append(edges, plannedEdge{0, j, false})
+			edges = append(edges, plannedEdge{j, n - 1, false})
+		}
+	case shape == shapeChain:
+		for j := 1; j < n; j++ {
+			edges = append(edges, plannedEdge{j - 1, j, false})
+		}
+	default:
+		// Random DAG: every node past the first picks 1..2 predecessors.
+		for j := 1; j < n; j++ {
+			preds := 1
+			if j > 1 && rng.Intn(2) == 0 {
+				preds = 2
+			}
+			prev := -1
+			for k := 0; k < preds; k++ {
+				p := rng.Intn(j)
+				if p == prev {
+					continue
+				}
+				edges = append(edges, plannedEdge{p, j, false})
+				prev = p
+			}
+		}
+	}
+
+	// Optional back edge: from a later node to an earlier one, primed
+	// with a full designed iteration of initial tokens so the cycle is
+	// live and returns to its initial state each iteration.
+	if !cfg.NoCycles && n >= 3 && rng.Intn(2) == 0 {
+		dst := rng.Intn(n - 1)
+		src := dst + 1 + rng.Intn(n-1-dst)
+		edges = append(edges, plannedEdge{src, dst, true})
+	}
+
+	// Node kinds: in/out degrees are known now, so special
+	// data-distribution kernels land only where their shape validates (a
+	// Transaction joins >= 2 inputs into exactly one output, a
+	// Select-duplicate splits exactly one input into >= 2 outputs).
+	// Without control channels both fire wait-all, which keeps every
+	// tier's semantics aligned while still exercising the special node
+	// paths in format, analysis and lowering.
+	ins := make([]int, n)
+	outs := make([]int, n)
+	for _, e := range edges {
+		outs[e.src]++
+		ins[e.dst]++
+	}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("n%d", i)
+		var exec []int64
+		exec = append(exec, 1+int64(rng.Intn(3)))
+		if rng.Intn(4) == 0 {
+			exec = append(exec, 1+int64(rng.Intn(3)))
+		}
+		switch {
+		case !cfg.NoSpecials && ins[i] >= 2 && outs[i] == 1 && rng.Intn(3) == 0:
+			g.AddTransaction(name, exec...)
+		case !cfg.NoSpecials && ins[i] == 1 && outs[i] >= 2 && rng.Intn(3) == 0:
+			g.AddSelectDuplicate(name, exec...)
+		default:
+			g.AddKernel(name, exec...)
+		}
+	}
+
+	// Rates: per-iteration token total T = c * lcm(q_src, q_dst) splits
+	// into integer per-firing rates on both ends. A parametric edge
+	// multiplies both ends by the same parameter, so the ratio — and with
+	// it the repetition vector — is valuation-independent.
+	for _, e := range edges {
+		l := lcm(q[e.src], q[e.dst])
+		c := int64(1 + rng.Intn(2))
+		t := c * l
+		prod := t / q[e.src]
+		cons := t / q[e.dst]
+
+		var pName string
+		if !e.back && nParams > 0 && rng.Intn(3) == 0 {
+			pName = params[rng.Intn(nParams)].name
+		}
+		prodStr := rateString(rng, prod, q[e.src], pName, cfg.NoPhases || e.back)
+		consStr := rateString(rng, cons, q[e.dst], pName, cfg.NoPhases || e.back)
+
+		var initial int64
+		if e.back {
+			initial = t
+		}
+		if _, err := g.Connect(core.NodeID(e.src), prodStr, core.NodeID(e.dst), consStr, initial); err != nil {
+			// Construction guarantees parseable rate strings; any error
+			// here is a generator bug worth failing loudly on.
+			panic(fmt.Sprintf("gen: connect %d->%d: %v", e.src, e.dst, err))
+		}
+	}
+	return g
+}
+
+// rateString renders one port's rate sequence. Constant rates on nodes
+// with an even designed count may split into two phases with the same
+// sum, so the balance equations see the same per-iteration total.
+func rateString(rng *rand.Rand, rate, q int64, param string, noPhases bool) string {
+	if param != "" {
+		if rate == 1 {
+			return "[" + param + "]"
+		}
+		return fmt.Sprintf("[%d*%s]", rate, param)
+	}
+	if !noPhases && q%2 == 0 && rate >= 1 && rng.Intn(3) == 0 {
+		d := rng.Int63n(rate + 1)
+		return fmt.Sprintf("[%d,%d]", rate-d, rate+d)
+	}
+	return fmt.Sprintf("[%d]", rate)
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int64) int64 { return a / gcd(a, b) * b }
+
+// SinkNodes lists the nodes the harness attaches recording behaviors to:
+// the graph's sinks (no outgoing edges), or every node when a cycle
+// leaves no sinks. Deterministic: node-declaration order.
+func SinkNodes(g *core.Graph) []string {
+	hasOut := make([]bool, len(g.Nodes))
+	for _, e := range g.Edges {
+		hasOut[e.Src] = true
+	}
+	var sinks []string
+	for i, n := range g.Nodes {
+		if !hasOut[i] {
+			sinks = append(sinks, n.Name)
+		}
+	}
+	if len(sinks) == 0 {
+		for _, n := range g.Nodes {
+			sinks = append(sinks, n.Name)
+		}
+	}
+	return sinks
+}

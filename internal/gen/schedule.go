@@ -1,0 +1,326 @@
+package gen
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Rebind is one scheduled reconfiguration: after transaction boundary At
+// (counting completed boundaries), rebind the listed parameters.
+type Rebind struct {
+	At     int64
+	Params map[string]int64
+}
+
+// FaultSite is one scheduled behavior panic: node's k-th firing.
+type FaultSite struct {
+	Node string
+	K    int64
+}
+
+// Schedule is a generated execution plan for one graph: how many
+// iterations to run, at which valuation, which rebinds and faults to
+// inject along the way, and — for the serve harness — the pump cadence
+// and crash point. Schedules render to a canonical text (String) and
+// parse back (ParseSchedule), so a failing case commits to the corpus as
+// a pair of plain files.
+type Schedule struct {
+	Seed       int64
+	Iterations int64
+	// Base is the initial parameter valuation (full: every declared
+	// parameter appears).
+	Base map[string]int64
+	// Rebinds apply in order; At values are strictly increasing.
+	Rebinds []Rebind
+	// Pumps partitions Iterations for the serve harness (sums to
+	// Iterations).
+	Pumps []int64
+	// Panics are behavior panic sites, injected only in the
+	// recovery-under-test run.
+	Panics []FaultSite
+	// RebindAborts lists completed-boundary counts whose rebind is
+	// forced to abort (only meaningful when Rebinds is non-empty).
+	RebindAborts []int64
+	// CrashAfterPump is the pump index after which the serve harness
+	// abandons the manager (-1: no crash).
+	CrashAfterPump int
+}
+
+// ScheduleConfig bounds schedule generation.
+type ScheduleConfig struct {
+	// MaxIterations caps the run length (default 6).
+	MaxIterations int64
+	// NoRebinds suppresses reconfiguration (and rebind aborts).
+	NoRebinds bool
+	// NoFaults suppresses panic sites and rebind aborts.
+	NoFaults bool
+}
+
+// NewSchedule deterministically generates a schedule for g: same seed,
+// graph and config, byte-identical String output.
+func NewSchedule(seed int64, g *core.Graph, cfg ScheduleConfig) *Schedule {
+	rng := newRand(seed)
+	maxIters := cfg.MaxIterations
+	if maxIters <= 0 {
+		maxIters = 6
+	}
+	s := &Schedule{
+		Seed:           seed,
+		Iterations:     1 + rng.Int63n(maxIters),
+		Base:           map[string]int64{},
+		CrashAfterPump: -1,
+	}
+
+	// Base valuation: a draw within each declared range. Parameter order
+	// follows the declaration; Base is rendered sorted, but the draws
+	// themselves must not depend on render order.
+	for _, p := range g.Params {
+		lo, hi := p.Min, p.Max
+		if lo < 1 {
+			lo = 1
+		}
+		if hi < lo {
+			hi = lo
+		}
+		s.Base[p.Name] = lo + rng.Int63n(hi-lo+1)
+	}
+
+	// Rebinds: up to 2, at strictly increasing boundaries inside the run.
+	if !cfg.NoRebinds && len(g.Params) > 0 && s.Iterations >= 2 {
+		nReb := rng.Intn(3)
+		at := int64(0)
+		for i := 0; i < nReb; i++ {
+			at += 1 + rng.Int63n(2)
+			if at >= s.Iterations {
+				break
+			}
+			rb := Rebind{At: at, Params: map[string]int64{}}
+			for _, p := range g.Params {
+				if rng.Intn(2) == 0 {
+					continue
+				}
+				lo, hi := p.Min, p.Max
+				if lo < 1 {
+					lo = 1
+				}
+				if hi < lo {
+					hi = lo
+				}
+				rb.Params[p.Name] = lo + rng.Int63n(hi-lo+1)
+			}
+			if len(rb.Params) == 0 {
+				// An empty rebind is a no-op barrier; keep it anyway so
+				// the harness exercises the hook with nothing to change.
+				rb.Params[g.Params[0].Name] = s.Base[g.Params[0].Name]
+			}
+			s.Rebinds = append(s.Rebinds, rb)
+		}
+	}
+
+	// Pump cadence: split Iterations into 1..3 chunks.
+	rem := s.Iterations
+	for rem > 0 {
+		var chunk int64
+		if len(s.Pumps) == 2 || rem == 1 {
+			chunk = rem
+		} else {
+			chunk = 1 + rng.Int63n(rem)
+		}
+		s.Pumps = append(s.Pumps, chunk)
+		rem -= chunk
+	}
+	if len(s.Pumps) > 1 {
+		s.CrashAfterPump = rng.Intn(len(s.Pumps) - 1)
+	}
+
+	if !cfg.NoFaults {
+		// Panic sites: 0..2, at sink-node firings within the first
+		// iteration's worth of firings (K counts that node's firings).
+		sinks := SinkNodes(g)
+		nPan := rng.Intn(3)
+		for i := 0; i < nPan && len(sinks) > 0; i++ {
+			s.Panics = append(s.Panics, FaultSite{
+				Node: sinks[rng.Intn(len(sinks))],
+				K:    rng.Int63n(3),
+			})
+		}
+		// Rebind aborts: force at most one scheduled rebind to abort.
+		if len(s.Rebinds) > 0 && rng.Intn(2) == 0 {
+			s.RebindAborts = append(s.RebindAborts, s.Rebinds[rng.Intn(len(s.Rebinds))].At)
+		}
+	}
+	sort.Slice(s.Panics, func(i, j int) bool {
+		if s.Panics[i].Node != s.Panics[j].Node {
+			return s.Panics[i].Node < s.Panics[j].Node
+		}
+		return s.Panics[i].K < s.Panics[j].K
+	})
+	return s
+}
+
+// String renders the schedule in its canonical text form. Maps render
+// with sorted keys; the output is byte-stable for a given schedule.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule v1 seed %d\n", s.Seed)
+	fmt.Fprintf(&b, "iterations %d\n", s.Iterations)
+	for _, k := range sortedKeys(s.Base) {
+		fmt.Fprintf(&b, "base %s=%d\n", k, s.Base[k])
+	}
+	for _, rb := range s.Rebinds {
+		fmt.Fprintf(&b, "rebind %d", rb.At)
+		for _, k := range sortedKeys(rb.Params) {
+			fmt.Fprintf(&b, " %s=%d", k, rb.Params[k])
+		}
+		b.WriteByte('\n')
+	}
+	for _, p := range s.Pumps {
+		fmt.Fprintf(&b, "pump %d\n", p)
+	}
+	for _, f := range s.Panics {
+		fmt.Fprintf(&b, "panic %s %d\n", f.Node, f.K)
+	}
+	for _, at := range s.RebindAborts {
+		fmt.Fprintf(&b, "rebindabort %d\n", at)
+	}
+	if s.CrashAfterPump >= 0 {
+		fmt.Fprintf(&b, "crash %d\n", s.CrashAfterPump)
+	}
+	return b.String()
+}
+
+// ParseSchedule parses the canonical text form; ParseSchedule(s.String())
+// round-trips.
+func ParseSchedule(src string) (*Schedule, error) {
+	s := &Schedule{Base: map[string]int64{}, CrashAfterPump: -1}
+	sc := bufio.NewScanner(strings.NewReader(src))
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		bad := func(why string) error {
+			return fmt.Errorf("gen: schedule line %d: %s: %q", line, why, text)
+		}
+		switch fields[0] {
+		case "schedule":
+			if len(fields) != 4 || fields[1] != "v1" || fields[2] != "seed" {
+				return nil, bad("want 'schedule v1 seed N'")
+			}
+			v, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				return nil, bad("bad seed")
+			}
+			s.Seed = v
+		case "iterations":
+			if len(fields) != 2 {
+				return nil, bad("want 'iterations N'")
+			}
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil || v < 1 {
+				return nil, bad("bad iteration count")
+			}
+			s.Iterations = v
+		case "base":
+			if len(fields) != 2 {
+				return nil, bad("want 'base name=N'")
+			}
+			k, v, err := parseAssign(fields[1])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			s.Base[k] = v
+		case "rebind":
+			if len(fields) < 2 {
+				return nil, bad("want 'rebind AT name=N ...'")
+			}
+			at, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, bad("bad rebind boundary")
+			}
+			rb := Rebind{At: at, Params: map[string]int64{}}
+			for _, f := range fields[2:] {
+				k, v, err := parseAssign(f)
+				if err != nil {
+					return nil, bad(err.Error())
+				}
+				rb.Params[k] = v
+			}
+			s.Rebinds = append(s.Rebinds, rb)
+		case "pump":
+			if len(fields) != 2 {
+				return nil, bad("want 'pump N'")
+			}
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil || v < 1 {
+				return nil, bad("bad pump size")
+			}
+			s.Pumps = append(s.Pumps, v)
+		case "panic":
+			if len(fields) != 3 {
+				return nil, bad("want 'panic NODE K'")
+			}
+			k, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil || k < 0 {
+				return nil, bad("bad firing index")
+			}
+			s.Panics = append(s.Panics, FaultSite{Node: fields[1], K: k})
+		case "rebindabort":
+			if len(fields) != 2 {
+				return nil, bad("want 'rebindabort AT'")
+			}
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, bad("bad abort boundary")
+			}
+			s.RebindAborts = append(s.RebindAborts, v)
+		case "crash":
+			if len(fields) != 2 {
+				return nil, bad("want 'crash PUMPINDEX'")
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 0 {
+				return nil, bad("bad crash index")
+			}
+			s.CrashAfterPump = v
+		default:
+			return nil, bad("unknown directive")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if s.Iterations < 1 {
+		return nil, fmt.Errorf("gen: schedule missing 'iterations' line")
+	}
+	return s, nil
+}
+
+func parseAssign(s string) (string, int64, error) {
+	k, vs, ok := strings.Cut(s, "=")
+	if !ok || k == "" {
+		return "", 0, fmt.Errorf("want name=N, got %q", s)
+	}
+	v, err := strconv.ParseInt(vs, 10, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad value in %q", s)
+	}
+	return k, v, nil
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,52 @@
+package graphio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzParse holds the parser to its two contracts under arbitrary input:
+// it never panics, and when it accepts an input, Format is a fixpoint —
+// the canonical text reparses to a graph that formats to the same bytes.
+// The seed corpus is every shipped .tpdf fixture plus hand-picked corner
+// cases (committed under testdata/fuzz/FuzzParse).
+func FuzzParse(f *testing.F) {
+	if entries, err := os.ReadDir(filepath.Join("..", "..", "graphs")); err == nil {
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), ".tpdf") {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join("..", "..", "graphs", e.Name()))
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(src))
+		}
+	}
+	f.Add("")
+	f.Add("graph g {\n}\n")
+	f.Add("graph g { param p = 2 range 1 4; kernel a exec 1; kernel b; edge e1: a [p] -> [2*p] b; }")
+	f.Add("graph g { kernel a; edge e1: a [1,0,1] -> [2] a init 2; }")
+	f.Add("graph g { clock c period 3; kernel k; edge e1: c [1] -> [1] k control; }")
+	f.Add("graph g { kernel a # comment\n; }")
+	f.Add("graph \x00 { }")
+	f.Add("graph g { kernel a exec 9999999999999999999; }")
+	f.Add("graph g { edge e1: a [ -> b; }")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := Format(g)
+		g2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Format output does not reparse: %v\ninput:\n%s\nformatted:\n%s", err, src, text)
+		}
+		if got := Format(g2); got != text {
+			t.Fatalf("Format not a fixpoint:\nfirst:\n%s\nsecond:\n%s", text, got)
+		}
+	})
+}

